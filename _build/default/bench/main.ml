@@ -1,0 +1,452 @@
+(* The experiment harness: regenerates every figure-level result of the
+   paper (E1–E4) and the quantitative claims it makes in prose and in the
+   related-work comparison (E5–E9). See DESIGN.md section 4 for the index
+   and EXPERIMENTS.md for paper-claim vs measured.
+
+   Run:  dune exec bench/main.exe            (all experiments)
+         dune exec bench/main.exe -- E7 E9   (a subset)
+         dune exec bench/main.exe -- micro   (bechamel microbenchmarks) *)
+
+let section id title =
+  Fmt.pr "@.=== %s: %s ===@." id title
+
+let entry name = Option.get (Workloads.Registry.find name)
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+(* instructions per CPU second of a run *)
+let rate instrs secs = if secs <= 0. then 0. else float_of_int instrs /. secs
+
+(* ---------------------------------------------------------------- E1/E2 *)
+
+let e1 () =
+  section "E1" "Figure 1 (A)/(B): schedule-dependent outcome + exact replay";
+  let e = entry "fig1ab" in
+  Fmt.pr "%-6s %-10s %-28s %s@." "seed" "printed" "record=replay?" "trace";
+  List.iter
+    (fun seed ->
+      let rt = Dejavu.verify_roundtrip ~natives:e.natives ~seed e.program in
+      Fmt.pr "%-6d %-10s %-28s %d bytes@." seed
+        (String.trim rt.recorded.output)
+        (if Dejavu.ok rt then "yes (events+output+state)" else "NO")
+        (Dejavu.Trace.sizes rt.trace).total_bytes)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  let outs =
+    List.map
+      (fun seed ->
+        let vm, _ = Vm.execute ~seed e.program in
+        Vm.output vm)
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Fmt.pr "distinct outcomes across seeds: %d (paper: printed value depends on the thread switch)@."
+    (List.length (List.sort_uniq compare outs))
+
+let e2 () =
+  section "E2" "Figure 1 (C)/(D): wall-clock-dependent branch + wait/notify";
+  let e = entry "fig1cd" in
+  Fmt.pr "%-6s %-16s %-12s %s@." "seed" "printed" "clock-reads" "replay ok?";
+  List.iter
+    (fun seed ->
+      let rt = Dejavu.verify_roundtrip ~natives:e.natives ~seed e.program in
+      Fmt.pr "%-6d %-16s %-12d %s@." seed
+        (String.concat "," (String.split_on_char '\n' (String.trim rt.recorded.output)))
+        (Dejavu.Trace.sizes rt.trace).n_clock_reads
+        (if Dejavu.ok rt then "yes" else "NO"))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------- E3 *)
+
+let e3 () =
+  section "E3" "Figure 2: symmetric instrumentation (record vs replay)";
+  (* "timed" exercises every event kind: preemptions, scheduler clock
+     reads, idle advances — so the symmetric ring buffer sees writes *)
+  let e = entry "timed" in
+  let rec_run, trace = Dejavu.record ~natives:e.natives ~seed:2 e.program in
+  let rep_run, leftovers = Dejavu.replay ~natives:e.natives e.program trace in
+  let s_rec = Option.get rec_run.Dejavu.session in
+  let s_rep = Option.get rep_run.Dejavu.session in
+  Fmt.pr "%-34s %-12s %-12s@." "" "record" "replay";
+  Fmt.pr "%-34s %-12d %-12d@." "yield points seen by Figure-2 hook"
+    s_rec.yieldpoints_seen s_rep.yieldpoints_seen;
+  Fmt.pr "%-34s %-12d %-12d@." "thread switches performed"
+    s_rec.switches_done s_rep.switches_done;
+  Fmt.pr "%-34s %-12d %-12d@." "ring-buffer writes (symmetric alloc)"
+    (Dejavu.Ring.writes s_rec.ring)
+    (Dejavu.Ring.writes s_rep.ring);
+  Fmt.pr "%-34s %-12d %-12d@." "state digest (incl. DejaVu heap)"
+    (rec_run.Dejavu.state_digest land 0xffffff)
+    (rep_run.Dejavu.state_digest land 0xffffff);
+  Fmt.pr "trace fully consumed at replay end: %s@."
+    (if leftovers = [] then "yes" else String.concat "; " leftovers)
+
+(* ------------------------------------------------------------------- E4 *)
+
+let e4 () =
+  section "E4" "Figures 3/4: remote reflection is perturbation-free";
+  let e = entry "gc-churn" in
+  let rec_run, trace = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+  ignore rec_run;
+  (* replay and pause midway; inspect heavily through both interfaces *)
+  let d = Debugger.Session.start ~natives:e.natives e.program trace in
+  ignore (Debugger.Session.step d 5000);
+  let before = Debugger.Session.state_digest d in
+  let sp = Debugger.Session.space d in
+  let module RR = (val Remote_reflection.Remote_object.reflection sp) in
+  let module RL = (val Remote_reflection.Local_object.reflection d.vm) in
+  let queries = [ ("Churn", "total"); ("Churn", "survivor"); ("Churn", "lock") ] in
+  let agree =
+    List.for_all
+      (fun (c, f) ->
+        RR.render_value ~depth:3 (RR.get_static c f)
+        = RL.render_value ~depth:3 (RL.get_static c f))
+      queries
+  in
+  List.iter
+    (fun (c, f) ->
+      Fmt.pr "  %s.%s = %s@." c f (RR.render_value ~depth:2 (RR.get_static c f)))
+    queries;
+  let frames = Remote_reflection.Remote_frames.frames sp 1 in
+  Fmt.pr "  remote stack of thread 1: %s@."
+    (String.concat " <- "
+       (List.map
+          (fun (f : Remote_reflection.Remote_frames.frame) -> f.rf_meth.rm_name)
+          frames));
+  Fmt.pr "remote == in-process reflection on all queries: %b@." agree;
+  Fmt.pr "remote word reads performed: %d@." sp.reads;
+  Fmt.pr "application-VM digest unchanged by inspection: %b@."
+    (before = Debugger.Session.state_digest d);
+  (* and the replay still completes identically *)
+  ignore (Debugger.Session.continue_ d);
+  Fmt.pr "resumed replay matches recording: %b@."
+    (Debugger.Session.output d = rec_run.Dejavu.output
+    && Debugger.Session.state_digest d = rec_run.Dejavu.state_digest)
+
+(* ------------------------------------------------------------------- E5 *)
+
+let e5 () =
+  section "E5" "Replay accuracy across the workload suite";
+  Fmt.pr "%-24s %-6s %-10s %-8s %-8s %-8s %-10s@." "workload" "seed" "events"
+    "output" "state" "trace" "status";
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      List.iter
+        (fun seed ->
+          let rt = Dejavu.verify_roundtrip ~natives:e.natives ~seed e.program in
+          Fmt.pr "%-24s %-6d %-10s %-8s %-8s %-8s %-10s@." e.name seed
+            (if rt.events_equal then Fmt.str "=%d" rt.recorded.obs_count else "DIFFER")
+            (if rt.outputs_equal then "equal" else "DIFFER")
+            (if rt.states_equal then "equal" else "DIFFER")
+            (if rt.replay_complete then "drained" else "LEFT")
+            (Vm.string_of_status rt.recorded.status))
+        [ 1; 2 ])
+    (Lazy.force Workloads.Registry.all)
+
+(* ------------------------------------------------------------------- E6 *)
+
+let overhead_workloads =
+  [ ("primes", entry "primes"); ("parsum", entry "parsum");
+    ("racy-counter", entry "racy-counter"); ("gc-churn", entry "gc-churn");
+    ("producer-consumer", entry "producer-consumer") ]
+
+let e6 () =
+  section "E6" "Record/replay overhead vs uninstrumented execution";
+  Fmt.pr "%-20s %-12s %-12s %-12s %-10s %-10s@." "workload" "live Mi/s"
+    "record Mi/s" "replay Mi/s" "rec ovhd" "rep ovhd";
+  List.iter
+    (fun (name, (e : Workloads.Registry.entry)) ->
+      (* warm up and measure a few times, keep the best (least noisy) *)
+      let best f =
+        let r = ref infinity in
+        let instrs = ref 0 in
+        for _ = 1 to 3 do
+          let (n : int), t = time f in
+          instrs := n;
+          if t < !r then r := t
+        done;
+        (!instrs, !r)
+      in
+      let live_instrs, live_t =
+        best (fun () ->
+            let vm, _ = Vm.execute ~natives:e.natives ~seed:1 e.program in
+            (Vm.stats vm).n_instr)
+      in
+      let rec_instrs, rec_t =
+        best (fun () ->
+            let run, _ = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+            (Vm.stats run.Dejavu.vm).n_instr)
+      in
+      let _, trace = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+      let rep_instrs, rep_t =
+        best (fun () ->
+            let run, _ = Dejavu.replay ~natives:e.natives e.program trace in
+            (Vm.stats run.Dejavu.vm).n_instr)
+      in
+      let mips n t = rate n t /. 1e6 in
+      Fmt.pr "%-20s %-12.2f %-12.2f %-12.2f %-10.3f %-10.3f@." name
+        (mips live_instrs live_t) (mips rec_instrs rec_t)
+        (mips rep_instrs rep_t)
+        (rec_t /. live_t) (rep_t /. live_t))
+    overhead_workloads
+
+(* ------------------------------------------------------------------- E7 *)
+
+let e7 () =
+  section "E7" "Trace size: DejaVu vs the section-5 comparators (words)";
+  Fmt.pr "%-20s %-10s %-12s %-12s %-12s %-10s@." "workload" "dejavu"
+    "switch-map" "read-log" "crew" "dv bytes";
+  List.iter
+    (fun (name, (e : Workloads.Registry.entry)) ->
+      let _, trace = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+      let dv = Dejavu.Trace.sizes trace in
+      let sm =
+        let vm = Vm.create ~natives:e.natives e.program in
+        let b = Baselines.Switch_map.attach_record vm in
+        ignore (Vm.run vm);
+        (Baselines.Switch_map.sizes b).trace_words
+      in
+      let crew =
+        (Baselines.Runner.record_crew ~natives:e.natives ~seed:1 e.program)
+          .trace_words
+      in
+      let rl =
+        (Baselines.Runner.record_read_log ~natives:e.natives ~seed:1 e.program)
+          .trace_words
+      in
+      Fmt.pr "%-20s %-10d %-12d %-12d %-12d %-10d@." name dv.total_words sm rl
+        crew dv.total_bytes)
+    overhead_workloads;
+  Fmt.pr "(expected shape: dejavu < switch-map << read-log <= crew)@."
+
+(* ------------------------------------------------------------------- E8 *)
+
+let e8 () =
+  section "E8" "Instruction counting vs yield-point counting (section 2.3)";
+  (* The substrate-independent measure is how many counter updates each
+     identification scheme performs: yield points touch a few percent of
+     instructions, instruction counting touches all of them. (Wall-clock
+     times are also shown, but our interpreted substrate pays tens of ns
+     per instruction anyway, which compresses the gap that is prohibitive
+     for compiled code.) *)
+  Fmt.pr "%-16s %-12s %-14s %-8s %-10s %-10s %-10s@." "workload"
+    "yp updates" "icount updates" "ratio" "dejavu s" "icount s" "replay ok";
+  List.iter
+    (fun (name, (e : Workloads.Registry.entry)) ->
+      let best f =
+        let r = ref infinity in
+        let v = ref None in
+        for _ = 1 to 3 do
+          let x, t = time f in
+          v := Some x;
+          if t < !r then r := t
+        done;
+        (Option.get !v, !r)
+      in
+      let dv_stats, dv_t =
+        best (fun () ->
+            let run, _ = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+            Vm.stats run.Dejavu.vm)
+      in
+      let ic_stats, ic_t =
+        best (fun () ->
+            let vm = Vm.create ~natives:e.natives e.program in
+            ignore (Baselines.Icount.attach_record vm);
+            ignore (Vm.run vm);
+            Vm.stats vm)
+      in
+      let rt =
+        Baselines.Runner.roundtrip_icount ~natives:e.natives ~seed:1 e.program
+      in
+      Fmt.pr "%-16s %-12d %-14d %-8.1f %-10.4f %-10.4f %-10b@." name
+        dv_stats.n_yield ic_stats.n_instr
+        (float_of_int ic_stats.n_instr /. float_of_int (max 1 dv_stats.n_yield))
+        dv_t ic_t
+        (Baselines.Runner.ok rt))
+    [ ("primes", entry "primes"); ("parsum", entry "parsum");
+      ("racy-counter", entry "racy-counter") ]
+
+(* ------------------------------------------------------------------- E9 *)
+
+let e9 () =
+  section "E9" "Ablations: scheduling quantum and thread-count scaling";
+  Fmt.pr "-- quantum sweep (racy-counter, seed 1) --@.";
+  Fmt.pr "%-10s %-12s %-12s %-12s %-10s@." "quantum" "switches" "trace bytes"
+    "outcome" "replay ok";
+  List.iter
+    (fun quantum ->
+      let config =
+        {
+          Vm.Rt.default_config with
+          env_cfg = { Vm.Env.default_config with quantum; quantum_jitter = quantum / 8 };
+        }
+      in
+      let e = entry "racy-counter" in
+      let rt = Dejavu.verify_roundtrip ~config ~natives:e.natives ~seed:1 e.program in
+      Fmt.pr "%-10d %-12d %-12d %-12s %-10b@." quantum
+        (Dejavu.Trace.sizes rt.trace).n_switches
+        (Dejavu.Trace.sizes rt.trace).total_bytes
+        (String.trim rt.recorded.output)
+        (Dejavu.ok rt))
+    [ 1000; 2000; 4000; 8000; 16000 ];
+  Fmt.pr "-- thread scaling (counter with t threads, 1200/t increments) --@.";
+  Fmt.pr "%-10s %-12s %-12s %-12s %-10s@." "threads" "switches" "trace bytes"
+    "outcome" "replay ok";
+  List.iter
+    (fun threads ->
+      let p = Workloads.Counters.racy ~threads ~increments:(1200 / threads) () in
+      let rt = Dejavu.verify_roundtrip ~seed:1 p in
+      Fmt.pr "%-10d %-12d %-12d %-12s %-10b@." threads
+        (Dejavu.Trace.sizes rt.trace).n_switches
+        (Dejavu.Trace.sizes rt.trace).total_bytes
+        (String.trim rt.recorded.output)
+        (Dejavu.ok rt))
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ E10 *)
+
+let e10 () =
+  section "E10" "Checkpoint-accelerated time travel (extension; paper sec. 5)";
+  let e = entry "racy-counter" in
+  let _, trace = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+  let open_session interval =
+    Debugger.Session.start ~natives:e.natives ~checkpoint_interval:interval
+      e.program trace
+  in
+  let with_ck = open_session 20_000 in
+  let without_ck = open_session 0 in
+  ignore (Debugger.Session.step with_ck 250_000);
+  ignore (Debugger.Session.step without_ck 250_000);
+  Fmt.pr "%-12s %-16s %-16s %-10s@." "goto step" "checkpointed s"
+    "from-scratch s" "same state";
+  List.iter
+    (fun target ->
+      let (), t_ck = time (fun () -> ignore (Debugger.Session.goto_step with_ck target)) in
+      let (), t_raw =
+        time (fun () -> ignore (Debugger.Session.goto_step without_ck target))
+      in
+      Fmt.pr "%-12d %-16.4f %-16.4f %-10b@." target t_ck t_raw
+        (Debugger.Session.state_digest with_ck
+        = Debugger.Session.state_digest without_ck))
+    [ 240_000; 150_000; 60_000; 239_000; 5_000 ];
+  Fmt.pr "checkpoints kept: %d; restores used: %d@."
+    (List.length with_ck.checkpoints)
+    with_ck.restores
+
+(* ------------------------------------------------------------------ E11 *)
+
+let e11 () =
+  section "E11" "Symmetry ablation (negative control for section 2.4)";
+  (* replay with one extra replay-side allocation before attaching: the
+     event sequence and output still reproduce (the GC is transparent), but
+     the machine states are no longer bit-identical — the property the
+     paper's symmetric instrumentation exists to protect *)
+  let e = entry "gc-churn" in
+  let config = { Vm.Rt.default_config with heap_words = 6000 } in
+  let rec_run, trace =
+    Dejavu.record ~config ~natives:e.natives ~seed:3 e.program
+  in
+  let replay_with_extra_alloc n =
+    let vm = Vm.create ~config ~natives:e.natives e.program in
+    (* pinned = live, like a class loaded by one mode only *)
+    if n > 0 then
+      ignore (Vm.Heap.pin vm (Vm.Heap.alloc_array vm ~elem_ref:false ~len:n));
+    ignore (Dejavu.Replayer.attach vm trace);
+    let observer = Vm.Observer.attach_digest vm in
+    ignore (Vm.run vm);
+    (Vm.output vm, Vm.Observer.digest observer, Vm.digest vm)
+  in
+  Fmt.pr "%-26s %-10s %-10s %-12s@." "replay variant" "output" "events"
+    "state";
+  List.iter
+    (fun (label, extra) ->
+      let out, obs, st = replay_with_extra_alloc extra in
+      Fmt.pr "%-26s %-10s %-10s %-12s@." label
+        (if out = rec_run.Dejavu.output then "equal" else "DIFFER")
+        (if obs = rec_run.Dejavu.obs_digest then "equal" else "DIFFER")
+        (if st = rec_run.Dejavu.state_digest then "equal" else "DIFFER"))
+    [ ("symmetric (DejaVu)", 0); ("asymmetric (+32w alloc)", 32);
+      ("asymmetric (+1w alloc)", 1) ]
+
+(* ------------------------------------------------- bechamel micro bench *)
+
+let micro () =
+  section "MICRO" "bechamel microbenchmarks (ns per whole-program run)";
+  let open Bechamel in
+  let open Toolkit in
+  let e = entry "fig1cd" in
+  let _, trace = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"dejavu"
+      [
+        mk "live-run" (fun () -> ignore (Vm.execute ~natives:e.natives ~seed:1 e.program));
+        mk "record-run" (fun () -> ignore (Dejavu.record ~natives:e.natives ~seed:1 e.program));
+        mk "replay-run" (fun () -> ignore (Dejavu.replay ~natives:e.natives e.program trace));
+        mk "crew-record" (fun () ->
+            let vm = Vm.create ~natives:e.natives e.program in
+            ignore (Baselines.Crew.attach vm);
+            ignore (Vm.run vm));
+        mk "icount-record" (fun () ->
+            let vm = Vm.create ~natives:e.natives e.program in
+            ignore (Baselines.Icount.attach_record vm);
+            ignore (Vm.run vm));
+      ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg instances tests in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Fmt.pr "%-24s %12.0f ns/run@." name est
+          | _ -> Fmt.pr "%-24s (no estimate)@." name)
+        tbl)
+    results
+
+(* -------------------------------------------------------------- driver *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("E1", "figure 1 A/B", e1);
+    ("E2", "figure 1 C/D", e2);
+    ("E3", "figure 2 symmetry", e3);
+    ("E4", "remote reflection", e4);
+    ("E5", "replay accuracy", e5);
+    ("E6", "overhead", e6);
+    ("E7", "trace size", e7);
+    ("E8", "instruction counting", e8);
+    ("E9", "ablations", e9);
+    ("E10", "time travel", e10);
+    ("E11", "symmetry ablation", e11);
+    ("micro", "bechamel microbenches", micro);
+  ]
+
+let () =
+  let want = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  let selected =
+    if want = [] then List.filter (fun (id, _, _) -> id <> "micro") all
+    else List.filter (fun (id, _, _) -> List.mem id want) all
+  in
+  if selected = [] then begin
+    Fmt.epr "unknown experiment; available: %s@."
+      (String.concat " " (List.map (fun (id, _, _) -> id) all));
+    exit 2
+  end;
+  Fmt.pr "DejaVu reproduction experiments (see DESIGN.md section 4)@.";
+  List.iter (fun (_, _, f) -> f ()) selected

@@ -1,0 +1,104 @@
+(* dvdebug — interactive replay debugger over a workload.
+
+     dvdebug WORKLOAD [--seed N] [--trace FILE]
+
+   Records the workload (or loads a prior trace), then opens a DejaVu
+   replay session: breakpoints, stepping, time travel, and perturbation-free
+   inspection through remote reflection. Type "help" at the prompt. *)
+
+open Cmdliner
+
+let repl session =
+  let rec loop () =
+    print_string "(dejavu) ";
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line -> (
+      match Debugger.Protocol.execute session line with
+      | Debugger.Protocol.Quit -> ()
+      | Debugger.Protocol.Reply s ->
+        if s <> "" then print_endline s;
+        loop ())
+  in
+  loop ()
+
+let run_batch session commands =
+  List.iter
+    (fun cmd ->
+      Fmt.pr "(dejavu) %s@." cmd;
+      match Debugger.Protocol.execute session cmd with
+      | Debugger.Protocol.Quit -> ()
+      | Debugger.Protocol.Reply s -> if s <> "" then print_endline s)
+    commands
+
+let find_workload name =
+  if Filename.check_suffix name ".djv" then
+    match Bytecode.Parser.parse_file name with
+    | program ->
+      Some
+        {
+          Workloads.Registry.name;
+          description = "from file";
+          program;
+          natives = [];
+        }
+    | exception Bytecode.Parser.Error (msg, line) ->
+      Fmt.epr "%s:%d: %s@." name line msg;
+      None
+  else Workloads.Registry.find name
+
+let main name seed trace_file batch =
+  match find_workload name with
+  | None ->
+    Fmt.epr "unknown workload %S; try a .djv file or: %s@." name
+      (String.concat ", " (Workloads.Registry.names ()));
+    exit 2
+  | Some e ->
+    let session =
+      match trace_file with
+      | Some path ->
+        let trace = Dejavu.Trace.load path in
+        Debugger.Session.start ~natives:e.natives e.program trace
+      | None ->
+        let session, run =
+          Debugger.Session.record_and_start ~natives:e.natives ~seed e.program
+        in
+        Fmt.pr "recorded %s under seed %d: %s@." name seed
+          (Vm.string_of_status run.Dejavu.status);
+        session
+    in
+    (match batch with
+    | Some script ->
+      run_batch session
+        (String.split_on_char ';' script |> List.map String.trim
+        |> List.filter (fun s -> s <> ""))
+    | None ->
+      Fmt.pr "replay session open; type 'help' for commands@.";
+      repl session)
+
+let cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"recording seed")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"replay this trace instead of recording")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "batch" ] ~docv:"CMDS"
+          ~doc:"run semicolon-separated commands non-interactively")
+  in
+  Cmd.v
+    (Cmd.info "dvdebug" ~doc:"interactive DejaVu replay debugger")
+    Term.(const main $ name_arg $ seed_arg $ trace_arg $ batch_arg)
+
+let () = exit (Cmd.eval cmd)

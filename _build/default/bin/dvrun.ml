@@ -1,0 +1,244 @@
+(* dvrun — run, record, replay, and compare workloads on the simulated VM.
+
+     dvrun list                         catalogue of workloads
+     dvrun run NAME [--seed N]          live run: output, status, stats
+     dvrun record NAME -o T [--seed N]  record a run into trace file T
+     dvrun replay NAME -i T             replay a recorded trace
+     dvrun compare NAME --seeds A,B,..  run under several seeds, diff outputs
+     dvrun disasm NAME                  disassemble the workload's bytecode *)
+
+open Cmdliner
+
+(* A workload is either a catalogue entry or a path to a .djv assembly file
+   (see lib/bytecode/parser.ml for the language). *)
+let find_workload name =
+  if Filename.check_suffix name ".djv" then begin
+    match Bytecode.Parser.parse_file name with
+    | program ->
+      {
+        Workloads.Registry.name;
+        description = "from file";
+        program;
+        natives = [];
+      }
+    | exception Bytecode.Parser.Error (msg, line) ->
+      Fmt.epr "%s:%d: %s@." name line msg;
+      Stdlib.exit 2
+    | exception Sys_error msg ->
+      Fmt.epr "%s@." msg;
+      Stdlib.exit 2
+  end
+  else
+    match Workloads.Registry.find name with
+    | Some e -> e
+    | None ->
+      Fmt.epr "unknown workload %S; try a .djv file or: %s@." name
+        (String.concat ", " (Workloads.Registry.names ()));
+      Stdlib.exit 2
+
+let pp_stats ppf (s : Vm.Rt.stats) =
+  Fmt.pf ppf
+    "instr=%d yields=%d switches=%d preempts=%d gcs=%d allocs=%d(%dw)@\n\
+     compiled=%d classes=%d stack-grows=%d clock-reads=%d inputs=%d natives=%d \
+     monitor-ops=%d exceptions=%d"
+    s.n_instr s.n_yield s.n_switch s.n_preempt_req s.n_gc s.n_alloc_objects
+    s.n_alloc_words s.n_compiled_methods s.n_classes_initialized
+    s.n_stack_grows s.n_clock_reads s.n_input_reads s.n_native_calls
+    s.n_monitor_ops s.n_exceptions
+
+let run_live name seed verbose =
+  let e = find_workload name in
+  let vm, st = Vm.execute ~natives:e.natives ~seed e.program in
+  Fmt.pr "--- output ---@.%s--- status: %s ---@." (Vm.output vm)
+    (Vm.string_of_status st);
+  if verbose then Fmt.pr "%a@." pp_stats (Vm.stats vm);
+  match st with Vm.Rt.Fatal _ -> Stdlib.exit 1 | _ -> ()
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"environment seed")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print stats")
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let list_cmd =
+  let doc = "list available workloads" in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun (e : Workloads.Registry.entry) ->
+              Fmt.pr "%-24s %s@." e.name e.description)
+            (Lazy.force Workloads.Registry.all))
+      $ const ())
+
+let run_cmd =
+  let doc = "run a workload live" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_live $ name_arg $ seed_arg $ verbose_arg)
+
+let disasm_cmd =
+  let doc = "disassemble a workload" in
+  Cmd.v (Cmd.info "disasm" ~doc)
+    Term.(
+      const (fun name ->
+          let e = find_workload name in
+          Fmt.pr "%a@." Bytecode.Disasm.pp_program e.program)
+      $ name_arg)
+
+let compare_cmd =
+  let doc = "run under several seeds and report output differences" in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3; 4; 5 ]
+      & info [ "seeds" ] ~docv:"A,B,.." ~doc:"seeds to try")
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      const (fun name seeds ->
+          let e = find_workload name in
+          let outs =
+            List.map
+              (fun seed ->
+                let vm, st = Vm.execute ~natives:e.natives ~seed e.program in
+                (seed, Vm.output vm, st))
+              seeds
+          in
+          List.iter
+            (fun (seed, out, st) ->
+              Fmt.pr "seed %d [%s]: %s@." seed (Vm.string_of_status st)
+                (String.concat " | "
+                   (String.split_on_char '\n' (String.trim out))))
+            outs;
+          let distinct =
+            List.sort_uniq compare (List.map (fun (_, o, _) -> o) outs)
+          in
+          Fmt.pr "distinct outputs: %d of %d@." (List.length distinct)
+            (List.length outs))
+      $ name_arg $ seeds_arg)
+
+let record_cmd =
+  let doc = "record a run into a trace file" in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"TRACE" ~doc:"trace file to write")
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(
+      const (fun name seed out verbose ->
+          let e = find_workload name in
+          let run, trace =
+            Dejavu.record ~natives:e.natives ~seed e.program
+          in
+          Dejavu.Trace.save out trace;
+          Fmt.pr "--- output ---@.%s--- status: %s ---@." run.Dejavu.output
+            (Vm.string_of_status run.status);
+          Fmt.pr "trace -> %s (%a)@." out Dejavu.Trace.pp_sizes
+            (Dejavu.Trace.sizes trace);
+          if verbose then Fmt.pr "%a@." pp_stats (Vm.stats run.vm))
+      $ name_arg $ seed_arg $ out_arg $ verbose_arg)
+
+let replay_cmd =
+  let doc = "replay a recorded trace" in
+  let in_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "i"; "input" ] ~docv:"TRACE" ~doc:"trace file to read")
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const (fun name inp verbose ->
+          let e = find_workload name in
+          let trace = Dejavu.Trace.load inp in
+          let run, leftovers =
+            Dejavu.replay ~natives:e.natives e.program trace
+          in
+          Fmt.pr "--- output ---@.%s--- status: %s ---@." run.Dejavu.output
+            (Vm.string_of_status run.status);
+          if leftovers <> [] then
+            Fmt.pr "warning: %s@." (String.concat "; " leftovers);
+          if verbose then Fmt.pr "%a@." pp_stats (Vm.stats run.vm))
+      $ name_arg $ in_arg $ verbose_arg)
+
+let verify_cmd =
+  let doc = "record then replay, checking the accuracy criterion" in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const (fun name seed ->
+          let e = find_workload name in
+          let rt =
+            Dejavu.verify_roundtrip ~natives:e.natives ~seed e.program
+          in
+          Fmt.pr "%a@." Dejavu.pp_roundtrip rt;
+          if not (Dejavu.ok rt) then Stdlib.exit 1)
+      $ name_arg $ seed_arg)
+
+let emit_cmd =
+  let doc = "emit a workload as textual assembly (.djv)" in
+  Cmd.v (Cmd.info "emit" ~doc)
+    Term.(
+      const (fun name ->
+          let e = find_workload name in
+          print_string (Bytecode.Emit.to_string e.program))
+      $ name_arg)
+
+let dump_cmd =
+  let doc = "dump a trace file's contents in human-readable form" in
+  let in_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"trace file to dump")
+  in
+  Cmd.v (Cmd.info "trace-dump" ~doc)
+    Term.(
+      const (fun inp ->
+          let t = Dejavu.Trace.load inp in
+          Fmt.pr "program digest: %s@." t.Dejavu.Trace.program_digest;
+          Fmt.pr "%a@." Dejavu.Trace.pp_sizes (Dejavu.Trace.sizes t);
+          Fmt.pr "@.-- preemptive switches (yield-point deltas) --@.";
+          Array.iteri
+            (fun k d ->
+              Fmt.pr "%6d" d;
+              if (k + 1) mod 10 = 0 then Fmt.pr "@.")
+            t.Dejavu.Trace.switches;
+          Fmt.pr "@.@.-- wall-clock reads --@.";
+          let n = Array.length t.Dejavu.Trace.clocks / 2 in
+          for k = 0 to n - 1 do
+            Fmt.pr "%-6s %d@."
+              (Dejavu.Trace.reason_name t.Dejavu.Trace.clocks.(2 * k))
+              t.Dejavu.Trace.clocks.((2 * k) + 1)
+          done;
+          Fmt.pr "@.-- inputs --@.";
+          Array.iter (fun v -> Fmt.pr "%d " v) t.Dejavu.Trace.inputs;
+          Fmt.pr "@.@.-- native outcomes --@.";
+          let tape =
+            Dejavu.Tape.of_array "natives" t.Dejavu.Trace.natives
+          in
+          (try
+             while Dejavu.Tape.remaining tape > 0 do
+               let id, o = Dejavu.Trace.read_native_outcome tape in
+               Fmt.pr "native %d -> %s, %d callback(s)@." id
+                 (match o.Vm.Rt.no_result with
+                 | Some v -> string_of_int v
+                 | None -> "void")
+                 (List.length o.Vm.Rt.no_callbacks)
+             done
+           with Dejavu.Trace.End_of_tape _ | Dejavu.Trace.Format_error _ ->
+             Fmt.pr "(malformed native tape)@."))
+      $ in_arg)
+
+let main_cmd =
+  let doc = "DejaVu replay platform driver (simulated Jalapeño VM)" in
+  Cmd.group (Cmd.info "dvrun" ~doc)
+    [
+      list_cmd; run_cmd; disasm_cmd; emit_cmd; compare_cmd; record_cmd;
+      replay_cmd; verify_cmd; dump_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytecode Dejavu Fmt List String Vm Workloads

@@ -1,0 +1,1 @@
+examples/race_debugging.ml: Debugger Dejavu Fmt Remote_reflection String Vm Workloads

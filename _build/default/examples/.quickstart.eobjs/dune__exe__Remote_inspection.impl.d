@@ -1,0 +1,1 @@
+examples/remote_inspection.ml: Array Bytecode Fmt List Remote_reflection String Vm

@@ -1,0 +1,1 @@
+examples/server_replay.ml: Baselines Dejavu Filename Fmt String Sys Vm Workloads

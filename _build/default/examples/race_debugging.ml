@@ -1,0 +1,90 @@
+(* Debugging a race with deterministic replay — the paper's motivating use
+   case ("it's hard to fix something that doesn't even fail reliably").
+
+   The racy-counter workload loses updates only under some interleavings.
+   We hunt for a seed whose run loses updates, record THAT run, and then
+   debug the recording: every replay reproduces the lost update, so we can
+   set breakpoints, inspect the counter as it evolves, and even travel
+   backwards in time.
+
+     dune exec examples/race_debugging.exe *)
+
+let threads = 3
+
+let increments = 400
+
+let expected = threads * increments
+
+let program = Workloads.Counters.racy ~threads ~increments ()
+
+let final_count output = int_of_string (String.trim output)
+
+let () =
+  (* 1. the bug is non-deterministic: hunt for a failing seed *)
+  Fmt.pr "expected final count: %d@." expected;
+  let failing_seed =
+    let rec hunt seed =
+      if seed > 500 then failwith "no failing seed found"
+      else
+        let vm, _ = Vm.execute ~seed program in
+        let n = final_count (Vm.output vm) in
+        if n < expected then (seed, n) else hunt (seed + 1)
+    in
+    hunt 1
+  in
+  let seed, lost_value = failing_seed in
+  Fmt.pr "seed %d loses updates: count = %d@." seed lost_value;
+
+  (* 2. record the failing run — from now on the bug reproduces always *)
+  let session, recording =
+    Debugger.Session.record_and_start ~seed program
+  in
+  Fmt.pr "recorded failing run: %s@." (String.trim recording.Dejavu.output);
+
+  (* 3. replay up to the worker entry, then sample the counter as the
+     replay proceeds; remote reflection reads the paused VM without
+     touching it *)
+  let bp =
+    Debugger.Session.add_breakpoint session ~cls:"Racy" ~meth:"worker"
+      Debugger.Breakpoint.Any_pc
+  in
+  (match Debugger.Session.continue_ session with
+  | Debugger.Session.Hit b -> Fmt.pr "hit %a@." Debugger.Breakpoint.pp b
+  | r -> Fmt.pr "%s@." (Debugger.Protocol.string_of_stop session r));
+  (* done with the entry breakpoint (the other workers would hit it too) *)
+  Debugger.Session.remove_breakpoint session bp.bp_id;
+  let sp () = Debugger.Session.space session in
+  let read_counter () =
+    let module R = (val Remote_reflection.Remote_object.reflection (sp ())) in
+    match R.get_static "Racy" "count" with
+    | Remote_reflection.Reflect.Vint n -> n
+    | _ -> assert false
+  in
+  Fmt.pr "counter at first worker entry: %d@." (read_counter ());
+  (* watch the counter every 20k steps: deterministic timeline of the race *)
+  Fmt.pr "timeline (step, counter):";
+  let rec watch () =
+    match Debugger.Session.step session 15000 with
+    | Debugger.Session.Step_done ->
+      Fmt.pr " (%d, %d)" session.steps (read_counter ());
+      watch ()
+    | _ -> Fmt.pr "@."
+  in
+  watch ();
+
+  (* 4. time travel: revisit an earlier point of the same execution twice —
+     deterministic replay lands on bit-identical states *)
+  ignore (Debugger.Session.goto_step session 30000);
+  let probe_a = (read_counter (), Debugger.Session.state_digest session) in
+  ignore (Debugger.Session.goto_step session 70000);
+  ignore (Debugger.Session.goto_step session 30000);
+  let probe_b = (read_counter (), Debugger.Session.state_digest session) in
+  Fmt.pr "probe at step 30000, twice: counter %d/%d, states %s@." (fst probe_a)
+    (fst probe_b)
+    (if probe_a = probe_b then "identical" else "DIFFERENT!");
+
+  (* 5. run to the end: the replayed bug is exactly the recorded bug *)
+  ignore (Debugger.Session.continue_ session);
+  Fmt.pr "replayed final output: %s (recorded: %s)@."
+    (String.trim (Debugger.Session.output session))
+    (String.trim recording.Dejavu.output)

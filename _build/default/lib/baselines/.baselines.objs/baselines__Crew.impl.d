@@ -1,0 +1,1 @@
+lib/baselines/crew.ml: Array Dejavu Vm

@@ -1,0 +1,1 @@
+lib/baselines/crew.mli: Dejavu Vm

@@ -1,0 +1,1 @@
+lib/baselines/icount.ml: Dejavu Vm

@@ -1,0 +1,1 @@
+lib/baselines/icount.mli: Dejavu Vm

@@ -1,0 +1,1 @@
+lib/baselines/read_log.ml: Array Dejavu Vm

@@ -1,0 +1,1 @@
+lib/baselines/read_log.mli: Dejavu Vm

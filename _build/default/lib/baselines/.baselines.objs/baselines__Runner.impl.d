@@ -1,0 +1,1 @@
+lib/baselines/runner.ml: Bytecode Crew Dejavu Fmt Icount Read_log String Switch_map Vm

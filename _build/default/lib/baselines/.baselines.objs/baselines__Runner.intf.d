@@ -1,0 +1,1 @@
+lib/baselines/runner.mli: Bytecode Vm

@@ -1,0 +1,1 @@
+lib/baselines/switch_map.ml: Array Dejavu Fmt Vm

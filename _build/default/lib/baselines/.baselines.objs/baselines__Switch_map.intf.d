@@ -1,0 +1,1 @@
+lib/baselines/switch_map.mli: Dejavu Vm

@@ -1,0 +1,26 @@
+(** Instant Replay baseline (LeBlanc & Mellor-Crummey, IEEE TC 1987):
+    critical-event logging — every shared-object access is recorded as an
+    (object id, access sequence number) pair so replay could enforce
+    per-object access orders without logging values. Thread switches are
+    not logged. This module implements the recording side, which is what
+    determines the overhead/space comparison of the paper's section 5; as
+    in every scheme, the non-reproducible-event tapes (footnote 7) are
+    attached too. *)
+
+type t = {
+  vm : Vm.Rt.t;
+  session : Dejavu.Session.t;  (** non-reproducible-event tapes *)
+  accesses : Dejavu.Tape.t;  (** flattened (object id, seq) pairs *)
+  mutable obj_counters : int array;
+  static_counters : int array;
+  mutable n_reads : int;
+  mutable n_writes : int;
+}
+
+(** Install the access-logging hooks (and the IO capture). Attach before
+    [Vm.boot]. *)
+val attach : Vm.Rt.t -> t
+
+type sizes = { trace_words : int; n_reads : int; n_writes : int }
+
+val sizes : t -> sizes

@@ -1,0 +1,31 @@
+(** Instruction-counting baseline (paper section 2.3: counting instructions
+    "will work, but the overhead is prohibitive"). Identical to DejaVu
+    except switch points are identified by the retired-instruction count: a
+    counter is bumped on every instruction, and replay compares it against
+    the recorded target on every instruction. Full record and replay. *)
+
+type mode = Record | Replay
+
+type t = {
+  vm : Vm.Rt.t;
+  mode : mode;
+  session : Dejavu.Session.t;
+  deltas : Dejavu.Tape.t;  (** retired instructions between switches *)
+  mutable icount : int;
+  mutable fire : bool;
+  mutable target : int;
+}
+
+exception Divergence of string
+
+val attach_record : Vm.Rt.t -> t
+
+(** [attach_replay vm trace deltas]: replay [trace]'s IO events and force
+    switches at the recorded instruction counts. *)
+val attach_replay : Vm.Rt.t -> Dejavu.Trace.t -> int array -> t
+
+val deltas_array : t -> int array
+
+type sizes = { trace_words : int; n_switches : int }
+
+val sizes : t -> sizes

@@ -1,0 +1,17 @@
+(** Recap / PPD baseline (Pan & Linton 1988; Miller & Choi 1988): record
+    the {e value} of every shared read so replay can substitute it without
+    caring about the schedule — "quite expensive" (paper, section 5), one
+    word per read. Recording side plus the non-reproducible-event tapes. *)
+
+type t = {
+  vm : Vm.Rt.t;
+  session : Dejavu.Session.t;
+  values : Dejavu.Tape.t;  (** one word per shared read *)
+  mutable n_reads : int;
+}
+
+val attach : Vm.Rt.t -> t
+
+type sizes = { trace_words : int; n_reads : int }
+
+val sizes : t -> sizes

@@ -1,0 +1,46 @@
+(** Russinovich & Cogswell baseline (PLDI 1996): thread-switch capture on a
+    uniprocessor {e without} replaying the thread package. Consequently
+    (paper, section 5) the recording must log {e every} switch — voluntary
+    ones included — together with the chosen next thread, and replay must
+    steer the scheduler through an external record-to-replay thread map.
+    Full record and replay. *)
+
+type mode = Record | Replay
+
+type t = {
+  vm : Vm.Rt.t;
+  mode : mode;
+  session : Dejavu.Session.t;
+  entries : Dejavu.Tape.t;
+      (** preemptive: [0; delta; tid] — voluntary: [1; tid] *)
+  mutable nyp : int;
+  mutable pending_delta : int;
+  mutable pending_kind : int;
+  mutable thread_map : int array;  (** record tid -> replay tid *)
+  mutable n_mapped : int;
+  mutable next_kind : int;
+  mutable next_delta : int;
+  mutable next_tid : int;
+  mutable booted : bool;
+  mutable forcing : bool;
+  mutable map_lookups : int;  (** per-switch map consultations (a cost) *)
+}
+
+exception Divergence of string
+
+val attach_record : Vm.Rt.t -> t
+
+(** [attach_replay vm trace entries] steers the scheduler (via the
+    [h_pick] dispatch override) to reproduce the recorded schedule. *)
+val attach_replay : Vm.Rt.t -> Dejavu.Trace.t -> int array -> t
+
+val entries_array : t -> int array
+
+type sizes = {
+  trace_words : int;
+  n_preemptive : int;
+  n_voluntary : int;
+  map_lookups : int;
+}
+
+val sizes : t -> sizes

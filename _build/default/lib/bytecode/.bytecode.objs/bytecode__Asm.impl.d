@@ -1,0 +1,1 @@
+lib/bytecode/asm.ml: Array Decl Fmt Hashtbl Instr List

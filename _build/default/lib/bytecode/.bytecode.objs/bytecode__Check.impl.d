@@ -1,0 +1,1 @@
+lib/bytecode/check.ml: Array Decl Fmt Hashtbl Instr List Option

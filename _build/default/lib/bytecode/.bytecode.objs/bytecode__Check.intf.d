@@ -1,0 +1,1 @@
+lib/bytecode/check.mli: Decl Format

@@ -1,0 +1,1 @@
+lib/bytecode/decl.ml: Array Buffer Digest Fmt Instr List Option

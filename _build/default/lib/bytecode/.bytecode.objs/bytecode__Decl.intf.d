@@ -1,0 +1,1 @@
+lib/bytecode/decl.mli: Instr

@@ -1,0 +1,1 @@
+lib/bytecode/disasm.ml: Array Decl Fmt Instr List Option String

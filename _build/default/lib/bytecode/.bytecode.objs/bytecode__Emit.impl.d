@@ -1,0 +1,1 @@
+lib/bytecode/emit.ml: Array Buffer Decl Fmt Instr List String

@@ -1,0 +1,1 @@
+lib/bytecode/emit.mli: Decl Format

@@ -1,0 +1,1 @@
+lib/bytecode/lexer.ml: Array Buffer Fmt List String

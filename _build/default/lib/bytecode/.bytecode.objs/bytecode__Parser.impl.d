@@ -1,0 +1,1 @@
+lib/bytecode/parser.ml: Array Asm Decl Fmt Instr Lexer List String

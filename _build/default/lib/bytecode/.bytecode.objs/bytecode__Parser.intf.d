@@ -1,0 +1,1 @@
+lib/bytecode/parser.mli: Decl

@@ -1,0 +1,124 @@
+(* A small assembler: method bodies are written as a list of items mixing
+   instructions (with symbolic branch labels), label definitions, and source
+   line directives. [assemble] resolves labels to instruction indices and
+   collects the line table. *)
+
+type item =
+  | I of Instr.asm (* an instruction, branch targets are label names *)
+  | L of string (* define a label at the next instruction *)
+  | Line of int (* the following instructions carry this source line *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let assemble (items : item list) : Instr.t array * (int * int) list =
+  (* First pass: assign instruction indices to labels. *)
+  let labels = Hashtbl.create 16 in
+  let count =
+    List.fold_left
+      (fun pc item ->
+        match item with
+        | I _ -> pc + 1
+        | L name ->
+          if Hashtbl.mem labels name then error "duplicate label %S" name;
+          Hashtbl.replace labels name pc;
+          pc
+        | Line _ -> pc)
+      0 items
+  in
+  let resolve name =
+    match Hashtbl.find_opt labels name with
+    | Some pc -> pc
+    | None -> error "undefined label %S" name
+  in
+  (* Second pass: emit. *)
+  let code = Array.make count Instr.Nop in
+  let lines = ref [] in
+  let last_line = ref None in
+  let pc = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | L _ -> ()
+      | Line n -> last_line := Some n
+      | I ai ->
+        (match ai with
+        | Instr.Yieldpoint ->
+          error "yieldpoint is reserved for the VM's method compiler"
+        | _ -> ());
+        (match !last_line with
+        | Some n ->
+          lines := (!pc, n) :: !lines;
+          last_line := None
+        | None -> ());
+        code.(!pc) <- Instr.map_target resolve ai;
+        incr pc)
+    items;
+  (code, List.rev !lines)
+
+(* Convenience constructors so workload code reads compactly. *)
+let i x = I x
+
+let label name = L name
+
+let line n = Line n
+
+(* Assemble and build a method declaration in one go. [args] gives the type
+   of each argument (receiver first for instance methods). *)
+let method_ ?(static = true) ?ret ?(sync = false)
+    ?(handlers = []) ?(args = []) ~nlocals name items =
+  let code, lines = assemble items in
+  {
+    Decl.m_name = name;
+    m_static = static;
+    m_args = Array.of_list args;
+    m_nlocals = nlocals;
+    m_ret = ret;
+    m_sync = sync;
+    m_code = code;
+    m_handlers = handlers;
+    m_lines = lines;
+  }
+
+(* Handlers with symbolic labels: resolve against an already-assembled item
+   list. For simplicity, handler bounds are given as labels too. *)
+type ahandler = {
+  ah_from : string;
+  ah_upto : string;
+  ah_target : string;
+  ah_class : string option;
+}
+
+let method_with_handlers ?(static = true) ?ret ?(sync = false)
+    ?(args = []) ~nlocals name items (ahandlers : ahandler list) =
+  (* Re-run the label pass to resolve handler labels. *)
+  let labels = Hashtbl.create 16 in
+  let _ =
+    List.fold_left
+      (fun pc item ->
+        match item with
+        | I _ -> pc + 1
+        | L name ->
+          Hashtbl.replace labels name pc;
+          pc
+        | Line _ -> pc)
+      0 items
+  in
+  let resolve name =
+    match Hashtbl.find_opt labels name with
+    | Some pc -> pc
+    | None -> error "undefined handler label %S" name
+  in
+  let handlers =
+    List.map
+      (fun ah ->
+        {
+          Decl.h_from = resolve ah.ah_from;
+          h_upto = resolve ah.ah_upto;
+          h_target = resolve ah.ah_target;
+          h_class = ah.ah_class;
+        })
+      ahandlers
+  in
+  method_ ~static ?ret ~sync ~handlers ~args ~nlocals name items

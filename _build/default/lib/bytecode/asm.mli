@@ -1,0 +1,53 @@
+(** A small assembler: method bodies are written as lists of items mixing
+    instructions (with symbolic branch labels), label definitions, and
+    source-line directives. *)
+
+type item =
+  | I of Instr.asm  (** an instruction; branch targets are label names *)
+  | L of string  (** define a label at the next instruction *)
+  | Line of int  (** following instructions carry this source line *)
+
+exception Error of string
+
+(** Resolve labels to instruction indices; returns the code and the line
+    table. Raises {!Error} on duplicate or undefined labels, or if user
+    code contains [Yieldpoint]. *)
+val assemble : item list -> Instr.t array * (int * int) list
+
+val i : Instr.asm -> item
+
+val label : string -> item
+
+val line : int -> item
+
+(** Assemble and build a method declaration in one go. [args] lists the
+    argument types, receiver first for instance methods. *)
+val method_ :
+  ?static:bool ->
+  ?ret:Instr.ty ->
+  ?sync:bool ->
+  ?handlers:Decl.handler list ->
+  ?args:Instr.ty list ->
+  nlocals:int ->
+  string ->
+  item list ->
+  Decl.mdecl
+
+(** Exception handlers with label-based boundaries. *)
+type ahandler = {
+  ah_from : string;
+  ah_upto : string;
+  ah_target : string;
+  ah_class : string option;
+}
+
+val method_with_handlers :
+  ?static:bool ->
+  ?ret:Instr.ty ->
+  ?sync:bool ->
+  ?args:Instr.ty list ->
+  nlocals:int ->
+  string ->
+  item list ->
+  ahandler list ->
+  Decl.mdecl

@@ -1,0 +1,160 @@
+(* Static well-formedness checks over a whole program, run before the VM's
+   class loader touches it: name resolution, branch ranges, local-slot ranges,
+   arity agreement at call/spawn sites, handler sanity. The VM's verifier
+   (lib/vm/verify.ml) performs the dataflow checks on compiled code. *)
+
+type issue = { where : string; what : string }
+
+let pp_issue ppf i = Fmt.pf ppf "%s: %s" i.where i.what
+
+let check (p : Decl.program) : issue list =
+  let issues = ref [] in
+  let add where fmt = Fmt.kstr (fun what -> issues := { where; what } :: !issues) fmt in
+  let class_names =
+    List.map (fun c -> c.Decl.cd_name) p.classes
+    @ (Decl.object_class :: Decl.string_class :: Decl.exception_classes)
+  in
+  let class_exists n = List.mem n class_names in
+  let builtin_exn n = List.mem n Decl.exception_classes in
+  let find_field cname fname ~static =
+    let rec go cn =
+      match List.find_opt (fun c -> c.Decl.cd_name = cn) p.classes with
+      | None -> false
+      | Some c ->
+        let fields = if static then c.Decl.cd_statics else c.Decl.cd_fields in
+        if List.exists (fun f -> f.Decl.fd_name = fname) fields then true
+        else (match c.Decl.cd_super with Some s -> go s | None -> false)
+    in
+    go cname
+  in
+  let find_method cname mname =
+    let rec go cn =
+      match List.find_opt (fun c -> c.Decl.cd_name = cn) p.classes with
+      | None -> None
+      | Some c -> (
+        match Decl.find_method c mname with
+        | Some m -> Some m
+        | None -> (match c.Decl.cd_super with Some s -> go s | None -> None))
+    in
+    go cname
+  in
+  (* Duplicate class names. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let n = c.Decl.cd_name in
+      if Hashtbl.mem seen n then add n "duplicate class name";
+      Hashtbl.replace seen n ();
+      if List.mem n (Decl.object_class :: Decl.string_class :: Decl.exception_classes)
+      then add n "redefines a builtin class")
+    p.classes;
+  (* Main entry point. *)
+  (match Decl.find_class p p.main_class with
+  | None -> add p.main_class "main class not found"
+  | Some c -> (
+    match Decl.find_method c "main" with
+    | None -> add p.main_class "no method \"main\""
+    | Some m ->
+      if not m.Decl.m_static then add p.main_class "main must be static";
+      if Decl.nargs m <> 0 then add p.main_class "main must take 0 args"));
+  (* Per-class checks. *)
+  List.iter
+    (fun c ->
+      let cn = c.Decl.cd_name in
+      (match c.Decl.cd_super with
+      | Some s when not (class_exists s) -> add cn "unknown superclass %s" s
+      | _ -> ());
+      (* super-chain cycle check *)
+      let rec chain n depth =
+        if depth > 1000 then add cn "superclass cycle"
+        else
+          match List.find_opt (fun c -> c.Decl.cd_name = n) p.classes with
+          | Some { Decl.cd_super = Some s; _ } -> chain s (depth + 1)
+          | _ -> ()
+      in
+      (match c.Decl.cd_super with Some s -> chain s 0 | None -> ());
+      let rec check_ty where = function
+        | Instr.Tint | Instr.Tref -> ()
+        | Instr.Tobj cl ->
+          if not (class_exists cl) then add where "unknown class %s in type" cl
+        | Instr.Tarr t -> check_ty where t
+      in
+      List.iter
+        (fun f -> check_ty (cn ^ "." ^ f.Decl.fd_name) f.Decl.fd_ty)
+        (c.Decl.cd_fields @ c.Decl.cd_statics);
+      let mseen = Hashtbl.create 8 in
+      List.iter
+        (fun m ->
+          let mn = m.Decl.m_name in
+          let where = cn ^ "." ^ mn in
+          if Hashtbl.mem mseen mn then add where "duplicate method";
+          Hashtbl.replace mseen mn ();
+          Array.iter (check_ty where) m.Decl.m_args;
+          Option.iter (check_ty where) m.Decl.m_ret;
+          if m.Decl.m_sync && m.Decl.m_static then
+            add where "synchronized static methods are not supported";
+          if m.Decl.m_sync && Decl.nargs m < 1 then
+            add where "synchronized instance method needs a receiver arg";
+          if not m.Decl.m_static then
+            if Decl.nargs m < 1 || not (Instr.is_ref_ty m.Decl.m_args.(0))
+            then add where "instance method needs a reference receiver arg";
+          let len = Array.length m.Decl.m_code in
+          if len = 0 then add where "empty code";
+          (* Last instruction must not fall off the end. *)
+          if len > 0 && Instr.falls_through m.Decl.m_code.(len - 1) then
+            add where "control can fall off the end of the code";
+          Array.iteri
+            (fun pc (ins : Instr.t) ->
+              (match Instr.target ins with
+              | Some t when t < 0 || t >= len ->
+                add where "pc %d: branch target %d out of range" pc t
+              | _ -> ());
+              match ins with
+              | Instr.Load n | Instr.Store n ->
+                if n < 0 || n >= m.Decl.m_nlocals then
+                  add where "pc %d: local slot %d out of range" pc n
+              | Instr.New n ->
+                if (not (class_exists n)) || n = Decl.object_class then
+                  if not (builtin_exn n) && not (class_exists n) then
+                    add where "pc %d: unknown class %s" pc n
+              | Instr.Getfield (cl, fd) | Instr.Putfield (cl, fd) ->
+                if not (find_field cl fd ~static:false) then
+                  add where "pc %d: unknown field %s.%s" pc cl fd
+              | Instr.Getstatic (cl, fd) | Instr.Putstatic (cl, fd) ->
+                if not (find_field cl fd ~static:true) then
+                  add where "pc %d: unknown static %s.%s" pc cl fd
+              | Instr.Invoke (cl, mn') | Instr.Spawn (cl, mn') -> (
+                match find_method cl mn' with
+                | None -> add where "pc %d: unknown method %s.%s" pc cl mn'
+                | Some _ -> ())
+              | Instr.Checkcast cl | Instr.Instanceof cl ->
+                if not (class_exists cl) then
+                  add where "pc %d: unknown class %s" pc cl
+              | Instr.Yieldpoint ->
+                add where "pc %d: yieldpoint in user code" pc
+              | _ -> ())
+            m.Decl.m_code;
+          List.iter
+            (fun h ->
+              if h.Decl.h_from < 0 || h.Decl.h_upto > len
+                 || h.Decl.h_from >= h.Decl.h_upto then
+                add where "handler range [%d,%d) invalid" h.Decl.h_from
+                  h.Decl.h_upto;
+              if h.Decl.h_target < 0 || h.Decl.h_target >= len then
+                add where "handler target %d out of range" h.Decl.h_target;
+              match h.Decl.h_class with
+              | Some cl when not (class_exists cl) ->
+                add where "handler catches unknown class %s" cl
+              | _ -> ())
+            m.Decl.m_handlers)
+        c.Decl.cd_methods)
+    p.classes;
+  List.rev !issues
+
+let check_exn p =
+  match check p with
+  | [] -> ()
+  | issues ->
+    failwith
+      (Fmt.str "program check failed:@\n%a" (Fmt.list ~sep:Fmt.cut pp_issue)
+         issues)

@@ -1,0 +1,15 @@
+(** Static well-formedness checks over a whole program: name resolution,
+    branch and local-slot ranges, arity agreement, handler sanity, entry
+    point. The VM's verifier ([Vm.Verify]) performs the dataflow/type
+    checks on compiled code; this pass runs first and is what the class
+    loader ([Vm.Link]) consults before accepting a program. *)
+
+type issue = { where : string; what : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+(** All problems found, empty for a well-formed program. *)
+val check : Decl.program -> issue list
+
+(** Raise [Failure] with a readable report when {!check} finds issues. *)
+val check_exn : Decl.program -> unit

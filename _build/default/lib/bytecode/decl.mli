@@ -1,0 +1,98 @@
+(** Class, method, and program declarations — the "class file" level of the
+    simulated machine. Names are symbolic here; the VM's class loader
+    resolves them to ids at boot. *)
+
+(** An exception handler covering source pcs [h_from, h_upto). On a match,
+    the operand stack is cleared, the exception pushed, and control moves
+    to [h_target]. [h_class = None] catches everything. *)
+type handler = {
+  h_from : int;
+  h_upto : int;
+  h_target : int;
+  h_class : string option;
+}
+
+(** A method declaration. Instance methods take their receiver as argument
+    0. [m_sync] methods are wrapped by the VM compiler in
+    monitorenter/monitorexit on the receiver plus an unlock-and-rethrow
+    handler, as javac does. *)
+type mdecl = {
+  m_name : string;
+  m_static : bool;
+  m_args : Instr.ty array;  (** argument types, receiver included *)
+  m_nlocals : int;  (** total local slots, at least the argument count *)
+  m_ret : Instr.ty option;  (** [None] = void *)
+  m_sync : bool;
+  m_code : Instr.t array;
+  m_handlers : handler list;
+  m_lines : (int * int) list;  (** sorted (start pc, source line) table *)
+}
+
+val nargs : mdecl -> int
+
+val returns : mdecl -> bool
+
+type fdecl = { fd_name : string; fd_ty : Instr.ty }
+
+type cdecl = {
+  cd_name : string;
+  cd_super : string option;  (** [None] = direct subclass of Object *)
+  cd_fields : fdecl list;  (** instance fields declared by this class *)
+  cd_statics : fdecl list;
+  cd_methods : mdecl list;
+}
+
+(** A whole program. The main class must declare a static 0-argument
+    method ["main"]. *)
+type program = { classes : cdecl list; main_class : string }
+
+(** Name of the builtin root class. *)
+val object_class : string
+
+(** Name of the builtin string class (one field, [chars : int[]]). *)
+val string_class : string
+
+(** Builtin throwable classes, rooted at ["Throwable"]. *)
+val exception_classes : string list
+
+(** Name of the class-initializer pseudo-method, run once at class
+    initialization (["<clinit>"]). *)
+val clinit_name : string
+
+(** Smart constructor; raises [Invalid_argument] when [nlocals] is smaller
+    than the argument count. *)
+val mdecl :
+  ?static:bool ->
+  ?ret:Instr.ty ->
+  ?sync:bool ->
+  ?handlers:handler list ->
+  ?lines:(int * int) list ->
+  ?args:Instr.ty list ->
+  nlocals:int ->
+  string ->
+  Instr.t list ->
+  mdecl
+
+val cdecl :
+  ?super:string ->
+  ?fields:fdecl list ->
+  ?statics:fdecl list ->
+  string ->
+  mdecl list ->
+  cdecl
+
+val field : ?ty:Instr.ty -> string -> fdecl
+
+(** Build a program; the main class defaults to the first class. *)
+val program : ?main_class:string -> cdecl list -> program
+
+val find_class : program -> string -> cdecl option
+
+val find_method : cdecl -> string -> mdecl option
+
+(** Source line covering a pc, per the method's line table. *)
+val line_of_pc : mdecl -> int -> int option
+
+(** A stable structural hash of a program. DejaVu stamps traces with it so
+    a trace cannot be replayed against a different program. *)
+val digest : program -> string

@@ -1,0 +1,54 @@
+(* Human-readable listings of methods, classes, and programs. *)
+
+let pp_method ppf (m : Decl.mdecl) =
+  let sig_ =
+    String.concat ","
+      (List.map Instr.string_of_ty (Array.to_list m.m_args))
+  in
+  Fmt.pf ppf "@[<v 2>%s %s(%s)%s (locals %d)%s:@,"
+    (if m.m_static then "static" else "method")
+    m.m_name sig_
+    (match m.m_ret with
+    | None -> ""
+    | Some ty -> ":" ^ Instr.string_of_ty ty)
+    m.m_nlocals
+    (if m.m_sync then " synchronized" else "");
+  Array.iteri
+    (fun pc ins ->
+      let ln =
+        match Decl.line_of_pc m pc with
+        | Some n when List.mem_assoc pc m.m_lines -> Fmt.str " ; line %d" n
+        | _ -> ""
+      in
+      Fmt.pf ppf "%4d: %a%s@," pc Instr.pp ins ln)
+    m.m_code;
+  List.iter
+    (fun h ->
+      Fmt.pf ppf "  catch %s [%d,%d) -> %d@,"
+        (Option.value h.Decl.h_class ~default:"*")
+        h.Decl.h_from h.Decl.h_upto h.Decl.h_target)
+    m.m_handlers;
+  Fmt.pf ppf "@]"
+
+let pp_class ppf (c : Decl.cdecl) =
+  Fmt.pf ppf "@[<v 2>class %s%s:@," c.cd_name
+    (match c.cd_super with Some s -> " extends " ^ s | None -> "");
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "field %s : %s@," f.Decl.fd_name
+        (Instr.string_of_ty f.Decl.fd_ty))
+    c.cd_fields;
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "static %s : %s@," f.Decl.fd_name
+        (Instr.string_of_ty f.Decl.fd_ty))
+    c.cd_statics;
+  List.iter (fun m -> Fmt.pf ppf "%a@," pp_method m) c.cd_methods;
+  Fmt.pf ppf "@]"
+
+let pp_program ppf (p : Decl.program) =
+  Fmt.pf ppf "@[<v>program (main %s)@,%a@]" p.main_class
+    (Fmt.list ~sep:Fmt.cut pp_class)
+    p.classes
+
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,10 @@
+(** Human-readable listings of methods, classes, and programs (for humans;
+    for parseable output use {!Emit}). *)
+
+val pp_method : Format.formatter -> Decl.mdecl -> unit
+
+val pp_class : Format.formatter -> Decl.cdecl -> unit
+
+val pp_program : Format.formatter -> Decl.program -> unit
+
+val program_to_string : Decl.program -> string

@@ -1,0 +1,107 @@
+(* Emit a program as parseable assembly text — the inverse of Parser.
+   parse_string (emit p) reconstructs a structurally identical program
+   (same digest), which the test suite checks as a roundtrip property. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit_instr ppf label_of (ins : Instr.t) =
+  let open Instr in
+  let m = mnemonic ins in
+  match ins with
+  | Const n -> Fmt.pf ppf "%s %d" m n
+  | Sconst s -> Fmt.pf ppf "%s \"%s\"" m (escape s)
+  | Load n | Store n -> Fmt.pf ppf "%s %d" m n
+  | If (_, t) | Ifz (_, t) | Ifnull t | Ifnonnull t | Ifrefeq t | Ifrefne t
+  | Goto t ->
+    Fmt.pf ppf "%s %s" m (label_of t)
+  | New c | Checkcast c | Instanceof c | Nativecall c -> Fmt.pf ppf "%s %s" m c
+  | Getfield (c, f) | Putfield (c, f) | Getstatic (c, f) | Putstatic (c, f)
+  | Invoke (c, f) | Spawn (c, f) ->
+    Fmt.pf ppf "%s %s.%s" m c f
+  | Newarray ty -> Fmt.pf ppf "%s %s" m (string_of_ty ty)
+  | _ -> Fmt.string ppf m
+
+let emit_method ppf (md : Decl.mdecl) =
+  (* label every branch target and every handler boundary *)
+  let n = Array.length md.m_code in
+  let labelled = Array.make (n + 1) false in
+  Array.iter
+    (fun ins -> match Instr.target ins with Some t -> labelled.(t) <- true | None -> ())
+    md.m_code;
+  List.iter
+    (fun (h : Decl.handler) ->
+      labelled.(h.h_from) <- true;
+      labelled.(h.h_upto) <- true;
+      labelled.(h.h_target) <- true)
+    md.m_handlers;
+  let label_of pc = Fmt.str "L%d" pc in
+  let params =
+    String.concat ", "
+      (List.mapi
+         (fun k ty -> Fmt.str "a%d: %s" k (Instr.string_of_ty ty))
+         (Array.to_list md.m_args))
+  in
+  Fmt.pf ppf "  %s %s(%s)%s locals %d%s {@."
+    (if md.m_static then "method" else "virtual")
+    md.m_name params
+    (match md.m_ret with
+    | None -> ""
+    | Some ty -> ": " ^ Instr.string_of_ty ty)
+    md.m_nlocals
+    (if md.m_sync then " sync" else "");
+  Array.iteri
+    (fun pc ins ->
+      if labelled.(pc) then Fmt.pf ppf "  %s:@." (label_of pc);
+      (match Decl.line_of_pc md pc with
+      | Some ln when List.mem_assoc pc md.m_lines -> Fmt.pf ppf "    .line %d@." ln
+      | _ -> ());
+      Fmt.pf ppf "    %a@." (fun ppf -> emit_instr ppf label_of) ins)
+    md.m_code;
+  if labelled.(n) then Fmt.pf ppf "  %s:@." (label_of n);
+  Fmt.pf ppf "  }@.";
+  List.iter
+    (fun (h : Decl.handler) ->
+      Fmt.pf ppf "  catch %s from %s to %s goto %s@."
+        (match h.h_class with Some c -> c | None -> "*")
+        (label_of h.h_from) (label_of h.h_upto) (label_of h.h_target))
+    md.m_handlers
+
+let emit_class ppf (c : Decl.cdecl) =
+  Fmt.pf ppf "class %s%s {@." c.cd_name
+    (match c.cd_super with Some s -> " extends " ^ s | None -> "");
+  List.iter
+    (fun (f : Decl.fdecl) ->
+      Fmt.pf ppf "  field %s: %s@." f.fd_name (Instr.string_of_ty f.fd_ty))
+    c.cd_fields;
+  List.iter
+    (fun (f : Decl.fdecl) ->
+      Fmt.pf ppf "  static %s: %s@." f.fd_name (Instr.string_of_ty f.fd_ty))
+    c.cd_statics;
+  List.iter (emit_method ppf) c.cd_methods;
+  Fmt.pf ppf "}@."
+
+let emit_program ppf (p : Decl.program) =
+  Fmt.pf ppf "main %s@.@." p.main_class;
+  List.iter
+    (fun c ->
+      emit_class ppf c;
+      Fmt.pf ppf "@.")
+    p.classes
+
+let to_string p = Fmt.str "%a" emit_program p
+
+let to_file path p =
+  let oc = open_out path in
+  output_string oc (to_string p);
+  close_out oc

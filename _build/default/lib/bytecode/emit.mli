@@ -1,0 +1,9 @@
+(** Emit a program as parseable assembly text — the inverse of {!Parser}:
+    [Parser.parse_string (Emit.to_string p)] reconstructs a structurally
+    identical program (same {!Decl.digest}). *)
+
+val emit_program : Format.formatter -> Decl.program -> unit
+
+val to_string : Decl.program -> string
+
+val to_file : string -> Decl.program -> unit

@@ -1,0 +1,273 @@
+(* Instruction set of the simulated JVM-like machine.
+
+   The type is parameterized by the branch-target representation so the same
+   constructors serve both assembly form (string labels, ['lab = string]) and
+   resolved form (instruction indices, ['lab = int]). *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+(* Value types: machine integers, object references (with a static class
+   bound), and arrays with typed elements. [Tref] is "any object" (including
+   any array); [Tobj c] is an instance of class [c] or a subclass. *)
+type ty = Tint | Tref | Tobj of string | Tarr of ty
+
+let is_ref_ty = function Tint -> false | Tref | Tobj _ | Tarr _ -> true
+
+let rec string_of_ty = function
+  | Tint -> "int"
+  | Tref -> "ref"
+  | Tobj c -> c
+  | Tarr t -> string_of_ty t ^ "[]"
+
+type 'lab gen =
+  (* Constants and locals *)
+  | Const of int (* push literal integer *)
+  | Sconst of string (* push interned string object (allocated at class load) *)
+  | Null (* push null reference *)
+  | Load of int (* push locals.(i) *)
+  | Store of int (* locals.(i) <- pop *)
+  (* Operand stack *)
+  | Dup
+  | Pop
+  | Swap
+  (* Integer arithmetic; Div/Rem by zero raises ArithmeticException *)
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Neg
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  (* Control flow *)
+  | If of cmp * 'lab (* pop b, pop a; branch when [a cmp b] *)
+  | Ifz of cmp * 'lab (* pop a; branch when [a cmp 0] *)
+  | Ifnull of 'lab (* pop r; branch when r = null *)
+  | Ifnonnull of 'lab
+  | Ifrefeq of 'lab (* pop b, pop a (references); branch when same object *)
+  | Ifrefne of 'lab
+  | Goto of 'lab
+  (* Objects and arrays *)
+  | New of string (* class name; push fresh instance *)
+  | Getfield of string * string (* class, field: pop obj; push value *)
+  | Putfield of string * string (* pop value, pop obj *)
+  | Getstatic of string * string
+  | Putstatic of string * string
+  | Newarray of ty (* element type; pop length; push array *)
+  | Aload (* pop idx, pop arr; push arr.(idx) *)
+  | Astore (* pop value, pop idx, pop arr *)
+  | Arraylength (* pop arr; push length *)
+  | Checkcast of string (* pop obj; push it as the named class, or throw *)
+  | Instanceof of string (* pop obj; push 1 if instance of named class *)
+  (* Calls: static dispatch for static methods, receiver-class lookup for
+     instance methods (receiver is argument 0) *)
+  | Invoke of string * string
+  | Ret (* return void *)
+  | Retv (* return the popped value *)
+  (* Exceptions; handler tables live on the method *)
+  | Throw (* pop exception object *)
+  (* Synchronization (Java monitor semantics) *)
+  | Monitorenter (* pop obj *)
+  | Monitorexit (* pop obj *)
+  | Wait (* pop obj; wait on its monitor; pushes 1 if interrupted else 0 *)
+  | Timedwait (* pop millis, pop obj; pushes 1 if interrupted else 0 *)
+  | Notify (* pop obj *)
+  | Notifyall (* pop obj *)
+  (* Threads *)
+  | Spawn of string * string (* class, method: pop its nargs args; push tid *)
+  | Sleep (* pop millis *)
+  | Join (* pop tid; block until that thread terminates *)
+  | Interrupt (* pop tid *)
+  (* Environment interactions — the non-deterministic operations *)
+  | Currenttime (* push virtual wall-clock value *)
+  | Readinput (* push next external input integer *)
+  | Nativecall of string (* registered native; arity/result per registration *)
+  (* Output (deterministic, captured by the VM) *)
+  | Print (* pop int, append to program output *)
+  | Prints (* pop string ref, append to program output *)
+  | Halt (* terminate the whole VM *)
+  | Nop
+  (* Injected by the VM's method compiler at prologues and loop backedges.
+     Rejected by the assembler in user code. *)
+  | Yieldpoint
+
+type t = int gen (* resolved form: branch targets are instruction indices *)
+
+type asm = string gen (* assembly form: branch targets are label names *)
+
+let string_of_cmp = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let eval_cmp c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+(* Map over branch targets; used by the assembler and the yield-point
+   injection pass. *)
+let map_target f (i : 'a gen) : 'b gen =
+  match i with
+  | If (c, l) -> If (c, f l)
+  | Ifz (c, l) -> Ifz (c, f l)
+  | Ifnull l -> Ifnull (f l)
+  | Ifnonnull l -> Ifnonnull (f l)
+  | Ifrefeq l -> Ifrefeq (f l)
+  | Ifrefne l -> Ifrefne (f l)
+  | Goto l -> Goto (f l)
+  | Const n -> Const n
+  | Sconst s -> Sconst s
+  | Null -> Null
+  | Load n -> Load n
+  | Store n -> Store n
+  | Dup -> Dup
+  | Pop -> Pop
+  | Swap -> Swap
+  | Add -> Add
+  | Sub -> Sub
+  | Mul -> Mul
+  | Div -> Div
+  | Rem -> Rem
+  | Neg -> Neg
+  | Band -> Band
+  | Bor -> Bor
+  | Bxor -> Bxor
+  | Shl -> Shl
+  | Shr -> Shr
+  | New c -> New c
+  | Getfield (c, fd) -> Getfield (c, fd)
+  | Putfield (c, fd) -> Putfield (c, fd)
+  | Getstatic (c, fd) -> Getstatic (c, fd)
+  | Putstatic (c, fd) -> Putstatic (c, fd)
+  | Newarray e -> Newarray e
+  | Aload -> Aload
+  | Astore -> Astore
+  | Arraylength -> Arraylength
+  | Checkcast c -> Checkcast c
+  | Instanceof c -> Instanceof c
+  | Invoke (c, m) -> Invoke (c, m)
+  | Ret -> Ret
+  | Retv -> Retv
+  | Throw -> Throw
+  | Monitorenter -> Monitorenter
+  | Monitorexit -> Monitorexit
+  | Wait -> Wait
+  | Timedwait -> Timedwait
+  | Notify -> Notify
+  | Notifyall -> Notifyall
+  | Spawn (c, m) -> Spawn (c, m)
+  | Sleep -> Sleep
+  | Join -> Join
+  | Interrupt -> Interrupt
+  | Currenttime -> Currenttime
+  | Readinput -> Readinput
+  | Nativecall n -> Nativecall n
+  | Print -> Print
+  | Prints -> Prints
+  | Halt -> Halt
+  | Nop -> Nop
+  | Yieldpoint -> Yieldpoint
+
+let target (i : 'a gen) : 'a option =
+  match i with
+  | If (_, l) | Ifz (_, l) | Ifnull l | Ifnonnull l | Goto l
+  | Ifrefeq l | Ifrefne l -> Some l
+  | _ -> None
+
+(* Does control fall through to the next instruction? *)
+let falls_through (i : 'a gen) =
+  match i with Goto _ | Ret | Retv | Throw | Halt -> false | _ -> true
+
+let mnemonic (i : 'a gen) =
+  match i with
+  | Const _ -> "const"
+  | Sconst _ -> "sconst"
+  | Null -> "null"
+  | Load _ -> "load"
+  | Store _ -> "store"
+  | Dup -> "dup"
+  | Pop -> "pop"
+  | Swap -> "swap"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | Neg -> "neg"
+  | Band -> "band"
+  | Bor -> "bor"
+  | Bxor -> "bxor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | If (c, _) -> "if" ^ string_of_cmp c
+  | Ifz (c, _) -> "ifz" ^ string_of_cmp c
+  | Ifnull _ -> "ifnull"
+  | Ifnonnull _ -> "ifnonnull"
+  | Ifrefeq _ -> "ifrefeq"
+  | Ifrefne _ -> "ifrefne"
+  | Goto _ -> "goto"
+  | New _ -> "new"
+  | Getfield _ -> "getfield"
+  | Putfield _ -> "putfield"
+  | Getstatic _ -> "getstatic"
+  | Putstatic _ -> "putstatic"
+  | Newarray _ -> "newarray"
+  | Aload -> "aload"
+  | Astore -> "astore"
+  | Arraylength -> "arraylength"
+  | Checkcast _ -> "checkcast"
+  | Instanceof _ -> "instanceof"
+  | Invoke _ -> "invoke"
+  | Ret -> "ret"
+  | Retv -> "retv"
+  | Throw -> "throw"
+  | Monitorenter -> "monitorenter"
+  | Monitorexit -> "monitorexit"
+  | Wait -> "wait"
+  | Timedwait -> "timedwait"
+  | Notify -> "notify"
+  | Notifyall -> "notifyall"
+  | Spawn _ -> "spawn"
+  | Sleep -> "sleep"
+  | Join -> "join"
+  | Interrupt -> "interrupt"
+  | Currenttime -> "currenttime"
+  | Readinput -> "readinput"
+  | Nativecall _ -> "nativecall"
+  | Print -> "print"
+  | Prints -> "prints"
+  | Halt -> "halt"
+  | Nop -> "nop"
+  | Yieldpoint -> "yieldpoint"
+
+let pp ppf (i : int gen) =
+  let s = mnemonic i in
+  match i with
+  | Const n -> Fmt.pf ppf "%s %d" s n
+  | Sconst str -> Fmt.pf ppf "%s %S" s str
+  | Load n | Store n -> Fmt.pf ppf "%s %d" s n
+  | If (_, l) | Ifz (_, l) | Ifnull l | Ifnonnull l | Goto l
+  | Ifrefeq l | Ifrefne l ->
+    Fmt.pf ppf "%s @%d" s l
+  | New c -> Fmt.pf ppf "%s %s" s c
+  | Getfield (c, fd) | Putfield (c, fd) | Getstatic (c, fd) | Putstatic (c, fd)
+    ->
+    Fmt.pf ppf "%s %s.%s" s c fd
+  | Newarray ty -> Fmt.pf ppf "%s %s" s (string_of_ty ty)
+  | Checkcast c | Instanceof c -> Fmt.pf ppf "%s %s" s c
+  | Invoke (c, m) | Spawn (c, m) -> Fmt.pf ppf "%s %s.%s" s c m
+  | Nativecall n -> Fmt.pf ppf "%s %s" s n
+  | _ -> Fmt.string ppf s
+
+let to_string i = Fmt.str "%a" pp i

@@ -1,0 +1,120 @@
+(** Instruction set of the simulated JVM-like machine.
+
+    Instructions are parameterized by the branch-target representation: the
+    assembly form uses string labels, the resolved form instruction
+    indices. Semantics notes live on each constructor; the interpreter in
+    [lib/vm/interp.ml] is the definitive implementation. *)
+
+(** Comparison operators for the branching instructions. *)
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+(** Value types: machine integers, object references (with an optional
+    static class bound), and arrays with typed elements. [Tref] means "any
+    object" (including any array); [Tobj c] an instance of class [c] or a
+    subclass; arrays are invariant in their element type. *)
+type ty = Tint | Tref | Tobj of string | Tarr of ty
+
+(** [true] for every type that the garbage collector must scan. *)
+val is_ref_ty : ty -> bool
+
+(** Render a type the way the textual assembly language spells it
+    (["int"], ["ref"], a class name, or a type followed by ["[]"]). *)
+val string_of_ty : ty -> string
+
+(** The instruction set, generic in the branch-target type ['lab]. *)
+type 'lab gen =
+  | Const of int  (** push a literal integer *)
+  | Sconst of string
+      (** push an interned string object (allocated at class init) *)
+  | Null  (** push the null reference *)
+  | Load of int  (** push local slot [i] *)
+  | Store of int  (** pop into local slot [i] *)
+  | Dup
+  | Pop
+  | Swap
+  | Add
+  | Sub
+  | Mul
+  | Div  (** raises ArithmeticException on zero divisor *)
+  | Rem  (** raises ArithmeticException on zero divisor *)
+  | Neg
+  | Band
+  | Bor
+  | Bxor
+  | Shl  (** shift count masked to 0..63 *)
+  | Shr  (** arithmetic shift; count masked to 0..63 *)
+  | If of cmp * 'lab  (** pop b, pop a; branch when [a cmp b] *)
+  | Ifz of cmp * 'lab  (** pop a; branch when [a cmp 0] *)
+  | Ifnull of 'lab
+  | Ifnonnull of 'lab
+  | Ifrefeq of 'lab  (** pop two references; branch when identical *)
+  | Ifrefne of 'lab
+  | Goto of 'lab
+  | New of string  (** push a fresh, zeroed instance of the named class *)
+  | Getfield of string * string  (** class, field: pop obj; push value *)
+  | Putfield of string * string  (** pop value, pop obj *)
+  | Getstatic of string * string
+  | Putstatic of string * string
+  | Newarray of ty  (** element type; pop length; push array *)
+  | Aload  (** pop index, pop array; push element *)
+  | Astore  (** pop value, pop index, pop array *)
+  | Arraylength
+  | Checkcast of string
+      (** retype the top reference, or raise ClassCastException *)
+  | Instanceof of string  (** pop obj; push 0/1 *)
+  | Invoke of string * string
+      (** static dispatch for static methods; receiver-class vtable lookup
+          for instance methods (receiver is argument 0) *)
+  | Ret  (** return void *)
+  | Retv  (** return the popped value *)
+  | Throw  (** pop a Throwable and unwind *)
+  | Monitorenter  (** pop obj; blocks when held by another thread *)
+  | Monitorexit
+  | Wait  (** pop obj; park in its wait set; pushes 1 when interrupted *)
+  | Timedwait  (** pop millis, pop obj; like [Wait] with a deadline *)
+  | Notify
+  | Notifyall
+  | Spawn of string * string
+      (** start a thread on class.method, popping its arguments; push the
+          new thread id *)
+  | Sleep  (** pop millis; [Sleep 0] is a voluntary yield *)
+  | Join  (** pop tid; block until that thread terminates *)
+  | Interrupt  (** pop tid *)
+  | Currenttime  (** push the (non-deterministic) wall-clock value *)
+  | Readinput  (** push the next external input integer *)
+  | Nativecall of string  (** call a registered native, see {!Vm.Native} *)
+  | Print  (** pop an int; append it and a newline to the program output *)
+  | Prints  (** pop a String; append its characters to the output *)
+  | Halt  (** stop the whole machine *)
+  | Nop
+  | Yieldpoint
+      (** injected by the VM's method compiler at prologues and loop
+          backedges; rejected in user code by the assembler *)
+
+(** Resolved form: branch targets are instruction indices. *)
+type t = int gen
+
+(** Assembly form: branch targets are label names. *)
+type asm = string gen
+
+val string_of_cmp : cmp -> string
+
+(** Evaluate a comparison on two integers. *)
+val eval_cmp : cmp -> int -> int -> bool
+
+(** Map over the branch target, if any. Used by the assembler and the
+    yield-point injection pass. *)
+val map_target : ('a -> 'b) -> 'a gen -> 'b gen
+
+(** The branch target of an instruction, if it has one. *)
+val target : 'a gen -> 'a option
+
+(** Does control ever fall through to the next instruction? *)
+val falls_through : 'a gen -> bool
+
+(** The textual mnemonic (also the assembly-language spelling). *)
+val mnemonic : 'a gen -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

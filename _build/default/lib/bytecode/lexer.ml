@@ -1,0 +1,162 @@
+(* Tokenizer for the textual assembly language (see Parser for the
+   grammar). Comments run from ';' or '//' to end of line. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Colon
+  | Comma
+  | Dot
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Star
+  | Eof
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+exception Error of string * int (* message, line *)
+
+let error lx fmt = Fmt.kstr (fun m -> raise (Error (m, lx.line))) fmt
+
+let create src = { src; pos = 0; line = 1 }
+
+let peek_char lx =
+  if lx.pos >= String.length lx.src then None else Some lx.src.[lx.pos]
+
+let advance lx =
+  (match peek_char lx with Some '\n' -> lx.line <- lx.line + 1 | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '<'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '>' || c = '-'
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some ';' ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do
+      advance lx
+    done;
+    skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/'
+    ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do
+      advance lx
+    done;
+    skip_ws lx
+  | _ -> ()
+
+let read_string lx =
+  let buf = Buffer.create 16 in
+  advance lx (* opening quote *);
+  let rec go () =
+    match peek_char lx with
+    | None -> error lx "unterminated string"
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+      advance lx;
+      match peek_char lx with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance lx;
+        go ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance lx;
+        go ()
+      | Some '\\' ->
+        Buffer.add_char buf '\\';
+        advance lx;
+        go ()
+      | Some '"' ->
+        Buffer.add_char buf '"';
+        advance lx;
+        go ()
+      | _ -> error lx "bad escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next (lx : t) : token * int =
+  skip_ws lx;
+  let line = lx.line in
+  match peek_char lx with
+  | None -> (Eof, line)
+  | Some '"' -> (Str (read_string lx), line)
+  | Some ':' ->
+    advance lx;
+    (Colon, line)
+  | Some ',' ->
+    advance lx;
+    (Comma, line)
+  | Some '.' ->
+    advance lx;
+    (Dot, line)
+  | Some '{' ->
+    advance lx;
+    (Lbrace, line)
+  | Some '}' ->
+    advance lx;
+    (Rbrace, line)
+  | Some '(' ->
+    advance lx;
+    (Lparen, line)
+  | Some ')' ->
+    advance lx;
+    (Rparen, line)
+  | Some '[' ->
+    advance lx;
+    (Lbracket, line)
+  | Some ']' ->
+    advance lx;
+    (Rbracket, line)
+  | Some '*' ->
+    advance lx;
+    (Star, line)
+  | Some c when c = '-' || (c >= '0' && c <= '9') ->
+    let start = lx.pos in
+    advance lx;
+    while
+      match peek_char lx with Some d when d >= '0' && d <= '9' -> true | _ -> false
+    do
+      advance lx
+    done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    (try (Int (int_of_string s), line)
+     with Failure _ -> error lx "bad integer %S" s)
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    advance lx;
+    while
+      match peek_char lx with Some d when is_ident_char d -> true | _ -> false
+    do
+      advance lx
+    done;
+    (Ident (String.sub lx.src start (lx.pos - start)), line)
+  | Some c -> error lx "unexpected character %C" c
+
+(* Tokenize everything up front; the parser walks the array. *)
+let tokenize src : (token * int) array =
+  let lx = create src in
+  let out = ref [] in
+  let rec go () =
+    let t = next lx in
+    out := t :: !out;
+    match fst t with Eof -> () | _ -> go ()
+  in
+  go ();
+  Array.of_list (List.rev !out)

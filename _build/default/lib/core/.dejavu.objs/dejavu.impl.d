@@ -1,0 +1,1 @@
+lib/core/dejavu.ml: Figure2 Fmt Recorder Replayer Ring Session String Symmetry Trace Vm

@@ -1,0 +1,1 @@
+lib/core/figure2.ml: Session Symmetry Trace Vm

@@ -1,0 +1,1 @@
+lib/core/recorder.ml: Bytecode Figure2 Ring Session Trace Vm

@@ -1,0 +1,1 @@
+lib/core/recorder.mli: Session Trace Vm

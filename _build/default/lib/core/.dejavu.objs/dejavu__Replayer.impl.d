@@ -1,0 +1,1 @@
+lib/core/replayer.ml: Bytecode Figure2 Ring Session Trace Vm

@@ -1,0 +1,1 @@
+lib/core/replayer.mli: Session Trace Vm

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Fmt List Ring Symmetry Trace Vm

@@ -1,0 +1,1 @@
+lib/core/symmetry.ml: Filename Sys Trace Vm

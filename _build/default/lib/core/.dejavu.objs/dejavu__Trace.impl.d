@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Buffer Char Fmt List String Vm

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Buffer Format Vm

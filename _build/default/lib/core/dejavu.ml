@@ -1,0 +1,126 @@
+(* DejaVu — deterministic replay for the simulated Jalapeño VM.
+
+   [record] runs a program with recording instrumentation and returns the
+   trace; [replay] re-runs it, substituting every non-deterministic result
+   from the trace; [verify_roundtrip] checks the paper's accuracy criterion:
+   identical event sequences and identical program states. *)
+
+module Trace = Trace
+module Tape = Trace.Tape
+module Ring = Ring
+module Session = Session
+module Figure2 = Figure2
+module Recorder = Recorder
+module Replayer = Replayer
+module Symmetry = Symmetry
+
+exception Divergence = Session.Divergence
+
+type run = {
+  vm : Vm.t;
+  status : Vm.Rt.status;
+  output : string;
+  state_digest : int;
+  obs_digest : int; (* digest of the full event sequence *)
+  obs_count : int;
+  session : Session.t option; (* None when the trace was rejected outright *)
+}
+
+let finish_run vm session observer =
+  {
+    vm;
+    status = Vm.status vm;
+    output = Vm.output vm;
+    state_digest = Vm.digest vm;
+    obs_digest = Vm.Observer.digest observer;
+    obs_count = Vm.Observer.count observer;
+    session = Some session;
+  }
+
+(* Run a program in record mode. The environment (seed) supplies the
+   non-determinism being captured. *)
+let record ?(config = Vm.Rt.default_config) ?(natives = []) ?(inputs = [])
+    ?(seed = 1) ?limit program : run * Trace.t =
+  let config =
+    { config with Vm.Rt.env_cfg = { config.Vm.Rt.env_cfg with Vm.Env.seed } }
+  in
+  let vm = Vm.create ~config ~natives ~inputs program in
+  let session = Recorder.attach vm in
+  let observer = Vm.Observer.attach_digest vm in
+  ignore (Vm.run ?limit vm);
+  let run = finish_run vm session observer in
+  (run, Recorder.finish session)
+
+(* Replay a trace. The seed deliberately defaults to something different
+   from any recording seed: replay must not depend on the environment. *)
+let replay ?(config = Vm.Rt.default_config) ?(natives = []) ?(seed = 424242)
+    ?limit program (trace : Trace.t) : run * string list =
+  let config =
+    { config with Vm.Rt.env_cfg = { config.Vm.Rt.env_cfg with Vm.Env.seed } }
+  in
+  let vm = Vm.create ~config ~natives program in
+  match Replayer.attach vm trace with
+  | exception Session.Divergence msg ->
+    vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg);
+    ( {
+        vm;
+        status = Vm.status vm;
+        output = "";
+        state_digest = 0;
+        obs_digest = 0;
+        obs_count = 0;
+        session = None;
+      },
+      [ msg ] )
+  | session ->
+    let observer = Vm.Observer.attach_digest vm in
+    (try ignore (Vm.run ?limit vm)
+     with Session.Divergence msg ->
+       vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));
+    let run = finish_run vm session observer in
+    (run, Replayer.check_complete session)
+
+type roundtrip = {
+  recorded : run;
+  replayed : run;
+  trace : Trace.t;
+  outputs_equal : bool;
+  states_equal : bool;
+  events_equal : bool;
+  replay_complete : bool;
+  leftovers : string list;
+}
+
+let ok rt =
+  rt.outputs_equal && rt.states_equal && rt.events_equal && rt.replay_complete
+
+(* Record with [seed], replay with an unrelated seed, compare everything. *)
+let verify_roundtrip ?config ?natives ?inputs ?(seed = 1) ?limit program :
+    roundtrip =
+  let recorded, trace = record ?config ?natives ?inputs ~seed ?limit program in
+  let replayed, leftovers =
+    replay ?config ?natives ~seed:(seed + 99991) ?limit program trace
+  in
+  {
+    recorded;
+    replayed;
+    trace;
+    outputs_equal = String.equal recorded.output replayed.output;
+    states_equal = recorded.state_digest = replayed.state_digest;
+    events_equal =
+      recorded.obs_digest = replayed.obs_digest
+      && recorded.obs_count = replayed.obs_count;
+    replay_complete = leftovers = [];
+    leftovers;
+  }
+
+let pp_roundtrip ppf rt =
+  Fmt.pf ppf
+    "events: %s (%d vs %d) output: %s state: %s trace-consumed: %s status: %s/%s"
+    (if rt.events_equal then "EQUAL" else "DIFFER")
+    rt.recorded.obs_count rt.replayed.obs_count
+    (if rt.outputs_equal then "EQUAL" else "DIFFER")
+    (if rt.states_equal then "EQUAL" else "DIFFER")
+    (if rt.replay_complete then "yes" else String.concat "; " rt.leftovers)
+    (Vm.string_of_status rt.recorded.status)
+    (Vm.string_of_status rt.replayed.status)

@@ -1,0 +1,44 @@
+(* Record mode: the live hooks are wrapped so that every non-deterministic
+   operation's result is captured on its tape while execution proceeds
+   exactly as it would have live. Deterministic operations — including every
+   synchronization outcome and scheduler decision — are deliberately NOT
+   recorded: replaying the thread package reproduces them for free (the
+   paper's cross-optimization payoff). *)
+
+(* Install the clock/input/native capture only (every replay scheme needs
+   this part — the paper's footnote 7); the yield-point instrumentation is
+   installed separately so baseline schemes can substitute their own. *)
+let attach_io (vm : Vm.Rt.t) (s : Session.t) =
+  vm.hooks.h_clock <-
+    (fun vm reason ->
+      let v =
+        match reason with
+        | Vm.Rt.Cidle earliest -> Vm.Env.idle_until vm.env earliest
+        | Vm.Rt.Capp | Vm.Rt.Csched -> Vm.Env.read_clock vm.env
+      in
+      Trace.Tape.push s.clocks (Trace.tag_of_reason reason);
+      Trace.Tape.push s.clocks v;
+      Ring.put s.ring v;
+      v);
+  vm.hooks.h_input <-
+    (fun vm ->
+      let v = Vm.Env.read_input vm.env in
+      Trace.Tape.push s.inputs v;
+      Ring.put s.ring v;
+      v);
+  vm.hooks.h_native <-
+    (fun vm nat args ->
+      let outcome = nat.nat_fn vm args in
+      Trace.push_native_outcome s.natives nat.nat_id outcome;
+      Ring.put s.ring nat.nat_id;
+      outcome)
+
+let attach (vm : Vm.Rt.t) : Session.t =
+  let s = Session.for_record vm in
+  attach_io vm s;
+  vm.hooks.h_yieldpoint <- Figure2.record s;
+  s
+
+(* Finish a recording: produce the trace, stamped with the program digest. *)
+let finish (s : Session.t) : Trace.t =
+  Session.to_trace s (Bytecode.Decl.digest s.vm.program)

@@ -1,0 +1,67 @@
+(* Replay mode: deterministic operations re-execute; non-deterministic
+   operations are systematically replaced by the retrieval of their recorded
+   results. The environment's clock, input, and native code never run. Each
+   retrieval checks that the event kind the program is asking for matches
+   what the recording said comes next — any mismatch is a divergence, which
+   (given symmetric instrumentation) indicates the program or platform
+   changed between record and replay. *)
+
+exception Divergence = Session.Divergence
+
+(* Install the clock/input/native substitution only; yield-point
+   instrumentation is installed separately (see Recorder.attach_io). *)
+let attach_io (vm : Vm.Rt.t) (s : Session.t) =
+  vm.hooks.h_clock <-
+    (fun vm reason ->
+      let expect = Trace.tag_of_reason reason in
+      let tag =
+        try Trace.Tape.read s.clocks
+        with Trace.End_of_tape _ ->
+          Session.divergence_at vm "clock read (%s) beyond the recorded trace"
+            (Trace.reason_name expect)
+      in
+      if tag <> expect then
+        Session.divergence_at vm
+          "clock read reason mismatch: recorded %s, got %s"
+          (Trace.reason_name tag) (Trace.reason_name expect);
+      let v = Trace.Tape.read s.clocks in
+      Ring.put s.ring v;
+      v);
+  vm.hooks.h_input <-
+    (fun vm ->
+      let v =
+        try Trace.Tape.read s.inputs
+        with Trace.End_of_tape _ ->
+          Session.divergence_at vm "input read beyond the recorded trace"
+      in
+      Ring.put s.ring v;
+      v);
+  vm.hooks.h_native <-
+    (fun vm nat _args ->
+      let nat_id, outcome =
+        try Trace.read_native_outcome s.natives
+        with Trace.End_of_tape _ ->
+          Session.divergence_at vm "native call %s beyond the recorded trace"
+            nat.nat_name
+      in
+      if nat_id <> nat.nat_id then
+        Session.divergence_at vm
+          "native mismatch: recorded id %d, executing %s" nat_id nat.nat_name;
+      Ring.put s.ring nat.nat_id;
+      outcome)
+
+let check_digest (vm : Vm.Rt.t) (trace : Trace.t) =
+  let own_digest = Bytecode.Decl.digest vm.program in
+  if trace.program_digest <> own_digest then
+    Session.divergence
+      "trace was recorded for a different program (digest %s, expected %s)"
+      trace.program_digest own_digest
+
+let attach (vm : Vm.Rt.t) (trace : Trace.t) : Session.t =
+  check_digest vm trace;
+  let s = Session.for_replay vm trace in
+  attach_io vm s;
+  vm.hooks.h_yieldpoint <- Figure2.replay s;
+  s
+
+let check_complete (s : Session.t) = Session.leftovers s

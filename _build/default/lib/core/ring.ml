@@ -1,0 +1,23 @@
+(* DejaVu's event buffer, allocated *inside the VM heap* and pinned as a GC
+   root — the paper's "Symmetry in Allocation": the same buffer object is
+   allocated at the same execution point in record and replay modes, and
+   every event value is written into it at the same execution point in both
+   modes (record writes what it captures, replay writes what it reads back),
+   so the instrumentation's heap footprint is bit-identical across modes. *)
+
+type t = { vm : Vm.Rt.t; pin : int; size : int; mutable pos : int; mutable writes : int }
+
+let default_words = 1024
+
+let create (vm : Vm.Rt.t) ?(words = default_words) () =
+  let addr = Vm.Heap.alloc_array vm ~elem_ref:false ~len:words in
+  let pin = Vm.Heap.pin vm addr in
+  { vm; pin; size = words; pos = 0; writes = 0 }
+
+let put r w =
+  let addr = Vm.Heap.pinned r.vm r.pin in
+  Vm.Layout.set r.vm addr r.pos w;
+  r.pos <- (r.pos + 1) mod r.size;
+  r.writes <- r.writes + 1
+
+let writes r = r.writes

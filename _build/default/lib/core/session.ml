@@ -1,0 +1,149 @@
+(* Shared state of a DejaVu session (record or replay): the logical clock
+   (nyp + liveclock of Figure 2), the per-kind tapes, and the symmetric
+   event ring. *)
+
+exception Divergence of string
+
+let divergence fmt = Fmt.kstr (fun s -> raise (Divergence s)) fmt
+
+(* Divergence with the current execution position appended, so a replay
+   against edited code reports *where* behaviour first departed from the
+   recording. *)
+let divergence_at (vm : Vm.Rt.t) fmt =
+  Fmt.kstr
+    (fun s ->
+      let where =
+        if vm.current >= 0 then begin
+          let t = Vm.Rt.cur vm in
+          if t.t_state <> Vm.Rt.Terminated then
+            Fmt.str " (at %s.%s pc %d, thread %d, %d instructions in)"
+              vm.classes.(t.t_meth.rm_cid).rc_name t.t_meth.rm_name t.t_pc
+              t.tid vm.stats.n_instr
+          else ""
+        end
+        else ""
+      in
+      raise (Divergence (s ^ where)))
+    fmt
+
+type mode = Record | Replay
+
+type t = {
+  vm : Vm.Rt.t;
+  mode : mode;
+  ring : Ring.t;
+  switches : Trace.Tape.t;
+  clocks : Trace.Tape.t;
+  inputs : Trace.Tape.t;
+  natives : Trace.Tape.t;
+  mutable nyp : int; (* yield points since the last thread switch *)
+  mutable liveclock : bool;
+  mutable switch_bit : bool; (* the software thread-switch bit *)
+  mutable yieldpoints_seen : int;
+  mutable switches_done : int;
+}
+
+let create vm mode ~switches ~clocks ~inputs ~natives =
+  (* symmetric initialization: same allocation, same warm-up, both modes *)
+  Symmetry.warmup_io ();
+  let ring = Ring.create vm () in
+  {
+    vm;
+    mode;
+    ring;
+    switches;
+    clocks;
+    inputs;
+    natives;
+    nyp = 0;
+    liveclock = true;
+    switch_bit = false;
+    yieldpoints_seen = 0;
+    switches_done = 0;
+  }
+
+let for_record vm =
+  create vm Record ~switches:(Trace.Tape.create "switches")
+    ~clocks:(Trace.Tape.create "clocks")
+    ~inputs:(Trace.Tape.create "inputs")
+    ~natives:(Trace.Tape.create "natives")
+
+let for_replay vm (trace : Trace.t) =
+  let s =
+    create vm Replay
+      ~switches:(Trace.Tape.of_array "switches" trace.switches)
+      ~clocks:(Trace.Tape.of_array "clocks" trace.clocks)
+      ~inputs:(Trace.Tape.of_array "inputs" trace.inputs)
+      ~natives:(Trace.Tape.of_array "natives" trace.natives)
+  in
+  (* nyp counts down to the first recorded switch *)
+  s.nyp <-
+    (match Trace.Tape.read_opt s.switches with
+    | Some d -> d
+    | None -> max_int);
+  s
+
+let to_trace (s : t) program_digest : Trace.t =
+  {
+    Trace.program_digest;
+    switches = Trace.Tape.to_array s.switches;
+    clocks = Trace.Tape.to_array s.clocks;
+    inputs = Trace.Tape.to_array s.inputs;
+    natives = Trace.Tape.to_array s.natives;
+  }
+
+(* --- session checkpoints (for checkpoint-accelerated time travel) ------ *)
+
+(* The instrumentation state that must roll back together with a VM
+   snapshot: tape cursors (replay) / tape lengths (record), the Figure-2
+   logical clock, and the ring position. *)
+type snap = {
+  sn_rd : int array; (* per-tape read cursors *)
+  sn_len : int array; (* per-tape lengths (record mode appends) *)
+  sn_nyp : int;
+  sn_liveclock : bool;
+  sn_switch_bit : bool;
+  sn_ring_pos : int;
+  sn_ring_writes : int;
+  sn_yieldpoints_seen : int;
+  sn_switches_done : int;
+}
+
+let tapes s = [| s.switches; s.clocks; s.inputs; s.natives |]
+
+let snapshot (s : t) : snap =
+  {
+    sn_rd = Array.map (fun (t : Trace.Tape.t) -> t.rd) (tapes s);
+    sn_len = Array.map (fun (t : Trace.Tape.t) -> t.len) (tapes s);
+    sn_nyp = s.nyp;
+    sn_liveclock = s.liveclock;
+    sn_switch_bit = s.switch_bit;
+    sn_ring_pos = s.ring.pos;
+    sn_ring_writes = s.ring.writes;
+    sn_yieldpoints_seen = s.yieldpoints_seen;
+    sn_switches_done = s.switches_done;
+  }
+
+let restore (s : t) (c : snap) =
+  Array.iteri
+    (fun i (t : Trace.Tape.t) ->
+      t.rd <- c.sn_rd.(i);
+      t.len <- c.sn_len.(i))
+    (tapes s);
+  s.nyp <- c.sn_nyp;
+  s.liveclock <- c.sn_liveclock;
+  s.switch_bit <- c.sn_switch_bit;
+  s.ring.pos <- c.sn_ring_pos;
+  s.ring.writes <- c.sn_ring_writes;
+  s.yieldpoints_seen <- c.sn_yieldpoints_seen;
+  s.switches_done <- c.sn_switches_done
+
+(* Leftover trace data after a replay signals a divergence (or a truncated
+   run); returns human-readable warnings. *)
+let leftovers (s : t) : string list =
+  List.filter_map
+    (fun tape ->
+      let r = Trace.Tape.remaining tape in
+      if r > 0 then Some (Fmt.str "%d unconsumed %s words" r tape.Trace.Tape.name)
+      else None)
+    [ s.switches; s.clocks; s.inputs; s.natives ]

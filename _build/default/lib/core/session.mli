@@ -1,0 +1,54 @@
+(** Shared state of a DejaVu session (record or replay): the logical clock
+    ([nyp] + [liveclock] of Figure 2), the per-kind tapes, and the
+    symmetric event ring. *)
+
+(** Raised when a replayed execution asks for an event that does not match
+    the recording (wrong kind, wrong native, exhausted tape, or a trace
+    recorded for a different program). *)
+exception Divergence of string
+
+val divergence : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Like {!divergence}, appending the current execution position (class,
+    method, pc, thread, instruction count) so a replay against edited code
+    reports where behaviour first departed from the recording. *)
+val divergence_at : Vm.Rt.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type mode = Record | Replay
+
+type t = {
+  vm : Vm.Rt.t;
+  mode : mode;
+  ring : Ring.t;
+  switches : Trace.Tape.t;
+  clocks : Trace.Tape.t;
+  inputs : Trace.Tape.t;
+  natives : Trace.Tape.t;
+  mutable nyp : int;  (** yield points since the last thread switch *)
+  mutable liveclock : bool;
+  mutable switch_bit : bool;  (** the software thread-switch bit *)
+  mutable yieldpoints_seen : int;
+  mutable switches_done : int;
+}
+
+(** Create a record-mode session: fresh tapes, symmetric initialization
+    (warm-up I/O, ring allocation). *)
+val for_record : Vm.Rt.t -> t
+
+(** Create a replay-mode session over a trace; primes [nyp] with the first
+    recorded switch delta. *)
+val for_replay : Vm.Rt.t -> Trace.t -> t
+
+(** Freeze a (record) session's tapes into a trace. *)
+val to_trace : t -> string -> Trace.t
+
+(** Session state that must roll back together with a VM snapshot
+    (checkpoint-accelerated time travel). *)
+type snap
+
+val snapshot : t -> snap
+
+val restore : t -> snap -> unit
+
+(** Human-readable warnings about unconsumed trace words after a replay. *)
+val leftovers : t -> string list

@@ -1,0 +1,52 @@
+(* Symmetric side effects (paper section 2.4). DejaVu cannot replay its own
+   instrumentation, so every side effect the instrumentation has on the VM
+   must occur identically in record and replay modes:
+
+   - allocation: the event ring lives in the VM heap, allocated at session
+     attach in both modes (Ring.create) and written at the same execution
+     points in both modes;
+   - loading/compilation: record-only and replay-only code paths are both
+     exercised ("compiled") at initialization by the I/O warm-up below,
+     mirroring DejaVu pre-loading its classes and forcing both the input
+     and output methods to be compiled by writing and re-reading a file;
+   - stack overflow: before the instrumentation drives a thread switch it
+     eagerly grows the runtime stack when headroom falls below a threshold,
+     so stack-growth points cannot differ between modes;
+   - logical clock: yield points executed while the instrumentation runs are
+     not counted (the liveclock flag in Figure 2). *)
+
+(* Write a small temp file and read it back: both the write path and the
+   read path of the trace I/O get exercised during initialization in BOTH
+   modes, so neither mode performs first-use work the other does not. *)
+let warmup_io () =
+  let sample =
+    Trace.to_bytes
+      {
+        Trace.program_digest = "warmup";
+        switches = [| 1; 2; 3 |];
+        clocks = [| 0; 42 |];
+        inputs = [| 7 |];
+        natives = [||];
+      }
+  in
+  let path = Filename.temp_file "dejavu" ".warmup" in
+  let oc = open_out_bin path in
+  output_string oc sample;
+  close_out oc;
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  (try Sys.remove path with Sys_error _ -> ());
+  let rt = Trace.of_bytes s in
+  assert (rt.Trace.program_digest = "warmup")
+
+(* Eager stack growth before instrumentation-driven work on the current
+   thread (paper: "eagerly growing the runtime activation stack ... when
+   available stack space falls below a heuristically determined value"). *)
+let ensure_headroom (vm : Vm.Rt.t) =
+  if vm.current >= 0 then begin
+    let t = Vm.Rt.cur vm in
+    if t.t_state <> Vm.Rt.Terminated then
+      Vm.Interp.ensure_stack vm t ~need:vm.cfg.stack_slack
+  end

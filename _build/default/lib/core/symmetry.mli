@@ -1,0 +1,14 @@
+(** Symmetric side effects (paper section 2.4): every effect the
+    instrumentation has on the VM must occur identically in record and
+    replay modes — allocation, loading/compilation warm-up, eager stack
+    growth, and the logical-clock gating. *)
+
+(** Write a small trace file and read it back, exercising both the input
+    and output code paths at initialization in both modes (the paper's
+    "Symmetry in Loading and Compilation"). *)
+val warmup_io : unit -> unit
+
+(** Eagerly grow the current thread's stack when headroom falls below the
+    configured slack — called before instrumentation-driven thread
+    switches so stack-growth points cannot differ between modes. *)
+val ensure_headroom : Vm.Rt.t -> unit

@@ -1,0 +1,226 @@
+(* Trace representation and codec.
+
+   Following the paper (footnote 7: wall-clock logging "need be done
+   independently of thread switch information in all replay schemes"), a
+   trace holds one tape per non-deterministic event kind:
+     - switches: yield-point deltas (nyp) between preemptive thread switches
+     - clocks:   (reason, value) pairs for every wall-clock read
+     - inputs:   external input values
+     - natives:  native-call outcomes: result and callback parameters
+
+   Tapes are flat integer sequences; the file format is a zigzag-varint
+   stream with a header carrying a structural digest of the program so a
+   trace cannot be replayed against the wrong code. *)
+
+exception End_of_tape of string
+
+exception Format_error of string
+
+module Tape = struct
+  type t = {
+    name : string;
+    mutable data : int array;
+    mutable len : int;
+    mutable rd : int; (* read cursor (replay) *)
+  }
+
+  let create name = { name; data = Array.make 64 0; len = 0; rd = 0 }
+
+  let of_array name data = { name; data; len = Array.length data; rd = 0 }
+
+  let push t v =
+    if t.len >= Array.length t.data then begin
+      let bigger = Array.make (2 * Array.length t.data) 0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let read t =
+    if t.rd >= t.len then raise (End_of_tape t.name);
+    let v = t.data.(t.rd) in
+    t.rd <- t.rd + 1;
+    v
+
+  let read_opt t = if t.rd >= t.len then None else Some (read t)
+
+  let remaining t = t.len - t.rd
+
+  let length t = t.len
+
+  let to_array t = Array.sub t.data 0 t.len
+end
+
+type t = {
+  program_digest : string;
+  switches : int array;
+  clocks : int array; (* flattened (reason, value) pairs *)
+  inputs : int array;
+  natives : int array; (* flattened native records *)
+}
+
+(* Clock-read reason tags. *)
+let tag_of_reason = function
+  | Vm.Rt.Capp -> 0
+  | Vm.Rt.Csched -> 1
+  | Vm.Rt.Cidle _ -> 2
+
+let reason_name = function
+  | 0 -> "app"
+  | 1 -> "sched"
+  | 2 -> "idle"
+  | _ -> "?"
+
+(* Native outcome encoding, onto a tape:
+   [native_id; has_result; result?; n_callbacks; (uid; nargs; args...)* ] *)
+let push_native_outcome tape nat_id (o : Vm.Rt.native_outcome) =
+  Tape.push tape nat_id;
+  (match o.no_result with
+  | Some v ->
+    Tape.push tape 1;
+    Tape.push tape v
+  | None -> Tape.push tape 0);
+  Tape.push tape (List.length o.no_callbacks);
+  List.iter
+    (fun (uid, args) ->
+      Tape.push tape uid;
+      Tape.push tape (Array.length args);
+      Array.iter (Tape.push tape) args)
+    o.no_callbacks
+
+let read_native_outcome tape : int * Vm.Rt.native_outcome =
+  let nat_id = Tape.read tape in
+  let no_result =
+    match Tape.read tape with
+    | 1 -> Some (Tape.read tape)
+    | 0 -> None
+    | k -> raise (Format_error (Fmt.str "bad has_result %d" k))
+  in
+  let ncb = Tape.read tape in
+  let no_callbacks =
+    List.init ncb (fun _ ->
+        let uid = Tape.read tape in
+        let n = Tape.read tape in
+        (uid, Array.init n (fun _ -> Tape.read tape)))
+  in
+  (nat_id, { Vm.Rt.no_result; no_callbacks })
+
+(* --- statistics ------------------------------------------------------- *)
+
+type sizes = {
+  n_switches : int;
+  n_clock_reads : int;
+  n_inputs : int;
+  n_native_words : int;
+  total_words : int;
+  total_bytes : int; (* size of the serialized form *)
+}
+
+(* --- serialization ---------------------------------------------------- *)
+
+let magic = "DJVU1\n"
+
+let zigzag v = (v lsl 1) lxor (v asr 62)
+
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+let put_varint buf v =
+  let v = ref (zigzag v) in
+  let continue_ = ref true in
+  while !continue_ do
+    let b = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue_ := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let get_varint s pos =
+  let v = ref 0 and shift = ref 0 and p = ref pos and continue_ = ref true in
+  while !continue_ do
+    if !p >= String.length s then raise (Format_error "truncated varint");
+    let b = Char.code s.[!p] in
+    incr p;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue_ := false
+  done;
+  (unzigzag !v, !p)
+
+let put_section buf arr =
+  put_varint buf (Array.length arr);
+  Array.iter (put_varint buf) arr
+
+let get_section s pos =
+  let n, pos = get_varint s pos in
+  if n < 0 then raise (Format_error "negative section length");
+  let arr = Array.make n 0 in
+  let p = ref pos in
+  for i = 0 to n - 1 do
+    let v, p' = get_varint s !p in
+    arr.(i) <- v;
+    p := p'
+  done;
+  (arr, !p)
+
+let to_bytes (t : t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  put_varint buf (String.length t.program_digest);
+  Buffer.add_string buf t.program_digest;
+  put_section buf t.switches;
+  put_section buf t.clocks;
+  put_section buf t.inputs;
+  put_section buf t.natives;
+  Buffer.contents buf
+
+let of_bytes (s : string) : t =
+  let ml = String.length magic in
+  if String.length s < ml || String.sub s 0 ml <> magic then
+    raise (Format_error "bad magic");
+  let dlen, pos = get_varint s ml in
+  if dlen < 0 || pos + dlen > String.length s then
+    raise (Format_error "bad digest length");
+  let program_digest = String.sub s pos dlen in
+  let pos = pos + dlen in
+  let switches, pos = get_section s pos in
+  let clocks, pos = get_section s pos in
+  let inputs, pos = get_section s pos in
+  let natives, pos = get_section s pos in
+  if pos <> String.length s then raise (Format_error "trailing bytes");
+  { program_digest; switches; clocks; inputs; natives }
+
+let save path t =
+  let oc = open_out_bin path in
+  output_string oc (to_bytes t);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_bytes s
+
+let sizes (t : t) : sizes =
+  let total_words =
+    Array.length t.switches + Array.length t.clocks + Array.length t.inputs
+    + Array.length t.natives
+  in
+  {
+    n_switches = Array.length t.switches;
+    n_clock_reads = Array.length t.clocks / 2;
+    n_inputs = Array.length t.inputs;
+    n_native_words = Array.length t.natives;
+    total_words;
+    total_bytes = String.length (to_bytes t);
+  }
+
+let pp_sizes ppf s =
+  Fmt.pf ppf
+    "switches=%d clock-reads=%d inputs=%d native-words=%d words=%d bytes=%d"
+    s.n_switches s.n_clock_reads s.n_inputs s.n_native_words s.total_words
+    s.total_bytes

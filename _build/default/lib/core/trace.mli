@@ -1,0 +1,94 @@
+(** Trace representation and codec.
+
+    Following the paper (footnote 7: wall-clock logging "need be done
+    independently of thread switch information in all replay schemes"), a
+    trace holds one tape per non-deterministic event kind:
+
+    - switches: yield-point deltas ([nyp]) between preemptive thread
+      switches (Figure 2);
+    - clocks: (reason, value) pairs for every wall-clock read;
+    - inputs: external input values;
+    - natives: native-call outcomes (result and callback parameters).
+
+    Tapes are flat integer sequences; the file format is a zigzag-varint
+    stream with a header carrying the program's structural digest so a
+    trace cannot be replayed against the wrong code. *)
+
+(** Raised when a replay consumes past the end of a tape; the payload is
+    the tape name. *)
+exception End_of_tape of string
+
+(** Raised by {!of_bytes} on a malformed trace. *)
+exception Format_error of string
+
+(** Growable integer sequences with an independent read cursor. *)
+module Tape : sig
+  type t = {
+    name : string;
+    mutable data : int array;
+    mutable len : int;
+    mutable rd : int;  (** read cursor (replay) *)
+  }
+
+  val create : string -> t
+
+  val of_array : string -> int array -> t
+
+  val push : t -> int -> unit
+
+  (** Read the next word; raises {!End_of_tape}. *)
+  val read : t -> int
+
+  val read_opt : t -> int option
+
+  val remaining : t -> int
+
+  val length : t -> int
+
+  val to_array : t -> int array
+end
+
+type t = {
+  program_digest : string;
+  switches : int array;
+  clocks : int array;  (** flattened (reason, value) pairs *)
+  inputs : int array;
+  natives : int array;  (** flattened native outcome records *)
+}
+
+(** Encode a clock-read reason (0 app, 1 scheduler, 2 idle advance). *)
+val tag_of_reason : Vm.Rt.clock_reason -> int
+
+val reason_name : int -> string
+
+(** Append a native outcome record:
+    [id; has_result; result?; n_callbacks; (uid; nargs; args...)*]. *)
+val push_native_outcome : Tape.t -> int -> Vm.Rt.native_outcome -> unit
+
+val read_native_outcome : Tape.t -> int * Vm.Rt.native_outcome
+
+type sizes = {
+  n_switches : int;
+  n_clock_reads : int;
+  n_inputs : int;
+  n_native_words : int;
+  total_words : int;
+  total_bytes : int;  (** size of the serialized form *)
+}
+
+(** Zigzag-varint primitives (exposed for the property tests). *)
+val put_varint : Buffer.t -> int -> unit
+
+val get_varint : string -> int -> int * int
+
+val to_bytes : t -> string
+
+val of_bytes : string -> t
+
+val save : string -> t -> unit
+
+val load : string -> t
+
+val sizes : t -> sizes
+
+val pp_sizes : Format.formatter -> sizes -> unit

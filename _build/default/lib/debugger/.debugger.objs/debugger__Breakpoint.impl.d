@@ -1,0 +1,1 @@
+lib/debugger/breakpoint.ml: Array Fmt Vm

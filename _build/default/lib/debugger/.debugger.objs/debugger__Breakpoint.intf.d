@@ -1,0 +1,1 @@
+lib/debugger/breakpoint.mli: Format Vm

@@ -1,0 +1,1 @@
+lib/debugger/protocol.ml: Array Breakpoint Dejavu Fmt List Remote_reflection Session String Vm

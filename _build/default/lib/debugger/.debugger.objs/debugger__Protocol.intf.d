@@ -1,0 +1,1 @@
+lib/debugger/protocol.mli: Session

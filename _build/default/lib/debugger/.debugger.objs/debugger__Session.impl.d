@@ -1,0 +1,1 @@
+lib/debugger/session.ml: Array Breakpoint Bytecode Dejavu Fmt List Remote_reflection Vm

@@ -1,0 +1,1 @@
+lib/debugger/session.mli: Breakpoint Bytecode Dejavu Remote_reflection Vm

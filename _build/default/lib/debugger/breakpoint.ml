@@ -1,0 +1,33 @@
+(* Breakpoints, addressed the way a user thinks: a class.method plus either
+   a source line (from the method's line table) or a source pc. *)
+
+type loc = Any_pc | Src_pc of int | Line of int
+
+type t = { bp_id : int; bp_class : string; bp_method : string; bp_loc : loc }
+
+let pp ppf b =
+  Fmt.pf ppf "#%d %s.%s%s" b.bp_id b.bp_class b.bp_method
+    (match b.bp_loc with
+    | Any_pc -> ""
+    | Src_pc p -> Fmt.str " @pc %d" p
+    | Line l -> Fmt.str " @line %d" l)
+
+(* Does the breakpoint match a position (method + compiled pc)? Entry
+   breakpoints (Any_pc) match only the first real instruction so they fire
+   once per call, not once per instruction. *)
+let matches (b : t) (vm : Vm.Rt.t) (meth : Vm.Rt.rmethod) pc =
+  meth.rm_name = b.bp_method
+  && vm.classes.(meth.rm_cid).rc_name = b.bp_class
+  &&
+  match (b.bp_loc, meth.rm_compiled) with
+  | Any_pc, _ -> pc = 0
+  | Src_pc want, Some c ->
+    (* fire on the first compiled pc of that source pc only (yield points
+       injected before an instruction share its source pc) *)
+    pc < Array.length c.k_src_pc
+    && c.k_src_pc.(pc) = want
+    && (pc = 0 || c.k_src_pc.(pc - 1) <> want)
+  | Line want, Some c ->
+    (* first compiled pc whose line-table entry starts at [want] *)
+    Array.exists (fun (start, ln) -> start = pc && ln = want) c.k_lines
+  | _, None -> false

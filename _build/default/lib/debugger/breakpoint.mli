@@ -1,0 +1,17 @@
+(** Breakpoints, addressed the way a user thinks: a class and method plus
+    either a source line, a source pc, or the method entry. *)
+
+type loc =
+  | Any_pc  (** the method entry: fires once per call *)
+  | Src_pc of int  (** a specific source pc *)
+  | Line of int  (** a source line from the method's line table *)
+
+type t = { bp_id : int; bp_class : string; bp_method : string; bp_loc : loc }
+
+val pp : Format.formatter -> t -> unit
+
+(** Does the breakpoint match the position (method, compiled pc)? Entry
+    breakpoints match only the first instruction; source-pc breakpoints
+    fire on the first compiled pc of that source pc (injected yield points
+    share their successor's source pc). *)
+val matches : t -> Vm.Rt.t -> Vm.Rt.rmethod -> int -> bool

@@ -1,0 +1,1 @@
+lib/remote/address_space.ml: Array Buffer Bytecode Hashtbl Vm

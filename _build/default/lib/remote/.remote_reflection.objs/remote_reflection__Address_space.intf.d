@@ -1,0 +1,1 @@
+lib/remote/address_space.mli: Hashtbl Vm

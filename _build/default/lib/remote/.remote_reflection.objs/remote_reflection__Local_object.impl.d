@@ -1,0 +1,1 @@
+lib/remote/local_object.ml: Array Reflect Vm

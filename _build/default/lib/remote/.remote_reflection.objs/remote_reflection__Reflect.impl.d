@@ -1,0 +1,1 @@
+lib/remote/reflect.ml: Array Bytecode Char Fmt Hashtbl List String Vm

@@ -1,0 +1,1 @@
+lib/remote/remote_frames.ml: Address_space Array Fmt List Vm

@@ -1,0 +1,1 @@
+lib/remote/remote_frames.mli: Address_space Format Vm

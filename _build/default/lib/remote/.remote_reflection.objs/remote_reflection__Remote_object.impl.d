@@ -1,0 +1,1 @@
+lib/remote/remote_object.ml: Address_space Reflect Vm

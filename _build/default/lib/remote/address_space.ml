@@ -1,0 +1,115 @@
+(* A pull-only window onto another VM's memory — the stand-in for the Unix
+   ptrace facility the paper's implementation uses (section 3.2: "remote
+   reflection relies on the underlying operating system to access the remote
+   JVM address space ... the remote JVM does not execute any code to respond
+   to queries").
+
+   Everything here is a read: heap words, static slots, and thread register
+   state (the ptrace GETREGS analogue). The target VM runs no code on our
+   behalf; a read counter makes that auditable, and the perturbation-freedom
+   tests additionally check the target's state digest before/after.
+
+   Class and method metadata are NOT read remotely: as in the paper, they
+   come from the boot image — the tool loads the same program and therefore
+   owns an identical copy of the metadata (section 3.3: "the address is
+   provided to the interpreter through the process of building the Jalapeño
+   boot image"). *)
+
+type thread_snapshot = {
+  ts_tid : int;
+  ts_name : string;
+  ts_state : string;
+  ts_stack : int;
+  ts_fp : int;
+  ts_sp : int;
+  ts_pc : int;
+  ts_meth_uid : int; (* -1 when terminated *)
+}
+
+type t = {
+  peek : int -> int; (* heap word at address *)
+  peek_global : int -> int;
+  n_globals : int;
+  heap_top : unit -> int;
+  thread_count : unit -> int;
+  thread : int -> thread_snapshot;
+  output_snapshot : unit -> string;
+  (* boot-image metadata (the tool VM's own copy) *)
+  classes : Vm.Rt.rclass array;
+  class_of_name : (string, int) Hashtbl.t;
+  methods : Vm.Rt.rmethod array;
+  mutable reads : int; (* audit counter: number of remote word reads *)
+  (* Writing — the paper's footnote 3: a tool MAY let the user alter the
+     application's state, but doing so "would irrevocably break the
+     symmetry between record and replay ... no guarantee could be made as
+     to its accuracy". Pokes are therefore counted, so tools can surface
+     that the guarantee is gone. *)
+  poke_global : int -> int -> unit;
+  mutable writes : int;
+}
+
+exception Bad_address of int
+
+(* the (name, type) of global slot [i], for the poke safety check *)
+let static_info (vm : Vm.Rt.t) i =
+  let found = ref ("?", Bytecode.Instr.Tint) in
+  Array.iter
+    (fun (c : Vm.Rt.rclass) ->
+      Array.iteri
+        (fun k (n, ty) -> if c.rc_statics_base + k = i then found := (n, ty))
+        c.rc_statics)
+    vm.classes;
+  !found
+
+let of_vm (vm : Vm.Rt.t) : t =
+  let rec space =
+    {
+      peek =
+        (fun a ->
+          space.reads <- space.reads + 1;
+          if a < 0 || a >= vm.hp then raise (Bad_address a);
+          vm.heap.(a));
+      peek_global =
+        (fun i ->
+          space.reads <- space.reads + 1;
+          if i < 0 || i >= vm.nglobals then raise (Bad_address i);
+          vm.globals.(i));
+      n_globals = vm.nglobals;
+      heap_top = (fun () -> vm.hp);
+      thread_count = (fun () -> vm.n_threads);
+      thread =
+        (fun tid ->
+          space.reads <- space.reads + 1;
+          let t = vm.threads.(tid) in
+          {
+            ts_tid = t.tid;
+            ts_name = t.t_name;
+            ts_state = Vm.Rt.string_of_tstate t.t_state;
+            ts_stack = t.t_stack;
+            ts_fp = t.t_fp;
+            ts_sp = t.t_sp;
+            ts_pc = t.t_pc;
+            ts_meth_uid =
+              (if t.t_state = Vm.Rt.Terminated then -1 else t.t_meth.uid);
+          });
+      output_snapshot = (fun () -> Buffer.contents vm.output);
+      classes = vm.classes;
+      class_of_name = vm.class_of_name;
+      methods = vm.methods;
+      reads = 0;
+      poke_global =
+        (fun i v ->
+          space.writes <- space.writes + 1;
+          if i < 0 || i >= vm.nglobals then raise (Bad_address i);
+          if Bytecode.Instr.is_ref_ty (snd (static_info vm i)) then
+            invalid_arg "poke_global: refusing to forge a reference";
+          vm.globals.(i) <- v);
+      writes = 0;
+    }
+  in
+  space
+
+let class_id (s : t) name =
+  match Hashtbl.find_opt s.class_of_name name with
+  | Some cid -> cid
+  | None -> invalid_arg ("unknown class " ^ name)

@@ -1,0 +1,49 @@
+(** A pull-only window onto another VM's memory — the stand-in for the Unix
+    ptrace facility of the paper's implementation (section 3.2). Everything
+    is a read: heap words, static slots, thread register state. The target
+    VM executes nothing on the tool's behalf; the [reads] counter makes
+    that auditable, and the perturbation tests additionally compare the
+    target's state digest before/after inspection.
+
+    Class and method metadata are not read remotely: as in the paper, they
+    come from the boot image — the tool loads the same program and
+    therefore owns an identical copy (section 3.3). *)
+
+(** The ptrace-GETREGS analogue: a scalar copy of one thread's state. *)
+type thread_snapshot = {
+  ts_tid : int;
+  ts_name : string;
+  ts_state : string;
+  ts_stack : int;  (** heap address of the thread's stack array *)
+  ts_fp : int;
+  ts_sp : int;
+  ts_pc : int;
+  ts_meth_uid : int;  (** -1 when terminated *)
+}
+
+type t = {
+  peek : int -> int;  (** heap word at an address; may raise {!Bad_address} *)
+  peek_global : int -> int;
+  n_globals : int;
+  heap_top : unit -> int;
+  thread_count : unit -> int;
+  thread : int -> thread_snapshot;
+  output_snapshot : unit -> string;
+  classes : Vm.Rt.rclass array;  (** boot-image metadata (tool's copy) *)
+  class_of_name : (string, int) Hashtbl.t;
+  methods : Vm.Rt.rmethod array;
+  mutable reads : int;  (** audit counter of remote word reads *)
+  poke_global : int -> int -> unit;
+      (** Alter an integer static in the target — the paper's footnote 3:
+          possible, but it "would irrevocably break the symmetry between
+          record and replay"; replay may continue but accuracy is no
+          longer guaranteed. Refuses reference slots. *)
+  mutable writes : int;  (** audit counter of pokes *)
+}
+
+exception Bad_address of int
+
+(** Open an address space onto a VM in this process. *)
+val of_vm : Vm.Rt.t -> t
+
+val class_id : t -> string -> int

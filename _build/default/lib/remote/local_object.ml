@@ -1,0 +1,40 @@
+(* The in-process counterpart: the same reflection code over direct heap
+   access. This is what an in-process debugger would use — and what the
+   paper shows would perturb the replayed VM if it ran inside it. Tests use
+   it as the ground truth that remote reflection must match. *)
+
+type t = { vm : Vm.Rt.t; addr : int }
+
+let make vm addr =
+  if addr = 0 then invalid_arg "local object cannot be null";
+  { vm; addr }
+
+module Source (Ctx : sig
+  val vm : Vm.Rt.t
+end) : Reflect.SOURCE with type obj = t = struct
+  type obj = t
+
+  let name = "local"
+
+  let classes () = Ctx.vm.classes
+
+  let class_id n = Vm.Rt.class_id Ctx.vm n
+
+  let methods () = Ctx.vm.methods
+
+  let class_of o = Vm.Layout.class_of o.vm o.addr
+
+  let length_of o = Vm.Layout.len_of o.vm o.addr
+
+  let slot o i = Vm.Layout.get o.vm o.addr i
+
+  let obj_of_word w = if w = 0 then None else Some (make Ctx.vm w)
+
+  let global_word i = Ctx.vm.globals.(i)
+end
+
+let reflection (vm : Vm.Rt.t) =
+  let module Src = Source (struct
+    let vm = vm
+  end) in
+  (module Reflect.Make (Src) : Reflect.S with type obj = t)

@@ -1,0 +1,165 @@
+(* One reflection interface, two data sources.
+
+   The paper's remote reflection lets the SAME reflection code run either
+   in-process (data from the local heap) or out-of-process (data fetched
+   from the application JVM's address space through remote objects). Their
+   mechanism is bytecode interception in an interpreter; ours — documented
+   in DESIGN.md as a substitution — is a functor: [Make] builds the whole
+   reflection API from a minimal word-level [SOURCE], and the two sources
+   (local / remote) differ only in where words come from. The reflection
+   code in [Make] is shared verbatim, which is the property the paper is
+   after ("the same reflection interface can be used internally or
+   externally"). *)
+
+type 'obj value = Vnull | Vint of int | Vobj of 'obj
+
+(* What a data source must provide: word-level access plus the boot-image
+   metadata tables. *)
+module type SOURCE = sig
+  type obj
+
+  val name : string
+
+  val classes : unit -> Vm.Rt.rclass array
+
+  val class_id : string -> int
+
+  val methods : unit -> Vm.Rt.rmethod array
+
+  (* dereference the object's header / slots *)
+  val class_of : obj -> int
+
+  val length_of : obj -> int
+
+  val slot : obj -> int -> int (* raw word of slot i (past the header) *)
+
+  val obj_of_word : int -> obj option (* None for null *)
+
+  val global_word : int -> int
+end
+
+module type S = sig
+  type obj
+
+  val source_name : string
+
+  val class_of : obj -> Vm.Rt.rclass
+
+  val class_name : obj -> string
+
+  val is_instance_of : obj -> string -> bool
+
+  val get_field : obj -> string -> obj value
+
+  val get_static : string -> string -> obj value
+
+  val array_length : obj -> int
+
+  val array_get : obj -> int -> obj value
+
+  val string_value : obj -> string
+
+  (* a printable rendering of an object graph to bounded depth *)
+  val render : ?depth:int -> obj -> string
+
+  val render_value : ?depth:int -> obj value -> string
+end
+
+module Make (Src : SOURCE) : S with type obj = Src.obj = struct
+  type obj = Src.obj
+
+  let source_name = Src.name
+
+  let class_of o = (Src.classes ()).(Src.class_of o)
+
+  let class_name o = (class_of o).rc_name
+
+  let is_instance_of o cname =
+    let classes = Src.classes () in
+    let sup = Src.class_id cname in
+    let sub = Src.class_of o in
+    let s = classes.(sub) and p = classes.(sup) in
+    p.rc_depth <= s.rc_depth && s.rc_display.(p.rc_depth) = sup
+
+  let typed (ty : Bytecode.Instr.ty) word : obj value =
+    if Bytecode.Instr.is_ref_ty ty then
+      match Src.obj_of_word word with None -> Vnull | Some o -> Vobj o
+    else Vint word
+
+  let get_field o fname =
+    let rc = class_of o in
+    match Hashtbl.find_opt rc.rc_field_index fname with
+    | None -> invalid_arg (Fmt.str "no field %s in %s" fname rc.rc_name)
+    | Some idx -> typed (snd rc.rc_fields.(idx)) (Src.slot o idx)
+
+  let get_static cname fname =
+    let classes = Src.classes () in
+    let rec go cid =
+      if cid < 0 then invalid_arg (Fmt.str "no static %s.%s" cname fname)
+      else
+        let rc = classes.(cid) in
+        let found = ref (-1) in
+        Array.iteri (fun i (n, _) -> if n = fname then found := i) rc.rc_statics;
+        if !found >= 0 then
+          typed
+            (snd rc.rc_statics.(!found))
+            (Src.global_word (rc.rc_statics_base + !found))
+        else go rc.rc_super
+    in
+    go (Src.class_id cname)
+
+  let array_length o =
+    let rc = class_of o in
+    if rc.rc_elem = Vm.Rt.Not_array then
+      invalid_arg (rc.rc_name ^ " is not an array");
+    Src.length_of o
+
+  let array_get o i =
+    let rc = class_of o in
+    (match rc.rc_elem with
+    | Vm.Rt.Not_array -> invalid_arg (rc.rc_name ^ " is not an array")
+    | _ -> ());
+    if i < 0 || i >= Src.length_of o then invalid_arg "array index";
+    match rc.rc_elem with
+    | Vm.Rt.Arr_ref -> typed Bytecode.Instr.Tref (Src.slot o i)
+    | _ -> Vint (Src.slot o i)
+
+  let string_value o =
+    if class_name o <> Bytecode.Decl.string_class then
+      invalid_arg "not a String";
+    match get_field o "chars" with
+    | Vobj chars ->
+      let n = Src.length_of chars in
+      String.init n (fun i -> Char.chr (Src.slot chars i land 0xff))
+    | _ -> invalid_arg "String without chars"
+
+  let rec render_value ?(depth = 2) (v : obj value) =
+    match v with
+    | Vnull -> "null"
+    | Vint n -> string_of_int n
+    | Vobj o -> render ~depth:(depth - 1) o
+
+  and render ?(depth = 2) o =
+    let rc = class_of o in
+    if rc.rc_name = Bytecode.Decl.string_class then
+      Fmt.str "%S" (string_value o)
+    else if rc.rc_elem <> Vm.Rt.Not_array then begin
+      let n = Src.length_of o in
+      if depth <= 0 then Fmt.str "%s[%d]" rc.rc_name n
+      else
+        let show = min n 8 in
+        let elems =
+          List.init show (fun i -> render_value ~depth (array_get o i))
+        in
+        Fmt.str "%s[%d]{%s%s}" rc.rc_name n (String.concat ", " elems)
+          (if n > show then ", ..." else "")
+    end
+    else if depth <= 0 then Fmt.str "%s@..." rc.rc_name
+    else
+      let fields =
+        Array.to_list rc.rc_fields
+        |> List.map (fun (fname, _) ->
+               Fmt.str "%s=%s" fname (render_value ~depth (get_field o fname)))
+      in
+      Fmt.str "%s{%s}" rc.rc_name (String.concat ", " fields)
+end

@@ -1,0 +1,70 @@
+(* Remote stack walking: reconstruct a thread's activation frames purely
+   from peeks at its (heap-allocated) stack array plus boot-image method
+   metadata — the remote-reflection version of Vm.Frames. Powers the
+   debugger's stack traces without executing anything in the target VM. *)
+
+type frame = {
+  rf_meth : Vm.Rt.rmethod;
+  rf_pc : int; (* compiled pc *)
+  rf_src_pc : int option; (* original source pc, if the method is compiled *)
+  rf_line : int option;
+  rf_fp : int;
+  rf_locals : int array; (* raw words *)
+}
+
+let line_of_compiled (c : Vm.Rt.compiled) pc =
+  let best = ref None in
+  Array.iter (fun (start, ln) -> if start <= pc then best := Some ln) c.k_lines;
+  !best
+
+let frame_of (space : Address_space.t) ~stack ~fp ~pc ~(meth : Vm.Rt.rmethod) =
+  let data_base = stack + Vm.Layout.header_words in
+  let locals =
+    Array.init meth.rm_nlocals (fun i ->
+        space.peek (data_base + fp + Vm.Rt.frame_header_words + i))
+  in
+  let src_pc, line =
+    match meth.rm_compiled with
+    | Some c when pc < Array.length c.k_src_pc ->
+      (Some c.k_src_pc.(pc), line_of_compiled c pc)
+    | _ -> (None, None)
+  in
+  { rf_meth = meth; rf_pc = pc; rf_src_pc = src_pc; rf_line = line; rf_fp = fp; rf_locals = locals }
+
+(* All frames of a thread, top-most first. *)
+let frames (space : Address_space.t) tid : frame list =
+  let ts = space.thread tid in
+  if ts.ts_meth_uid < 0 then []
+  else begin
+    let data_base = ts.ts_stack + Vm.Layout.header_words in
+    let rec walk meth pc fp acc =
+      let fr = frame_of space ~stack:ts.ts_stack ~fp ~pc ~meth in
+      let caller_uid = space.peek (data_base + fp) in
+      if caller_uid < 0 then List.rev (fr :: acc)
+      else
+        let caller_pc = space.peek (data_base + fp + 1) in
+        let caller_fp = space.peek (data_base + fp + 2) in
+        walk space.methods.(caller_uid) caller_pc caller_fp (fr :: acc)
+    in
+    walk space.methods.(ts.ts_meth_uid) ts.ts_pc ts.ts_fp []
+  end
+
+let pp_frame ppf (f : frame) =
+  Fmt.pf ppf "%s.%s pc=%d%s%s"
+    "" (* class name filled by caller if wanted *)
+    f.rf_meth.rm_name f.rf_pc
+    (match f.rf_src_pc with Some p -> Fmt.str " (src %d)" p | None -> "")
+    (match f.rf_line with Some l -> Fmt.str " line %d" l | None -> "")
+
+(* The paper's Figure 3: compute the source line for (method, offset) by
+   reflective lookup — the same query the Debugger.lineNumberOf example
+   performs, here answered from boot-image metadata and (for frames) remote
+   peeks. *)
+let line_number_of (space : Address_space.t) ~method_uid ~offset : int =
+  if method_uid < 0 || method_uid >= Array.length space.methods then 0
+  else
+    let m = space.methods.(method_uid) in
+    match m.rm_compiled with
+    | Some c when offset >= 0 && offset < Array.length c.k_code -> (
+      match line_of_compiled c offset with Some l -> l | None -> 0)
+    | _ -> 0

@@ -1,0 +1,25 @@
+(** Remote stack walking: reconstruct a thread's activation frames purely
+    from peeks at its heap-allocated stack array plus boot-image method
+    metadata — the remote-reflection rendition of [Vm.Frames]. Powers the
+    debugger's stack traces without executing anything in the target VM. *)
+
+type frame = {
+  rf_meth : Vm.Rt.rmethod;
+  rf_pc : int;  (** compiled pc *)
+  rf_src_pc : int option;  (** original source pc, when compiled *)
+  rf_line : int option;
+  rf_fp : int;
+  rf_locals : int array;  (** raw local-slot words *)
+}
+
+(** Source line covering a compiled pc. *)
+val line_of_compiled : Vm.Rt.compiled -> int -> int option
+
+(** All frames of a thread, top-most first; empty for terminated threads. *)
+val frames : Address_space.t -> int -> frame list
+
+val pp_frame : Format.formatter -> frame -> unit
+
+(** The paper's Figure 3 query: the source line for (method uid, compiled
+    offset), or 0 when unknown — answered from boot-image metadata. *)
+val line_number_of : Address_space.t -> method_uid:int -> offset:int -> int

@@ -1,0 +1,43 @@
+(* Remote objects: the proxy the paper builds remote reflection around
+   (section 3.3: "to implement the remote object, it was sufficient to
+   record the type of the object and its real address"). A remote object is
+   an address interpreted against a remote address space; every slot read
+   turns into a peek on that space. *)
+
+type t = { space : Address_space.t; addr : int }
+
+let make space addr =
+  if addr = 0 then invalid_arg "remote object cannot be null";
+  { space; addr }
+
+(* The SOURCE instance over an address space: all words come from peeks. *)
+module Source (Ctx : sig
+  val space : Address_space.t
+end) : Reflect.SOURCE with type obj = t = struct
+  type obj = t
+
+  let name = "remote"
+
+  let classes () = Ctx.space.classes
+
+  let class_id n = Address_space.class_id Ctx.space n
+
+  let methods () = Ctx.space.methods
+
+  let class_of o = o.space.peek (o.addr + Vm.Layout.hdr_class)
+
+  let length_of o = o.space.peek (o.addr + Vm.Layout.hdr_len)
+
+  let slot o i = o.space.peek (o.addr + Vm.Layout.header_words + i)
+
+  let obj_of_word w = if w = 0 then None else Some (make Ctx.space w)
+
+  let global_word i = Ctx.space.peek_global i
+end
+
+(* Build the full reflection API over one remote address space. *)
+let reflection (space : Address_space.t) =
+  let module Src = Source (struct
+    let space = space
+  end) in
+  (module Reflect.Make (Src) : Reflect.S with type obj = t)

@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Array Buffer Bytecode Compile Digest_state Env Fmt Frames Gc Hashtbl Heap Interp Layout Link List Native Observer Prng Queue Rt Sched Snapshot Verify

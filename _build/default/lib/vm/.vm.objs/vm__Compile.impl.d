@@ -1,0 +1,1 @@
+lib/vm/compile.ml: Array Bytecode Env Fmt Hashtbl Layout List Rt Verify

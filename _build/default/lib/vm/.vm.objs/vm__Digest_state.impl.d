@@ -1,0 +1,1 @@
+lib/vm/digest_state.ml: Array Buffer Char Gc Hashtbl List Queue Rt String

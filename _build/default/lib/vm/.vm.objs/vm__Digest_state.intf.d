@@ -1,0 +1,1 @@
+lib/vm/digest_state.mli: Rt

@@ -1,0 +1,1 @@
+lib/vm/frames.ml: Array Fmt Layout List Rt

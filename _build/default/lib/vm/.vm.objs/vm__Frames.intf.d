@@ -1,0 +1,1 @@
+lib/vm/frames.mli: Rt

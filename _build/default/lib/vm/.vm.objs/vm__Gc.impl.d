@@ -1,0 +1,1 @@
+lib/vm/gc.ml: Array Bytecode Frames Layout Rt

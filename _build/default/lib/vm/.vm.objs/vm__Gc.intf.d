@@ -1,0 +1,1 @@
+lib/vm/gc.mli: Rt

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Buffer Bytecode Compile Env Fmt Hashtbl Heap Layout List Rt Sched Seq Verify

@@ -1,0 +1,1 @@
+lib/vm/link.ml: Array Bytecode Fmt Hashtbl List Rt

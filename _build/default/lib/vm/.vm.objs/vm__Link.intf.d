@@ -1,0 +1,1 @@
+lib/vm/link.mli: Bytecode Hashtbl Rt

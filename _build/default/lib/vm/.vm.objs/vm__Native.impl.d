@@ -1,0 +1,1 @@
+lib/vm/native.ml: Array Env Hashtbl List Prng Rt

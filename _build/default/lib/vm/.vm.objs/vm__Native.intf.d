@@ -1,0 +1,1 @@
+lib/vm/native.mli: Hashtbl Rt

@@ -1,0 +1,1 @@
+lib/vm/observer.ml: Fmt Hashtbl List Rt

@@ -1,0 +1,1 @@
+lib/vm/observer.mli: Format Rt

@@ -1,0 +1,1 @@
+lib/vm/rt.ml: Array Buffer Bytecode Env Hashtbl Queue

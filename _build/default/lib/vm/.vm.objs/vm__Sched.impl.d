@@ -1,0 +1,1 @@
+lib/vm/sched.ml: Array Env Fmt Layout List Queue Rt

@@ -1,0 +1,1 @@
+lib/vm/snapshot.ml: Array Buffer List Prng Queue Rt

@@ -1,0 +1,1 @@
+lib/vm/snapshot.mli: Rt

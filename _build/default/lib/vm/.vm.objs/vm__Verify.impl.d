@@ -1,0 +1,1 @@
+lib/vm/verify.ml: Array Bytecode Fmt Option Queue Rt

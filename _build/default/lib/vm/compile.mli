@@ -1,0 +1,12 @@
+(** The method "compiler": lowers a declared method to executable code —
+    synchronized-method expansion, yield-point injection at the prologue
+    and every loop backedge (the Jalapeño discipline aligning preemption,
+    GC safe points, and DejaVu's logical clock), name resolution, and
+    verification (reference maps + stack bound). Compilation is charged to
+    the virtual clock, so {e when} a method gets compiled is visible to the
+    environment — a cross-optimization side effect DejaVu keeps symmetric. *)
+
+exception Error of string
+
+(** Compile (once; cached on the method record) and return the body. *)
+val compile : Rt.t -> Rt.rmethod -> Rt.compiled

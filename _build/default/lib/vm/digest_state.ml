@@ -1,0 +1,66 @@
+(* A strict digest of the whole machine state. Two identical executions
+   produce identical digests (heap addresses included — allocation order is
+   part of the execution), and any perturbation of a paused VM — the thing
+   remote reflection promises never to do — changes it. *)
+
+let fnv_prime = 0x100000001b3
+
+let mix h v = (h lxor (v land max_int)) * fnv_prime land max_int
+
+let of_buffer h (b : Buffer.t) =
+  let s = Buffer.contents b in
+  String.fold_left (fun h c -> mix h (Char.code c)) h s
+
+let digest (vm : Rt.t) : int =
+  let h = ref 0x3bf29ce484222325 in
+  let add v = h := mix !h v in
+  (* heap contents up to the bump pointer *)
+  add vm.hp;
+  for i = Gc.heap_start to vm.hp - 1 do
+    add vm.heap.(i)
+  done;
+  (* statics *)
+  for i = 0 to vm.nglobals - 1 do
+    add vm.globals.(i)
+  done;
+  (* interned strings *)
+  Array.iter
+    (fun (c : Rt.rclass) -> Array.iter add c.rc_strings)
+    vm.classes;
+  (* threads *)
+  add vm.n_threads;
+  for tid = 0 to vm.n_threads - 1 do
+    let t = vm.threads.(tid) in
+    add t.tid;
+    add t.t_stack;
+    add t.t_fp;
+    add t.t_sp;
+    add t.t_pc;
+    add (if t.t_state = Rt.Terminated then -1 else t.t_meth.uid);
+    add (Hashtbl.hash t.t_state);
+    add t.t_wake;
+    add (if t.t_interrupted then 1 else 0);
+    add t.t_wait_mon;
+    add t.t_saved_count;
+    List.iter add t.t_joiners
+  done;
+  (* monitors *)
+  add vm.n_monitors;
+  for i = 0 to vm.n_monitors - 1 do
+    let m = vm.monitors.(i) in
+    add m.m_owner;
+    add m.m_count;
+    Queue.iter add m.m_entryq;
+    List.iter add m.m_waitset
+  done;
+  (* scheduler *)
+  Queue.iter add vm.readyq;
+  add vm.current;
+  List.iter
+    (fun (w, tid) ->
+      add w;
+      add tid)
+    vm.sleepers;
+  (* program output *)
+  h := of_buffer !h vm.output;
+  !h

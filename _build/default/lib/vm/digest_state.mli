@@ -1,0 +1,7 @@
+(** A strict digest of the whole machine state: heap contents up to the
+    bump pointer (addresses included — allocation order is part of the
+    execution), statics, interned strings, thread records, monitors,
+    scheduler queues, and program output. Two identical executions produce
+    identical digests; any perturbation of a paused VM changes it. *)
+
+val digest : Rt.t -> int

@@ -1,0 +1,111 @@
+(* The simulated external environment: a virtual wall clock that advances a
+   jittered amount per executed instruction, a periodic timer interrupt, and
+   an external input source. This is where all of the machine's
+   non-determinism lives — different seeds produce different interleavings
+   and different clock readings, which record/replay must reproduce. *)
+
+type config = {
+  seed : int;
+  base_cost : int; (* clock units per instruction, before jitter *)
+  jitter : int; (* extra clock units per instruction in [0, jitter] *)
+  spike_per_mille : int; (* chance/1000 of a cache-miss/page-fault spike *)
+  spike_cost : int; (* extra clock units when a spike hits *)
+  quantum : int; (* mean clock units between timer interrupts *)
+  quantum_jitter : int; (* timer interval varies by +- this *)
+  time_scale : int; (* clock units per "millisecond" (sleep/timed-wait) *)
+  compile_cost : int; (* clock units charged per compiled instruction *)
+}
+
+(* Defaults tuned so that, as on real hardware (the paper: "a thread's
+   execution speed can vary due to external factors such as caching and
+   paging"), the number of instructions per scheduling quantum genuinely
+   varies from run to run. *)
+let default_config =
+  {
+    seed = 1;
+    base_cost = 2;
+    jitter = 3;
+    spike_per_mille = 8;
+    spike_cost = 400;
+    quantum = 4000;
+    quantum_jitter = 600;
+    time_scale = 100;
+    compile_cost = 10;
+  }
+
+type t = {
+  cfg : config;
+  rng : Prng.t;
+  input_rng : Prng.t; (* independent stream so input is stable under jitter *)
+  mutable now : int;
+  mutable next_timer : int;
+  mutable inputs : int list; (* user-scripted inputs, consumed first *)
+  mutable input_count : int;
+  mutable ticks : int; (* instructions charged *)
+  mutable timer_fires : int;
+}
+
+let create ?(inputs = []) cfg =
+  {
+    cfg;
+    rng = Prng.create cfg.seed;
+    input_rng = Prng.create (cfg.seed lxor 0x5eed);
+    now = 0;
+    next_timer = cfg.quantum;
+    inputs;
+    input_count = 0;
+    ticks = 0;
+    timer_fires = 0;
+  }
+
+(* Advance the clock for one executed instruction; returns true when the
+   timer interrupt fired during this instruction. *)
+let tick t =
+  t.ticks <- t.ticks + 1;
+  let cost =
+    t.cfg.base_cost
+    + (if t.cfg.jitter > 0 then Prng.int t.rng (t.cfg.jitter + 1) else 0)
+    +
+    if t.cfg.spike_per_mille > 0 && Prng.int t.rng 1000 < t.cfg.spike_per_mille
+    then t.cfg.spike_cost
+    else 0
+  in
+  t.now <- t.now + cost;
+  if t.now >= t.next_timer then begin
+    t.timer_fires <- t.timer_fires + 1;
+    (* catch up past long pauses; each interval's length varies *)
+    while t.now >= t.next_timer do
+      let interval =
+        t.cfg.quantum
+        +
+        if t.cfg.quantum_jitter > 0 then
+          Prng.int t.rng (2 * t.cfg.quantum_jitter) - t.cfg.quantum_jitter
+        else 0
+      in
+      t.next_timer <- t.next_timer + max 1 interval
+    done;
+    true
+  end
+  else false
+
+(* Charge non-instruction work (e.g. method compilation) to the clock. *)
+let charge t cost =
+  t.now <- t.now + cost;
+  ()
+
+let read_clock t = t.now
+
+(* Advance the clock to at least [target] (idle waiting for a sleeper). *)
+let idle_until t target =
+  if target > t.now then t.now <- target;
+  t.now
+
+let read_input t =
+  t.input_count <- t.input_count + 1;
+  match t.inputs with
+  | v :: rest ->
+    t.inputs <- rest;
+    v
+  | [] -> Prng.int t.input_rng 1_000_000
+
+let millis_to_units t ms = ms * t.cfg.time_scale

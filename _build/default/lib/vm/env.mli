@@ -1,0 +1,52 @@
+(** The simulated external environment: a virtual wall clock advancing a
+    jittered amount per executed instruction (with rare cache-miss/paging
+    cost spikes), a periodic timer interrupt with a varying interval, and
+    an external input source. All of the machine's non-determinism lives
+    here — different seeds produce different interleavings and clock
+    readings, which record/replay must reproduce. *)
+
+type config = {
+  seed : int;
+  base_cost : int;  (** clock units per instruction, before jitter *)
+  jitter : int;  (** extra units per instruction, uniform in [0, jitter] *)
+  spike_per_mille : int;  (** chance/1000 of a cost spike *)
+  spike_cost : int;  (** extra units when a spike hits *)
+  quantum : int;  (** mean units between timer interrupts *)
+  quantum_jitter : int;  (** timer interval varies by +- this *)
+  time_scale : int;  (** units per "millisecond" (sleep / timed wait) *)
+  compile_cost : int;  (** units charged per compiled instruction *)
+}
+
+val default_config : config
+
+type t = {
+  cfg : config;
+  rng : Prng.t;
+  input_rng : Prng.t;  (** independent stream: input stable under jitter *)
+  mutable now : int;
+  mutable next_timer : int;
+  mutable inputs : int list;  (** user-scripted inputs, consumed first *)
+  mutable input_count : int;
+  mutable ticks : int;
+  mutable timer_fires : int;
+}
+
+val create : ?inputs:int list -> config -> t
+
+(** Advance the clock for one executed instruction; [true] when the timer
+    interrupt fired during it. *)
+val tick : t -> bool
+
+(** Charge non-instruction work (e.g. method compilation) to the clock. *)
+val charge : t -> int -> unit
+
+val read_clock : t -> int
+
+(** Advance the clock to at least [target] (idle waiting for a sleeper);
+    returns the new time. *)
+val idle_until : t -> int -> int
+
+(** Next external input: scripted values first, then a seeded stream. *)
+val read_input : t -> int
+
+val millis_to_units : t -> int -> int

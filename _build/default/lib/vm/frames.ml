@@ -1,0 +1,69 @@
+(* Walking the activation frames of a thread's heap-allocated stack array.
+   Used by the garbage collector (with reference maps) and by the debugger
+   (stack traces). See Rt for the frame layout. *)
+
+type frame = {
+  fr_meth : Rt.rmethod;
+  fr_pc : int; (* current pc (top frame) or resume pc (callers) *)
+  fr_fp : int; (* data-area offset of the frame base *)
+  fr_depth : int; (* live operand-stack depth of this frame *)
+  fr_top : bool;
+}
+
+let locals_base fp = fp + Rt.frame_header_words
+
+let stack_base (m : Rt.rmethod) fp = fp + Rt.frame_header_words + m.rm_nlocals
+
+(* Fold over a thread's frames, top-most first. Terminated threads have no
+   frames. For suspended caller frames the live operand-stack depth excludes
+   the result slot the in-flight call will push. *)
+let fold (vm : Rt.t) (t : Rt.thread) ~init ~f =
+  if t.t_state = Rt.Terminated then init
+  else begin
+    let acc = ref init in
+    let meth = ref t.t_meth in
+    let pc = ref t.t_pc in
+    let fp = ref t.t_fp in
+    let sp = ref t.t_sp in
+    let top = ref true in
+    let continue_ = ref true in
+    while !continue_ do
+      let m = !meth in
+      let depth = !sp - stack_base m !fp in
+      acc :=
+        f !acc { fr_meth = m; fr_pc = !pc; fr_fp = !fp; fr_depth = depth; fr_top = !top };
+      let caller_uid = Layout.stack_get vm t !fp in
+      if caller_uid < 0 then continue_ := false
+      else begin
+        let caller_pc = Layout.stack_get vm t (!fp + 1) in
+        let caller_fp = Layout.stack_get vm t (!fp + 2) in
+        sp := !fp;
+        (* caller's sp at call time = callee frame base *)
+        meth := vm.methods.(caller_uid);
+        pc := caller_pc;
+        fp := caller_fp;
+        top := false
+      end
+    done;
+    !acc
+  end
+
+let frames vm t = List.rev (fold vm t ~init:[] ~f:(fun acc fr -> fr :: acc))
+
+(* Iterate the reference slots of one frame: calls [f] with the *data-area
+   offset* of each slot that holds a reference according to the method's
+   reference map at the frame's pc. *)
+let iter_ref_slots (_vm : Rt.t) (_t : Rt.thread) (fr : frame) ~f =
+  let c = Rt.compiled fr.fr_meth in
+  let map = c.k_maps.(fr.fr_pc) in
+  let lb = locals_base fr.fr_fp in
+  Array.iteri (fun i is_ref -> if is_ref then f (lb + i)) map.map_locals;
+  let sb = stack_base fr.fr_meth fr.fr_fp in
+  let live = min fr.fr_depth map.map_depth in
+  for i = 0 to live - 1 do
+    if map.map_stack.(i) then f (sb + i)
+  done;
+  if fr.fr_depth > map.map_depth then
+    invalid_arg
+      (Fmt.str "frame %s pc %d: live depth %d exceeds map depth %d"
+         fr.fr_meth.rm_name fr.fr_pc fr.fr_depth map.map_depth)

@@ -1,0 +1,27 @@
+(** Walking the activation frames of a thread's heap-allocated stack array.
+    Used by the garbage collector (with the verifier's reference maps) and
+    by the debugger (stack traces). See {!Rt.frame_header_words} for the
+    layout. *)
+
+type frame = {
+  fr_meth : Rt.rmethod;
+  fr_pc : int;  (** current pc (top frame) or resume pc (callers) *)
+  fr_fp : int;  (** data-area offset of the frame base *)
+  fr_depth : int;  (** live operand-stack depth of this frame *)
+  fr_top : bool;
+}
+
+val locals_base : int -> int
+
+val stack_base : Rt.rmethod -> int -> int
+
+(** Fold over a thread's frames, top-most first. Terminated threads have no
+    frames. *)
+val fold : Rt.t -> Rt.thread -> init:'a -> f:('a -> frame -> 'a) -> 'a
+
+(** All frames, top-most first. *)
+val frames : Rt.t -> Rt.thread -> frame list
+
+(** Call [f] with the data-area offset of every slot of [fr] that holds a
+    reference according to the method's reference map at the frame's pc. *)
+val iter_ref_slots : Rt.t -> Rt.thread -> frame -> f:(int -> unit) -> unit

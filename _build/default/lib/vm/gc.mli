@@ -1,0 +1,18 @@
+(** Semispace copying collector, type-accurate in the Jalapeño sense: heap
+    objects are scanned via their class's field types, thread stacks via
+    the verifier's per-pc reference maps. Collection is only triggered from
+    allocations; at that moment every thread sits at a safe point with an
+    exact reference map. *)
+
+exception Out_of_memory
+
+(** First allocatable word (0 stays null). *)
+val heap_start : int
+
+(** Copy the live graph into the other semispace and swap. All roots
+    (statics, interned strings, temp and pinned roots, thread stacks and
+    frames) are forwarded. *)
+val collect : Rt.t -> unit
+
+(** Live words after the last collection / allocations so far. *)
+val live_words : Rt.t -> int

@@ -1,0 +1,82 @@
+(* Bump allocation with GC-on-exhaustion, temp-root management for addresses
+   the interpreter must hold across allocations, and string interning. *)
+
+exception Out_of_memory = Gc.Out_of_memory
+
+(* Interpreter temp roots: push before a subsequent allocation, read back
+   after (the GC may have moved the object), pop when done. *)
+let push_temp (vm : Rt.t) addr =
+  if vm.n_temps >= Array.length vm.temp_roots then begin
+    let bigger = Array.make (2 * Array.length vm.temp_roots) 0 in
+    Array.blit vm.temp_roots 0 bigger 0 vm.n_temps;
+    vm.temp_roots <- bigger
+  end;
+  vm.temp_roots.(vm.n_temps) <- addr;
+  vm.n_temps <- vm.n_temps + 1;
+  vm.n_temps - 1
+
+let temp (vm : Rt.t) i = vm.temp_roots.(i)
+
+let pop_temp (vm : Rt.t) = vm.n_temps <- vm.n_temps - 1
+
+(* Pin a long-lived instrumentation object as a GC root; read the (possibly
+   relocated) address back with [pinned]. *)
+let pin (vm : Rt.t) addr =
+  if vm.n_pinned >= Array.length vm.pinned_roots then begin
+    let bigger = Array.make (2 * Array.length vm.pinned_roots) 0 in
+    Array.blit vm.pinned_roots 0 bigger 0 vm.n_pinned;
+    vm.pinned_roots <- bigger
+  end;
+  vm.pinned_roots.(vm.n_pinned) <- addr;
+  vm.n_pinned <- vm.n_pinned + 1;
+  vm.n_pinned - 1
+
+let pinned (vm : Rt.t) i = vm.pinned_roots.(i)
+
+(* Allocate an object with [len] zeroed slots. May trigger a collection;
+   raises Out_of_memory if the heap is exhausted even after collecting. *)
+let alloc (vm : Rt.t) ~cid ~len =
+  let nwords = Layout.object_words len in
+  let semi = vm.cfg.heap_words in
+  if vm.hp + nwords > semi then begin
+    Gc.collect vm;
+    if vm.hp + nwords > semi then raise Out_of_memory
+  end;
+  let addr = vm.hp in
+  vm.hp <- vm.hp + nwords;
+  Array.fill vm.heap addr nwords 0;
+  vm.heap.(addr + Layout.hdr_class) <- cid;
+  vm.heap.(addr + Layout.hdr_len) <- len;
+  vm.stats.n_alloc_words <- vm.stats.n_alloc_words + nwords;
+  vm.stats.n_alloc_objects <- vm.stats.n_alloc_objects + 1;
+  addr
+
+let alloc_object (vm : Rt.t) cid =
+  let rc = vm.classes.(cid) in
+  alloc vm ~cid ~len:(Array.length rc.rc_fields)
+
+let int_array_cid (vm : Rt.t) = Rt.class_id vm "int[]"
+
+let ref_array_cid (vm : Rt.t) = Rt.class_id vm "ref[]"
+
+let stack_array_cid (vm : Rt.t) = Rt.class_id vm "stack[]"
+
+let alloc_array (vm : Rt.t) ~elem_ref ~len =
+  let cid = if elem_ref then ref_array_cid vm else int_array_cid vm in
+  alloc vm ~cid ~len
+
+let alloc_stack_array (vm : Rt.t) ~len = alloc vm ~cid:(stack_array_cid vm) ~len
+
+(* Build a String object from an OCaml string. Two allocations; the char
+   array is temp-rooted across the second. *)
+let alloc_string (vm : Rt.t) s =
+  let n = String.length s in
+  let chars = alloc vm ~cid:(int_array_cid vm) ~len:n in
+  for i = 0 to n - 1 do
+    Layout.set vm chars i (Char.code s.[i])
+  done;
+  let tmp = push_temp vm chars in
+  let str = alloc_object vm (Rt.class_id vm Bytecode.Decl.string_class) in
+  Layout.set vm str 0 (temp vm tmp);
+  pop_temp vm;
+  str

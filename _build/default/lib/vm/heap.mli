@@ -1,0 +1,39 @@
+(** Bump allocation with collect-on-exhaustion, temp/pinned root management
+    for addresses held across allocations, and string interning. *)
+
+exception Out_of_memory
+
+(** Temp roots: push before a subsequent allocation, read back after (the
+    collector may have moved the object), pop when done. Returns the root
+    index. *)
+val push_temp : Rt.t -> int -> int
+
+val temp : Rt.t -> int -> int
+
+val pop_temp : Rt.t -> unit
+
+(** Pin a long-lived instrumentation object as a permanent GC root; read
+    the (possibly relocated) address back with {!pinned}. *)
+val pin : Rt.t -> int -> int
+
+val pinned : Rt.t -> int -> int
+
+(** Allocate an object with [len] zeroed slots; may collect; raises
+    {!Out_of_memory} when the heap is exhausted even after collecting. *)
+val alloc : Rt.t -> cid:int -> len:int -> int
+
+val alloc_object : Rt.t -> int -> int
+
+val int_array_cid : Rt.t -> int
+
+val ref_array_cid : Rt.t -> int
+
+val stack_array_cid : Rt.t -> int
+
+val alloc_array : Rt.t -> elem_ref:bool -> len:int -> int
+
+val alloc_stack_array : Rt.t -> len:int -> int
+
+(** Build a String object from an OCaml string (two allocations, temp-
+    rooted safely). *)
+val alloc_string : Rt.t -> string -> int

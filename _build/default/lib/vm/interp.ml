@@ -1,0 +1,613 @@
+(* The bytecode interpreter: frame management on heap-allocated stacks,
+   lazy class initialization, lazy method compilation, exception unwinding,
+   and the yield-point hook through which all thread switching happens.
+
+   Invariants the collector relies on:
+     - pc advances only after an instruction's effects are complete, so the
+       reference map at the stored pc always describes the live frame;
+     - within one instruction, a reference is never popped into an OCaml
+       local before a possible allocation (only integers are);
+     - a heap address held across an allocation goes through the temp-root
+       stack. *)
+
+exception Fatal of string
+
+let fatal fmt = Fmt.kstr (fun s -> raise (Fatal s)) fmt
+
+(* --- operand stack ---------------------------------------------------- *)
+
+let push (vm : Rt.t) (t : Rt.thread) v =
+  Layout.stack_set vm t t.t_sp v;
+  t.t_sp <- t.t_sp + 1
+
+let pop (vm : Rt.t) (t : Rt.thread) =
+  t.t_sp <- t.t_sp - 1;
+  Layout.stack_get vm t t.t_sp
+
+let peek (vm : Rt.t) (t : Rt.thread) k = Layout.stack_get vm t (t.t_sp - 1 - k)
+
+let npe () = raise (Rt.Vm_exception "NullPointerException")
+
+let check_null v = if v = 0 then npe ()
+
+(* --- stacks and frames ------------------------------------------------ *)
+
+(* Words a frame for [c] needs above the current sp. *)
+let frame_need (m : Rt.rmethod) (c : Rt.compiled) =
+  Rt.frame_header_words + m.rm_nlocals + c.k_max_stack
+
+(* Grow the current thread's stack to hold at least [need] more words above
+   sp. Allocates, so the old stack may move; contents are copied and the
+   thread's stack pointer fields stay valid (they are offsets). *)
+let grow_stack (vm : Rt.t) (t : Rt.thread) ~need =
+  let old_cap = Layout.stack_capacity vm t in
+  let want = t.t_sp + need in
+  let new_cap = max (old_cap * 2) want in
+  if new_cap > vm.cfg.stack_max then
+    raise (Rt.Vm_exception "StackOverflowError");
+  let new_stack = Heap.alloc_stack_array vm ~len:new_cap in
+  (* t.t_stack was updated by the GC if one ran during the allocation *)
+  let old_abs = t.t_stack + Layout.header_words in
+  let new_abs = new_stack + Layout.header_words in
+  Array.blit vm.heap old_abs vm.heap new_abs t.t_sp;
+  t.t_stack <- new_stack;
+  vm.stats.n_stack_grows <- vm.stats.n_stack_grows + 1
+
+let ensure_stack (vm : Rt.t) (t : Rt.thread) ~need =
+  if t.t_sp + need > Layout.stack_capacity vm t then grow_stack vm t ~need
+
+(* Push an activation frame for [callee] on the current thread.
+   [resume_pc] is where the *caller* continues; [explicit_args], when given,
+   supplies the arguments directly (thread start, callbacks, clinit);
+   otherwise the top [rm_nargs] operand-stack slots move into the callee's
+   locals. Stack growth happens before the arguments are popped so they stay
+   scannable. *)
+let push_frame (vm : Rt.t) (callee : Rt.rmethod) ~resume_pc
+    ?explicit_args () =
+  let c = Compile.compile vm callee in
+  let t = Rt.cur vm in
+  ensure_stack vm t ~need:(frame_need callee c + vm.cfg.stack_slack);
+  let nargs = callee.rm_nargs in
+  let args =
+    match explicit_args with
+    | Some a ->
+      if Array.length a <> nargs then
+        fatal "bad explicit arg count for %s" callee.rm_name;
+      a
+    | None ->
+      (* no allocation between here and the writes below *)
+      let a = Array.init nargs (fun i -> peek vm t (nargs - 1 - i)) in
+      t.t_sp <- t.t_sp - nargs;
+      a
+  in
+  let fp = t.t_sp in
+  Layout.stack_set vm t fp t.t_meth.uid;
+  Layout.stack_set vm t (fp + 1) resume_pc;
+  Layout.stack_set vm t (fp + 2) t.t_fp;
+  for i = 0 to callee.rm_nlocals - 1 do
+    Layout.stack_set vm t
+      (fp + Rt.frame_header_words + i)
+      (if i < nargs then args.(i) else 0)
+  done;
+  t.t_fp <- fp;
+  t.t_sp <- fp + Rt.frame_header_words + callee.rm_nlocals;
+  t.t_meth <- callee;
+  t.t_pc <- 0
+
+(* Pop the current frame; push [result] in the caller if given. A return
+   from a thread's base frame terminates the thread. *)
+let do_return (vm : Rt.t) ~result =
+  let t = Rt.cur vm in
+  let fp = t.t_fp in
+  let caller_uid = Layout.stack_get vm t fp in
+  if caller_uid < 0 then Sched.terminate_current vm
+  else begin
+    let resume_pc = Layout.stack_get vm t (fp + 1) in
+    let caller_fp = Layout.stack_get vm t (fp + 2) in
+    t.t_meth <- vm.methods.(caller_uid);
+    t.t_pc <- resume_pc;
+    t.t_fp <- caller_fp;
+    t.t_sp <- fp;
+    match result with Some v -> push vm t v | None -> ()
+  end
+
+(* --- class initialization --------------------------------------------- *)
+
+(* Lazily initialize a class: intern its string literals (heap side effects
+   at a point determined by execution — the class-loading symmetry concern
+   of the paper) and queue its <clinit> to run before the current
+   instruction re-executes. Returns false when frames were pushed (or the
+   state may have changed): the caller must NOT advance pc, so the faulting
+   instruction re-executes once initializers complete. *)
+let rec ensure_initialized (vm : Rt.t) cid : bool =
+  let rc = vm.classes.(cid) in
+  match rc.rc_state with
+  | Rt.Initialized -> true
+  | Rt.Registered ->
+    rc.rc_state <- Rt.Initialized;
+    vm.stats.n_classes_initialized <- vm.stats.n_classes_initialized + 1;
+    let n = Array.length rc.rc_string_lits in
+    rc.rc_strings <- Array.make n 0;
+    for i = 0 to n - 1 do
+      rc.rc_strings.(i) <- Heap.alloc_string vm rc.rc_string_lits.(i)
+    done;
+    (match Hashtbl.find_opt rc.rc_method_of Bytecode.Decl.clinit_name with
+    | Some uid ->
+      let t = Rt.cur vm in
+      push_frame vm vm.methods.(uid) ~resume_pc:t.t_pc ()
+    | None -> ());
+    (* superclass initializers run first: pushed later = executed earlier *)
+    if rc.rc_super >= 0 then ignore (ensure_initialized vm rc.rc_super);
+    false
+
+(* --- exceptions -------------------------------------------------------- *)
+
+(* Unwind the current thread with exception object [exc]: find the nearest
+   covering handler whose catch class matches, clearing the operand stack;
+   an uncaught exception terminates the thread with a note in the program
+   output (deterministic, hence replayed). *)
+let raise_exception (vm : Rt.t) exc =
+  vm.stats.n_exceptions <- vm.stats.n_exceptions + 1;
+  let t = Rt.cur vm in
+  let exc_cid = Layout.class_of vm exc in
+  let rec unwind () =
+    let c = Rt.compiled t.t_meth in
+    let matching =
+      Array.to_seq c.k_handlers
+      |> Seq.filter (fun (h : Rt.rhandler) ->
+             t.t_pc >= h.k_from && t.t_pc < h.k_upto
+             && (h.k_catch < 0
+                || Rt.is_subclass vm ~sub:exc_cid ~sup:h.k_catch))
+      |> Seq.uncons
+    in
+    match matching with
+    | Some (h, _) ->
+      t.t_sp <- t.t_fp + Rt.frame_header_words + t.t_meth.rm_nlocals;
+      push vm t exc;
+      t.t_pc <- h.k_target
+    | None ->
+      let fp = t.t_fp in
+      let caller_uid = Layout.stack_get vm t fp in
+      if caller_uid < 0 then begin
+        Buffer.add_string vm.output
+          (Fmt.str "!! thread %d (%s) died: uncaught %s\n" t.tid t.t_name
+             vm.classes.(exc_cid).rc_name);
+        Sched.terminate_current vm
+      end
+      else begin
+        let resume_pc = Layout.stack_get vm t (fp + 1) in
+        let caller_fp = Layout.stack_get vm t (fp + 2) in
+        t.t_meth <- vm.methods.(caller_uid);
+        (* resume_pc - 1 is the invoke site, which handler ranges cover *)
+        t.t_pc <- resume_pc - 1;
+        t.t_fp <- caller_fp;
+        t.t_sp <- fp;
+        unwind ()
+      end
+  in
+  unwind ()
+
+let throw_by_name (vm : Rt.t) name =
+  let cid = Rt.class_id vm name in
+  (* builtin exception classes have no fields, literals, or <clinit>; the
+     allocation is the only side effect *)
+  let exc = Heap.alloc_object vm cid in
+  raise_exception vm exc
+
+(* --- threads ----------------------------------------------------------- *)
+
+let thread_stack_size (vm : Rt.t) (m : Rt.rmethod) (c : Rt.compiled) =
+  max vm.cfg.stack_init (frame_need m c + vm.cfg.stack_slack)
+
+(* Create a thread whose base frame runs [meth] with [args] (plain words;
+   any references among them must be supplied via operand-stack peeks, see
+   KSpawn below). Returns the new tid. *)
+let create_thread (vm : Rt.t) ~name (meth : Rt.rmethod) ~stack_addr
+    ~(args : int array) =
+  let tid = vm.n_threads in
+  if tid >= Array.length vm.threads then begin
+    let bigger = Array.make (2 * Array.length vm.threads) vm.threads.(0) in
+    Array.blit vm.threads 0 bigger 0 vm.n_threads;
+    vm.threads <- bigger
+  end;
+  let t =
+    {
+      Rt.tid;
+      t_name = name;
+      t_stack = stack_addr;
+      t_fp = 0;
+      t_sp = 0;
+      t_pc = 0;
+      t_meth = meth;
+      t_state = Rt.Ready;
+      t_wake = 0;
+      t_interrupted = false;
+      t_wait_mon = -1;
+      t_saved_count = 0;
+      t_joiners = [];
+      t_exc = 0;
+    }
+  in
+  vm.threads.(tid) <- t;
+  vm.n_threads <- vm.n_threads + 1;
+  vm.live_threads <- vm.live_threads + 1;
+  (* base frame *)
+  Layout.stack_set vm t 0 (-1);
+  Layout.stack_set vm t 1 0;
+  Layout.stack_set vm t 2 0;
+  for i = 0 to meth.rm_nlocals - 1 do
+    Layout.stack_set vm t
+      (Rt.frame_header_words + i)
+      (if i < Array.length args then args.(i) else 0)
+  done;
+  t.t_fp <- 0;
+  t.t_sp <- Rt.frame_header_words + meth.rm_nlocals;
+  (match vm.hooks.h_spawn with Some f -> f vm tid | None -> ());
+  tid
+
+(* --- native calls ------------------------------------------------------ *)
+
+(* Execute (or, under replay, regenerate) a native call: the result is
+   pushed first, then callback frames are stacked so that callbacks run in
+   order before control returns behind the call site (paper section 2.5). *)
+let do_native (vm : Rt.t) (t : Rt.thread) nid pc =
+  let nat = vm.natives_by_id.(nid) in
+  vm.stats.n_native_calls <- vm.stats.n_native_calls + 1;
+  let args = Array.init nat.nat_arity (fun i -> peek vm t (nat.nat_arity - 1 - i)) in
+  let outcome = vm.hooks.h_native vm nat args in
+  t.t_sp <- t.t_sp - nat.nat_arity;
+  t.t_pc <- pc + 1;
+  (match (nat.nat_returns, outcome.no_result) with
+  | true, Some v -> push vm t v
+  | false, None -> ()
+  | true, None -> fatal "native %s produced no result" nat.nat_name
+  | false, Some _ -> fatal "native %s produced an unexpected result" nat.nat_name);
+  (* push callback frames last-to-first so the first callback runs first;
+     uninitialized callback classes get their <clinit> queued on top *)
+  List.iter
+    (fun (uid, cargs) ->
+      let cb = vm.methods.(uid) in
+      if cb.rm_nargs <> Array.length cargs then
+        fatal "native %s: callback %s arity mismatch" nat.nat_name cb.rm_name;
+      push_frame vm cb ~resume_pc:t.t_pc ~explicit_args:cargs ();
+      ignore (ensure_initialized vm cb.rm_cid))
+    (List.rev outcome.no_callbacks)
+
+(* --- the dispatcher ---------------------------------------------------- *)
+
+let binop (op : Rt.bin) a b =
+  match op with
+  | Badd -> a + b
+  | Bsub -> a - b
+  | Bmul -> a * b
+  | Bdiv ->
+    if b = 0 then raise (Rt.Vm_exception "ArithmeticException") else a / b
+  | Brem ->
+    if b = 0 then raise (Rt.Vm_exception "ArithmeticException") else a mod b
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | Bshl -> a lsl (b land 63)
+  | Bshr -> a asr (b land 63)
+
+let check_bounds vm arr idx =
+  if idx < 0 || idx >= Layout.len_of vm arr then
+    raise (Rt.Vm_exception "ArrayIndexOutOfBoundsException")
+
+(* Execute exactly one instruction of the current thread. *)
+let exec (vm : Rt.t) =
+  let t = Rt.cur vm in
+  let c = Rt.compiled t.t_meth in
+  let pc = t.t_pc in
+  let ins = c.k_code.(pc) in
+  vm.stats.n_instr <- vm.stats.n_instr + 1;
+  (match vm.hooks.h_instr with Some f -> f vm | None -> ());
+  (match vm.hooks.h_observe with
+  | Some f ->
+    f vm
+      {
+        Rt.o_tid = t.tid;
+        o_uid = t.t_meth.uid;
+        o_pc = pc;
+        o_tag = Rt.tag_of_cinstr ins;
+      }
+  | None -> ());
+  if Env.tick vm.env then begin
+    vm.preempt_pending <- true;
+    vm.stats.n_preempt_req <- vm.stats.n_preempt_req + 1
+  end;
+  let next () = t.t_pc <- pc + 1 in
+  match ins with
+  | KConst n ->
+    push vm t n;
+    next ()
+  | KStr idx ->
+    push vm t vm.classes.(t.t_meth.rm_cid).rc_strings.(idx);
+    next ()
+  | KNull ->
+    push vm t 0;
+    next ()
+  | KLoad i ->
+    push vm t (Layout.stack_get vm t (t.t_fp + Rt.frame_header_words + i));
+    next ()
+  | KStore i ->
+    let v = pop vm t in
+    Layout.stack_set vm t (t.t_fp + Rt.frame_header_words + i) v;
+    next ()
+  | KDup ->
+    push vm t (peek vm t 0);
+    next ()
+  | KPop ->
+    ignore (pop vm t);
+    next ()
+  | KSwap ->
+    let a = pop vm t in
+    let b = pop vm t in
+    push vm t a;
+    push vm t b;
+    next ()
+  | KBin op ->
+    let b = pop vm t in
+    let a = pop vm t in
+    push vm t (binop op a b);
+    next ()
+  | KNeg ->
+    push vm t (-pop vm t);
+    next ()
+  | KIf (cmp, target) ->
+    let b = pop vm t in
+    let a = pop vm t in
+    t.t_pc <- (if Bytecode.Instr.eval_cmp cmp a b then target else pc + 1)
+  | KIfz (cmp, target) ->
+    let a = pop vm t in
+    t.t_pc <- (if Bytecode.Instr.eval_cmp cmp a 0 then target else pc + 1)
+  | KIfnull target ->
+    t.t_pc <- (if pop vm t = 0 then target else pc + 1)
+  | KIfnonnull target ->
+    t.t_pc <- (if pop vm t <> 0 then target else pc + 1)
+  | KIfrefeq target ->
+    let b = pop vm t in
+    let a = pop vm t in
+    t.t_pc <- (if a = b then target else pc + 1)
+  | KIfrefne target ->
+    let b = pop vm t in
+    let a = pop vm t in
+    t.t_pc <- (if a <> b then target else pc + 1)
+  | KGoto target -> t.t_pc <- target
+  | KNew cid ->
+    if ensure_initialized vm cid then begin
+      push vm t (Heap.alloc_object vm cid);
+      next ()
+    end
+  | KGetfield (slot, _) ->
+    let obj = pop vm t in
+    check_null obj;
+    (match vm.hooks.h_heap_read with Some f -> f vm obj slot | None -> ());
+    push vm t vm.heap.(obj + slot);
+    next ()
+  | KPutfield (slot, _) ->
+    let v = pop vm t in
+    let obj = pop vm t in
+    check_null obj;
+    (match vm.hooks.h_heap_write with Some f -> f vm obj slot | None -> ());
+    vm.heap.(obj + slot) <- v;
+    next ()
+  | KGetstatic (cid, slot, _) ->
+    if ensure_initialized vm cid then begin
+      (match vm.hooks.h_heap_read with Some f -> f vm (-1) slot | None -> ());
+      push vm t vm.globals.(slot);
+      next ()
+    end
+  | KPutstatic (cid, slot, _) ->
+    if ensure_initialized vm cid then begin
+      let v = pop vm t in
+      (match vm.hooks.h_heap_write with Some f -> f vm (-1) slot | None -> ());
+      vm.globals.(slot) <- v;
+      next ()
+    end
+  | KNewarray ty ->
+    let len = pop vm t in
+    if len < 0 then raise (Rt.Vm_exception "NegativeArraySizeException");
+    push vm t (Heap.alloc_array vm ~elem_ref:(Bytecode.Instr.is_ref_ty ty) ~len);
+    next ()
+  | KAload ->
+    let idx = pop vm t in
+    let arr = pop vm t in
+    check_null arr;
+    check_bounds vm arr idx;
+    (match vm.hooks.h_heap_read with
+    | Some f -> f vm arr (Layout.header_words + idx)
+    | None -> ());
+    push vm t (Layout.get vm arr idx);
+    next ()
+  | KAstore ->
+    let v = pop vm t in
+    let idx = pop vm t in
+    let arr = pop vm t in
+    check_null arr;
+    check_bounds vm arr idx;
+    (match vm.hooks.h_heap_write with
+    | Some f -> f vm arr (Layout.header_words + idx)
+    | None -> ());
+    Layout.set vm arr idx v;
+    next ()
+  | KArraylength ->
+    let arr = pop vm t in
+    check_null arr;
+    push vm t (Layout.len_of vm arr);
+    next ()
+  | KCheckcast cid ->
+    let obj = peek vm t 0 in
+    if obj <> 0 && not (Rt.is_subclass vm ~sub:(Layout.class_of vm obj) ~sup:cid)
+    then raise (Rt.Vm_exception "ClassCastException");
+    next ()
+  | KInstanceof cid ->
+    let obj = pop vm t in
+    push vm t
+      (if obj <> 0 && Rt.is_subclass vm ~sub:(Layout.class_of vm obj) ~sup:cid
+       then 1
+       else 0);
+    next ()
+  | KInvokestatic uid ->
+    let callee = vm.methods.(uid) in
+    if ensure_initialized vm callee.rm_cid then
+      push_frame vm callee ~resume_pc:(pc + 1) ()
+  | KInvokevirtual (_, vslot, nargs) ->
+    let receiver = peek vm t (nargs - 1) in
+    check_null receiver;
+    let rcv_class = vm.classes.(Layout.class_of vm receiver) in
+    let callee = vm.methods.(rcv_class.rc_vtable.(vslot)) in
+    push_frame vm callee ~resume_pc:(pc + 1) ()
+  | KRet -> do_return vm ~result:None
+  | KRetv ->
+    let v = pop vm t in
+    do_return vm ~result:(Some v)
+  | KThrow ->
+    let exc = pop vm t in
+    check_null exc;
+    raise_exception vm exc
+  | KMonitorenter ->
+    let obj = pop vm t in
+    check_null obj;
+    t.t_pc <- pc + 1;
+    Sched.monitor_enter vm obj
+  | KMonitorexit ->
+    let obj = pop vm t in
+    check_null obj;
+    Sched.monitor_exit vm obj;
+    t.t_pc <- pc + 1
+  | KWait ->
+    let obj = pop vm t in
+    check_null obj;
+    Sched.check_owned vm obj;
+    t.t_pc <- pc + 1;
+    Sched.do_wait vm obj ~timeout_ms:None
+  | KTimedwait ->
+    let ms = pop vm t in
+    let obj = pop vm t in
+    check_null obj;
+    Sched.check_owned vm obj;
+    t.t_pc <- pc + 1;
+    Sched.do_wait vm obj ~timeout_ms:(Some ms)
+  | KNotify ->
+    let obj = pop vm t in
+    check_null obj;
+    Sched.do_notify vm obj ~all:false;
+    t.t_pc <- pc + 1
+  | KNotifyall ->
+    let obj = pop vm t in
+    check_null obj;
+    Sched.do_notify vm obj ~all:true;
+    t.t_pc <- pc + 1
+  | KSpawnstatic uid ->
+    let callee = vm.methods.(uid) in
+    if ensure_initialized vm callee.rm_cid then begin
+      let cc = Compile.compile vm callee in
+      let stack_addr =
+        Heap.alloc_stack_array vm ~len:(thread_stack_size vm callee cc)
+      in
+      (* args still live on this thread's operand stack across the
+         allocation above; copy them now *)
+      let nargs = callee.rm_nargs in
+      let args = Array.init nargs (fun i -> peek vm t (nargs - 1 - i)) in
+      t.t_sp <- t.t_sp - nargs;
+      let tid =
+        create_thread vm
+          ~name:(Fmt.str "thread-%d" vm.n_threads)
+          callee ~stack_addr ~args
+      in
+      Sched.ready vm tid;
+      push vm t tid;
+      next ()
+    end
+  | KSpawnvirtual (_, vslot, nargs) ->
+    let receiver = peek vm t (nargs - 1) in
+    check_null receiver;
+    let rcv_class = vm.classes.(Layout.class_of vm receiver) in
+    let callee = vm.methods.(rcv_class.rc_vtable.(vslot)) in
+    let cc = Compile.compile vm callee in
+    let stack_addr =
+      Heap.alloc_stack_array vm ~len:(thread_stack_size vm callee cc)
+    in
+    let args = Array.init nargs (fun i -> peek vm t (nargs - 1 - i)) in
+    t.t_sp <- t.t_sp - nargs;
+    let tid =
+      create_thread vm
+        ~name:(Fmt.str "thread-%d" vm.n_threads)
+        callee ~stack_addr ~args
+    in
+    Sched.ready vm tid;
+    push vm t tid;
+    next ()
+  | KSleep ->
+    let ms = pop vm t in
+    t.t_pc <- pc + 1;
+    Sched.do_sleep vm ms
+  | KJoin ->
+    let tid = pop vm t in
+    if tid < 0 || tid >= vm.n_threads then npe ();
+    t.t_pc <- pc + 1;
+    Sched.do_join vm tid
+  | KInterrupt ->
+    let tid = pop vm t in
+    if tid < 0 || tid >= vm.n_threads then npe ();
+    Sched.do_interrupt vm tid;
+    t.t_pc <- pc + 1
+  | KCurrenttime ->
+    push vm t (Rt.read_clock vm Rt.Capp);
+    next ()
+  | KReadinput ->
+    vm.stats.n_input_reads <- vm.stats.n_input_reads + 1;
+    push vm t (vm.hooks.h_input vm);
+    next ()
+  | KNative nid -> do_native vm t nid pc
+  | KPrint ->
+    let v = pop vm t in
+    Buffer.add_string vm.output (string_of_int v);
+    Buffer.add_char vm.output '\n';
+    next ()
+  | KPrints ->
+    let s = pop vm t in
+    check_null s;
+    Buffer.add_string vm.output (Layout.string_value vm s);
+    next ()
+  | KHalt -> vm.status <- Rt.Halted 0
+  | KNop -> next ()
+  | KYield ->
+    vm.stats.n_yield <- vm.stats.n_yield + 1;
+    t.t_pc <- pc + 1;
+    vm.hooks.h_yieldpoint vm
+
+(* One step with exception conversion. *)
+let step (vm : Rt.t) =
+  try exec vm with
+  | Rt.Vm_exception name -> throw_by_name vm name
+  | Heap.Out_of_memory -> vm.status <- Rt.Fatal "OutOfMemoryError"
+  | Verify.Error msg -> vm.status <- Rt.Fatal ("verify: " ^ msg)
+  | Compile.Error msg -> vm.status <- Rt.Fatal ("compile: " ^ msg)
+  | Fatal msg -> vm.status <- Rt.Fatal msg
+
+(* Create the main thread and queue main-class initialization. *)
+let boot (vm : Rt.t) =
+  let main_cid = Rt.class_id vm vm.program.main_class in
+  let main_uid =
+    match Hashtbl.find_opt vm.classes.(main_cid).rc_method_of "main" with
+    | Some uid -> uid
+    | None -> fatal "no main method in %s" vm.program.main_class
+  in
+  let main = vm.methods.(main_uid) in
+  let cc = Compile.compile vm main in
+  let stack_addr = Heap.alloc_stack_array vm ~len:(thread_stack_size vm main cc) in
+  let tid = create_thread vm ~name:"main" main ~stack_addr ~args:[||] in
+  Sched.ready vm tid;
+  Sched.dispatch vm;
+  ignore (ensure_initialized vm main_cid);
+  vm.status <- Rt.Running_
+
+let run ?limit (vm : Rt.t) =
+  let limit = match limit with Some l -> l | None -> vm.cfg.instr_limit in
+  while vm.status = Rt.Running_ && vm.stats.n_instr < limit do
+    step vm
+  done;
+  if vm.status = Rt.Running_ then
+    vm.status <- Rt.Fatal (Fmt.str "instruction limit (%d) exceeded" limit)

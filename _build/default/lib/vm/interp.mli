@@ -1,0 +1,40 @@
+(** The bytecode interpreter: frame management on heap-allocated stacks,
+    lazy class initialization, lazy method compilation, exception
+    unwinding, and the yield-point hook through which all thread switching
+    happens. See the implementation header for the GC invariants. *)
+
+exception Fatal of string
+
+(** Grow the current thread's stack to hold at least [need] more words
+    above sp (used by the instrumentation's eager-growth symmetry). Raises
+    [Rt.Vm_exception "StackOverflowError"] past the configured maximum. *)
+val ensure_stack : Rt.t -> Rt.thread -> need:int -> unit
+
+(** Push an activation frame for a callee on the current thread.
+    [resume_pc] is where the caller continues; [explicit_args] supplies
+    arguments directly (thread start, callbacks, class initializers) —
+    otherwise they move from the operand stack. *)
+val push_frame :
+  Rt.t -> Rt.rmethod -> resume_pc:int -> ?explicit_args:int array -> unit -> unit
+
+(** Lazily initialize a class (intern string literals, queue [<clinit>]).
+    Returns false when the caller must re-execute the current instruction
+    after the queued initializers run. *)
+val ensure_initialized : Rt.t -> int -> bool
+
+(** Unwind the current thread with an exception object. *)
+val raise_exception : Rt.t -> int -> unit
+
+(** Allocate a builtin exception by class name and unwind. *)
+val throw_by_name : Rt.t -> string -> unit
+
+(** Execute one instruction of the current thread, converting VM-level
+    exceptions into unwinding and resource exhaustion into a Fatal
+    status. *)
+val step : Rt.t -> unit
+
+(** Create the main thread and queue main-class initialization. *)
+val boot : Rt.t -> unit
+
+(** Run until the machine stops or [limit] instructions retire. *)
+val run : ?limit:int -> Rt.t -> unit

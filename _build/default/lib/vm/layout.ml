@@ -1,0 +1,47 @@
+(* Raw object access over the current semispace. Addresses are word indices;
+   0 is null. Header: [class_id; monitor_id; length]. *)
+
+let hdr_class = 0
+
+let hdr_monitor = 1
+
+let hdr_len = 2
+
+let header_words = 3
+
+let class_of (vm : Rt.t) addr = vm.heap.(addr + hdr_class)
+
+let monitor_of (vm : Rt.t) addr = vm.heap.(addr + hdr_monitor)
+
+let set_monitor (vm : Rt.t) addr mid = vm.heap.(addr + hdr_monitor) <- mid
+
+let len_of (vm : Rt.t) addr = vm.heap.(addr + hdr_len)
+
+(* Slot access; [i] counts from 0 over the object's fields / array elems. *)
+let get (vm : Rt.t) addr i = vm.heap.(addr + header_words + i)
+
+let set (vm : Rt.t) addr i v = vm.heap.(addr + header_words + i) <- v
+
+let object_words len = header_words + len
+
+let rclass_of (vm : Rt.t) addr = vm.classes.(class_of vm addr)
+
+let is_array (vm : Rt.t) addr = (rclass_of vm addr).rc_elem <> Rt.Not_array
+
+(* Absolute index of a thread-stack offset (stack arrays hold frame data). *)
+let stack_abs (t : Rt.thread) off = t.t_stack + header_words + off
+
+let stack_get (vm : Rt.t) (t : Rt.thread) off = vm.heap.(stack_abs t off)
+
+let stack_set (vm : Rt.t) (t : Rt.thread) off v = vm.heap.(stack_abs t off) <- v
+
+let stack_capacity (vm : Rt.t) (t : Rt.thread) = len_of vm t.t_stack
+
+(* Strings: instances of the builtin String class with one ref field (the
+   character array). *)
+let string_chars vm addr = get vm addr 0
+
+let string_value vm addr =
+  let chars = string_chars vm addr in
+  let n = len_of vm chars in
+  String.init n (fun i -> Char.chr (get vm chars i land 0xff))

@@ -1,0 +1,46 @@
+(** Raw object access over the current semispace. Addresses are word
+    indices; 0 is null. Header: [class_id; monitor_id; length]. *)
+
+val hdr_class : int
+
+val hdr_monitor : int
+
+val hdr_len : int
+
+val header_words : int
+
+val class_of : Rt.t -> int -> int
+
+val monitor_of : Rt.t -> int -> int
+
+val set_monitor : Rt.t -> int -> int -> unit
+
+val len_of : Rt.t -> int -> int
+
+(** Slot access; the index counts from 0 over the object's fields or array
+    elements. *)
+val get : Rt.t -> int -> int -> int
+
+val set : Rt.t -> int -> int -> int -> unit
+
+(** Total words an object with [len] slots occupies. *)
+val object_words : int -> int
+
+val rclass_of : Rt.t -> int -> Rt.rclass
+
+val is_array : Rt.t -> int -> bool
+
+(** Absolute heap index of a thread-stack data offset. *)
+val stack_abs : Rt.thread -> int -> int
+
+val stack_get : Rt.t -> Rt.thread -> int -> int
+
+val stack_set : Rt.t -> Rt.thread -> int -> int -> unit
+
+val stack_capacity : Rt.t -> Rt.thread -> int
+
+(** The character array of a String object. *)
+val string_chars : Rt.t -> int -> int
+
+(** Decode a String object to an OCaml string. *)
+val string_value : Rt.t -> int -> string

@@ -1,0 +1,20 @@
+(** Building the boot image: register every class of a program (plus the
+    builtins), assign class ids, flatten field layouts, build vtables and
+    subtype displays, allot the statics area, and create the method
+    records. No heap activity happens here — class {e initialization}
+    (string interning, [<clinit>]) is performed lazily by the interpreter,
+    because its heap side effects are part of what DejaVu must keep
+    symmetric. *)
+
+exception Error of string
+
+type image = {
+  i_classes : Rt.rclass array;
+  i_class_of_name : (string, int) Hashtbl.t;
+  i_methods : Rt.rmethod array;
+  i_nglobals : int;
+}
+
+(** Runs [Bytecode.Check] first; raises {!Error} on rejection (including
+    override-signature mismatches). *)
+val build : Bytecode.Decl.program -> image

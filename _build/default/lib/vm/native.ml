@@ -1,0 +1,71 @@
+(* Native-method registry (the JNI stand-in, paper section 2.5). A native
+   takes integer arguments and produces an outcome: an optional integer
+   result plus a list of callbacks into VM methods. Natives may consult the
+   environment (clock, input) — that is their non-determinism — but must not
+   touch the VM heap: DejaVu replays their outcomes without executing them,
+   exactly as Jalapeño's JNI design (no direct heap pointers) permits.
+
+   Callbacks are named symbolically here and resolved to method uids when
+   the VM is created. *)
+
+type outcome = { result : int option; callbacks : ((string * string) * int array) list }
+
+type spec = {
+  name : string;
+  arity : int;
+  returns : bool;
+  fn : Rt.t -> int array -> outcome;
+}
+
+let make ~name ~arity ~returns fn = { name; arity; returns; fn }
+
+let value v = { result = Some v; callbacks = [] }
+
+let void = { result = None; callbacks = [] }
+
+(* Resolve a spec against the built VM tables. *)
+let resolve (vm_methods : Rt.rmethod array)
+    (class_of_name : (string, int) Hashtbl.t) (classes : Rt.rclass array)
+    nat_id (s : spec) : Rt.native =
+  let resolve_cb (cname, mname) =
+    match Hashtbl.find_opt class_of_name cname with
+    | None -> invalid_arg ("native callback: unknown class " ^ cname)
+    | Some cid -> (
+      let rec go cid =
+        if cid < 0 then
+          invalid_arg ("native callback: unknown method " ^ cname ^ "." ^ mname)
+        else
+          match Hashtbl.find_opt classes.(cid).rc_method_of mname with
+          | Some uid -> uid
+          | None -> go classes.(cid).rc_super
+      in
+      go cid)
+  in
+  ignore vm_methods;
+  {
+    Rt.nat_id;
+    nat_name = s.name;
+    nat_arity = s.arity;
+    nat_returns = s.returns;
+    nat_fn =
+      (fun vm args ->
+        let o = s.fn vm args in
+        {
+          Rt.no_result = o.result;
+          no_callbacks =
+            List.map (fun (cb, a) -> (resolve_cb cb, a)) o.callbacks;
+        });
+  }
+
+(* A few stock natives available to all programs. *)
+let stock : spec list =
+  [
+    (* nanoTime-like reading of the environment clock *)
+    make ~name:"sys_clock" ~arity:0 ~returns:true (fun vm _ ->
+        value (Env.read_clock vm.env));
+    (* an environment random number in [0, bound) *)
+    make ~name:"sys_random" ~arity:1 ~returns:true (fun vm args ->
+        value (Prng.int vm.env.rng (max 1 args.(0))));
+    (* identity, useful to defeat constant folding in benches *)
+    make ~name:"sys_id" ~arity:1 ~returns:true (fun _ args -> value args.(0));
+  ]

@@ -1,0 +1,39 @@
+(** Native-method registry (the JNI stand-in, paper section 2.5). A native
+    takes integer arguments and produces an outcome: an optional integer
+    result plus callbacks into VM methods (run in order before control
+    returns behind the call site). Natives may consult the environment —
+    that is their non-determinism — but must not touch the VM heap: DejaVu
+    replays their outcomes without executing them, exactly as Jalapeño's
+    JNI design (no direct heap pointers) permits. *)
+
+type outcome = {
+  result : int option;
+  callbacks : ((string * string) * int array) list;
+      (** ((class, method), int args); resolved to uids at VM creation *)
+}
+
+type spec = {
+  name : string;
+  arity : int;
+  returns : bool;
+  fn : Rt.t -> int array -> outcome;
+}
+
+val make : name:string -> arity:int -> returns:bool -> (Rt.t -> int array -> outcome) -> spec
+
+val value : int -> outcome
+
+val void : outcome
+
+(** Resolve a spec against the built VM tables (used by [Vm.create]). *)
+val resolve :
+  Rt.rmethod array ->
+  (string, int) Hashtbl.t ->
+  Rt.rclass array ->
+  int ->
+  spec ->
+  Rt.native
+
+(** Stock natives available to every program: [sys_clock], [sys_random],
+    [sys_id]. *)
+val stock : spec list

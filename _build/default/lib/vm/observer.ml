@@ -1,0 +1,47 @@
+(* Execution observers: capture or digest the event sequence (one event per
+   executed instruction, including yield points). The paper defines two
+   executions as identical when their event sequences and per-event states
+   agree; observers are how the tests and benches check exactly that. *)
+
+type t =
+  | Digesting of int ref * int ref (* rolling hash, event count *)
+  | Collecting of Rt.obs list ref * int (* reversed events, max kept *)
+
+let attach_digest (vm : Rt.t) =
+  let h = ref 0x3bf29ce484222325 and n = ref 0 in
+  vm.hooks.h_observe <-
+    Some
+      (fun _vm (o : Rt.obs) ->
+        incr n;
+        let mix acc v = (acc lxor (v land max_int)) * 0x100000001b3 land max_int in
+        h := mix (mix (mix (mix !h o.o_tid) o.o_uid) o.o_pc) o.o_tag);
+  Digesting (h, n)
+
+let attach_collect ?(max_events = 2_000_000) (vm : Rt.t) =
+  let evs = ref [] in
+  let count = ref 0 in
+  vm.hooks.h_observe <-
+    Some
+      (fun _vm o ->
+        if !count < max_events then begin
+          evs := o :: !evs;
+          incr count
+        end);
+  Collecting (evs, max_events)
+
+let detach (vm : Rt.t) = vm.hooks.h_observe <- None
+
+let digest = function
+  | Digesting (h, _) -> !h
+  | Collecting (evs, _) -> Hashtbl.hash !evs
+
+let count = function
+  | Digesting (_, n) -> !n
+  | Collecting (evs, _) -> List.length !evs
+
+let events = function
+  | Collecting (evs, _) -> List.rev !evs
+  | Digesting _ -> invalid_arg "Observer.events: digesting observer"
+
+let pp_obs ppf (o : Rt.obs) =
+  Fmt.pf ppf "t%d m%d@%d#%d" o.o_tid o.o_uid o.o_pc o.o_tag

@@ -1,0 +1,23 @@
+(** Execution observers: capture or digest the event sequence (one event
+    per executed instruction, yield points included). The paper defines
+    two executions as identical when their event sequences and per-event
+    states agree; observers are how tests and benches check exactly that. *)
+
+type t
+
+(** Attach a rolling-hash observer (cheap; suitable for full runs). *)
+val attach_digest : Rt.t -> t
+
+(** Attach a collecting observer keeping up to [max_events] events. *)
+val attach_collect : ?max_events:int -> Rt.t -> t
+
+val detach : Rt.t -> unit
+
+val digest : t -> int
+
+val count : t -> int
+
+(** The collected events in execution order; raises on digest observers. *)
+val events : t -> Rt.obs list
+
+val pp_obs : Format.formatter -> Rt.obs -> unit

@@ -1,0 +1,25 @@
+(* SplitMix64 — a small, fast, seedable PRNG. Used only for the *simulated
+   environment* (instruction-time jitter, synthetic input); never for program
+   semantics, so replay never depends on it. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform in [0, bound). bound must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L

@@ -1,0 +1,16 @@
+(** SplitMix64 — a small, fast, seedable PRNG. Used only by the simulated
+    environment (instruction-time jitter, synthetic input), never for
+    program semantics, so replay never depends on it. *)
+
+type t = { mutable state : int64 }
+
+val create : int -> t
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+val bool : t -> bool

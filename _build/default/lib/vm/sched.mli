@@ -1,0 +1,61 @@
+(** The thread package: a uniprocessor green-thread scheduler with a FIFO
+    ready queue, Java monitor semantics, sleep and timed wait driven by
+    wall-clock reads, join, and interrupt.
+
+    Everything here is ordinary program state — no randomness, no hidden OS
+    state. That is the paper's central cross-optimization benefit: because
+    DejaVu replays the whole thread package along with the application,
+    monitorenter outcomes, next-thread choices, and notify targets
+    reproduce themselves and need no trace records. The only inputs are the
+    preemption bit sampled at yield points and the wall-clock values read
+    here — both captured as non-deterministic events. *)
+
+(** Assign (lazily, in execution order — hence replayably) or fetch the
+    monitor of an object. *)
+val monitor_of_object : Rt.t -> int -> Rt.monitor
+
+(** Make a thread runnable (FIFO). *)
+val ready : Rt.t -> int -> unit
+
+(** Pick the next thread: wakes due sleepers (reading the clock — a
+    recorded event — only when sleepers exist), idles the clock forward
+    when sleepers are all that's left, declares [Finished] or [Deadlocked]
+    otherwise. Honours the [h_pick] dispatch-override hook. *)
+val dispatch : Rt.t -> unit
+
+(** Preemptive / voluntary switch from a yield point: the current thread
+    goes to the back of the ready queue. *)
+val perform_thread_switch : Rt.t -> unit
+
+(** Park the current thread in [state] (not runnable) and dispatch. *)
+val park : Rt.t -> Rt.tstate -> unit
+
+(** Terminate the current thread, waking its joiners. *)
+val terminate_current : Rt.t -> unit
+
+(** Java [monitorenter]: acquire, re-enter, or block (called with pc
+    already advanced). *)
+val monitor_enter : Rt.t -> int -> unit
+
+(** Java [monitorexit]; full release hands the monitor to the first
+    entry-queue thread deterministically. Raises
+    [Rt.Vm_exception "IllegalMonitorStateException"] when not owned. *)
+val monitor_exit : Rt.t -> int -> unit
+
+(** Ownership pre-check for wait, run before the interpreter advances pc so
+    the exception unwinds from the faulting instruction. *)
+val check_owned : Rt.t -> int -> unit
+
+(** [wait] / timed [wait] (milliseconds): releases fully, parks in the wait
+    set (and the sleep queue when timed); the waker pushes the
+    "interrupted" flag onto the parked thread's stack. *)
+val do_wait : Rt.t -> int -> timeout_ms:int option -> unit
+
+val do_notify : Rt.t -> int -> all:bool -> unit
+
+(** Sleep for virtual milliseconds; [ms <= 0] is a voluntary yield. *)
+val do_sleep : Rt.t -> int -> unit
+
+val do_join : Rt.t -> int -> unit
+
+val do_interrupt : Rt.t -> int -> unit

@@ -1,0 +1,1 @@
+lib/workloads/compute.ml: A D I List Util

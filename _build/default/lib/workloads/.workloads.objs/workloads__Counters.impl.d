@@ -1,0 +1,1 @@
+lib/workloads/counters.ml: A D I List Util

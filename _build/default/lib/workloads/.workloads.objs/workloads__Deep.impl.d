@@ -1,0 +1,1 @@
+lib/workloads/deep.ml: A D I Util

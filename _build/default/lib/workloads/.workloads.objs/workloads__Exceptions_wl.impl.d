@@ -1,0 +1,1 @@
+lib/workloads/exceptions_wl.ml: A D I Util

@@ -1,0 +1,1 @@
+lib/workloads/fig1.ml: A D I Util

@@ -1,0 +1,1 @@
+lib/workloads/gc_churn.ml: A D I List Util

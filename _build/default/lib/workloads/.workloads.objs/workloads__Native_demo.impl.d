@@ -1,0 +1,1 @@
+lib/workloads/native_demo.ml: A Array D I List Util Vm

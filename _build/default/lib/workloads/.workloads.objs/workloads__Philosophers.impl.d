@@ -1,0 +1,1 @@
+lib/workloads/philosophers.ml: A D I List Util

@@ -1,0 +1,1 @@
+lib/workloads/producer_consumer.ml: A D I List Util

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bank Bytecode Compute Counters Deep Exceptions_wl Fig1 Gc_churn Lazy List Native_demo Philosophers Producer_consumer Ring_actors Sorting Sync_patterns Timed Vm Webserver

@@ -1,0 +1,1 @@
+lib/workloads/ring_actors.ml: A D I List Util

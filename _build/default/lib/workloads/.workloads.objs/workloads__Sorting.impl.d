@@ -1,0 +1,1 @@
+lib/workloads/sorting.ml: A D I Util

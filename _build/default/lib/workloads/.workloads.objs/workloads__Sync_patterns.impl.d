@@ -1,0 +1,1 @@
+lib/workloads/sync_patterns.ml: A D I List Util

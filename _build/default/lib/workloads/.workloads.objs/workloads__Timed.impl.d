@@ -1,0 +1,1 @@
+lib/workloads/timed.ml: A D I Util

@@ -1,0 +1,1 @@
+lib/workloads/webserver.ml: A D I List Util

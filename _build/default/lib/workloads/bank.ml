@@ -1,0 +1,182 @@
+(* A miniature transaction server: teller threads move money between
+   accounts chosen by external input (a non-deterministic event DejaVu must
+   record), locking the two accounts in id order. The grand total is
+   invariant; per-account balances and the audit output are schedule- and
+   input-dependent. *)
+
+open Util
+
+let program ?(accounts = 8) ?(tellers = 3) ?(transfers = 50) () : D.program =
+  let c = "Bank" in
+  let teller =
+    A.method_ ~nlocals:6 "teller"
+      [
+        i (I.Const transfers);
+        i (I.Store 0);
+        l "loop";
+        i (I.Load 0);
+        i (I.Ifz (I.Le, "end"));
+        (* from = input mod accounts; to = input mod accounts; amt = input mod 100 *)
+        i I.Readinput;
+        i (I.Const accounts);
+        i I.Rem;
+        i (I.Store 1);
+        i I.Readinput;
+        i (I.Const accounts);
+        i I.Rem;
+        i (I.Store 2);
+        i I.Readinput;
+        i (I.Const 100);
+        i I.Rem;
+        i (I.Store 3);
+        (* skip self-transfers *)
+        i (I.Load 1);
+        i (I.Load 2);
+        i (I.If (I.Eq, "next"));
+        (* lock in id order: lo = min, hi = max *)
+        i (I.Load 1);
+        i (I.Load 2);
+        i (I.If (I.Lt, "inorder"));
+        i (I.Load 1);
+        i (I.Store 4);
+        i (I.Load 2);
+        i (I.Store 1);
+        i (I.Load 4);
+        i (I.Store 2);
+        l "inorder";
+        i (I.Getstatic (c, "locks"));
+        i (I.Load 1);
+        i I.Aload;
+        i I.Monitorenter;
+        i (I.Getstatic (c, "locks"));
+        i (I.Load 2);
+        i I.Aload;
+        i I.Monitorenter;
+        (* balance[from] -= amt; balance[to] += amt (indices lo/hi is fine:
+           the transfer direction only affects individual balances, and we
+           use lo->hi consistently) *)
+        i (I.Getstatic (c, "balance"));
+        i (I.Load 1);
+        i (I.Getstatic (c, "balance"));
+        i (I.Load 1);
+        i I.Aload;
+        i (I.Load 3);
+        i I.Sub;
+        i I.Astore;
+        i (I.Getstatic (c, "balance"));
+        i (I.Load 2);
+        i (I.Getstatic (c, "balance"));
+        i (I.Load 2);
+        i I.Aload;
+        i (I.Load 3);
+        i I.Add;
+        i I.Astore;
+        i (I.Getstatic (c, "locks"));
+        i (I.Load 2);
+        i I.Aload;
+        i I.Monitorexit;
+        i (I.Getstatic (c, "locks"));
+        i (I.Load 1);
+        i I.Aload;
+        i I.Monitorexit;
+        l "next";
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 0);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let audit =
+    (* sum all balances and print *)
+    A.method_ ~nlocals:2 "audit"
+      [
+        i (I.Const 0);
+        i (I.Store 0);
+        i (I.Const 0);
+        i (I.Store 1);
+        l "loop";
+        i (I.Load 0);
+        i (I.Const accounts);
+        i (I.If (I.Ge, "end"));
+        i (I.Load 1);
+        i (I.Getstatic (c, "balance"));
+        i (I.Load 0);
+        i I.Aload;
+        i I.Add;
+        i (I.Store 1);
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Store 0);
+        i (I.Goto "loop");
+        l "end";
+        i (I.Sconst "total=");
+        i I.Prints;
+        i (I.Load 1);
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:(tellers + 1) "main"
+      ([
+         i (I.Const accounts);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "balance"));
+         i (I.Const accounts);
+         i (I.Newarray (I.Tobj "Object"));
+         i (I.Putstatic (c, "locks"));
+         i (I.Const 0);
+         i (I.Store tellers);
+         l "init";
+         i (I.Load tellers);
+         i (I.Const accounts);
+         i (I.If (I.Ge, "go"));
+         i (I.Getstatic (c, "balance"));
+         i (I.Load tellers);
+         i (I.Const 1000);
+         i I.Astore;
+         i (I.Getstatic (c, "locks"));
+         i (I.Load tellers);
+         i (I.New "Object");
+         i I.Astore;
+         i (I.Load tellers);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store tellers);
+         i (I.Goto "init");
+         l "go";
+       ]
+      @ List.concat_map
+          (fun k -> [ i (I.Spawn (c, "teller")); i (I.Store k) ])
+          (List.init tellers (fun k -> k))
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init tellers (fun k -> k))
+      @ [
+          i (I.Invoke (c, "audit"));
+          (* also print a few balances: schedule- and input-dependent *)
+          i (I.Getstatic (c, "balance"));
+          i (I.Const 0);
+          i I.Aload;
+          i I.Print;
+          i (I.Getstatic (c, "balance"));
+          i (I.Const 1);
+          i I.Aload;
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [
+            D.field ~ty:(I.Tarr I.Tint) "balance";
+            D.field ~ty:(I.Tarr (I.Tobj "Object")) "locks";
+          ]
+        [ teller; audit; main ];
+    ]

@@ -1,0 +1,179 @@
+(* Compute-bound workloads for the overhead benches: a prime sieve (tight
+   loops, yield-point heavy) and a multithreaded fork/join array sum. *)
+
+open Util
+
+(* Count primes below [n] by trial division; single-threaded. *)
+let primes ?(n = 2000) () : D.program =
+  let c = "Primes" in
+  let is_prime =
+    A.method_ ~args:[ I.Tint ] ~ret:I.Tint ~nlocals:2 "is_prime"
+      [
+        i (I.Load 0);
+        i (I.Const 2);
+        i (I.If (I.Lt, "no"));
+        i (I.Const 2);
+        i (I.Store 1);
+        l "loop";
+        i (I.Load 1);
+        i (I.Load 1);
+        i I.Mul;
+        i (I.Load 0);
+        i (I.If (I.Gt, "yes"));
+        i (I.Load 0);
+        i (I.Load 1);
+        i I.Rem;
+        i (I.Ifz (I.Eq, "no"));
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Store 1);
+        i (I.Goto "loop");
+        l "yes";
+        i (I.Const 1);
+        i I.Retv;
+        l "no";
+        i (I.Const 0);
+        i I.Retv;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:2 "main"
+      [
+        i (I.Const 0);
+        i (I.Store 0);
+        i (I.Const 2);
+        i (I.Store 1);
+        l "loop";
+        i (I.Load 1);
+        i (I.Const n);
+        i (I.If (I.Ge, "end"));
+        i (I.Load 0);
+        i (I.Load 1);
+        i (I.Invoke (c, "is_prime"));
+        i I.Add;
+        i (I.Store 0);
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Store 1);
+        i (I.Goto "loop");
+        l "end";
+        i (I.Load 0);
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  D.program [ D.cdecl c [ is_prime; main ] ]
+
+(* Fork/join parallel sum: [threads] workers each sum a slice of a shared
+   array, posting partial sums; main joins and combines. *)
+let parsum ?(threads = 4) ?(size = 4000) () : D.program =
+  let c = "Parsum" in
+  let worker =
+    (* args: k; sums data[k*slice .. (k+1)*slice) into partial[k] *)
+    A.method_ ~args:[ I.Tint ] ~nlocals:4 "worker"
+      [
+        i (I.Load 0);
+        i (I.Const (size / threads));
+        i I.Mul;
+        i (I.Store 1);
+        i (I.Load 1);
+        i (I.Const (size / threads));
+        i I.Add;
+        i (I.Store 2);
+        i (I.Const 0);
+        i (I.Store 3);
+        l "loop";
+        i (I.Load 1);
+        i (I.Load 2);
+        i (I.If (I.Ge, "end"));
+        i (I.Load 3);
+        i (I.Getstatic (c, "data"));
+        i (I.Load 1);
+        i I.Aload;
+        i I.Add;
+        i (I.Store 3);
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Store 1);
+        i (I.Goto "loop");
+        l "end";
+        i (I.Getstatic (c, "partial"));
+        i (I.Load 0);
+        i (I.Load 3);
+        i I.Astore;
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:(threads + 2) "main"
+      ([
+         i (I.Const size);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "data"));
+         i (I.Const threads);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "partial"));
+         (* data[j] = j *)
+         i (I.Const 0);
+         i (I.Store threads);
+         l "init";
+         i (I.Load threads);
+         i (I.Const size);
+         i (I.If (I.Ge, "go"));
+         i (I.Getstatic (c, "data"));
+         i (I.Load threads);
+         i (I.Load threads);
+         i I.Astore;
+         i (I.Load threads);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store threads);
+         i (I.Goto "init");
+         l "go";
+       ]
+      @ List.concat_map
+          (fun k ->
+            [ i (I.Const k); i (I.Spawn (c, "worker")); i (I.Store k) ])
+          (List.init threads (fun k -> k))
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init threads (fun k -> k))
+      @ [
+          i (I.Const 0);
+          i (I.Store threads);
+          i (I.Const 0);
+          i (I.Store (threads + 1));
+          l "fold";
+          i (I.Load threads);
+          i (I.Const threads);
+          i (I.If (I.Ge, "done"));
+          i (I.Load (threads + 1));
+          i (I.Getstatic (c, "partial"));
+          i (I.Load threads);
+          i I.Aload;
+          i I.Add;
+          i (I.Store (threads + 1));
+          i (I.Load threads);
+          i (I.Const 1);
+          i I.Add;
+          i (I.Store threads);
+          i (I.Goto "fold");
+          l "done";
+          i (I.Load (threads + 1));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [
+            D.field ~ty:(I.Tarr I.Tint) "data";
+            D.field ~ty:(I.Tarr I.Tint) "partial";
+          ]
+        [ worker; main ];
+    ]

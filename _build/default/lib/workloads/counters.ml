@@ -1,0 +1,106 @@
+(* Shared-counter workloads: the classic lost-update race (unsynchronized)
+   and its synchronized twin. The racy version's final count is schedule-
+   dependent; the synchronized version's count is always n*m but its
+   interleaving (and hence its event sequence) still varies. *)
+
+open Util
+
+let racy ?(threads = 4) ?(increments = 2000) () : D.program =
+  let c = "Racy" in
+  let worker =
+    (* for k in 0..increments: tmp = count; <work with a yield point in
+       it — the lost-update window>; count = tmp + 1 *)
+    A.method_ ~nlocals:2 "worker"
+      [
+        i (I.Const increments);
+        i (I.Store 0);
+        l "loop";
+        i (I.Load 0);
+        i (I.Ifz (I.Le, "end"));
+        i (I.Getstatic (c, "count"));
+        i (I.Store 1);
+        i (I.Const 2);
+        i (I.Invoke (c, "spin"));
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "count"));
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 0);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:(threads + 1) "main"
+      (List.concat_map
+         (fun k -> [ i (I.Spawn (c, "worker")); i (I.Store k) ])
+         (List.init threads (fun k -> k))
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init threads (fun k -> k))
+      @ [ i (I.Getstatic (c, "count")); i I.Print; i I.Ret ])
+  in
+  D.program
+    [ D.cdecl c ~statics:[ D.field "count" ] [ Util.spin_method; worker; main ] ]
+
+let synced ?(threads = 4) ?(increments = 500) () : D.program =
+  let c = "Synced" in
+  let bump =
+    (* synchronized instance method on the shared counter object *)
+    A.method_ ~static:false ~sync:true
+      ~args:[ I.Tobj "Counter" ]
+      ~nlocals:1 "bump"
+      [
+        i (I.Load 0);
+        i (I.Load 0);
+        i (I.Getfield ("Counter", "value"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putfield ("Counter", "value"));
+        i I.Ret;
+      ]
+  in
+  let counter_class = D.cdecl "Counter" ~fields:[ D.field "value" ] [ bump ] in
+  let worker =
+    A.method_
+      ~args:[ I.Tobj "Counter" ]
+      ~nlocals:2 "worker"
+      [
+        i (I.Const increments);
+        i (I.Store 1);
+        l "loop";
+        i (I.Load 1);
+        i (I.Ifz (I.Le, "end"));
+        i (I.Load 0);
+        i (I.Invoke ("Counter", "bump"));
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 1);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:(threads + 2) "main"
+      ([ i (I.New "Counter"); i (I.Store threads) ]
+      @ List.concat_map
+          (fun k ->
+            [ i (I.Load threads); i (I.Spawn (c, "worker")); i (I.Store k) ])
+          (List.init threads (fun k -> k))
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init threads (fun k -> k))
+      @ [
+          i (I.Load threads);
+          i (I.Getfield ("Counter", "value"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program ~main_class:c [ counter_class; D.cdecl c [ worker; main ] ]

@@ -1,0 +1,72 @@
+(* Deep recursion: exercises runtime-stack growth (heap-allocated stacks
+   that must relocate mid-call-chain) and the StackOverflowError path. *)
+
+open Util
+
+(* Recursive sum 1..n; depth [n] forces several stack growths. *)
+let recurse ?(depth = 3000) () : D.program =
+  let c = "Deep" in
+  let sum =
+    A.method_ ~args:[ I.Tint ] ~ret:I.Tint ~nlocals:1 "sum"
+      [
+        i (I.Load 0);
+        i (I.Ifz (I.Le, "base"));
+        i (I.Load 0);
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Invoke (c, "sum"));
+        i I.Add;
+        i I.Retv;
+        l "base";
+        i (I.Const 0);
+        i I.Retv;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:0 "main"
+      [ i (I.Const depth); i (I.Invoke (c, "sum")); i I.Print; i I.Ret ]
+  in
+  D.program [ D.cdecl c [ sum; main ] ]
+
+(* Unbounded recursion caught by a handler: proves StackOverflowError is an
+   ordinary, catchable, replayable exception. *)
+let overflow () : D.program =
+  let c = "Overflow" in
+  let forever =
+    A.method_ ~args:[ I.Tint ] ~ret:I.Tint ~nlocals:1 "forever"
+      [
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Invoke (c, "forever"));
+        i I.Retv;
+      ]
+  in
+  let main =
+    A.method_with_handlers ~nlocals:0 "main"
+      [
+        l "try";
+        i (I.Const 0);
+        i (I.Invoke (c, "forever"));
+        i I.Pop;
+        l "endtry";
+        i (I.Sconst "no overflow?\n");
+        i I.Prints;
+        i I.Ret;
+        l "catch";
+        i I.Pop;
+        i (I.Sconst "caught overflow\n");
+        i I.Prints;
+        i I.Ret;
+      ]
+      [
+        {
+          A.ah_from = "try";
+          ah_upto = "endtry";
+          ah_target = "catch";
+          ah_class = Some "StackOverflowError";
+        };
+      ]
+  in
+  D.program [ D.cdecl c [ forever; main ] ]

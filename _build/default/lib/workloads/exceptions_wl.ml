@@ -1,0 +1,147 @@
+(* Exception-heavy workload: user-defined throwable subclasses, handlers at
+   different frame depths, builtin runtime exceptions (divide by zero, null
+   dereference, array bounds), and an uncaught exception killing a thread.
+   Exercises unwinding across synchronized frames too. *)
+
+open Util
+
+let program ?(rounds = 40) () : D.program =
+  let c = "Exc" in
+  let app_exc = "AppError" in
+  (* level2 throws AppError when its argument is divisible by 5; triggers a
+     builtin ArithmeticException when divisible by 7 *)
+  let level2 =
+    A.method_ ~args:[ I.Tint ] ~ret:I.Tint ~nlocals:1 "level2"
+      [
+        i (I.Load 0);
+        i (I.Const 5);
+        i I.Rem;
+        i (I.Ifz (I.Ne, "not5"));
+        i (I.New app_exc);
+        i I.Throw;
+        l "not5";
+        i (I.Load 0);
+        i (I.Const 7);
+        i I.Rem;
+        i (I.Ifz (I.Ne, "not7"));
+        i (I.Const 1);
+        i (I.Const 0);
+        i I.Div;
+        i I.Pop;
+        l "not7";
+        i (I.Load 0);
+        i (I.Const 3);
+        i I.Mul;
+        i I.Retv;
+      ]
+  in
+  (* level1 catches the builtin only; AppError escapes to the caller.
+     Synchronized so unwinding also releases a monitor. *)
+  let level1 =
+    A.method_with_handlers ~static:false ~sync:true ~ret:I.Tint
+      ~args:[ I.Tobj c; I.Tint ]
+      ~nlocals:2 "level1"
+      [
+        l "try";
+        i (I.Load 1);
+        i (I.Invoke (c, "level2"));
+        i I.Retv;
+        l "endtry";
+        l "catch";
+        i I.Pop;
+        i (I.Const (-7));
+        i I.Retv;
+      ]
+      [
+        {
+          A.ah_from = "try";
+          ah_upto = "endtry";
+          ah_target = "catch";
+          ah_class = Some "ArithmeticException";
+        };
+      ]
+  in
+  let worker =
+    A.method_with_handlers ~args:[ I.Tobj c ] ~nlocals:4 "worker"
+      [
+        i (I.Const 1);
+        i (I.Store 1);
+        i (I.Const 0);
+        i (I.Store 2);
+        l "loop";
+        i (I.Load 1);
+        i (I.Const rounds);
+        i (I.If (I.Gt, "end"));
+        l "try";
+        i (I.Load 2);
+        i (I.Load 0);
+        i (I.Load 1);
+        i (I.Invoke (c, "level1"));
+        i I.Add;
+        i (I.Store 2);
+        i (I.Goto "cont");
+        l "endtry";
+        l "catch";
+        i I.Pop;
+        i (I.Load 2);
+        i (I.Const 1000);
+        i I.Sub;
+        i (I.Store 2);
+        l "cont";
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Store 1);
+        i (I.Goto "loop");
+        l "end";
+        i (I.Load 2);
+        i I.Print;
+        i I.Ret;
+      ]
+      [
+        {
+          A.ah_from = "try";
+          ah_upto = "endtry";
+          ah_target = "catch";
+          ah_class = Some app_exc;
+        };
+      ]
+  in
+  (* a thread that dies of an uncaught array-bounds error *)
+  let doomed =
+    A.method_ ~nlocals:1 "doomed"
+      [
+        i (I.Const 3);
+        i (I.Newarray I.Tint);
+        i (I.Store 0);
+        i (I.Load 0);
+        i (I.Const 99);
+        i I.Aload;
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:3 "main"
+      [
+        i (I.New c);
+        i (I.Store 0);
+        i (I.Load 0);
+        i (I.Spawn (c, "worker"));
+        i (I.Store 1);
+        i (I.Spawn (c, "doomed"));
+        i (I.Store 2);
+        i (I.Load 1);
+        i I.Join;
+        i (I.Load 2);
+        i I.Join;
+        i (I.Sconst "survived\n");
+        i I.Prints;
+        i I.Ret;
+      ]
+  in
+  D.program ~main_class:c
+    [
+      D.cdecl app_exc ~super:"Throwable" [];
+      D.cdecl c [ level2; level1; worker; doomed; main ];
+    ]

@@ -1,0 +1,171 @@
+(* The paper's Figure 1: four worked examples of schedule- and clock-
+   dependent non-determinism.
+
+   (A)/(B): two threads racing on unsynchronized statics x and y — the final
+   printed value depends on where the preemptive switches land.
+
+   (C)/(D): a wall-clock read decides a branch; the true branch waits on a
+   monitor (forcing a thread switch), the false branch does not. *)
+
+open Util
+
+(* Figure 1 (A)/(B). T1: y = 1; x = y * 2.
+   T2: y = x * 2; y = x + 100; y = y * 2; print y.
+   Busy work between statements stretches each thread across several
+   scheduling quanta so the interleaving varies with the timer. *)
+let ab ?(work = 1500) () : D.program =
+  let c = "Fig1AB" in
+  let t1 =
+    A.method_ ~nlocals:0 "t1"
+      (spin c work
+      @ [ i (I.Const 1); i (I.Putstatic (c, "y")) ]
+      (* short second phase: t1's x=y*2 lands right around t2's y=x*2, so
+         the jittered timer decides which runs first *)
+      @ spin c (work / 8)
+      @ [
+          i (I.Getstatic (c, "y"));
+          i (I.Const 2);
+          i I.Mul;
+          i (I.Putstatic (c, "x"));
+          i I.Ret;
+        ])
+  in
+  let t2 =
+    A.method_ ~nlocals:0 "t2"
+      (spin c work
+      @ [
+          i (I.Getstatic (c, "x"));
+          i (I.Const 2);
+          i I.Mul;
+          i (I.Putstatic (c, "y"));
+        ]
+      @ spin c work
+      @ [
+          i (I.Getstatic (c, "x"));
+          i (I.Const 100);
+          i I.Add;
+          i (I.Putstatic (c, "y"));
+          i (I.Getstatic (c, "y"));
+          i (I.Const 2);
+          i I.Mul;
+          i (I.Putstatic (c, "y"));
+          i (I.Getstatic (c, "y"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  let main =
+    A.method_ ~nlocals:2 "main"
+      [
+        i (I.Spawn (c, "t1"));
+        i (I.Store 0);
+        i (I.Spawn (c, "t2"));
+        i (I.Store 1);
+        i (I.Load 0);
+        i I.Join;
+        i (I.Load 1);
+        i I.Join;
+        i I.Ret;
+      ]
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:[ D.field "x"; D.field "y" ]
+        [ spin_method; t1; t2; main ];
+    ]
+
+(* Figure 1 (C)/(D). The wall clock decides whether T1 waits. A "done" flag
+   protects against the lost-wakeup race so the program always terminates;
+   the printed values still depend on the clock and the interleaving. *)
+let cd ?(work = 800) () : D.program =
+  let c = "Fig1CD" in
+  let t1 =
+    A.method_ ~nlocals:1 "t1"
+      ([
+         (* y = Date() mod 30 *)
+         i I.Currenttime;
+         i (I.Const 30);
+         i I.Rem;
+         i (I.Putstatic (c, "y"));
+         (* if (y < 15) wait for t2's notify *)
+         i (I.Getstatic (c, "y"));
+         i (I.Const 15);
+         i (I.If (I.Ge, "nowait"));
+         i (I.Getstatic (c, "lock"));
+         i I.Monitorenter;
+         l "check";
+         i (I.Getstatic (c, "done"));
+         i (I.Ifz (I.Ne, "locked_done"));
+         i (I.Getstatic (c, "lock"));
+         i I.Wait;
+         i I.Pop;
+         i (I.Goto "check");
+         l "locked_done";
+         i (I.Getstatic (c, "lock"));
+         i I.Monitorexit;
+         l "nowait";
+       ]
+      @ [
+          i (I.Getstatic (c, "x"));
+          i (I.Const 100);
+          i I.Add;
+          i (I.Putstatic (c, "y"));
+          i (I.Getstatic (c, "y"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  let t2 =
+    A.method_ ~nlocals:0 "t2"
+      (spin c work
+      @ [
+          i (I.Const 7);
+          i (I.Putstatic (c, "x"));
+          i (I.Getstatic (c, "lock"));
+          i I.Monitorenter;
+          i (I.Const 1);
+          i (I.Putstatic (c, "done"));
+          i (I.Getstatic (c, "lock"));
+          i I.Notifyall;
+          i (I.Getstatic (c, "lock"));
+          i I.Monitorexit;
+        ]
+      @ [
+          i (I.Getstatic (c, "y"));
+          i (I.Const 2);
+          i I.Mul;
+          i (I.Putstatic (c, "y"));
+          i (I.Getstatic (c, "y"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  let main =
+    A.method_ ~nlocals:2 "main"
+      [
+        i (I.New "Object");
+        i (I.Putstatic (c, "lock"));
+        i (I.Spawn (c, "t1"));
+        i (I.Store 0);
+        i (I.Spawn (c, "t2"));
+        i (I.Store 1);
+        i (I.Load 0);
+        i I.Join;
+        i (I.Load 1);
+        i I.Join;
+        i I.Ret;
+      ]
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [
+            D.field "x";
+            D.field "y";
+            D.field "done";
+            D.field ~ty:(I.Tobj "Object") "lock";
+          ]
+        [ spin_method; t1; t2; main ];
+    ]

@@ -1,0 +1,119 @@
+(* Allocation churn: builds and drops linked lists across two threads to
+   force repeated copying collections while frames, statics, and interned
+   strings all hold live references — the collector's hardest test. *)
+
+open Util
+
+let program ?(threads = 2) ?(rounds = 30) ?(nodes = 200) () : D.program =
+  let c = "Churn" in
+  let node = "Node" in
+  let worker =
+    (* each round builds a list of [nodes], checksums it, keeps every 7th
+       round's list alive in a static to create old survivors *)
+    A.method_ ~args:[ I.Tint ] ~nlocals:6 "worker"
+      [
+        i (I.Const rounds);
+        i (I.Store 1);
+        l "rounds";
+        i (I.Load 1);
+        i (I.Ifz (I.Le, "end"));
+        (* build *)
+        i I.Null;
+        i (I.Store 2);
+        i (I.Const nodes);
+        i (I.Store 3);
+        l "build";
+        i (I.Load 3);
+        i (I.Ifz (I.Le, "sum"));
+        i (I.New node);
+        i (I.Store 4);
+        i (I.Load 4);
+        i (I.Load 3);
+        i (I.Putfield (node, "value"));
+        i (I.Load 4);
+        i (I.Load 2);
+        i (I.Putfield (node, "next"));
+        i (I.Load 4);
+        i (I.Store 2);
+        i (I.Load 3);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 3);
+        i (I.Goto "build");
+        (* checksum *)
+        l "sum";
+        i (I.Const 0);
+        i (I.Store 5);
+        i (I.Load 2);
+        i (I.Store 4);
+        l "walk";
+        i (I.Load 4);
+        i (I.Ifnull "keep");
+        i (I.Load 5);
+        i (I.Load 4);
+        i (I.Getfield (node, "value"));
+        i I.Add;
+        i (I.Store 5);
+        i (I.Load 4);
+        i (I.Getfield (node, "next"));
+        i (I.Store 4);
+        i (I.Goto "walk");
+        l "keep";
+        (* keep every 7th list alive *)
+        i (I.Load 1);
+        i (I.Const 7);
+        i I.Rem;
+        i (I.Ifz (I.Ne, "drop"));
+        i (I.Load 2);
+        i (I.Putstatic (c, "survivor"));
+        l "drop";
+        (* fold checksum into a static total under a lock *)
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        i (I.Getstatic (c, "total"));
+        i (I.Load 5);
+        i I.Add;
+        i (I.Putstatic (c, "total"));
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 1);
+        i (I.Goto "rounds");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:(threads + 1) "main"
+      ([ i (I.New "Object"); i (I.Putstatic (c, "lock")) ]
+      @ List.concat_map
+          (fun k ->
+            [ i (I.Const k); i (I.Spawn (c, "worker")); i (I.Store k) ])
+          (List.init threads (fun k -> k))
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init threads (fun k -> k))
+      @ [
+          i (I.Sconst "checksum=");
+          i I.Prints;
+          i (I.Getstatic (c, "total"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program ~main_class:c
+    [
+      D.cdecl node
+        ~fields:[ D.field "value"; D.field ~ty:(I.Tobj node) "next" ]
+        [];
+      D.cdecl c
+        ~statics:
+          [
+            D.field "total";
+            D.field ~ty:(I.Tobj node) "survivor";
+            D.field ~ty:(I.Tobj "Object") "lock";
+          ]
+        [ worker; main ];
+    ]

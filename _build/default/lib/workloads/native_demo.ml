@@ -1,0 +1,81 @@
+(* JNI-style workload (paper section 2.5): calls natives whose results come
+   from the environment (non-deterministic) and one whose outcome includes
+   callbacks into VM methods. Used to test that DejaVu records native
+   results + callback parameters and regenerates them during replay. *)
+
+open Util
+
+(* Natives this workload registers on top of the stock set. env_sensor
+   derives a reading from the wall clock; env_poll returns an event count
+   and fires that many on_event callbacks with environment-chosen args. *)
+let natives : Vm.Native.spec list =
+  [
+    Vm.Native.make ~name:"env_sensor" ~arity:1 ~returns:true (fun vm args ->
+        Vm.Native.value
+          ((Vm.Env.read_clock vm.Vm.Rt.env + (args.(0) * 17)) mod 1000));
+    Vm.Native.make ~name:"env_poll" ~arity:0 ~returns:true (fun vm _ ->
+        let n = Vm.Prng.int vm.Vm.Rt.env.rng 3 in
+        {
+          Vm.Native.result = Some n;
+          callbacks =
+            List.init n (fun k ->
+                ( ("NativeDemo", "on_event"),
+                  [| k; Vm.Prng.int vm.Vm.Rt.env.rng 50 |] ));
+        });
+  ]
+
+let program ?(rounds = 25) () : D.program =
+  let c = "NativeDemo" in
+  let on_event =
+    (* callback target: accumulate the event payloads *)
+    A.method_ ~args:[ I.Tint; I.Tint ] ~nlocals:2 "on_event"
+      [
+        i (I.Getstatic (c, "events"));
+        i (I.Load 0);
+        i I.Add;
+        i (I.Load 1);
+        i I.Add;
+        i (I.Putstatic (c, "events"));
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:2 "main"
+      [
+        i (I.Const rounds);
+        i (I.Store 0);
+        l "loop";
+        i (I.Load 0);
+        i (I.Ifz (I.Le, "end"));
+        (* sensor reading folded into a running total *)
+        i (I.Getstatic (c, "total"));
+        i (I.Load 0);
+        i (I.Nativecall "env_sensor");
+        i I.Add;
+        i (I.Putstatic (c, "total"));
+        (* poll may fire on_event callbacks before returning a count *)
+        i (I.Nativecall "env_poll");
+        i (I.Getstatic (c, "polled"));
+        i I.Add;
+        i (I.Putstatic (c, "polled"));
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 0);
+        i (I.Goto "loop");
+        l "end";
+        i (I.Getstatic (c, "total"));
+        i I.Print;
+        i (I.Getstatic (c, "polled"));
+        i I.Print;
+        i (I.Getstatic (c, "events"));
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:[ D.field "total"; D.field "polled"; D.field "events" ]
+        [ on_event; main ];
+    ]

@@ -1,0 +1,123 @@
+(* Dining philosophers on monitor forks. The [ordered] variant acquires
+   forks in global order and always terminates; the [naive] variant acquires
+   left-then-right and can deadlock — which is itself a schedule-dependent
+   outcome DejaVu must reproduce faithfully. *)
+
+open Util
+
+let program ?(n = 4) ?(meals = 10) ?(ordered = true) () : D.program =
+  let c = "Phil" in
+  (* forks: static Object[] of monitors. philosopher k eats [meals] times,
+     each time locking fork k and fork (k+1) mod n. *)
+  let philosopher =
+    A.method_ ~args:[ I.Tint ] ~nlocals:5 "philosopher"
+      ([
+         (* local1 = first fork idx, local2 = second fork idx *)
+         i (I.Load 0);
+         i (I.Store 1);
+         i (I.Load 0);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Const n);
+         i I.Rem;
+         i (I.Store 2);
+       ]
+      @ (if ordered then
+           [
+             (* swap so we always lock the lower index first *)
+             i (I.Load 1);
+             i (I.Load 2);
+             i (I.If (I.Le, "noswap"));
+             i (I.Load 1);
+             i (I.Store 3);
+             i (I.Load 2);
+             i (I.Store 1);
+             i (I.Load 3);
+             i (I.Store 2);
+             l "noswap";
+           ]
+         else [])
+      @ [
+          i (I.Const meals);
+          i (I.Store 4);
+          l "loop";
+          i (I.Load 4);
+          i (I.Ifz (I.Le, "end"));
+          (* think *)
+          i (I.Const 40);
+          i (I.Invoke (c, "spin"));
+          (* pick up first *)
+          i (I.Getstatic (c, "forks"));
+          i (I.Load 1);
+          i I.Aload;
+          i I.Monitorenter;
+          (* a little pause with one fork held widens the deadlock window *)
+          i (I.Const 25);
+          i (I.Invoke (c, "spin"));
+          (* pick up second *)
+          i (I.Getstatic (c, "forks"));
+          i (I.Load 2);
+          i I.Aload;
+          i I.Monitorenter;
+          (* eat *)
+          i (I.Getstatic (c, "meals"));
+          i (I.Const 1);
+          i I.Add;
+          i (I.Putstatic (c, "meals"));
+          (* put down *)
+          i (I.Getstatic (c, "forks"));
+          i (I.Load 2);
+          i I.Aload;
+          i I.Monitorexit;
+          i (I.Getstatic (c, "forks"));
+          i (I.Load 1);
+          i I.Aload;
+          i I.Monitorexit;
+          i (I.Load 4);
+          i (I.Const 1);
+          i I.Sub;
+          i (I.Store 4);
+          i (I.Goto "loop");
+          l "end";
+          i I.Ret;
+        ])
+  in
+  let main =
+    A.method_ ~nlocals:(n + 2) "main"
+      ([
+         i (I.Const n);
+         i (I.Newarray (I.Tobj "Object"));
+         i (I.Putstatic (c, "forks"));
+         i (I.Const 0);
+         i (I.Store n);
+         l "mkforks";
+         i (I.Load n);
+         i (I.Const n);
+         i (I.If (I.Ge, "spawned"));
+         i (I.Getstatic (c, "forks"));
+         i (I.Load n);
+         i (I.New "Object");
+         i I.Astore;
+         i (I.Load n);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store n);
+         i (I.Goto "mkforks");
+         l "spawned";
+       ]
+      @ List.concat_map
+          (fun k ->
+            [ i (I.Const k); i (I.Spawn (c, "philosopher")); i (I.Store k) ])
+          (List.init n (fun k -> k))
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init n (fun k -> k))
+      @ [ i (I.Getstatic (c, "meals")); i I.Print; i I.Ret ])
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [ D.field ~ty:(I.Tarr (I.Tobj "Object")) "forks"; D.field "meals" ]
+        [ spin_method; philosopher; main ];
+    ]

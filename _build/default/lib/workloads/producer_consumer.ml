@@ -1,0 +1,222 @@
+(* A bounded buffer with wait/notify — the archetypal server-style
+   coordination pattern the paper's motivation targets. Producers push a
+   deterministic stream of values; consumers pop and fold them. The fold
+   total is schedule-independent but the *order* trace (printed) is not. *)
+
+open Util
+
+let program ?(producers = 2) ?(consumers = 2) ?(items = 60) ?(capacity = 4)
+    ?(trace_order = true) () : D.program =
+  let c = "PC" in
+  let buf = "Buffer" in
+  (* Buffer instance: ring storage, head, tail, size. All methods
+     synchronized on the buffer. *)
+  let put =
+    A.method_ ~static:false ~sync:true
+      ~args:[ I.Tobj buf; I.Tint ]
+      ~nlocals:2 "put"
+      [
+        l "check";
+        i (I.Load 0);
+        i (I.Getfield (buf, "size"));
+        i (I.Load 0);
+        i (I.Getfield (buf, "data"));
+        i I.Arraylength;
+        i (I.If (I.Lt, "room"));
+        i (I.Load 0);
+        i I.Wait;
+        i I.Pop;
+        i (I.Goto "check");
+        l "room";
+        (* data[tail] = v; tail = (tail+1) % cap; size++ *)
+        i (I.Load 0);
+        i (I.Getfield (buf, "data"));
+        i (I.Load 0);
+        i (I.Getfield (buf, "tail"));
+        i (I.Load 1);
+        i I.Astore;
+        i (I.Load 0);
+        i (I.Load 0);
+        i (I.Getfield (buf, "tail"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Load 0);
+        i (I.Getfield (buf, "data"));
+        i I.Arraylength;
+        i I.Rem;
+        i (I.Putfield (buf, "tail"));
+        i (I.Load 0);
+        i (I.Load 0);
+        i (I.Getfield (buf, "size"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putfield (buf, "size"));
+        i (I.Load 0);
+        i I.Notifyall;
+        i I.Ret;
+      ]
+  in
+  let get =
+    A.method_ ~static:false ~sync:true ~ret:I.Tint
+      ~args:[ I.Tobj buf ]
+      ~nlocals:2 "get"
+      [
+        l "check";
+        i (I.Load 0);
+        i (I.Getfield (buf, "size"));
+        i (I.Ifz (I.Gt, "avail"));
+        i (I.Load 0);
+        i I.Wait;
+        i I.Pop;
+        i (I.Goto "check");
+        l "avail";
+        (* v = data[head]; head = (head+1) % cap; size-- *)
+        i (I.Load 0);
+        i (I.Getfield (buf, "data"));
+        i (I.Load 0);
+        i (I.Getfield (buf, "head"));
+        i I.Aload;
+        i (I.Store 1);
+        i (I.Load 0);
+        i (I.Load 0);
+        i (I.Getfield (buf, "head"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Load 0);
+        i (I.Getfield (buf, "data"));
+        i I.Arraylength;
+        i I.Rem;
+        i (I.Putfield (buf, "head"));
+        i (I.Load 0);
+        i (I.Load 0);
+        i (I.Getfield (buf, "size"));
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Putfield (buf, "size"));
+        i (I.Load 0);
+        i I.Notifyall;
+        i (I.Load 1);
+        i I.Retv;
+      ]
+  in
+  let buffer_class =
+    D.cdecl buf
+      ~fields:
+        [
+          D.field ~ty:(I.Tarr I.Tint) "data";
+          D.field "head";
+          D.field "tail";
+          D.field "size";
+        ]
+      [ put; get ]
+  in
+  (* producer k: pushes k*items + j for j in 0..items *)
+  let producer =
+    A.method_
+      ~args:[ I.Tobj buf; I.Tint ]
+      ~nlocals:3 "producer"
+      [
+        i (I.Const 0);
+        i (I.Store 2);
+        l "loop";
+        i (I.Load 2);
+        i (I.Const items);
+        i (I.If (I.Ge, "end"));
+        i (I.Load 0);
+        i (I.Load 1);
+        i (I.Const items);
+        i I.Mul;
+        i (I.Load 2);
+        i I.Add;
+        i (I.Invoke (buf, "put"));
+        i (I.Load 2);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Store 2);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  (* consumer: pops its share, adds into the shared total (synchronized),
+     optionally printing consumption order *)
+  let consume_n = producers * items / consumers in
+  let consumer =
+    A.method_
+      ~args:[ I.Tobj buf ]
+      ~nlocals:3 "consumer"
+      ([
+         i (I.Const 0);
+         i (I.Store 1);
+         l "loop";
+         i (I.Load 1);
+         i (I.Const consume_n);
+         i (I.If (I.Ge, "end"));
+         i (I.Load 0);
+         i (I.Invoke (buf, "get"));
+         i (I.Store 2);
+       ]
+      @ (if trace_order then [ i (I.Load 2); i I.Print ] else [])
+      @ [
+          (* total += v, guarded by the buffer monitor *)
+          i (I.Load 0);
+          i I.Monitorenter;
+          i (I.Getstatic (c, "total"));
+          i (I.Load 2);
+          i I.Add;
+          i (I.Putstatic (c, "total"));
+          i (I.Load 0);
+          i I.Monitorexit;
+          i (I.Load 1);
+          i (I.Const 1);
+          i I.Add;
+          i (I.Store 1);
+          i (I.Goto "loop");
+          l "end";
+          i I.Ret;
+        ])
+  in
+  let nloc = producers + consumers + 1 in
+  let main =
+    A.method_ ~nlocals:(nloc + 1) "main"
+      ([
+         i (I.New buf);
+         i (I.Store nloc);
+         i (I.Load nloc);
+         i (I.Const capacity);
+         i (I.Newarray I.Tint);
+         i (I.Putfield (buf, "data"));
+       ]
+      @ List.concat_map
+          (fun k ->
+            [
+              i (I.Load nloc);
+              i (I.Const k);
+              i (I.Spawn (c, "producer"));
+              i (I.Store k);
+            ])
+          (List.init producers (fun k -> k))
+      @ List.concat_map
+          (fun k ->
+            [
+              i (I.Load nloc);
+              i (I.Spawn (c, "consumer"));
+              i (I.Store (producers + k));
+            ])
+          (List.init consumers (fun k -> k))
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init (producers + consumers) (fun k -> k))
+      @ [
+          i (I.Sconst "total=");
+          i I.Prints;
+          i (I.Getstatic (c, "total"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program ~main_class:c
+    [
+      buffer_class;
+      D.cdecl c ~statics:[ D.field "total" ] [ producer; consumer; main ];
+    ]

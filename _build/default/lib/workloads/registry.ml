@@ -1,0 +1,69 @@
+(* The workload catalogue: every program with its natives and a description,
+   addressable by name from the CLI, the tests, and the bench harness. *)
+
+type entry = {
+  name : string;
+  description : string;
+  program : Bytecode.Decl.program;
+  natives : Vm.Native.spec list;
+}
+
+let entry ?(natives = []) name description program =
+  { name; description; program; natives }
+
+let core : entry list Lazy.t =
+  lazy
+    [
+      entry "fig1ab" "paper Figure 1 (A)/(B): racy statics, outcome depends on switches"
+        (Fig1.ab ());
+      entry "fig1cd" "paper Figure 1 (C)/(D): wall clock decides a branch with wait/notify"
+        (Fig1.cd ());
+      entry "racy-counter" "lost-update race on a shared counter"
+        (Counters.racy ());
+      entry "synced-counter" "synchronized shared counter (deterministic sum)"
+        (Counters.synced ());
+      entry "producer-consumer" "bounded buffer with wait/notify"
+        (Producer_consumer.program ());
+      entry "philosophers" "dining philosophers, ordered forks"
+        (Philosophers.program ());
+      entry "philosophers-deadlock"
+        "dining philosophers, naive forks (can deadlock)"
+        (Philosophers.program ~ordered:false ());
+      entry "bank" "teller threads transfer between locked accounts"
+        (Bank.program ());
+      entry "primes" "single-threaded prime counting (tight loops)"
+        (Compute.primes ());
+      entry "parsum" "fork/join parallel array sum" (Compute.parsum ());
+      entry "gc-churn" "linked-list churn across threads (GC pressure)"
+        (Gc_churn.program ());
+      entry "exceptions" "handlers, rethrows, a thread death"
+        (Exceptions_wl.program ());
+      entry "native" "native calls with callbacks" ~natives:Native_demo.natives
+        (Native_demo.program ());
+      entry "deep" "deep recursion across stack growth" (Deep.recurse ());
+      entry "overflow" "catchable StackOverflowError" (Deep.overflow ());
+      entry "timed" "sleep / timed wait / notify interplay" (Timed.program ());
+    ]
+
+(* The full catalogue: the core set plus the synchronization-pattern,
+   sorting, and actor workloads. *)
+let all : entry list Lazy.t =
+  lazy
+    (Lazy.force core
+    @ [
+        entry "barrier" "cyclic barrier separating work phases"
+          (Sync_patterns.barrier ());
+        entry "rwlock" "readers-writer lock with an isolation invariant"
+          (Sync_patterns.rwlock ());
+        entry "mergesort" "fork/join mergesort with verification"
+          (Sorting.program ());
+        entry "ring" "token-ring actors passing messages via wait/notify"
+          (Ring_actors.program ());
+        entry "webserver"
+          "acceptor + worker pool + keyed store: the paper's server shape"
+          (Webserver.program ());
+      ])
+
+let find name = List.find_opt (fun e -> e.name = name) (Lazy.force all)
+
+let names () = List.map (fun e -> e.name) (Lazy.force all)

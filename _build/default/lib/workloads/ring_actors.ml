@@ -1,0 +1,165 @@
+(* A token-ring of actor threads: each actor owns a mailbox (a monitor),
+   waits for the token, adds its id, and passes it to its neighbour. After
+   [laps] trips the token's value is a fixed sum, but the scheduling of the
+   hand-offs — and hence the whole event sequence — is timing-dependent.
+   Message passing built purely on wait/notify. *)
+
+open Util
+
+let program ?(actors = 5) ?(laps = 4) () : D.program =
+  let c = "Ring" in
+  (* mailbox k = boxes[k]: full[k] says whether a token is waiting there *)
+  let actor =
+    A.method_ ~args:[ I.Tint ] ~nlocals:3 "actor"
+      [
+        i (I.Const laps);
+        i (I.Store 1);
+        l "loop";
+        i (I.Load 1);
+        i (I.Ifz (I.Le, "end"));
+        (* receive: wait until full[me] *)
+        i (I.Getstatic (c, "boxes"));
+        i (I.Load 0);
+        i I.Aload;
+        i I.Monitorenter;
+        l "recv";
+        i (I.Getstatic (c, "full"));
+        i (I.Load 0);
+        i I.Aload;
+        i (I.Ifz (I.Ne, "got"));
+        i (I.Getstatic (c, "boxes"));
+        i (I.Load 0);
+        i I.Aload;
+        i I.Wait;
+        i I.Pop;
+        i (I.Goto "recv");
+        l "got";
+        i (I.Getstatic (c, "token"));
+        i (I.Load 0);
+        i I.Add;
+        i (I.Putstatic (c, "token"));
+        i (I.Getstatic (c, "full"));
+        i (I.Load 0);
+        i (I.Const 0);
+        i I.Astore;
+        i (I.Getstatic (c, "boxes"));
+        i (I.Load 0);
+        i I.Aload;
+        i I.Monitorexit;
+        (* actor 0 counts completed laps and may stop the ring *)
+        i (I.Load 0);
+        i (I.Ifz (I.Ne, "send"));
+        i (I.Getstatic (c, "lap"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "lap"));
+        l "send";
+        (* always pass on: the final hand-off lands in a mailbox whose
+           owner has exited, which is harmless *)
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Const actors);
+        i I.Rem;
+        i (I.Store 2);
+        i (I.Getstatic (c, "boxes"));
+        i (I.Load 2);
+        i I.Aload;
+        i I.Monitorenter;
+        i (I.Getstatic (c, "full"));
+        i (I.Load 2);
+        i (I.Const 1);
+        i I.Astore;
+        i (I.Getstatic (c, "boxes"));
+        i (I.Load 2);
+        i I.Aload;
+        i I.Notifyall;
+        i (I.Getstatic (c, "boxes"));
+        i (I.Load 2);
+        i I.Aload;
+        i I.Monitorexit;
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 1);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:(actors + 1) "main"
+      ([
+         i (I.Const actors);
+         i (I.Newarray (I.Tobj "Object"));
+         i (I.Putstatic (c, "boxes"));
+         i (I.Const actors);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "full"));
+         i (I.Const 0);
+         i (I.Store actors);
+         l "mk";
+         i (I.Load actors);
+         i (I.Const actors);
+         i (I.If (I.Ge, "go"));
+         i (I.Getstatic (c, "boxes"));
+         i (I.Load actors);
+         i (I.New "Object");
+         i I.Astore;
+         i (I.Load actors);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store actors);
+         i (I.Goto "mk");
+         l "go";
+       ]
+      @ List.concat_map
+          (fun k ->
+            [ i (I.Const k); i (I.Spawn (c, "actor")); i (I.Store k) ])
+          (List.init actors (fun k -> k))
+      @ [
+          (* inject the token at actor 0 *)
+          i (I.Getstatic (c, "boxes"));
+          i (I.Const 0);
+          i I.Aload;
+          i I.Monitorenter;
+          i (I.Getstatic (c, "full"));
+          i (I.Const 0);
+          i (I.Const 1);
+          i I.Astore;
+          i (I.Getstatic (c, "boxes"));
+          i (I.Const 0);
+          i I.Aload;
+          i I.Notifyall;
+          i (I.Getstatic (c, "boxes"));
+          i (I.Const 0);
+          i I.Aload;
+          i I.Monitorexit;
+        ]
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init actors (fun k -> k))
+      @ [
+          i (I.Sconst "token=");
+          i I.Prints;
+          i (I.Getstatic (c, "token"));
+          i I.Print;
+          i (I.Sconst "laps=");
+          i I.Prints;
+          i (I.Getstatic (c, "lap"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [
+            D.field ~ty:(I.Tarr (I.Tobj "Object")) "boxes";
+            D.field ~ty:(I.Tarr I.Tint) "full";
+            D.field "token";
+            D.field "lap";
+          ]
+        [ actor; main ];
+    ]

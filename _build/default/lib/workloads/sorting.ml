@@ -1,0 +1,239 @@
+(* Fork/join mergesort: main splits the array between two sorter threads,
+   joins them, and merges. Sorting is deterministic; the interleaving of
+   the two sorters is not — a classic "data-parallel but schedule-noisy"
+   shape for the replay experiments. *)
+
+open Util
+
+let program ?(size = 256) () : D.program =
+  let c = "Sort" in
+  (* insertion-sort data[from, to_) *)
+  let sort_range =
+    A.method_ ~args:[ I.Tint; I.Tint ] ~nlocals:5 "sort_range"
+      [
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Store 2);
+        l "outer";
+        i (I.Load 2);
+        i (I.Load 1);
+        i (I.If (I.Ge, "end"));
+        (* key = data[i]; j = i-1 *)
+        i (I.Getstatic (c, "data"));
+        i (I.Load 2);
+        i I.Aload;
+        i (I.Store 3);
+        i (I.Load 2);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 4);
+        l "inner";
+        i (I.Load 4);
+        i (I.Load 0);
+        i (I.If (I.Lt, "place"));
+        i (I.Getstatic (c, "data"));
+        i (I.Load 4);
+        i I.Aload;
+        i (I.Load 3);
+        i (I.If (I.Le, "place"));
+        (* data[j+1] = data[j]; j-- *)
+        i (I.Getstatic (c, "data"));
+        i (I.Load 4);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Getstatic (c, "data"));
+        i (I.Load 4);
+        i I.Aload;
+        i I.Astore;
+        i (I.Load 4);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 4);
+        i (I.Goto "inner");
+        l "place";
+        i (I.Getstatic (c, "data"));
+        i (I.Load 4);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Load 3);
+        i I.Astore;
+        i (I.Load 2);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Store 2);
+        i (I.Goto "outer");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let half = size / 2 in
+  let sorter =
+    A.method_ ~args:[ I.Tint; I.Tint ] ~nlocals:2 "sorter"
+      [
+        i (I.Load 0);
+        i (I.Load 1);
+        i (I.Invoke (c, "sort_range"));
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:6 "main"
+      ([
+         i (I.Const size);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "data"));
+         i (I.Const size);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "merged"));
+         (* fill with a scrambled sequence: (i * 73 + 11) mod size *)
+         i (I.Const 0);
+         i (I.Store 0);
+         l "fill";
+         i (I.Load 0);
+         i (I.Const size);
+         i (I.If (I.Ge, "spawned"));
+         i (I.Getstatic (c, "data"));
+         i (I.Load 0);
+         i (I.Load 0);
+         i (I.Const 73);
+         i I.Mul;
+         i (I.Const 11);
+         i I.Add;
+         i (I.Const size);
+         i I.Rem;
+         i I.Astore;
+         i (I.Load 0);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store 0);
+         i (I.Goto "fill");
+         l "spawned";
+         (* two sorters over the halves *)
+         i (I.Const 0);
+         i (I.Const half);
+         i (I.Spawn (c, "sorter"));
+         i (I.Store 0);
+         i (I.Const half);
+         i (I.Const size);
+         i (I.Spawn (c, "sorter"));
+         i (I.Store 1);
+         i (I.Load 0);
+         i I.Join;
+         i (I.Load 1);
+         i I.Join;
+         (* merge: i over [0,half), j over [half,size), k output *)
+         i (I.Const 0);
+         i (I.Store 0);
+         i (I.Const half);
+         i (I.Store 1);
+         i (I.Const 0);
+         i (I.Store 2);
+         l "merge";
+         i (I.Load 2);
+         i (I.Const size);
+         i (I.If (I.Ge, "check"));
+         (* left exhausted? take right *)
+         i (I.Load 0);
+         i (I.Const half);
+         i (I.If (I.Ge, "takeright"));
+         (* right exhausted? take left *)
+         i (I.Load 1);
+         i (I.Const size);
+         i (I.If (I.Ge, "takeleft"));
+         (* both live: compare *)
+         i (I.Getstatic (c, "data"));
+         i (I.Load 0);
+         i I.Aload;
+         i (I.Getstatic (c, "data"));
+         i (I.Load 1);
+         i I.Aload;
+         i (I.If (I.Le, "takeleft"));
+         l "takeright";
+         i (I.Getstatic (c, "merged"));
+         i (I.Load 2);
+         i (I.Getstatic (c, "data"));
+         i (I.Load 1);
+         i I.Aload;
+         i I.Astore;
+         i (I.Load 1);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store 1);
+         i (I.Goto "next");
+         l "takeleft";
+         i (I.Getstatic (c, "merged"));
+         i (I.Load 2);
+         i (I.Getstatic (c, "data"));
+         i (I.Load 0);
+         i I.Aload;
+         i I.Astore;
+         i (I.Load 0);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store 0);
+         l "next";
+         i (I.Load 2);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store 2);
+         i (I.Goto "merge");
+         (* verify sortedness and checksum *)
+         l "check";
+         i (I.Const 0);
+         i (I.Store 3);
+         i (I.Const 0);
+         i (I.Store 4);
+         i (I.Const 0);
+         i (I.Store 5);
+         l "scan";
+         i (I.Load 3);
+         i (I.Const size);
+         i (I.If (I.Ge, "report"));
+         i (I.Load 4);
+         i (I.Getstatic (c, "merged"));
+         i (I.Load 3);
+         i I.Aload;
+         i I.Add;
+         i (I.Store 4);
+         (* out of order? *)
+         i (I.Load 3);
+         i (I.Ifz (I.Eq, "inorder"));
+         i (I.Getstatic (c, "merged"));
+         i (I.Load 3);
+         i (I.Const 1);
+         i I.Sub;
+         i I.Aload;
+         i (I.Getstatic (c, "merged"));
+         i (I.Load 3);
+         i I.Aload;
+         i (I.If (I.Le, "inorder"));
+         i (I.Load 5);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store 5);
+         l "inorder";
+         i (I.Load 3);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store 3);
+         i (I.Goto "scan");
+         l "report";
+         i (I.Sconst "inversions=");
+         i I.Prints;
+         i (I.Load 5);
+         i I.Print;
+         i (I.Sconst "sum=");
+         i I.Prints;
+         i (I.Load 4);
+         i I.Print;
+         i I.Ret;
+       ])
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [ D.field ~ty:(I.Tarr I.Tint) "data"; D.field ~ty:(I.Tarr I.Tint) "merged" ]
+        [ sort_range; sorter; main ];
+    ]

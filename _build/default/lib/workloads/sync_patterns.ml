@@ -1,0 +1,353 @@
+(* Classic synchronization patterns implemented on the monitor primitives:
+   a cyclic barrier and a readers-writer lock. Both produce invariants that
+   must hold under every schedule (checked by tests) while their event
+   orders remain schedule-dependent (exercised by replay). *)
+
+open Util
+
+(* N workers run [rounds] phases; a cyclic barrier separates the phases.
+   Each worker adds (phase * 1000 + its id) into a per-phase cell only
+   legal while that phase is open, so any barrier bug corrupts the sums. *)
+let barrier ?(workers = 4) ?(rounds = 5) () : D.program =
+  let c = "Barrier" in
+  let await =
+    (* static await(): synchronized on lock; generation-count barrier *)
+    A.method_ ~nlocals:1 "await"
+      [
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        (* my generation *)
+        i (I.Getstatic (c, "generation"));
+        i (I.Store 0);
+        (* arrived++ *)
+        i (I.Getstatic (c, "arrived"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "arrived"));
+        (* last one in flips the generation *)
+        i (I.Getstatic (c, "arrived"));
+        i (I.Const workers);
+        i (I.If (I.Lt, "waitloop"));
+        i (I.Const 0);
+        i (I.Putstatic (c, "arrived"));
+        i (I.Getstatic (c, "generation"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "generation"));
+        i (I.Getstatic (c, "lock"));
+        i I.Notifyall;
+        i (I.Goto "out");
+        l "waitloop";
+        i (I.Getstatic (c, "generation"));
+        i (I.Load 0);
+        i (I.If (I.Ne, "out"));
+        i (I.Getstatic (c, "lock"));
+        i I.Wait;
+        i I.Pop;
+        i (I.Goto "waitloop");
+        l "out";
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let worker =
+    A.method_ ~args:[ I.Tint ] ~nlocals:2 "worker"
+      [
+        i (I.Const 0);
+        i (I.Store 1);
+        l "phase";
+        i (I.Load 1);
+        i (I.Const rounds);
+        i (I.If (I.Ge, "end"));
+        (* contribute to this phase's sum (racy add is fine: it is guarded
+           by the phase structure via the lock) *)
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        i (I.Getstatic (c, "sums"));
+        i (I.Load 1);
+        i (I.Getstatic (c, "sums"));
+        i (I.Load 1);
+        i I.Aload;
+        i (I.Load 1);
+        i (I.Const 1000);
+        i I.Mul;
+        i (I.Load 0);
+        i I.Add;
+        i I.Add;
+        i I.Astore;
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        (* a little uneven work before the barrier *)
+        i (I.Load 0);
+        i (I.Const 37);
+        i I.Mul;
+        i (I.Const 60);
+        i I.Rem;
+        i (I.Invoke (c, "spin"));
+        i (I.Invoke (c, "await"));
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Add;
+        i (I.Store 1);
+        i (I.Goto "phase");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:(workers + 1) "main"
+      ([
+         i (I.New "Object");
+         i (I.Putstatic (c, "lock"));
+         i (I.Const rounds);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "sums"));
+       ]
+      @ List.concat_map
+          (fun k ->
+            [ i (I.Const k); i (I.Spawn (c, "worker")); i (I.Store k) ])
+          (List.init workers (fun k -> k))
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init workers (fun k -> k))
+      @ [
+          (* print per-phase sums: each must equal
+             workers*phase*1000 + (0+1+..+workers-1) *)
+          i (I.Const 0);
+          i (I.Store workers);
+          l "dump";
+          i (I.Load workers);
+          i (I.Const rounds);
+          i (I.If (I.Ge, "done"));
+          i (I.Getstatic (c, "sums"));
+          i (I.Load workers);
+          i I.Aload;
+          i I.Print;
+          i (I.Load workers);
+          i (I.Const 1);
+          i I.Add;
+          i (I.Store workers);
+          i (I.Goto "dump");
+          l "done";
+          i I.Ret;
+        ])
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [
+            D.field ~ty:(I.Tobj "Object") "lock";
+            D.field "arrived";
+            D.field "generation";
+            D.field ~ty:(I.Tarr I.Tint) "sums";
+          ]
+        [ spin_method; await; worker; main ];
+    ]
+
+(* Readers-writer lock: readers proceed concurrently, writers exclusively.
+   Readers sum the two cells (must always see a consistent pair: the writer
+   keeps cells.(0) + cells.(1) == 0); any isolation bug prints a non-zero. *)
+let rwlock ?(readers = 3) ?(writers = 2) ?(ops = 12) () : D.program =
+  let c = "RW" in
+  let acquire_read =
+    A.method_ ~nlocals:0 "acquire_read"
+      [
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        l "check";
+        i (I.Getstatic (c, "writing"));
+        i (I.Ifz (I.Eq, "ok"));
+        i (I.Getstatic (c, "lock"));
+        i I.Wait;
+        i I.Pop;
+        i (I.Goto "check");
+        l "ok";
+        i (I.Getstatic (c, "nreaders"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "nreaders"));
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let release_read =
+    A.method_ ~nlocals:0 "release_read"
+      [
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        i (I.Getstatic (c, "nreaders"));
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Putstatic (c, "nreaders"));
+        i (I.Getstatic (c, "lock"));
+        i I.Notifyall;
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let acquire_write =
+    A.method_ ~nlocals:0 "acquire_write"
+      [
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        l "check";
+        i (I.Getstatic (c, "writing"));
+        i (I.Ifz (I.Ne, "blocked"));
+        i (I.Getstatic (c, "nreaders"));
+        i (I.Ifz (I.Eq, "ok"));
+        l "blocked";
+        i (I.Getstatic (c, "lock"));
+        i I.Wait;
+        i I.Pop;
+        i (I.Goto "check");
+        l "ok";
+        i (I.Const 1);
+        i (I.Putstatic (c, "writing"));
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let release_write =
+    A.method_ ~nlocals:0 "release_write"
+      [
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        i (I.Const 0);
+        i (I.Putstatic (c, "writing"));
+        i (I.Getstatic (c, "lock"));
+        i I.Notifyall;
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let reader =
+    A.method_ ~nlocals:2 "reader"
+      [
+        i (I.Const ops);
+        i (I.Store 0);
+        l "loop";
+        i (I.Load 0);
+        i (I.Ifz (I.Le, "end"));
+        i (I.Invoke (c, "acquire_read"));
+        (* the pair must sum to zero under the lock *)
+        i (I.Getstatic (c, "cells"));
+        i (I.Const 0);
+        i I.Aload;
+        i (I.Getstatic (c, "cells"));
+        i (I.Const 1);
+        i I.Aload;
+        i I.Add;
+        i (I.Store 1);
+        i (I.Const 15);
+        i (I.Invoke (c, "spin"));
+        i (I.Invoke (c, "release_read"));
+        (* a non-zero pair sum means a writer was visible mid-update *)
+        i (I.Load 1);
+        i (I.Ifz (I.Eq, "fine"));
+        i (I.Getstatic (c, "violations"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "violations"));
+        l "fine";
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 0);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let writer =
+    A.method_ ~args:[ I.Tint ] ~nlocals:2 "writer"
+      [
+        i (I.Const ops);
+        i (I.Store 1);
+        l "loop";
+        i (I.Load 1);
+        i (I.Ifz (I.Le, "end"));
+        i (I.Invoke (c, "acquire_write"));
+        (* cells.(0) += k; spin; cells.(1) -= k : the pair is briefly
+           inconsistent, which only the write lock hides *)
+        i (I.Getstatic (c, "cells"));
+        i (I.Const 0);
+        i (I.Getstatic (c, "cells"));
+        i (I.Const 0);
+        i I.Aload;
+        i (I.Load 0);
+        i I.Add;
+        i I.Astore;
+        i (I.Const 25);
+        i (I.Invoke (c, "spin"));
+        i (I.Getstatic (c, "cells"));
+        i (I.Const 1);
+        i (I.Getstatic (c, "cells"));
+        i (I.Const 1);
+        i I.Aload;
+        i (I.Load 0);
+        i I.Sub;
+        i I.Astore;
+        i (I.Invoke (c, "release_write"));
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 1);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let n = readers + writers in
+  let main =
+    A.method_ ~nlocals:(n + 1) "main"
+      ([
+         i (I.New "Object");
+         i (I.Putstatic (c, "lock"));
+         i (I.Const 2);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "cells"));
+       ]
+      @ List.concat_map
+          (fun k -> [ i (I.Spawn (c, "reader")); i (I.Store k) ])
+          (List.init readers (fun k -> k))
+      @ List.concat_map
+          (fun k ->
+            [
+              i (I.Const (k + 1));
+              i (I.Spawn (c, "writer"));
+              i (I.Store (readers + k));
+            ])
+          (List.init writers (fun k -> k))
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init n (fun k -> k))
+      @ [
+          i (I.Sconst "violations=");
+          i I.Prints;
+          i (I.Getstatic (c, "violations"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [
+            D.field ~ty:(I.Tobj "Object") "lock";
+            D.field "nreaders";
+            D.field "writing";
+            D.field ~ty:(I.Tarr I.Tint) "cells";
+            D.field "violations";
+          ]
+        [
+          spin_method; acquire_read; release_read; acquire_write;
+          release_write; reader; writer; main;
+        ];
+    ]

@@ -1,0 +1,136 @@
+(* Timer-driven workload (paper section 2.2, "Replaying Non-Deterministic
+   Timed Events"): sleeps, timed waits that sometimes time out and sometimes
+   get notified, and an interrupting supervisor. All wakeups depend on
+   wall-clock reads that DejaVu must reproduce. *)
+
+open Util
+
+let program ?(rounds = 6) () : D.program =
+  let c = "Timed" in
+  let sleeper =
+    (* sleeps a pseudo-varying amount each round, stamping progress *)
+    A.method_ ~args:[ I.Tint ] ~nlocals:2 "sleeper"
+      [
+        i (I.Const rounds);
+        i (I.Store 1);
+        l "loop";
+        i (I.Load 1);
+        i (I.Ifz (I.Le, "end"));
+        i (I.Load 0);
+        i (I.Load 1);
+        i I.Mul;
+        i (I.Const 5);
+        i I.Rem;
+        i (I.Const 1);
+        i I.Add;
+        i I.Sleep;
+        i (I.Getstatic (c, "progress"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "progress"));
+        i (I.Load 1);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 1);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let waiter =
+    (* timed wait: notified on even rounds (by the notifier) or times out;
+       counts which happened via the elapsed progress *)
+    A.method_ ~nlocals:2 "waiter"
+      [
+        i (I.Const rounds);
+        i (I.Store 0);
+        l "loop";
+        i (I.Load 0);
+        i (I.Ifz (I.Le, "end"));
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        i (I.Getstatic (c, "lock"));
+        i (I.Const 4);
+        i I.Timedwait;
+        i I.Pop;
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        i (I.Getstatic (c, "waits"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "waits"));
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 0);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let notifier =
+    A.method_ ~nlocals:1 "notifier"
+      [
+        i (I.Const (rounds / 2));
+        i (I.Store 0);
+        l "loop";
+        i (I.Load 0);
+        i (I.Ifz (I.Le, "end"));
+        i (I.Const 3);
+        i I.Sleep;
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        i (I.Getstatic (c, "lock"));
+        i I.Notifyall;
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 0);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:4 "main"
+      [
+        i (I.New "Object");
+        i (I.Putstatic (c, "lock"));
+        i (I.Const 2);
+        i (I.Spawn (c, "sleeper"));
+        i (I.Store 0);
+        i (I.Const 3);
+        i (I.Spawn (c, "sleeper"));
+        i (I.Store 1);
+        i (I.Spawn (c, "waiter"));
+        i (I.Store 2);
+        i (I.Spawn (c, "notifier"));
+        i (I.Store 3);
+        i (I.Load 0);
+        i I.Join;
+        i (I.Load 1);
+        i I.Join;
+        i (I.Load 2);
+        i I.Join;
+        i (I.Load 3);
+        i I.Join;
+        i (I.Getstatic (c, "progress"));
+        i I.Print;
+        i (I.Getstatic (c, "waits"));
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [
+            D.field "progress";
+            D.field "waits";
+            D.field ~ty:(I.Tobj "Object") "lock";
+          ]
+        [ sleeper; waiter; notifier; main ];
+    ]

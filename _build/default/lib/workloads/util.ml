@@ -1,0 +1,33 @@
+(* Shared helpers for writing workload programs in the assembly DSL. *)
+
+module I = Bytecode.Instr
+module D = Bytecode.Decl
+module A = Bytecode.Asm
+
+let i = A.i
+
+let l = A.label
+
+(* A busy loop burning roughly [2 + 5n] instructions. *)
+let spin_method =
+  A.method_ ~args:[ I.Tint ] ~nlocals:1 "spin"
+    [
+      l "loop";
+      i (I.Load 0);
+      i (I.Ifz (I.Le, "end"));
+      i (I.Load 0);
+      i (I.Const 1);
+      i I.Sub;
+      i (I.Store 0);
+      i (I.Goto "loop");
+      l "end";
+      i I.Ret;
+    ]
+
+(* call spin(n) in the owner class [c] *)
+let spin c n = [ i (I.Const n); i (I.Invoke (c, "spin")) ]
+
+(* print an integer literal marker *)
+let print_const n = [ i (I.Const n); i I.Print ]
+
+let print_str s = [ i (I.Sconst s); i I.Prints ]

@@ -1,0 +1,308 @@
+(* A miniature multithreaded server — the paper's motivating application
+   shape (section 1: "large scale multithreading in server applications
+   makes their executions highly non-deterministic").
+
+   An acceptor thread reads requests from the external input (method id,
+   key), pushes them onto a bounded queue guarded by wait/notify; a pool of
+   worker threads pops requests, serves them against a shared key-value
+   store (per-bucket monitors), allocates response "strings" (GC pressure),
+   and maintains hit/miss statistics. After [requests] requests the
+   acceptor enqueues one poison pill per worker.
+
+   Everything observable — per-worker service counts, the store contents,
+   hit/miss totals — depends on the interleaving of acceptor and workers,
+   while invariants (served = requests, hits + misses = gets) hold under
+   every schedule. *)
+
+open Util
+
+let program ?(workers = 3) ?(requests = 60) ?(buckets = 8) ?(capacity = 4) ()
+    : D.program =
+  let c = "Server" in
+  let enqueue =
+    (* enqueue(v): blocking bounded-queue put, guarded by qlock *)
+    A.method_ ~args:[ I.Tint ] ~nlocals:1 "enqueue"
+      [
+        i (I.Getstatic (c, "qlock"));
+        i I.Monitorenter;
+        l "check";
+        i (I.Getstatic (c, "qsize"));
+        i (I.Const capacity);
+        i (I.If (I.Lt, "room"));
+        i (I.Getstatic (c, "qlock"));
+        i I.Wait;
+        i I.Pop;
+        i (I.Goto "check");
+        l "room";
+        i (I.Getstatic (c, "queue"));
+        i (I.Getstatic (c, "qtail"));
+        i (I.Load 0);
+        i I.Astore;
+        i (I.Getstatic (c, "qtail"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Const capacity);
+        i I.Rem;
+        i (I.Putstatic (c, "qtail"));
+        i (I.Getstatic (c, "qsize"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "qsize"));
+        i (I.Getstatic (c, "qlock"));
+        i I.Notifyall;
+        i (I.Getstatic (c, "qlock"));
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let dequeue =
+    A.method_ ~ret:I.Tint ~nlocals:1 "dequeue"
+      [
+        i (I.Getstatic (c, "qlock"));
+        i I.Monitorenter;
+        l "check";
+        i (I.Getstatic (c, "qsize"));
+        i (I.Ifz (I.Gt, "avail"));
+        i (I.Getstatic (c, "qlock"));
+        i I.Wait;
+        i I.Pop;
+        i (I.Goto "check");
+        l "avail";
+        i (I.Getstatic (c, "queue"));
+        i (I.Getstatic (c, "qhead"));
+        i I.Aload;
+        i (I.Store 0);
+        i (I.Getstatic (c, "qhead"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Const capacity);
+        i I.Rem;
+        i (I.Putstatic (c, "qhead"));
+        i (I.Getstatic (c, "qsize"));
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Putstatic (c, "qsize"));
+        i (I.Getstatic (c, "qlock"));
+        i I.Notifyall;
+        i (I.Getstatic (c, "qlock"));
+        i I.Monitorexit;
+        i (I.Load 0);
+        i I.Retv;
+      ]
+  in
+  (* serve(req): req = key*4 + op; op 0/1 = get, 2 = put, 3 = delete-ish
+     (put 0). Store bucket b = key mod buckets, guarded by locks[b]. *)
+  let serve =
+    A.method_ ~args:[ I.Tint; I.Tint ] ~nlocals:5 "serve"
+      [
+        (* key = req / 4; op = req mod 4; bucket = key mod buckets *)
+        i (I.Load 1);
+        i (I.Const 4);
+        i I.Div;
+        i (I.Store 2);
+        i (I.Load 1);
+        i (I.Const 4);
+        i I.Rem;
+        i (I.Store 3);
+        i (I.Load 2);
+        i (I.Const buckets);
+        i I.Rem;
+        i (I.Store 4);
+        i (I.Getstatic (c, "locks"));
+        i (I.Load 4);
+        i I.Aload;
+        i I.Monitorenter;
+        (* op >= 2: put key -> worker id + 1 (a "response" is also built) *)
+        i (I.Load 3);
+        i (I.Const 2);
+        i (I.If (I.Lt, "get"));
+        i (I.Getstatic (c, "store"));
+        i (I.Load 4);
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Add;
+        i I.Astore;
+        (* response allocation: GC pressure *)
+        i (I.Const 24);
+        i (I.Newarray I.Tint);
+        i I.Pop;
+        i (I.Goto "done");
+        l "get";
+        i (I.Getstatic (c, "store"));
+        i (I.Load 4);
+        i I.Aload;
+        i (I.Ifz (I.Eq, "miss"));
+        i (I.Getstatic (c, "hits"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "hits"));
+        i (I.Goto "done");
+        l "miss";
+        i (I.Getstatic (c, "misses"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "misses"));
+        l "done";
+        i (I.Getstatic (c, "locks"));
+        i (I.Load 4);
+        i I.Aload;
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let worker =
+    A.method_ ~args:[ I.Tint ] ~nlocals:2 "worker"
+      [
+        l "loop";
+        i (I.Invoke (c, "dequeue"));
+        i (I.Store 1);
+        (* poison pill: -1 *)
+        i (I.Load 1);
+        i (I.Const (-1));
+        i (I.If (I.Eq, "end"));
+        i (I.Load 0);
+        i (I.Load 1);
+        i (I.Invoke (c, "serve"));
+        (* served[me]++ *)
+        i (I.Getstatic (c, "served"));
+        i (I.Load 0);
+        i (I.Getstatic (c, "served"));
+        i (I.Load 0);
+        i I.Aload;
+        i (I.Const 1);
+        i I.Add;
+        i I.Astore;
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let acceptor =
+    A.method_ ~nlocals:1 "acceptor"
+      ([
+         i (I.Const requests);
+         i (I.Store 0);
+         l "loop";
+         i (I.Load 0);
+         i (I.Ifz (I.Le, "pills"));
+         (* request = |input| mod (buckets*4*2): keys beyond the store are
+            guaranteed misses *)
+         i I.Readinput;
+         i (I.Const (buckets * 8));
+         i I.Rem;
+         i (I.Invoke (c, "enqueue"));
+         i (I.Load 0);
+         i (I.Const 1);
+         i I.Sub;
+         i (I.Store 0);
+         i (I.Goto "loop");
+         l "pills";
+       ]
+      @ List.concat_map
+          (fun _ -> [ i (I.Const (-1)); i (I.Invoke (c, "enqueue")) ])
+          (List.init workers (fun k -> k))
+      @ [ i I.Ret ])
+  in
+  let main =
+    A.method_ ~nlocals:(workers + 3) "main"
+      ([
+         i (I.Const capacity);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "queue"));
+         i (I.New "Object");
+         i (I.Putstatic (c, "qlock"));
+         i (I.Const buckets);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "store"));
+         i (I.Const buckets);
+         i (I.Newarray (I.Tobj "Object"));
+         i (I.Putstatic (c, "locks"));
+         i (I.Const workers);
+         i (I.Newarray I.Tint);
+         i (I.Putstatic (c, "served"));
+         i (I.Const 0);
+         i (I.Store workers);
+         l "mklocks";
+         i (I.Load workers);
+         i (I.Const buckets);
+         i (I.If (I.Ge, "go"));
+         i (I.Getstatic (c, "locks"));
+         i (I.Load workers);
+         i (I.New "Object");
+         i I.Astore;
+         i (I.Load workers);
+         i (I.Const 1);
+         i I.Add;
+         i (I.Store workers);
+         i (I.Goto "mklocks");
+         l "go";
+       ]
+      @ List.concat_map
+          (fun k ->
+            [ i (I.Const k); i (I.Spawn (c, "worker")); i (I.Store k) ])
+          (List.init workers (fun k -> k))
+      @ [ i (I.Spawn (c, "acceptor")); i (I.Store workers) ]
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init (workers + 1) (fun k -> k))
+      @ [
+          (* report: total served (must equal requests), hits+misses, and
+             the per-worker split (schedule-dependent) *)
+          i (I.Const 0);
+          i (I.Store (workers + 1));
+          i (I.Const 0);
+          i (I.Store (workers + 2));
+          l "sum";
+          i (I.Load (workers + 1));
+          i (I.Const workers);
+          i (I.If (I.Ge, "report"));
+          i (I.Load (workers + 2));
+          i (I.Getstatic (c, "served"));
+          i (I.Load (workers + 1));
+          i I.Aload;
+          i I.Add;
+          i (I.Store (workers + 2));
+          i (I.Load (workers + 1));
+          i (I.Const 1);
+          i I.Add;
+          i (I.Store (workers + 1));
+          i (I.Goto "sum");
+          l "report";
+          i (I.Sconst "served=");
+          i I.Prints;
+          i (I.Load (workers + 2));
+          i I.Print;
+          i (I.Sconst "hits=");
+          i I.Prints;
+          i (I.Getstatic (c, "hits"));
+          i I.Print;
+          i (I.Sconst "misses=");
+          i I.Prints;
+          i (I.Getstatic (c, "misses"));
+          i I.Print;
+          (* per-worker split *)
+          i (I.Getstatic (c, "served"));
+          i (I.Const 0);
+          i I.Aload;
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [
+            D.field ~ty:(I.Tarr I.Tint) "queue";
+            D.field ~ty:(I.Tobj "Object") "qlock";
+            D.field "qhead";
+            D.field "qtail";
+            D.field "qsize";
+            D.field ~ty:(I.Tarr I.Tint) "store";
+            D.field ~ty:(I.Tarr (I.Tobj "Object")) "locks";
+            D.field ~ty:(I.Tarr I.Tint) "served";
+            D.field "hits";
+            D.field "misses";
+          ]
+        [ enqueue; dequeue; serve; worker; acceptor; main ];
+    ]

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Dejavu Fmt List Tutil Vm Workloads

@@ -1,0 +1,1 @@
+test/test_bytecode.ml: A Alcotest Array Bytecode D I List String Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_debugger.ml: Alcotest Debugger Dejavu Option Remote_reflection String Tutil Vm Workloads

@@ -1,0 +1,1 @@
+test/test_dejavu.ml: Alcotest Array Dejavu Filename Fmt Lazy List Sys Tutil Vm Workloads

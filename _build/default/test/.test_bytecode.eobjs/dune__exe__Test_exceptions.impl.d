@@ -1,0 +1,1 @@
+test/test_exceptions.ml: A Alcotest D I Option Tutil Vm Workloads

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest D I Tutil Vm Workloads

@@ -1,0 +1,1 @@
+test/test_link.ml: A Alcotest Array Bytecode D Hashtbl I List Tutil Vm

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Bytecode D Filename I Lazy List Option Sys Tutil Vm Workloads

@@ -1,0 +1,1 @@
+test/test_props.ml: A Alcotest Array Baselines Buffer Bytecode D Dejavu Fmt Gen I List QCheck QCheck_alcotest String Tutil Vm Workloads

@@ -1,0 +1,1 @@
+test/test_remote.ml: A Alcotest Array D I List Remote_reflection Tutil Vm

@@ -1,0 +1,1 @@
+test/test_sched.ml: A Alcotest D Fmt I List Tutil Vm Workloads

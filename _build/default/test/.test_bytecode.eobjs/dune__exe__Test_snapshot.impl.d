@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Debugger Dejavu List Option Tutil Vm Workloads

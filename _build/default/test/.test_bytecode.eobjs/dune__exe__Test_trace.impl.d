@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Buffer Dejavu Filename Fmt List String Sys Tutil Vm

@@ -1,0 +1,1 @@
+test/test_verify.ml: A Alcotest Array D Hashtbl I List Option Tutil Vm

@@ -1,0 +1,1 @@
+test/test_vm.ml: A Alcotest Bytecode D I List Tutil Vm Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bytecode Dejavu Fmt Lazy List String Tutil Vm Workloads

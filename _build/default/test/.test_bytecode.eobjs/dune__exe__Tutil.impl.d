@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Bytecode Fmt List String Vm

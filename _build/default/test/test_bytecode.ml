@@ -1,0 +1,325 @@
+(* Bytecode layer: instruction helpers, assembler, declarations, static
+   checks, disassembler. *)
+
+open Tutil
+
+(* --- Instr ------------------------------------------------------------ *)
+
+let test_eval_cmp () =
+  let open Bytecode.Instr in
+  Alcotest.(check bool) "eq t" true (eval_cmp Eq 3 3);
+  Alcotest.(check bool) "eq f" false (eval_cmp Eq 3 4);
+  Alcotest.(check bool) "ne t" true (eval_cmp Ne 3 4);
+  Alcotest.(check bool) "ne f" false (eval_cmp Ne 3 3);
+  Alcotest.(check bool) "lt t" true (eval_cmp Lt (-1) 0);
+  Alcotest.(check bool) "lt f" false (eval_cmp Lt 0 0);
+  Alcotest.(check bool) "le t" true (eval_cmp Le 0 0);
+  Alcotest.(check bool) "le f" false (eval_cmp Le 1 0);
+  Alcotest.(check bool) "gt t" true (eval_cmp Gt 5 4);
+  Alcotest.(check bool) "gt f" false (eval_cmp Gt 4 4);
+  Alcotest.(check bool) "ge t" true (eval_cmp Ge 4 4);
+  Alcotest.(check bool) "ge f" false (eval_cmp Ge 3 4)
+
+let test_falls_through () =
+  let open Bytecode.Instr in
+  Alcotest.(check bool) "goto" false (falls_through (Goto 0));
+  Alcotest.(check bool) "ret" false (falls_through Ret);
+  Alcotest.(check bool) "retv" false (falls_through Retv);
+  Alcotest.(check bool) "throw" false (falls_through Throw);
+  Alcotest.(check bool) "halt" false (falls_through Halt);
+  Alcotest.(check bool) "if" true (falls_through (If (Eq, 0)));
+  Alcotest.(check bool) "add" true (falls_through Add);
+  Alcotest.(check bool) "invoke" true (falls_through (Invoke ("C", "m")))
+
+let test_target () =
+  let open Bytecode.Instr in
+  Alcotest.(check (option int)) "goto" (Some 7) (target (Goto 7));
+  Alcotest.(check (option int)) "if" (Some 3) (target (If (Lt, 3)));
+  Alcotest.(check (option int)) "ifz" (Some 2) (target (Ifz (Eq, 2)));
+  Alcotest.(check (option int)) "ifnull" (Some 1) (target (Ifnull 1));
+  Alcotest.(check (option int)) "ifrefeq" (Some 9) (target (Ifrefeq 9));
+  Alcotest.(check (option int)) "add" None (target Add)
+
+let test_map_target () =
+  let open Bytecode.Instr in
+  let f x = x + 10 in
+  Alcotest.(check (option int)) "goto mapped" (Some 15) (target (map_target f (Goto 5)));
+  Alcotest.(check (option int)) "if mapped" (Some 12) (target (map_target f (If (Ge, 2))));
+  (match map_target f (Const 3) with
+  | Const 3 -> ()
+  | _ -> Alcotest.fail "const unchanged");
+  match map_target f (Invoke ("C", "m")) with
+  | Invoke ("C", "m") -> ()
+  | _ -> Alcotest.fail "invoke unchanged"
+
+let test_ty () =
+  let open Bytecode.Instr in
+  Alcotest.(check bool) "int" false (is_ref_ty Tint);
+  Alcotest.(check bool) "ref" true (is_ref_ty Tref);
+  Alcotest.(check bool) "obj" true (is_ref_ty (Tobj "X"));
+  Alcotest.(check bool) "arr" true (is_ref_ty (Tarr Tint));
+  Alcotest.(check string) "show" "int[][]" (string_of_ty (Tarr (Tarr Tint)));
+  Alcotest.(check string) "obj show" "Point" (string_of_ty (Tobj "Point"))
+
+let test_pp () =
+  let open Bytecode.Instr in
+  Alcotest.(check string) "const" "const 42" (to_string (Const 42));
+  Alcotest.(check string) "goto" "goto @3" (to_string (Goto 3));
+  Alcotest.(check string) "getfield" "getfield C.f" (to_string (Getfield ("C", "f")));
+  Alcotest.(check string) "newarray" "newarray int[]" (to_string (Newarray (Tarr Tint)));
+  Alcotest.(check string) "sconst" "sconst \"hi\"" (to_string (Sconst "hi"))
+
+(* --- Asm --------------------------------------------------------------- *)
+
+let test_asm_labels () =
+  let code, _lines =
+    A.assemble [ l "top"; i (I.Const 1); i (I.Goto "top"); l "end"; i I.Ret ]
+  in
+  Alcotest.(check int) "len" 3 (Array.length code);
+  (match code.(1) with
+  | I.Goto 0 -> ()
+  | x -> Alcotest.failf "goto resolved wrong: %s" (I.to_string x));
+  match code.(2) with I.Ret -> () | _ -> Alcotest.fail "ret"
+
+let test_asm_forward_label () =
+  let code, _ = A.assemble [ i (I.Goto "fwd"); i I.Nop; l "fwd"; i I.Ret ] in
+  match code.(0) with
+  | I.Goto 2 -> ()
+  | x -> Alcotest.failf "forward: %s" (I.to_string x)
+
+let test_asm_duplicate_label () =
+  match A.assemble [ l "x"; i I.Ret; l "x" ] with
+  | exception A.Error _ -> ()
+  | _ -> Alcotest.fail "duplicate label accepted"
+
+let test_asm_undefined_label () =
+  match A.assemble [ i (I.Goto "nowhere") ] with
+  | exception A.Error _ -> ()
+  | _ -> Alcotest.fail "undefined label accepted"
+
+let test_asm_rejects_yieldpoint () =
+  match A.assemble [ i I.Yieldpoint; i I.Ret ] with
+  | exception A.Error _ -> ()
+  | _ -> Alcotest.fail "user yieldpoint accepted"
+
+let test_asm_lines () =
+  let _, lines =
+    A.assemble
+      [ A.line 10; i I.Nop; i I.Nop; A.line 12; i I.Ret ]
+  in
+  Alcotest.(check (list (pair int int))) "line table" [ (0, 10); (2, 12) ] lines
+
+let test_asm_handlers () =
+  let m =
+    A.method_with_handlers ~nlocals:0 "m"
+      [ l "a"; i I.Nop; l "b"; i I.Ret; l "h"; i I.Pop; i I.Ret ]
+      [ { A.ah_from = "a"; ah_upto = "b"; ah_target = "h"; ah_class = None } ]
+  in
+  match m.D.m_handlers with
+  | [ h ] ->
+    Alcotest.(check int) "from" 0 h.D.h_from;
+    Alcotest.(check int) "upto" 1 h.D.h_upto;
+    Alcotest.(check int) "target" 2 h.D.h_target
+  | _ -> Alcotest.fail "handler count"
+
+(* --- Decl --------------------------------------------------------------- *)
+
+let test_mdecl_validation () =
+  match D.mdecl ~args:[ I.Tint; I.Tint ] ~nlocals:1 "m" [ I.Ret ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nlocals < nargs accepted"
+
+let test_line_of_pc () =
+  let m =
+    D.mdecl ~nlocals:0 ~lines:[ (0, 5); (3, 8) ] "m" [ I.Nop; I.Nop; I.Nop; I.Ret ]
+  in
+  Alcotest.(check (option int)) "pc0" (Some 5) (D.line_of_pc m 0);
+  Alcotest.(check (option int)) "pc2" (Some 5) (D.line_of_pc m 2);
+  Alcotest.(check (option int)) "pc3" (Some 8) (D.line_of_pc m 3)
+
+let test_digest_stability () =
+  let p1 = Workloads.Fig1.ab () in
+  let p2 = Workloads.Fig1.ab () in
+  Alcotest.(check string) "same program same digest" (D.digest p1) (D.digest p2);
+  let p3 = Workloads.Fig1.ab ~work:999 () in
+  Alcotest.(check bool) "different program different digest" false
+    (D.digest p1 = D.digest p3)
+
+let test_program_builders () =
+  let p = main_prog [ i I.Ret ] in
+  Alcotest.(check string) "main class" "T" p.D.main_class;
+  Alcotest.(check bool) "find class" true (D.find_class p "T" <> None);
+  Alcotest.(check bool) "find missing" true (D.find_class p "X" = None);
+  match D.find_class p "T" with
+  | Some c ->
+    Alcotest.(check bool) "find method" true (D.find_method c "main" <> None)
+  | None -> Alcotest.fail "class"
+
+(* --- Check --------------------------------------------------------------- *)
+
+let issues p = List.length (Bytecode.Check.check p)
+
+let test_check_good_program () =
+  Alcotest.(check int) "no issues" 0 (issues (Workloads.Fig1.ab ()));
+  Alcotest.(check int) "no issues cd" 0 (issues (Workloads.Fig1.cd ()));
+  Alcotest.(check int) "bank fine" 0 (issues (Workloads.Bank.program ()))
+
+let test_check_missing_main () =
+  let p = D.program ~main_class:"T" [ D.cdecl "T" [] ] in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_branch_range () =
+  let p = prog1 [ D.mdecl ~nlocals:0 "main" [ I.Goto 99 ] ] in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_fall_off_end () =
+  let p = prog1 [ D.mdecl ~nlocals:0 "main" [ I.Nop ] ] in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_local_range () =
+  let p = prog1 [ D.mdecl ~nlocals:1 "main" [ I.Load 5; I.Pop; I.Ret ] ] in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_unknown_class () =
+  let p = prog1 [ D.mdecl ~nlocals:0 "main" [ I.New "Nope"; I.Pop; I.Ret ] ] in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_unknown_field () =
+  let p =
+    prog1 [ D.mdecl ~nlocals:0 "main" [ I.Getstatic ("T", "zzz"); I.Pop; I.Ret ] ]
+  in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_unknown_method () =
+  let p = prog1 [ D.mdecl ~nlocals:0 "main" [ I.Invoke ("T", "nope"); I.Ret ] ] in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_duplicate_class () =
+  let p =
+    D.program ~main_class:"T"
+      [ D.cdecl "T" [ D.mdecl ~nlocals:0 "main" [ I.Ret ] ]; D.cdecl "T" [] ]
+  in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_builtin_redefinition () =
+  let p =
+    D.program ~main_class:"T"
+      [
+        D.cdecl "T" [ D.mdecl ~nlocals:0 "main" [ I.Ret ] ];
+        D.cdecl "String" [];
+      ]
+  in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_handler_range () =
+  let p =
+    prog1
+      [
+        D.mdecl ~nlocals:0
+          ~handlers:[ { D.h_from = 0; h_upto = 9; h_target = 0; h_class = None } ]
+          "main" [ I.Ret ];
+      ]
+  in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_instance_receiver () =
+  let p =
+    prog1
+      [
+        D.mdecl ~nlocals:0 "main" [ I.Ret ];
+        D.mdecl ~static:false ~args:[ I.Tint ] ~nlocals:1 "m" [ I.Ret ];
+      ]
+  in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_sync_static () =
+  let p =
+    prog1
+      [
+        D.mdecl ~nlocals:0 "main" [ I.Ret ];
+        D.mdecl ~sync:true ~args:[ I.Tint ] ~nlocals:1 "m" [ I.Ret ];
+      ]
+  in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_unknown_ty () =
+  let p =
+    prog1 ~statics:[ D.field ~ty:(I.Tobj "Ghost") "g" ]
+      [ D.mdecl ~nlocals:0 "main" [ I.Ret ] ]
+  in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+let test_check_superclass_cycle () =
+  let p =
+    D.program ~main_class:"T"
+      [
+        D.cdecl ~super:"B" "A" [];
+        D.cdecl ~super:"A" "B" [];
+        D.cdecl "T" [ D.mdecl ~nlocals:0 "main" [ I.Ret ] ];
+      ]
+  in
+  Alcotest.(check bool) "flagged" true (issues p > 0)
+
+(* --- Disasm -------------------------------------------------------------- *)
+
+let test_disasm' () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let s = Bytecode.Disasm.program_to_string (Workloads.Fig1.ab ()) in
+  Alcotest.(check bool) "class header" true (contains s "class Fig1AB");
+  Alcotest.(check bool) "method" true (contains s "static main");
+  Alcotest.(check bool) "spawn" true (contains s "spawn Fig1AB.t1");
+  Alcotest.(check bool) "statics" true (contains s "static x : int")
+
+let () =
+  Alcotest.run "bytecode"
+    [
+      ( "instr",
+        [
+          quick "eval_cmp" test_eval_cmp;
+          quick "falls_through" test_falls_through;
+          quick "target" test_target;
+          quick "map_target" test_map_target;
+          quick "types" test_ty;
+          quick "pretty-printing" test_pp;
+        ] );
+      ( "asm",
+        [
+          quick "labels resolve" test_asm_labels;
+          quick "forward labels" test_asm_forward_label;
+          quick "duplicate label rejected" test_asm_duplicate_label;
+          quick "undefined label rejected" test_asm_undefined_label;
+          quick "yieldpoint rejected" test_asm_rejects_yieldpoint;
+          quick "line directives" test_asm_lines;
+          quick "symbolic handlers" test_asm_handlers;
+        ] );
+      ( "decl",
+        [
+          quick "mdecl validation" test_mdecl_validation;
+          quick "line_of_pc" test_line_of_pc;
+          quick "digest stability" test_digest_stability;
+          quick "program builders" test_program_builders;
+        ] );
+      ( "check",
+        [
+          quick "good programs pass" test_check_good_program;
+          quick "missing main" test_check_missing_main;
+          quick "branch out of range" test_check_branch_range;
+          quick "fall off end" test_check_fall_off_end;
+          quick "local out of range" test_check_local_range;
+          quick "unknown class" test_check_unknown_class;
+          quick "unknown field" test_check_unknown_field;
+          quick "unknown method" test_check_unknown_method;
+          quick "duplicate class" test_check_duplicate_class;
+          quick "builtin redefinition" test_check_builtin_redefinition;
+          quick "handler range" test_check_handler_range;
+          quick "instance needs receiver" test_check_instance_receiver;
+          quick "sync static rejected" test_check_sync_static;
+          quick "unknown type name" test_check_unknown_ty;
+          quick "superclass cycle" test_check_superclass_cycle;
+        ] );
+      ("disasm", [ quick "listing" test_disasm' ]);
+    ]

@@ -1,0 +1,223 @@
+(* The replay debugger: breakpoints, stepping, deterministic time travel,
+   the command protocol, and non-perturbation of the replayed execution. *)
+
+open Tutil
+
+let entry name = Option.get (Workloads.Registry.find name)
+
+let fresh_session ?(name = "fig1ab") ?(seed = 1) () =
+  let e = entry name in
+  let session, _run = Debugger.Session.record_and_start ~natives:e.natives ~seed e.program in
+  session
+
+let test_breakpoint_hit () =
+  let d = fresh_session () in
+  let _b = Debugger.Session.add_breakpoint d ~cls:"Fig1AB" ~meth:"t2" Debugger.Breakpoint.Any_pc in
+  match Debugger.Session.continue_ d with
+  | Debugger.Session.Hit b ->
+    Alcotest.(check string) "class" "Fig1AB" b.bp_class;
+    Alcotest.(check string) "method" "t2" b.bp_method;
+    (match Debugger.Session.position d with
+    | Some (m, pc) ->
+      Alcotest.(check string) "stopped in t2" "t2" m.rm_name;
+      Alcotest.(check int) "at entry" 0 pc
+    | None -> Alcotest.fail "no position")
+  | r -> Alcotest.failf "expected hit, got %s" (Debugger.Protocol.string_of_stop d r)
+
+let test_step_counts () =
+  let d = fresh_session () in
+  (match Debugger.Session.step d 10 with
+  | Debugger.Session.Step_done -> ()
+  | r -> Alcotest.failf "unexpected %s" (Debugger.Protocol.string_of_stop d r));
+  Alcotest.(check int) "ten steps" 10 d.steps
+
+let test_continue_to_end () =
+  let d = fresh_session () in
+  match Debugger.Session.continue_ d with
+  | Debugger.Session.Finished Vm.Rt.Finished -> ()
+  | r -> Alcotest.failf "unexpected %s" (Debugger.Protocol.string_of_stop d r)
+
+let test_replay_equals_undebugged () =
+  (* stepping + heavy inspection must not change the replayed outcome *)
+  let e = entry "fig1ab" in
+  let run_rec, trace = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+  let d = Debugger.Session.start ~natives:e.natives e.program trace in
+  ignore (Debugger.Session.add_breakpoint d ~cls:"Fig1AB" ~meth:"t1" Debugger.Breakpoint.Any_pc);
+  ignore (Debugger.Session.continue_ d);
+  (* inspect a lot *)
+  for _ = 1 to 20 do
+    ignore (Debugger.Session.threads d);
+    ignore (Debugger.Session.frames d 0);
+    let module R = (val Remote_reflection.Remote_object.reflection (Debugger.Session.space d)) in
+    ignore (R.get_static "Fig1AB" "x");
+    ignore (R.get_static "Fig1AB" "y")
+  done;
+  ignore (Debugger.Session.continue_ d);
+  Alcotest.(check string) "same output" run_rec.Dejavu.output
+    (Debugger.Session.output d);
+  Alcotest.(check int) "same final digest" run_rec.Dejavu.state_digest
+    (Debugger.Session.state_digest d)
+
+let test_time_travel_deterministic () =
+  (* landing on the same step twice gives the same state digest *)
+  let d = fresh_session ~name:"racy-counter" () in
+  ignore (Debugger.Session.step d 5000);
+  let digest_a = Debugger.Session.state_digest d in
+  ignore (Debugger.Session.step d 3000);
+  (match Debugger.Session.goto_step d 5000 with
+  | Debugger.Session.Step_done -> ()
+  | r -> Alcotest.failf "goto failed: %s" (Debugger.Protocol.string_of_stop d r));
+  Alcotest.(check int) "steps" 5000 d.steps;
+  Alcotest.(check int) "same digest at step 5000" digest_a
+    (Debugger.Session.state_digest d)
+
+let test_goto_forward () =
+  let d = fresh_session () in
+  ignore (Debugger.Session.step d 100);
+  ignore (Debugger.Session.goto_step d 500);
+  Alcotest.(check int) "landed" 500 d.steps
+
+let test_breakpoint_by_src_pc () =
+  let d = fresh_session () in
+  ignore
+    (Debugger.Session.add_breakpoint d ~cls:"Fig1AB" ~meth:"t1"
+       (Debugger.Breakpoint.Src_pc 0));
+  match Debugger.Session.continue_ d with
+  | Debugger.Session.Hit _ -> (
+    match Debugger.Session.position d with
+    | Some (m, _) -> Alcotest.(check string) "in t1" "t1" m.rm_name
+    | None -> Alcotest.fail "no position")
+  | r -> Alcotest.failf "no hit: %s" (Debugger.Protocol.string_of_stop d r)
+
+let test_remove_breakpoint () =
+  let d = fresh_session () in
+  let b = Debugger.Session.add_breakpoint d ~cls:"Fig1AB" ~meth:"t2" Debugger.Breakpoint.Any_pc in
+  Debugger.Session.remove_breakpoint d b.bp_id;
+  match Debugger.Session.continue_ d with
+  | Debugger.Session.Finished _ -> ()
+  | r -> Alcotest.failf "should run to end: %s" (Debugger.Protocol.string_of_stop d r)
+
+let test_watchpoint_fires () =
+  let d = fresh_session ~name:"fig1ab" () in
+  let w = Debugger.Session.add_watchpoint d ~cls:"Fig1AB" ~field:"y" in
+  (match Debugger.Session.continue_ d with
+  | Debugger.Session.Watch_fired (w', old, now) ->
+    Alcotest.(check int) "id" w.w_id w'.Debugger.Session.w_id;
+    Alcotest.(check int) "old" 0 old;
+    Alcotest.(check bool) "changed" true (now <> 0)
+  | r -> Alcotest.failf "no watch hit: %s" (Debugger.Protocol.string_of_stop d r));
+  (* the same watch fires at the same step on a second replay *)
+  let step_a = d.steps in
+  let d2 = fresh_session ~name:"fig1ab" () in
+  ignore (Debugger.Session.add_watchpoint d2 ~cls:"Fig1AB" ~field:"y");
+  ignore (Debugger.Session.continue_ d2);
+  Alcotest.(check int) "deterministic step" step_a d2.steps
+
+let test_watchpoint_resync_after_goto () =
+  let d = fresh_session ~name:"fig1ab" () in
+  ignore (Debugger.Session.add_watchpoint d ~cls:"Fig1AB" ~field:"y");
+  ignore (Debugger.Session.continue_ d) (* first change *);
+  let fire_step = d.steps in
+  ignore (Debugger.Session.goto_step d (fire_step + 500));
+  (* travelling must not re-fire spuriously at the landing point *)
+  ignore (Debugger.Session.goto_step d 10);
+  match Debugger.Session.continue_ d with
+  | Debugger.Session.Watch_fired _ ->
+    Alcotest.(check int) "re-fires at the same change" fire_step d.steps
+  | r -> Alcotest.failf "unexpected %s" (Debugger.Protocol.string_of_stop d r)
+
+let test_set_static_breaks_symmetry () =
+  let e = entry "racy-counter" in
+  let run_rec, trace = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+  let d = Debugger.Session.start ~natives:e.natives e.program trace in
+  (* stop near the end so the poke survives to the final print *)
+  ignore (Debugger.Session.step d (run_rec.Dejavu.obs_count - 10));
+  Alcotest.(check bool) "not perturbed yet" false (Debugger.Session.perturbed d);
+  let before = Debugger.Session.state_digest d in
+  Debugger.Session.set_static d ~cls:"Racy" ~field:"count" 1_000_000;
+  Alcotest.(check bool) "perturbed" true (Debugger.Session.perturbed d);
+  Alcotest.(check bool) "digest changed" true
+    (Debugger.Session.state_digest d <> before);
+  (* replay can resume, but accuracy is no longer guaranteed *)
+  ignore (Debugger.Session.continue_ d);
+  Alcotest.(check bool) "outcome differs from the recording" true
+    (Debugger.Session.output d <> run_rec.Dejavu.output)
+
+let test_set_static_rejects_refs () =
+  let d = fresh_session ~name:"fig1cd" () in
+  match Debugger.Session.set_static d ~cls:"Fig1CD" ~field:"lock" 99 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "poked a reference slot"
+
+(* --- protocol ------------------------------------------------------------ *)
+
+let exec d cmd =
+  match Debugger.Protocol.execute d cmd with
+  | Debugger.Protocol.Reply s -> s
+  | Debugger.Protocol.Quit -> "<quit>"
+
+let test_protocol_basics () =
+  let d = fresh_session () in
+  Alcotest.(check bool) "help" true (contains (exec d "help") "commands");
+  Alcotest.(check bool) "break" true
+    (contains (exec d "break Fig1AB t2") "Fig1AB.t2");
+  Alcotest.(check bool) "continue hits" true
+    (contains (exec d "continue") "breakpoint");
+  Alcotest.(check bool) "threads lists main" true
+    (contains (exec d "threads") "main");
+  Alcotest.(check bool) "stack" true (contains (exec d "stack 2") "t2");
+  Alcotest.(check bool) "step" true (contains (exec d "step 3") "stopped");
+  Alcotest.(check bool) "print static" true
+    (contains (exec d "print static Fig1AB.x") "Fig1AB.x =");
+  Alcotest.(check bool) "digest" true (String.length (exec d "digest") > 0);
+  Alcotest.(check bool) "info" true (contains (exec d "info") "status=running");
+  (match Debugger.Protocol.execute d "quit" with
+  | Debugger.Protocol.Quit -> ()
+  | _ -> Alcotest.fail "quit");
+  Alcotest.(check bool) "unknown command" true
+    (contains (exec d "frobnicate") "unknown")
+
+let test_protocol_errors_are_replies () =
+  let d = fresh_session () in
+  Alcotest.(check bool) "bad int" true (contains (exec d "step zzz") "error");
+  Alcotest.(check bool) "bad static" true
+    (contains (exec d "print static Nope.zzz") "error")
+
+let test_protocol_locals () =
+  let d = fresh_session () in
+  ignore (exec d "break Fig1AB t2");
+  ignore (exec d "continue");
+  let out = exec d "locals 2" in
+  Alcotest.(check bool) "locals rendered" true (contains out "t2")
+
+let () =
+  Alcotest.run "debugger"
+    [
+      ( "session",
+        [
+          quick "breakpoint hit" test_breakpoint_hit;
+          quick "step counts" test_step_counts;
+          quick "continue to end" test_continue_to_end;
+          quick "breakpoint by src pc" test_breakpoint_by_src_pc;
+          quick "remove breakpoint" test_remove_breakpoint;
+        ] );
+      ( "determinism",
+        [
+          quick "replay unperturbed by debugging" test_replay_equals_undebugged;
+          quick "time travel deterministic" test_time_travel_deterministic;
+          quick "goto forward" test_goto_forward;
+        ] );
+      ( "protocol",
+        [
+          quick "basics" test_protocol_basics;
+          quick "errors are replies" test_protocol_errors_are_replies;
+          quick "locals" test_protocol_locals;
+        ] );
+      ( "watch/poke",
+        [
+          quick "watchpoint fires deterministically" test_watchpoint_fires;
+          quick "watchpoints survive time travel" test_watchpoint_resync_after_goto;
+          quick "set static voids accuracy" test_set_static_breaks_symmetry;
+          quick "set static rejects refs" test_set_static_rejects_refs;
+        ] );
+    ]

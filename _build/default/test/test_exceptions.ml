@@ -1,0 +1,348 @@
+(* Exceptions: builtin runtime exceptions, user throwables, handler
+   selection, unwinding across frames and monitors, uncaught behaviour. *)
+
+open Tutil
+
+let catch_all body handler =
+  A.method_with_handlers ~nlocals:4 "main"
+    ([ l "try" ] @ body @ [ l "endtry"; i I.Ret; l "catch" ] @ handler)
+    [ { A.ah_from = "try"; ah_upto = "endtry"; ah_target = "catch"; ah_class = None } ]
+
+let expect_catch ?extra_classes body expected =
+  let m = catch_all body [ i I.Pop; i (I.Const 777); i I.Print; i I.Ret ] in
+  let p =
+    D.program ~main_class:"T"
+      (Option.value extra_classes ~default:[] @ [ D.cdecl "T" [ m ] ])
+  in
+  expect_output p (printed (expected @ [ 777 ]))
+
+let test_div_by_zero () =
+  expect_catch [ i (I.Const 1); i (I.Const 0); i I.Div; i I.Print ] []
+
+let test_rem_by_zero () =
+  expect_catch [ i (I.Const 1); i (I.Const 0); i I.Rem; i I.Print ] []
+
+let test_npe_getfield () =
+  expect_catch
+    ~extra_classes:[ D.cdecl "P" ~fields:[ D.field "x" ] [] ]
+    [ i I.Null; i (I.Checkcast "P"); i (I.Getfield ("P", "x")); i I.Print ]
+    []
+
+let test_npe_monitorenter () =
+  expect_catch [ i I.Null; i I.Monitorenter ] []
+
+let test_npe_prints () = expect_catch [ i I.Null; i (I.Checkcast "String"); i I.Prints ] []
+
+let test_npe_throw_null () = expect_catch [ i I.Null; i (I.Checkcast "Throwable"); i I.Throw ] []
+
+let test_bounds_low () =
+  expect_catch
+    [
+      i (I.Const 3);
+      i (I.Newarray I.Tint);
+      i (I.Const (-1));
+      i I.Aload;
+      i I.Print;
+    ]
+    []
+
+let test_bounds_high () =
+  expect_catch
+    [
+      i (I.Const 3);
+      i (I.Newarray I.Tint);
+      i (I.Const 3);
+      i (I.Const 0);
+      i I.Astore;
+    ]
+    []
+
+let test_negative_array_size () =
+  expect_catch [ i (I.Const (-2)); i (I.Newarray I.Tint); i I.Pop ] []
+
+let test_class_cast () =
+  expect_catch
+    ~extra_classes:[ D.cdecl "Q" []; D.cdecl "R" [] ]
+    [ i (I.New "Q"); i (I.Checkcast "Object"); i (I.Checkcast "R"); i I.Pop ]
+    []
+
+(* --- handler selection ---------------------------------------------------- *)
+
+let test_specific_handler_wins () =
+  (* the matching class handler runs, not the catch-all after it *)
+  let m =
+    A.method_with_handlers ~nlocals:0 "main"
+      [
+        l "try";
+        i (I.Const 1);
+        i (I.Const 0);
+        i I.Div;
+        i I.Pop;
+        l "endtry";
+        i I.Ret;
+        l "arith";
+        i I.Pop;
+        i (I.Const 1);
+        i I.Print;
+        i I.Ret;
+        l "all";
+        i I.Pop;
+        i (I.Const 2);
+        i I.Print;
+        i I.Ret;
+      ]
+      [
+        {
+          A.ah_from = "try";
+          ah_upto = "endtry";
+          ah_target = "arith";
+          ah_class = Some "ArithmeticException";
+        };
+        { A.ah_from = "try"; ah_upto = "endtry"; ah_target = "all"; ah_class = None };
+      ]
+  in
+  expect_output (prog1 [ m ]) (printed [ 1 ])
+
+let test_non_matching_handler_skipped () =
+  (* an NPE handler does not catch an arithmetic exception *)
+  let m =
+    A.method_with_handlers ~nlocals:0 "main"
+      [
+        l "try";
+        i (I.Const 1);
+        i (I.Const 0);
+        i I.Div;
+        i I.Pop;
+        l "endtry";
+        i I.Ret;
+        l "npe";
+        i I.Pop;
+        i (I.Const 1);
+        i I.Print;
+        i I.Ret;
+        l "all";
+        i I.Pop;
+        i (I.Const 2);
+        i I.Print;
+        i I.Ret;
+      ]
+      [
+        {
+          A.ah_from = "try";
+          ah_upto = "endtry";
+          ah_target = "npe";
+          ah_class = Some "NullPointerException";
+        };
+        { A.ah_from = "try"; ah_upto = "endtry"; ah_target = "all"; ah_class = None };
+      ]
+  in
+  expect_output (prog1 [ m ]) (printed [ 2 ])
+
+let test_range_respected () =
+  (* an exception outside the covered range is not caught *)
+  let m =
+    A.method_with_handlers ~nlocals:0 "main"
+      [
+        l "try";
+        i I.Nop;
+        l "endtry";
+        i (I.Const 1);
+        i (I.Const 0);
+        i I.Div;
+        i I.Pop;
+        i I.Ret;
+        l "catch";
+        i I.Pop;
+        i (I.Const 1);
+        i I.Print;
+        i I.Ret;
+      ]
+      [ { A.ah_from = "try"; ah_upto = "endtry"; ah_target = "catch"; ah_class = None } ]
+  in
+  let vm, st = run (prog1 [ m ]) in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  Alcotest.(check bool) "uncaught" true
+    (contains (Vm.output vm) "uncaught ArithmeticException")
+
+let test_user_exception_hierarchy () =
+  (* MyError extends AppError extends Throwable; catching AppError catches
+     MyError, catching Throwable catches everything *)
+  let extra =
+    [ D.cdecl ~super:"Throwable" "AppError" []; D.cdecl ~super:"AppError" "MyError" [] ]
+  in
+  let m =
+    A.method_with_handlers ~nlocals:0 "main"
+      [
+        l "try";
+        i (I.New "MyError");
+        i I.Throw;
+        l "endtry";
+        i I.Ret;
+        l "app";
+        i I.Pop;
+        i (I.Const 1);
+        i I.Print;
+        i I.Ret;
+      ]
+      [
+        {
+          A.ah_from = "try";
+          ah_upto = "endtry";
+          ah_target = "app";
+          ah_class = Some "AppError";
+        };
+      ]
+  in
+  expect_output (D.program ~main_class:"T" (extra @ [ D.cdecl "T" [ m ] ]))
+    (printed [ 1 ])
+
+let test_unwind_across_frames () =
+  (* the exception propagates through an intermediate frame *)
+  let middle =
+    A.method_ ~nlocals:0 "middle"
+      [ i (I.Invoke ("T", "thrower")); i I.Ret ]
+  in
+  let thrower =
+    A.method_ ~nlocals:0 "thrower" [ i (I.Const 1); i (I.Const 0); i I.Div; i I.Pop; i I.Ret ]
+  in
+  let m = catch_all [ i (I.Invoke ("T", "middle")) ] [ i I.Pop; i (I.Const 777); i I.Print; i I.Ret ] in
+  expect_output (D.program [ D.cdecl "T" [ m; middle; thrower ] ]) (printed [ 777 ])
+
+let test_rethrow () =
+  let inner =
+    A.method_with_handlers ~nlocals:0 "inner"
+      [
+        l "try";
+        i (I.Const 1);
+        i (I.Const 0);
+        i I.Div;
+        i I.Pop;
+        l "endtry";
+        i I.Ret;
+        l "catch";
+        i (I.Const 5);
+        i I.Print;
+        i I.Throw;
+      ]
+      [ { A.ah_from = "try"; ah_upto = "endtry"; ah_target = "catch"; ah_class = None } ]
+  in
+  let m = catch_all [ i (I.Invoke ("T", "inner")) ] [ i I.Pop; i (I.Const 777); i I.Print; i I.Ret ] in
+  expect_output (D.program [ D.cdecl "T" [ m; inner ] ]) (printed [ 5; 777 ])
+
+let test_sync_unwind_releases_monitor () =
+  (* a synchronized method that throws releases its monitor: another thread
+     can then acquire it *)
+  let c = "SyncRel" in
+  let boom =
+    A.method_ ~static:false ~sync:true ~args:[ I.Tobj c ] ~nlocals:1 "boom"
+      [ i (I.Const 1); i (I.Const 0); i I.Div; i I.Pop; i I.Ret ]
+  in
+  let worker =
+    A.method_ ~args:[ I.Tobj c ] ~nlocals:1 "worker"
+      [
+        i (I.Load 0);
+        i I.Monitorenter;
+        i (I.Const 4);
+        i I.Print;
+        i (I.Load 0);
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_with_handlers ~nlocals:2 "main"
+      [
+        i (I.New c);
+        i (I.Store 0);
+        l "try";
+        i (I.Load 0);
+        i (I.Invoke (c, "boom"));
+        l "endtry";
+        i I.Ret;
+        l "catch";
+        i I.Pop;
+        i (I.Load 0);
+        i (I.Spawn (c, "worker"));
+        i (I.Store 1);
+        i (I.Load 1);
+        i I.Join;
+        i I.Ret;
+      ]
+      [ { A.ah_from = "try"; ah_upto = "endtry"; ah_target = "catch"; ah_class = None } ]
+  in
+  expect_output (D.program ~main_class:c [ D.cdecl c [ boom; worker; main ] ])
+    (printed [ 4 ])
+
+let test_thread_death_isolated () =
+  (* one thread dying does not stop the others *)
+  let vm, st = run (Workloads.Exceptions_wl.program ()) in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  let out = Vm.output vm in
+  Alcotest.(check bool) "doomed died" true
+    (contains out "uncaught ArrayIndexOutOfBoundsException");
+  Alcotest.(check bool) "others survived" true (contains out "survived")
+
+let test_stack_overflow_caught () =
+  let vm, st = run (Workloads.Deep.overflow ()) in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  Alcotest.(check string) "caught" "caught overflow\n" (Vm.output vm)
+
+let test_operand_stack_cleared_at_handler () =
+  (* junk on the operand stack at throw time is discarded *)
+  let m =
+    A.method_with_handlers ~nlocals:0 "main"
+      [
+        l "try";
+        i (I.Const 11);
+        i (I.Const 22);
+        i (I.Const 1);
+        i (I.Const 0);
+        i I.Div;
+        i I.Pop;
+        i I.Pop;
+        i I.Pop;
+        l "endtry";
+        i I.Ret;
+        l "catch";
+        i I.Pop (* just the exception *);
+        i (I.Const 1);
+        i I.Print;
+        i I.Ret;
+      ]
+      [ { A.ah_from = "try"; ah_upto = "endtry"; ah_target = "catch"; ah_class = None } ]
+  in
+  expect_output (prog1 [ m ]) (printed [ 1 ])
+
+let () =
+  Alcotest.run "exceptions"
+    [
+      ( "builtin",
+        [
+          quick "div by zero" test_div_by_zero;
+          quick "rem by zero" test_rem_by_zero;
+          quick "npe getfield" test_npe_getfield;
+          quick "npe monitorenter" test_npe_monitorenter;
+          quick "npe prints" test_npe_prints;
+          quick "npe throw null" test_npe_throw_null;
+          quick "bounds low" test_bounds_low;
+          quick "bounds high" test_bounds_high;
+          quick "negative array size" test_negative_array_size;
+          quick "class cast" test_class_cast;
+        ] );
+      ( "handlers",
+        [
+          quick "specific wins" test_specific_handler_wins;
+          quick "non-matching skipped" test_non_matching_handler_skipped;
+          quick "range respected" test_range_respected;
+          quick "user hierarchy" test_user_exception_hierarchy;
+          quick "operand stack cleared" test_operand_stack_cleared_at_handler;
+        ] );
+      ( "unwinding",
+        [
+          quick "across frames" test_unwind_across_frames;
+          quick "rethrow" test_rethrow;
+          quick "sync releases monitor" test_sync_unwind_releases_monitor;
+          quick "thread death isolated" test_thread_death_isolated;
+          quick "stack overflow caught" test_stack_overflow_caught;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* The copying collector: correctness under pressure, root coverage
+   (statics, frames via reference maps, interned strings, thread stacks),
+   relocation transparency, and out-of-memory behaviour. *)
+
+open Tutil
+
+let test_churn_with_small_heap () =
+  (* force many collections; result must match the big-heap run *)
+  let p = Workloads.Gc_churn.program ~threads:2 ~rounds:20 ~nodes:60 () in
+  let vm_small, st_small =
+    run ~config:{ Vm.Rt.default_config with heap_words = 4000 } ~seed:3 p
+  in
+  let vm_big, st_big = run ~seed:3 p in
+  Alcotest.check status_testable "both finish" st_big st_small;
+  Alcotest.(check string) "same output" (Vm.output vm_big) (Vm.output vm_small);
+  Alcotest.(check bool) "collections happened" true
+    ((Vm.stats vm_small).n_gc > 0);
+  Alcotest.(check int) "no collections in big heap" 0 (Vm.stats vm_big).n_gc
+
+let test_statics_survive () =
+  (* a static ref written before heavy garbage allocation is intact after *)
+  let body =
+    [
+      i (I.Sconst "keepme");
+      i (I.Putstatic ("T", "keep"));
+      (* churn: build and drop arrays *)
+      i (I.Const 200);
+      i (I.Store 0);
+      l "loop";
+      i (I.Load 0);
+      i (I.Ifz (I.Le, "done"));
+      i (I.Const 50);
+      i (I.Newarray I.Tint);
+      i I.Pop;
+      i (I.Load 0);
+      i (I.Const 1);
+      i I.Sub;
+      i (I.Store 0);
+      i (I.Goto "loop");
+      l "done";
+      i (I.Getstatic ("T", "keep"));
+      i I.Prints;
+      i I.Ret;
+    ]
+  in
+  let p = main_prog ~statics:[ D.field ~ty:(I.Tobj "String") "keep" ] body in
+  let vm, st =
+    run ~config:{ Vm.Rt.default_config with heap_words = 2000 } p
+  in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  Alcotest.(check string) "string survived" "keepme" (Vm.output vm);
+  Alcotest.(check bool) "collected" true ((Vm.stats vm).n_gc > 0)
+
+let test_frame_refs_survive () =
+  (* locals and operand-stack refs survive collection: keep a live list in
+     a local across churn, then checksum it *)
+  let node = D.cdecl "N" ~fields:[ D.field "v"; D.field ~ty:(I.Tobj "N") "nx" ] [] in
+  let body =
+    [
+      (* build 10-node list in local 0 *)
+      i I.Null;
+      i (I.Store 0);
+      i (I.Const 10);
+      i (I.Store 1);
+      l "build";
+      i (I.Load 1);
+      i (I.Ifz (I.Le, "churn"));
+      i (I.New "N");
+      i (I.Store 2);
+      i (I.Load 2);
+      i (I.Load 1);
+      i (I.Putfield ("N", "v"));
+      i (I.Load 2);
+      i (I.Load 0);
+      i (I.Putfield ("N", "nx"));
+      i (I.Load 2);
+      i (I.Store 0);
+      i (I.Load 1);
+      i (I.Const 1);
+      i I.Sub;
+      i (I.Store 1);
+      i (I.Goto "build");
+      (* churn garbage *)
+      l "churn";
+      i (I.Const 300);
+      i (I.Store 1);
+      l "churnloop";
+      i (I.Load 1);
+      i (I.Ifz (I.Le, "sum"));
+      i (I.Const 40);
+      i (I.Newarray I.Tint);
+      i I.Pop;
+      i (I.Load 1);
+      i (I.Const 1);
+      i I.Sub;
+      i (I.Store 1);
+      i (I.Goto "churnloop");
+      (* checksum the list: 1+2+..+10 = 55 *)
+      l "sum";
+      i (I.Const 0);
+      i (I.Store 1);
+      l "walk";
+      i (I.Load 0);
+      i (I.Ifnull "print");
+      i (I.Load 1);
+      i (I.Load 0);
+      i (I.Getfield ("N", "v"));
+      i I.Add;
+      i (I.Store 1);
+      i (I.Load 0);
+      i (I.Getfield ("N", "nx"));
+      i (I.Store 0);
+      i (I.Goto "walk");
+      l "print";
+      i (I.Load 1);
+      i I.Print;
+      i I.Ret;
+    ]
+  in
+  let p = main_prog ~extra_classes:[ node ] body in
+  let vm, st =
+    run ~config:{ Vm.Rt.default_config with heap_words = 2500 } p
+  in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  Alcotest.(check string) "list intact" (printed [ 55 ]) (Vm.output vm);
+  Alcotest.(check bool) "collected" true ((Vm.stats vm).n_gc > 0)
+
+let test_stack_relocation () =
+  (* deep recursion with a small heap: thread stacks grow AND move *)
+  let p = Workloads.Deep.recurse ~depth:800 () in
+  let vm, st =
+    run ~config:{ Vm.Rt.default_config with heap_words = 24000; stack_init = 64 } p
+  in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  Alcotest.(check string) "sum" (printed [ 800 * 801 / 2 ]) (Vm.output vm);
+  Alcotest.(check bool) "stack grew" true ((Vm.stats vm).n_stack_grows > 0)
+
+let test_multithreaded_gc () =
+  (* collections while several threads are suspended mid-call-chain *)
+  let p = Workloads.Gc_churn.program ~threads:4 ~rounds:12 ~nodes:80 () in
+  let vm, st =
+    run ~config:{ Vm.Rt.default_config with heap_words = 6000 } ~seed:5 p
+  in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  Alcotest.(check bool) "collected" true ((Vm.stats vm).n_gc > 0);
+  let vm2, _ = run ~seed:5 p in
+  Alcotest.(check string) "output matches unpressured run" (Vm.output vm2)
+    (Vm.output vm)
+
+let test_out_of_memory () =
+  (* allocate and RETAIN until the heap bursts *)
+  let body =
+    [
+      i (I.Const 1000);
+      i (I.Newarray (I.Tobj "Object"));
+      i (I.Store 0);
+      i (I.Const 0);
+      i (I.Store 1);
+      l "loop";
+      i (I.Load 0);
+      i (I.Load 1);
+      i (I.Const 100);
+      i (I.Newarray I.Tint);
+      i I.Astore;
+      i (I.Load 1);
+      i (I.Const 1);
+      i I.Add;
+      i (I.Store 1);
+      i (I.Goto "loop");
+    ]
+  in
+  let _, st =
+    run ~config:{ Vm.Rt.default_config with heap_words = 5000 } (main_prog body)
+  in
+  match st with
+  | Vm.Rt.Fatal msg ->
+    Alcotest.(check bool) "mentions OOM" true (contains msg "OutOfMemory")
+  | st -> Alcotest.failf "expected OOM, got %s" (Vm.string_of_status st)
+
+let test_gc_determinism () =
+  (* identical runs with GC produce identical digests (heap layout incl.) *)
+  let p = Workloads.Gc_churn.program ~threads:2 ~rounds:15 ~nodes:50 () in
+  let cfg = { Vm.Rt.default_config with heap_words = 4000 } in
+  let vm1, _ = run ~config:cfg ~seed:11 p in
+  let vm2, _ = run ~config:cfg ~seed:11 p in
+  Alcotest.(check bool) "collected" true ((Vm.stats vm1).n_gc > 0);
+  Alcotest.(check int) "digests equal" (Vm.digest vm1) (Vm.digest vm2)
+
+let test_alloc_stats () =
+  let vm, _ = run (main_prog [ i (I.Const 8); i (I.Newarray I.Tint); i I.Pop; i I.Ret ]) in
+  let s = Vm.stats vm in
+  (* at least: main's stack array + the array itself *)
+  Alcotest.(check bool) "objects counted" true (s.n_alloc_objects >= 2);
+  Alcotest.(check bool) "words counted" true (s.n_alloc_words > 8)
+
+let () =
+  Alcotest.run "gc"
+    [
+      ( "pressure",
+        [
+          quick "churn under small heap" test_churn_with_small_heap;
+          quick "multithreaded collection" test_multithreaded_gc;
+          quick "out of memory" test_out_of_memory;
+        ] );
+      ( "roots",
+        [
+          quick "statics survive" test_statics_survive;
+          quick "frame refs survive" test_frame_refs_survive;
+          quick "stack relocation" test_stack_relocation;
+        ] );
+      ( "determinism",
+        [
+          quick "layout determinism" test_gc_determinism;
+          quick "alloc stats" test_alloc_stats;
+        ] );
+    ]

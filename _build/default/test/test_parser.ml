@@ -1,0 +1,233 @@
+(* The textual assembly front end: lexer, parser, emitter, and the
+   parse/emit roundtrip property. *)
+
+open Tutil
+
+let parse = Bytecode.Parser.parse_string
+
+let sample =
+  {|
+; a sample program
+main Main
+
+class Counter {
+  field value: int
+
+  virtual bump(this: Counter, by: int): int locals 2 sync {
+      load 0
+      load 0
+      getfield Counter.value
+      load 1
+      add
+      putfield Counter.value
+      load 0
+      getfield Counter.value
+      retv
+  }
+}
+
+class Main {
+  static total: int
+
+  method main() locals 2 {
+      new Counter
+      store 0
+      const 0
+      store 1
+    loop:
+      load 1
+      const 5
+      ifge end
+      load 0
+      const 10
+      invoke Counter.bump
+      pop
+      load 1
+      const 1
+      add
+      store 1
+      goto loop
+    end:
+      load 0
+      getfield Counter.value
+      print
+      ret
+  }
+}
+|}
+
+let test_parse_and_run () =
+  let p = parse sample in
+  expect_output p (printed [ 50 ])
+
+let test_parse_types () =
+  let p =
+    parse
+      {|
+class T {
+  static grid: int[][]
+  static names: String[]
+  static anything: ref
+  method main() locals 1 {
+      const 3
+      newarray int[]
+      pop
+      ret
+  }
+}
+|}
+  in
+  match Bytecode.Decl.find_class p "T" with
+  | Some c ->
+    let ty name =
+      (List.find (fun (f : Bytecode.Decl.fdecl) -> f.fd_name = name) c.cd_statics)
+        .fd_ty
+    in
+    Alcotest.(check string) "grid" "int[][]" (I.string_of_ty (ty "grid"));
+    Alcotest.(check string) "names" "String[]" (I.string_of_ty (ty "names"));
+    Alcotest.(check string) "anything" "ref" (I.string_of_ty (ty "anything"))
+  | None -> Alcotest.fail "no class"
+
+let test_parse_handlers () =
+  let p =
+    parse
+      {|
+class T {
+  method main() locals 1 {
+    try:
+      const 1
+      const 0
+      div
+      print
+    endtry:
+      ret
+    catch:
+      pop
+      const 42
+      print
+      ret
+  }
+  catch ArithmeticException from try to endtry goto catch
+}
+|}
+  in
+  expect_output p (printed [ 42 ])
+
+let test_parse_threads () =
+  let p =
+    parse
+      {|
+class T {
+  static n: int
+  method work() locals 0 {
+      getstatic T.n
+      const 1
+      add
+      putstatic T.n
+      ret
+  }
+  method main() locals 1 {
+      spawn T.work
+      join
+      getstatic T.n
+      print
+      ret
+  }
+}
+|}
+  in
+  expect_output p (printed [ 1 ])
+
+let test_errors_have_lines () =
+  let bad = "class T {\n  method main() locals 0 {\n    fly\n  }\n}" in
+  match parse bad with
+  | exception Bytecode.Parser.Error (msg, line) ->
+    Alcotest.(check bool) "mentions instruction" true (contains msg "fly");
+    Alcotest.(check bool) "plausible line" true (line >= 3 && line <= 4)
+  | _ -> Alcotest.fail "accepted garbage"
+
+let test_lexer_errors () =
+  (match parse "class T ???" with
+  | exception Bytecode.Parser.Error _ -> ()
+  | _ -> Alcotest.fail "accepted ???");
+  match parse "class T { method m() locals 0 { sconst \"unterminated } }" with
+  | exception Bytecode.Parser.Error _ -> ()
+  | _ -> Alcotest.fail "accepted unterminated string"
+
+let test_string_escapes () =
+  let p =
+    parse
+      {|
+class T {
+  method main() locals 0 {
+      sconst "a\nb\t\"q\"\\"
+      prints
+      ret
+  }
+}
+|}
+  in
+  expect_output p "a\nb\t\"q\"\\"
+
+let test_missing_main () =
+  match parse "class T { method notmain() locals 0 { ret } }" with
+  | exception Bytecode.Parser.Error _ -> ()
+  | _ -> Alcotest.fail "accepted program without main"
+
+(* --- emit roundtrip -------------------------------------------------------- *)
+
+let roundtrip_equal (p : D.program) =
+  let text = Bytecode.Emit.to_string p in
+  match parse text with
+  | p' -> D.digest p = D.digest p'
+  | exception Bytecode.Parser.Error (m, line) ->
+    Alcotest.failf "emitted text unparseable (line %d: %s):\n%s" line m text
+
+let test_emit_roundtrip_workloads () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      Alcotest.(check bool) (e.name ^ " roundtrips") true (roundtrip_equal e.program))
+    (Lazy.force Workloads.Registry.all)
+
+let test_emit_roundtrip_sample () =
+  Alcotest.(check bool) "sample roundtrips" true (roundtrip_equal (parse sample))
+
+let test_emitted_runs_identically () =
+  let e = Option.get (Workloads.Registry.find "fig1ab") in
+  let p' = parse (Bytecode.Emit.to_string e.program) in
+  let vm1, _ = run ~seed:3 e.program in
+  let vm2, _ = run ~seed:3 p' in
+  Alcotest.(check string) "same output" (Vm.output vm1) (Vm.output vm2)
+
+let test_parse_file () =
+  let path = Filename.temp_file "prog" ".djv" in
+  Bytecode.Emit.to_file path (parse sample);
+  let p = Bytecode.Parser.parse_file path in
+  Sys.remove path;
+  expect_output p (printed [ 50 ])
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "parse",
+        [
+          quick "parse and run" test_parse_and_run;
+          quick "types" test_parse_types;
+          quick "handlers" test_parse_handlers;
+          quick "threads" test_parse_threads;
+          quick "string escapes" test_string_escapes;
+        ] );
+      ( "errors",
+        [
+          quick "parse errors carry lines" test_errors_have_lines;
+          quick "lexer errors" test_lexer_errors;
+          quick "missing main" test_missing_main;
+        ] );
+      ( "roundtrip",
+        [
+          quick "all workloads emit+parse" test_emit_roundtrip_workloads;
+          quick "sample emit+parse" test_emit_roundtrip_sample;
+          quick "emitted runs identically" test_emitted_runs_identically;
+          quick "file io" test_parse_file;
+        ] );
+    ]

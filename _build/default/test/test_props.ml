@@ -1,0 +1,460 @@
+(* Property-based tests (QCheck): codec roundtrips, interpreter correctness
+   against an OCaml reference evaluator, execution determinism, replay
+   accuracy on randomly generated multithreaded programs, GC transparency,
+   and a fuzzer asserting the VM never crashes at the OCaml level — random
+   programs are either rejected (check/link/verify) or run to a status. *)
+
+open Tutil
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- codec ---------------------------------------------------------------- *)
+
+let prop_varint_roundtrip =
+  qtest ~count:1000 "varint roundtrip" QCheck.int (fun v ->
+      let buf = Buffer.create 16 in
+      Dejavu.Trace.put_varint buf v;
+      let got, pos = Dejavu.Trace.get_varint (Buffer.contents buf) 0 in
+      got = v && pos = Buffer.length buf)
+
+let arr_gen = QCheck.(array_of_size (Gen.int_bound 200) int)
+
+let prop_trace_roundtrip =
+  qtest ~count:200 "trace bytes roundtrip"
+    QCheck.(quad arr_gen arr_gen arr_gen arr_gen)
+    (fun (a, b, c, d) ->
+      let t =
+        {
+          Dejavu.Trace.program_digest = "prop";
+          switches = a;
+          clocks = b;
+          inputs = c;
+          natives = d;
+        }
+      in
+      let t' = Dejavu.Trace.of_bytes (Dejavu.Trace.to_bytes t) in
+      t'.Dejavu.Trace.switches = a
+      && t'.Dejavu.Trace.clocks = b
+      && t'.Dejavu.Trace.inputs = c
+      && t'.Dejavu.Trace.natives = d)
+
+(* --- interpreter vs reference evaluator ----------------------------------- *)
+
+type aop = OAdd of int | OSub of int | OMul of int | ODiv of int | ORem of int
+         | OAnd of int | OOr of int | OXor of int | ONeg
+
+let aop_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> OAdd n) (int_range (-1000) 1000);
+        map (fun n -> OSub n) (int_range (-1000) 1000);
+        map (fun n -> OMul n) (int_range (-30) 30);
+        map (fun n -> ODiv n) (oneof [ int_range 1 50; int_range (-50) (-1) ]);
+        map (fun n -> ORem n) (oneof [ int_range 1 50; int_range (-50) (-1) ]);
+        map (fun n -> OAnd n) (int_range 0 4095);
+        map (fun n -> OOr n) (int_range 0 4095);
+        map (fun n -> OXor n) (int_range 0 4095);
+        return ONeg;
+      ])
+
+let eval_ref init ops =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | OAdd n -> acc + n
+      | OSub n -> acc - n
+      | OMul n -> acc * n
+      | ODiv n -> acc / n
+      | ORem n -> acc mod n
+      | OAnd n -> acc land n
+      | OOr n -> acc lor n
+      | OXor n -> acc lxor n
+      | ONeg -> -acc)
+    init ops
+
+let instr_of_aop op =
+  match op with
+  | OAdd n -> [ i (I.Const n); i I.Add ]
+  | OSub n -> [ i (I.Const n); i I.Sub ]
+  | OMul n -> [ i (I.Const n); i I.Mul ]
+  | ODiv n -> [ i (I.Const n); i I.Div ]
+  | ORem n -> [ i (I.Const n); i I.Rem ]
+  | OAnd n -> [ i (I.Const n); i I.Band ]
+  | OOr n -> [ i (I.Const n); i I.Bor ]
+  | OXor n -> [ i (I.Const n); i I.Bxor ]
+  | ONeg -> [ i I.Neg ]
+
+let aops_arb =
+  QCheck.make
+    QCheck.Gen.(pair (int_range (-10000) 10000) (list_size (int_bound 40) aop_gen))
+
+let prop_arith_matches_reference =
+  qtest ~count:300 "interpreter matches reference arithmetic" aops_arb
+    (fun (init, ops) ->
+      let body =
+        [ i (I.Const init) ]
+        @ List.concat_map instr_of_aop ops
+        @ [ i I.Print; i I.Ret ]
+      in
+      let out, st = run_output (main_prog body) in
+      st = Vm.Rt.Finished && out = printed [ eval_ref init ops ])
+
+(* --- determinism ----------------------------------------------------------- *)
+
+let prop_execution_deterministic =
+  qtest ~count:25 "same seed, same execution"
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let p = Workloads.Counters.racy ~threads:3 ~increments:80 () in
+      let vm1, _ = run ~seed p in
+      let vm2, _ = run ~seed p in
+      Vm.digest vm1 = Vm.digest vm2 && Vm.output vm1 = Vm.output vm2)
+
+(* --- random multithreaded programs replay accurately ------------------------ *)
+
+(* A generated thread body: a loop of [iters] rounds, each doing a random
+   mix of shared-counter updates (optionally locked), spins and sleeps. *)
+type tact =
+  | Bump of bool (* locked? *)
+  | Spin of int
+  | Nap of int
+  | Input
+  | Pulse (* timed wait on the shared lock + notify: the wait/notify paths *)
+
+let tact_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun b -> Bump b) bool);
+        (3, map (fun n -> Spin n) (int_range 1 40));
+        (1, map (fun n -> Nap n) (int_range 1 3));
+        (1, return Input);
+        (1, return Pulse);
+      ])
+
+let racy_arb =
+  QCheck.make
+    ~print:(fun (nt, iters, bodies) ->
+      Fmt.str "threads=%d iters=%d bodies=%d" nt iters (List.length bodies))
+    QCheck.Gen.(
+      triple (int_range 1 4) (int_range 1 12)
+        (list_size (return 4) (list_size (int_range 1 6) tact_gen)))
+
+let program_of_tacts nt iters bodies =
+  let c = "Gen" in
+  let act_instrs = function
+    | Bump false ->
+      [
+        i (I.Getstatic (c, "counter"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "counter"));
+      ]
+    | Bump true ->
+      [
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        i (I.Getstatic (c, "counter"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "counter"));
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+      ]
+    | Spin n -> [ i (I.Const n); i (I.Invoke (c, "spin")) ]
+    | Nap n -> [ i (I.Const n); i I.Sleep ]
+    | Input ->
+      [
+        i I.Readinput;
+        i (I.Getstatic (c, "seen"));
+        i I.Add;
+        i (I.Putstatic (c, "seen"));
+      ]
+    | Pulse ->
+      (* notify anyone waiting, then wait briefly ourselves (timed, so the
+         generated program can never hang on a lost wake-up) *)
+      [
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        i (I.Getstatic (c, "lock"));
+        i I.Notifyall;
+        i (I.Getstatic (c, "lock"));
+        i (I.Const 2);
+        i I.Timedwait;
+        i I.Pop;
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+      ]
+  in
+  let worker k body =
+    A.method_ ~nlocals:1
+      (Fmt.str "w%d" k)
+      ([ i (I.Const iters); i (I.Store 0); l "loop"; i (I.Load 0); i (I.Ifz (I.Le, "end")) ]
+      @ List.concat_map act_instrs body
+      @ [
+          i (I.Load 0);
+          i (I.Const 1);
+          i I.Sub;
+          i (I.Store 0);
+          i (I.Goto "loop");
+          l "end";
+          i I.Ret;
+        ])
+  in
+  let workers = List.mapi worker bodies in
+  let used = List.filteri (fun k _ -> k < nt) workers in
+  let main =
+    A.method_ ~nlocals:(nt + 1) "main"
+      ([ i (I.New "Object"); i (I.Putstatic (c, "lock")) ]
+      @ List.concat
+          (List.mapi
+             (fun k _ ->
+               [ i (I.Spawn (c, Fmt.str "w%d" k)); i (I.Store k) ])
+             used)
+      @ List.concat (List.init (List.length used) (fun k -> [ i (I.Load k); i I.Join ]))
+      @ [
+          i (I.Getstatic (c, "counter"));
+          i I.Print;
+          i (I.Getstatic (c, "seen"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program
+    [
+      D.cdecl c
+        ~statics:
+          [
+            D.field "counter";
+            D.field "seen";
+            D.field ~ty:(I.Tobj "Object") "lock";
+          ]
+        (Workloads.Util.spin_method :: workers @ [ main ]);
+    ]
+
+let prop_random_programs_roundtrip =
+  qtest ~count:40 "random multithreaded programs replay accurately" racy_arb
+    (fun (nt, iters, bodies) ->
+      let p = program_of_tacts nt iters bodies in
+      let rt = Dejavu.verify_roundtrip ~seed:(nt + iters) p in
+      Dejavu.ok rt)
+
+let prop_random_programs_switch_map =
+  qtest ~count:20 "random programs replay under switch-map too" racy_arb
+    (fun (nt, iters, bodies) ->
+      let p = program_of_tacts nt iters bodies in
+      Baselines.Runner.ok (Baselines.Runner.roundtrip_switch_map ~seed:7 p))
+
+(* --- GC transparency --------------------------------------------------------- *)
+
+let prop_gc_transparent =
+  qtest ~count:25 "small heap (many GCs) = big heap result"
+    QCheck.(pair (int_range 5 40) (int_range 3 30))
+    (fun (nodes, rounds) ->
+      let p = Workloads.Gc_churn.program ~threads:2 ~rounds ~nodes () in
+      let vm_small, st_small =
+        run ~config:{ Vm.Rt.default_config with heap_words = 3500 } ~seed:2 p
+      in
+      let vm_big, st_big = run ~seed:2 p in
+      st_small = st_big && Vm.output vm_small = Vm.output vm_big)
+
+(* --- fuzz: the VM never crashes ------------------------------------------------ *)
+
+let fuzz_instr_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun n -> I.Const n) (int_range (-100) 100));
+        (3, map (fun n -> I.Load (abs n mod 5)) small_int);
+        (3, map (fun n -> I.Store (abs n mod 5)) small_int);
+        (1, return I.Dup);
+        (1, return I.Pop);
+        (1, return I.Swap);
+        (2, return I.Add);
+        (1, return I.Sub);
+        (1, return I.Mul);
+        (1, return I.Div);
+        (1, return I.Rem);
+        (1, return I.Neg);
+        (1, return I.Band);
+        (1, return I.Shl);
+        (1, map (fun (c, t) ->
+                 let cmp = match c mod 6 with
+                   | 0 -> I.Eq | 1 -> I.Ne | 2 -> I.Lt | 3 -> I.Le | 4 -> I.Gt | _ -> I.Ge
+                 in
+                 I.If (cmp, abs t mod 40))
+             (pair small_int small_int));
+        (1, map (fun t -> I.Ifz (I.Eq, abs t mod 40)) small_int);
+        (1, map (fun t -> I.Goto (abs t mod 40)) small_int);
+        (1, return (I.New "T"));
+        (1, return (I.New "Object"));
+        (1, return (I.Getstatic ("T", "s0")));
+        (1, return (I.Putstatic ("T", "s0")));
+        (1, return (I.Getstatic ("T", "r0")));
+        (1, return (I.Putstatic ("T", "r0")));
+        (1, return (I.Newarray I.Tint));
+        (1, return I.Aload);
+        (1, return I.Astore);
+        (1, return I.Arraylength);
+        (1, return (I.Sconst "f"));
+        (1, return I.Prints);
+        (1, return I.Print);
+        (1, return I.Monitorenter);
+        (1, return I.Monitorexit);
+        (1, return (I.Invoke ("T", "aux")));
+        (1, return (I.Spawn ("T", "aux")));
+        (1, return I.Join);
+        (1, return I.Sleep);
+        (1, return I.Currenttime);
+        (1, return I.Readinput);
+        (1, return (I.Checkcast "String"));
+        (1, return (I.Instanceof "Object"));
+        (1, return I.Throw);
+        (1, return I.Ret);
+        (1, return I.Halt);
+        (1, return I.Nop);
+      ])
+
+let fuzz_arb =
+  QCheck.make
+    ~print:(fun instrs ->
+      String.concat "; " (List.map I.to_string instrs))
+    QCheck.Gen.(list_size (int_range 1 40) fuzz_instr_gen)
+
+let prop_vm_never_crashes =
+  qtest ~count:800 "random programs: rejected or executed, never a crash"
+    fuzz_arb
+    (fun instrs ->
+      let code = Array.of_list (instrs @ [ I.Ret ]) in
+      let aux = D.mdecl ~nlocals:0 "aux" [ I.Ret ] in
+      let main = D.mdecl ~nlocals:5 "main" (Array.to_list code) in
+      let p =
+        D.program ~main_class:"T"
+          [
+            D.cdecl "T"
+              ~statics:[ D.field "s0"; D.field ~ty:I.Tref "r0" ]
+              [ aux; main ];
+          ]
+      in
+      match run ~limit:100_000 p with
+      | _vm, _status -> true
+      | exception Vm.Link.Error _ -> true (* static rejection *)
+      | exception Vm.Verify.Error _ -> true (* verifier rejection *)
+      | exception Vm.Compile.Error _ -> true)
+
+let prop_fuzzed_gc_agrees =
+  qtest ~count:200 "accepted random programs: heap size is transparent"
+    fuzz_arb
+    (fun instrs ->
+      let code = instrs @ [ I.Ret ] in
+      let aux = D.mdecl ~nlocals:0 "aux" [ I.Ret ] in
+      let main = D.mdecl ~nlocals:5 "main" code in
+      let p =
+        D.program ~main_class:"T"
+          [
+            D.cdecl "T"
+              ~statics:[ D.field "s0"; D.field ~ty:I.Tref "r0" ]
+              [ aux; main ];
+          ]
+      in
+      match run ~limit:100_000 p with
+      | exception _ -> true (* rejected: nothing to compare *)
+      | vm_big, st_big -> (
+        match
+          run ~limit:100_000
+            ~config:{ Vm.Rt.default_config with heap_words = 2500 } p
+        with
+        | vm_small, st_small -> (
+          match (st_big, st_small) with
+          | Vm.Rt.Fatal _, _ | _, Vm.Rt.Fatal _ -> true (* OOM timing differs *)
+          | _ -> st_big = st_small && Vm.output vm_big = Vm.output vm_small)
+        | exception _ -> false))
+
+let prop_fuzzed_replay =
+  qtest ~count:150 "accepted random programs replay accurately" fuzz_arb
+    (fun instrs ->
+      let code = instrs @ [ I.Ret ] in
+      let aux = D.mdecl ~nlocals:0 "aux" [ I.Ret ] in
+      let main = D.mdecl ~nlocals:5 "main" code in
+      let p =
+        D.program ~main_class:"T"
+          [
+            D.cdecl "T"
+              ~statics:[ D.field "s0"; D.field ~ty:I.Tref "r0" ]
+              [ aux; main ];
+          ]
+      in
+      match Dejavu.verify_roundtrip ~limit:100_000 ~seed:5 p with
+      | rt -> Dejavu.ok rt
+      | exception Vm.Link.Error _ -> true
+      | exception Vm.Verify.Error _ -> true
+      | exception Vm.Compile.Error _ -> true)
+
+let prop_snapshot_transparent =
+  qtest ~count:40 "snapshot/restore preserves the timeline" racy_arb
+    (fun (nt, iters, bodies) ->
+      let p = program_of_tacts nt iters bodies in
+      let vm = Vm.create p in
+      Vm.boot vm;
+      let k = ref 0 in
+      while Vm.status vm = Vm.Rt.Running_ && !k < 400 do
+        Vm.step vm;
+        incr k
+      done;
+      if Vm.status vm <> Vm.Rt.Running_ then true
+      else begin
+        let ck = Vm.Snapshot.save vm in
+        ignore (Vm.run vm);
+        let a = (Vm.output vm, Vm.digest vm) in
+        Vm.Snapshot.restore vm ck;
+        ignore (Vm.run vm);
+        (Vm.output vm, Vm.digest vm) = a
+      end)
+
+let prop_random_programs_icount =
+  qtest ~count:15 "random programs replay under instruction counting" racy_arb
+    (fun (nt, iters, bodies) ->
+      let p = program_of_tacts nt iters bodies in
+      Baselines.Runner.ok (Baselines.Runner.roundtrip_icount ~seed:11 p))
+
+let prop_fuzzed_emit_roundtrip =
+  qtest ~count:200 "accepted random programs survive emit+parse" fuzz_arb
+    (fun instrs ->
+      let code = instrs @ [ I.Ret ] in
+      let aux = D.mdecl ~nlocals:0 "aux" [ I.Ret ] in
+      let main = D.mdecl ~nlocals:5 "main" code in
+      let p =
+        D.program ~main_class:"T"
+          [
+            D.cdecl "T"
+              ~statics:[ D.field "s0"; D.field ~ty:I.Tref "r0" ]
+              [ aux; main ];
+          ]
+      in
+      if Bytecode.Check.check p <> [] then true
+      else
+        match Bytecode.Parser.parse_string (Bytecode.Emit.to_string p) with
+        | p' -> D.digest p = D.digest p'
+        | exception Bytecode.Parser.Error _ -> false)
+
+let () =
+  Alcotest.run "props"
+    [
+      ("codec", [ prop_varint_roundtrip; prop_trace_roundtrip ]);
+      ("interp", [ prop_arith_matches_reference ]);
+      ("determinism", [ prop_execution_deterministic ]);
+      ( "replay",
+        [
+          prop_random_programs_roundtrip; prop_random_programs_switch_map;
+          prop_random_programs_icount;
+        ] );
+      ("snapshot", [ prop_snapshot_transparent ]);
+      ("gc", [ prop_gc_transparent ]);
+      ( "fuzz",
+        [
+          prop_vm_never_crashes; prop_fuzzed_gc_agrees; prop_fuzzed_replay;
+          prop_fuzzed_emit_roundtrip;
+        ] );
+    ]

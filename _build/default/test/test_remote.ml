@@ -1,0 +1,274 @@
+(* Remote reflection: transparent remote data access, equality with
+   in-process reflection, and — the paper's headline property — zero
+   perturbation of the application VM. *)
+
+open Tutil
+
+(* A program that builds an interesting heap and stops (sleeps long). *)
+let snapshot_program =
+  let c = "Snap" in
+  let node = D.cdecl "Node" ~fields:[ D.field "v"; D.field ~ty:(I.Tobj "Node") "next" ] [] in
+  let main =
+    A.method_ ~nlocals:3 "main"
+      [
+        (* statics: answer=42, label="state", list=3 nodes, nums=[10,20,30] *)
+        i (I.Const 42);
+        i (I.Putstatic (c, "answer"));
+        i (I.Sconst "state");
+        i (I.Putstatic (c, "label"));
+        i (I.Const 3);
+        i (I.Newarray I.Tint);
+        i (I.Store 0);
+        i (I.Load 0);
+        i (I.Const 0);
+        i (I.Const 10);
+        i I.Astore;
+        i (I.Load 0);
+        i (I.Const 1);
+        i (I.Const 20);
+        i I.Astore;
+        i (I.Load 0);
+        i (I.Const 2);
+        i (I.Const 30);
+        i I.Astore;
+        i (I.Load 0);
+        i (I.Putstatic (c, "nums"));
+        (* linked list 1 -> 2 -> null *)
+        i (I.New "Node");
+        i (I.Store 1);
+        i (I.Load 1);
+        i (I.Const 2);
+        i (I.Putfield ("Node", "v"));
+        i (I.New "Node");
+        i (I.Store 2);
+        i (I.Load 2);
+        i (I.Const 1);
+        i (I.Putfield ("Node", "v"));
+        i (I.Load 2);
+        i (I.Load 1);
+        i (I.Putfield ("Node", "next"));
+        i (I.Load 2);
+        i (I.Putstatic (c, "list"));
+        (* park forever on a monitor nobody notifies, so the inspector can
+           look around a quiescent VM *)
+        i (I.New "Object");
+        i (I.Store 0);
+        i (I.Load 0);
+        i I.Monitorenter;
+        i (I.Load 0);
+        i I.Wait;
+        i I.Pop;
+        i (I.Load 0);
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  D.program ~main_class:c
+    [
+      node;
+      D.cdecl c
+        ~statics:
+          [
+            D.field "answer";
+            D.field ~ty:(I.Tobj "String") "label";
+            D.field ~ty:(I.Tarr I.Tint) "nums";
+            D.field ~ty:(I.Tobj "Node") "list";
+          ]
+        [ main ];
+    ]
+
+(* Run to quiescence: main ends up parked in its wait (deadlock status). *)
+let paused_vm () =
+  let vm = Vm.create snapshot_program in
+  ignore (Vm.run vm);
+  vm
+
+let space vm = Remote_reflection.Address_space.of_vm vm
+
+let test_remote_statics () =
+  let vm = paused_vm () in
+  let sp = space vm in
+  let module R = (val Remote_reflection.Remote_object.reflection sp) in
+  (match R.get_static "Snap" "answer" with
+  | Remote_reflection.Reflect.Vint 42 -> ()
+  | v -> Alcotest.failf "answer: %s" (R.render_value v));
+  match R.get_static "Snap" "label" with
+  | Remote_reflection.Reflect.Vobj o ->
+    Alcotest.(check string) "string value" "state" (R.string_value o)
+  | v -> Alcotest.failf "label: %s" (R.render_value v)
+
+let test_remote_arrays () =
+  let vm = paused_vm () in
+  let sp = space vm in
+  let module R = (val Remote_reflection.Remote_object.reflection sp) in
+  match R.get_static "Snap" "nums" with
+  | Remote_reflection.Reflect.Vobj arr ->
+    Alcotest.(check int) "length" 3 (R.array_length arr);
+    (match R.array_get arr 1 with
+    | Remote_reflection.Reflect.Vint 20 -> ()
+    | v -> Alcotest.failf "elem: %s" (R.render_value v))
+  | v -> Alcotest.failf "nums: %s" (R.render_value v)
+
+let test_remote_object_graph () =
+  let vm = paused_vm () in
+  let sp = space vm in
+  let module R = (val Remote_reflection.Remote_object.reflection sp) in
+  match R.get_static "Snap" "list" with
+  | Remote_reflection.Reflect.Vobj head ->
+    Alcotest.(check string) "class" "Node" (R.class_name head);
+    (match R.get_field head "v" with
+    | Remote_reflection.Reflect.Vint 1 -> ()
+    | v -> Alcotest.failf "head.v: %s" (R.render_value v));
+    (match R.get_field head "next" with
+    | Remote_reflection.Reflect.Vobj second -> (
+      match R.get_field second "v" with
+      | Remote_reflection.Reflect.Vint 2 -> ()
+      | v -> Alcotest.failf "second.v: %s" (R.render_value v))
+    | v -> Alcotest.failf "head.next: %s" (R.render_value v))
+  | v -> Alcotest.failf "list: %s" (R.render_value v)
+
+let test_remote_equals_local () =
+  (* the same reflection code over both sources gives identical renderings *)
+  let vm = paused_vm () in
+  let sp = space vm in
+  let module RR = (val Remote_reflection.Remote_object.reflection sp) in
+  let module RL = (val Remote_reflection.Local_object.reflection vm) in
+  let queries = [ ("Snap", "answer"); ("Snap", "label"); ("Snap", "nums"); ("Snap", "list") ] in
+  List.iter
+    (fun (c, f) ->
+      let remote = RR.render_value ~depth:3 (RR.get_static c f) in
+      let local = RL.render_value ~depth:3 (RL.get_static c f) in
+      Alcotest.(check string) (c ^ "." ^ f) local remote)
+    queries
+
+let test_perturbation_free () =
+  (* the paper's claim: querying through remote reflection leaves the
+     application VM bit-identical *)
+  let vm = paused_vm () in
+  let before = Vm.digest vm in
+  let sp = space vm in
+  let module R = (val Remote_reflection.Remote_object.reflection sp) in
+  for _ = 1 to 50 do
+    ignore (R.get_static "Snap" "answer");
+    ignore (R.render_value ~depth:4 (R.get_static "Snap" "list"));
+    ignore (R.render_value ~depth:4 (R.get_static "Snap" "nums"));
+    ignore (Remote_reflection.Remote_frames.frames sp 0)
+  done;
+  Alcotest.(check bool) "reads happened" true (sp.reads > 100);
+  Alcotest.(check int) "state digest unchanged" before (Vm.digest vm)
+
+let test_reads_counted () =
+  let vm = paused_vm () in
+  let sp = space vm in
+  let before = sp.reads in
+  let module R = (val Remote_reflection.Remote_object.reflection sp) in
+  ignore (R.get_static "Snap" "list");
+  Alcotest.(check bool) "counter moved" true (sp.reads > before)
+
+let test_bad_address () =
+  let vm = paused_vm () in
+  let sp = space vm in
+  (match sp.peek (-3) with
+  | exception Remote_reflection.Address_space.Bad_address _ -> ()
+  | _ -> Alcotest.fail "negative address accepted");
+  match sp.peek (sp.heap_top () + 100) with
+  | exception Remote_reflection.Address_space.Bad_address _ -> ()
+  | _ -> Alcotest.fail "beyond-heap address accepted"
+
+let test_remote_threads () =
+  let vm = paused_vm () in
+  let sp = space vm in
+  Alcotest.(check int) "one thread" 1 (sp.thread_count ());
+  let ts = sp.thread 0 in
+  Alcotest.(check string) "name" "main" ts.ts_name;
+  Alcotest.(check string) "state" "waiting" ts.ts_state
+
+let test_remote_frames () =
+  (* remote stack walking matches the VM's own frame walker *)
+  let vm = paused_vm () in
+  let sp = space vm in
+  let remote = Remote_reflection.Remote_frames.frames sp 0 in
+  let local = Vm.Frames.frames vm vm.Vm.Rt.threads.(0) in
+  Alcotest.(check int) "frame count" (List.length local) (List.length remote);
+  List.iter2
+    (fun (rf : Remote_reflection.Remote_frames.frame) (lf : Vm.Frames.frame) ->
+      Alcotest.(check string) "method" lf.fr_meth.rm_name rf.rf_meth.rm_name;
+      Alcotest.(check int) "pc" lf.fr_pc rf.rf_pc)
+    remote local
+
+let test_line_number_of () =
+  (* Figure 3: lineNumberOf(method, offset) across the "address spaces" *)
+  let c = "Lined" in
+  let m =
+    A.method_ ~nlocals:0 "main"
+      [
+        A.line 100;
+        i (I.Const 1);
+        i I.Print;
+        A.line 200;
+        i (I.New "Object");
+        i I.Dup;
+        i I.Monitorenter;
+        i I.Wait;
+        i I.Pop;
+        i I.Ret;
+      ]
+  in
+  let p = D.program ~main_class:c [ D.cdecl c [ m ] ] in
+  let vm = Vm.create p in
+  ignore (Vm.run vm);
+  let sp = space vm in
+  let uid = (sp.thread 0).ts_meth_uid in
+  (* compiled pc 1 should be the Const on line 100 *)
+  Alcotest.(check int) "line at pc1" 100
+    (Remote_reflection.Remote_frames.line_number_of sp ~method_uid:uid ~offset:1);
+  Alcotest.(check int) "bad method" 0
+    (Remote_reflection.Remote_frames.line_number_of sp ~method_uid:9999 ~offset:0)
+
+let test_is_instance_of () =
+  let vm = paused_vm () in
+  let sp = space vm in
+  let module R = (val Remote_reflection.Remote_object.reflection sp) in
+  match R.get_static "Snap" "list" with
+  | Remote_reflection.Reflect.Vobj head ->
+    Alcotest.(check bool) "Node" true (R.is_instance_of head "Node");
+    Alcotest.(check bool) "Object" true (R.is_instance_of head "Object");
+    Alcotest.(check bool) "not String" false (R.is_instance_of head "String")
+  | _ -> Alcotest.fail "list"
+
+let test_render_depth_bound () =
+  let vm = paused_vm () in
+  let sp = space vm in
+  let module R = (val Remote_reflection.Remote_object.reflection sp) in
+  match R.get_static "Snap" "list" with
+  | Remote_reflection.Reflect.Vobj head ->
+    let shallow = R.render ~depth:1 head in
+    Alcotest.(check bool) "depth bound respected" true
+      (contains shallow "..." || not (contains shallow "next=Node{"))
+  | _ -> Alcotest.fail "list"
+
+let () =
+  Alcotest.run "remote"
+    [
+      ( "reflection",
+        [
+          quick "statics" test_remote_statics;
+          quick "arrays" test_remote_arrays;
+          quick "object graphs" test_remote_object_graph;
+          quick "remote equals local" test_remote_equals_local;
+          quick "render depth bound" test_render_depth_bound;
+          quick "is_instance_of" test_is_instance_of;
+        ] );
+      ( "perturbation",
+        [
+          quick "perturbation-free" test_perturbation_free;
+          quick "reads counted" test_reads_counted;
+          quick "bad addresses rejected" test_bad_address;
+        ] );
+      ( "threads",
+        [
+          quick "thread snapshots" test_remote_threads;
+          quick "remote frames" test_remote_frames;
+          quick "figure 3: line numbers" test_line_number_of;
+        ] );
+    ]

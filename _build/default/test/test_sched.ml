@@ -1,0 +1,477 @@
+(* The thread package: monitors, wait/notify, sleep, timed wait, join,
+   interrupt, deadlock detection, and scheduling fairness. *)
+
+open Tutil
+
+(* helper: main spawns [n] named static methods and joins them in order *)
+let spawn_join c names after =
+  let n = List.length names in
+  List.concat
+    (List.mapi (fun k m -> [ i (I.Spawn (c, m)); i (I.Store k) ]) names)
+  @ List.concat (List.init n (fun k -> [ i (I.Load k); i I.Join ]))
+  @ after
+
+let test_monitor_recursion () =
+  (* reentrant lock: enter twice, exit twice *)
+  let body =
+    [
+      i (I.New "Object");
+      i (I.Store 0);
+      i (I.Load 0);
+      i I.Monitorenter;
+      i (I.Load 0);
+      i I.Monitorenter;
+      i (I.Load 0);
+      i I.Monitorexit;
+      i (I.Load 0);
+      i I.Monitorexit;
+      i (I.Const 1);
+      i I.Print;
+      i I.Ret;
+    ]
+  in
+  expect_output (main_prog body) (printed [ 1 ])
+
+let test_illegal_monitor_exit () =
+  let body =
+    [ i (I.New "Object"); i I.Monitorexit; i (I.Const 0); i I.Print; i I.Ret ]
+  in
+  let vm, st = run (main_prog body) in
+  Alcotest.check status_testable "finished (thread died)" Vm.Rt.Finished st;
+  Alcotest.(check bool) "uncaught IMSE" true
+    (contains (Vm.output vm) "IllegalMonitorStateException")
+
+let test_wait_without_monitor () =
+  let body =
+    [ i (I.New "Object"); i I.Wait; i I.Pop; i I.Ret ]
+  in
+  let vm, _ = run (main_prog body) in
+  Alcotest.(check bool) "uncaught IMSE" true
+    (contains (Vm.output vm) "IllegalMonitorStateException")
+
+let test_mutual_exclusion () =
+  (* synchronized counter never loses updates regardless of seed *)
+  List.iter
+    (fun seed ->
+      let p = Workloads.Counters.synced ~threads:4 ~increments:150 () in
+      let out, st = run_output ~seed p in
+      Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+      Alcotest.(check string) (Fmt.str "seed %d" seed) (printed [ 600 ]) out)
+    [ 1; 2; 3; 9; 42 ]
+
+let test_producer_consumer_conservation () =
+  (* items are conserved for every seed *)
+  List.iter
+    (fun seed ->
+      let p =
+        Workloads.Producer_consumer.program ~producers:2 ~consumers:3
+          ~items:30 ~capacity:3 ~trace_order:false ()
+      in
+      let out, st = run_output ~seed p in
+      Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+      (* sum of 0..59 = 1770 *)
+      Alcotest.(check string) (Fmt.str "seed %d" seed) "total=1770\n" out)
+    [ 1; 2; 3; 4 ]
+
+let test_notify_wakes_fifo () =
+  (* three waiters; notify wakes them in wait order *)
+  let c = "NotifyOrder" in
+  let waiter =
+    A.method_ ~args:[ I.Tint ] ~nlocals:1 "waiter"
+      [
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        (* register arrival order *)
+        i (I.Getstatic (c, "arrived"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "arrived"));
+        i (I.Getstatic (c, "lock"));
+        i I.Wait;
+        i I.Pop;
+        (* print my id on wake *)
+        i (I.Load 0);
+        i I.Print;
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:6 "main"
+      ([
+         i (I.New "Object");
+         i (I.Putstatic (c, "lock"));
+         i (I.Const 1);
+         i (I.Spawn (c, "waiter"));
+         i (I.Store 0);
+         i (I.Const 2);
+         i (I.Spawn (c, "waiter"));
+         i (I.Store 1);
+         i (I.Const 3);
+         i (I.Spawn (c, "waiter"));
+         i (I.Store 2);
+         (* wait until all three are in the wait set *)
+         l "poll";
+         i (I.Getstatic (c, "arrived"));
+         i (I.Const 3);
+         i (I.If (I.Ge, "go"));
+         i (I.Const 1);
+         i I.Sleep;
+         i (I.Goto "poll");
+         l "go";
+         (* wake them one by one *)
+         i (I.Getstatic (c, "lock"));
+         i I.Monitorenter;
+         i (I.Getstatic (c, "lock"));
+         i I.Notify;
+         i (I.Getstatic (c, "lock"));
+         i I.Monitorexit;
+         i (I.Getstatic (c, "lock"));
+         i I.Monitorenter;
+         i (I.Getstatic (c, "lock"));
+         i I.Notify;
+         i (I.Getstatic (c, "lock"));
+         i I.Monitorexit;
+         i (I.Getstatic (c, "lock"));
+         i I.Monitorenter;
+         i (I.Getstatic (c, "lock"));
+         i I.Notifyall;
+         i (I.Getstatic (c, "lock"));
+         i I.Monitorexit;
+       ]
+      @ List.concat (List.init 3 (fun k -> [ i (I.Load k); i I.Join ]))
+      @ [ i I.Ret ])
+  in
+  let p =
+    D.program
+      [
+        D.cdecl c
+          ~statics:
+            [ D.field ~ty:(I.Tobj "Object") "lock"; D.field "arrived" ]
+          [ waiter; main ];
+      ]
+  in
+  (* arrival order is schedule-dependent, but wake order must equal arrival
+     order; since waiters register 'arrived' in spawn order under FIFO
+     scheduling the expected output is 1,2,3 for seed 1 *)
+  let out, st = run_output ~seed:1 p in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  Alcotest.(check string) "fifo wakeups" (printed [ 1; 2; 3 ]) out
+
+let test_timedwait_times_out () =
+  (* nobody notifies: the timed wait must return by itself *)
+  let body =
+    [
+      i (I.New "Object");
+      i (I.Store 0);
+      i (I.Load 0);
+      i I.Monitorenter;
+      i (I.Load 0);
+      i (I.Const 3);
+      i I.Timedwait;
+      i I.Print;
+      i (I.Load 0);
+      i I.Monitorexit;
+      i (I.Const 9);
+      i I.Print;
+      i I.Ret;
+    ]
+  in
+  expect_output (main_prog body) (printed [ 0; 9 ])
+
+let test_sleep_is_not_busy () =
+  (* a sleeping main lets the clock idle forward and still finishes *)
+  let body = [ i (I.Const 50); i I.Sleep; i (I.Const 1); i I.Print; i I.Ret ] in
+  let vm, st = run (main_prog body) in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  Alcotest.(check string) "output" (printed [ 1 ]) (Vm.output vm);
+  Alcotest.(check bool) "idle clock reads happened" true
+    ((Vm.stats vm).n_clock_reads > 0)
+
+let test_join_terminated () =
+  (* joining an already-dead thread returns immediately *)
+  let c = "JoinDead" in
+  let worker = A.method_ ~nlocals:0 "worker" [ i I.Ret ] in
+  let main =
+    A.method_ ~nlocals:1 "main"
+      [
+        i (I.Spawn (c, "worker"));
+        i (I.Store 0);
+        (* let it finish *)
+        i (I.Const 20);
+        i I.Sleep;
+        i (I.Load 0);
+        i I.Join;
+        i (I.Load 0);
+        i I.Join;
+        i (I.Const 1);
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  expect_output (D.program [ D.cdecl c [ worker; main ] ]) (printed [ 1 ])
+
+let test_join_bad_tid () =
+  let body = [ i (I.Const 999); i I.Join; i I.Ret ] in
+  let vm, _ = run (main_prog body) in
+  Alcotest.(check bool) "NPE" true
+    (contains (Vm.output vm) "NullPointerException")
+
+let test_interrupt_wait () =
+  let c = "IntWait" in
+  let waiter =
+    A.method_ ~nlocals:0 "waiter"
+      [
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorenter;
+        i (I.Getstatic (c, "lock"));
+        i I.Wait;
+        i I.Print (* 1 = interrupted *);
+        i (I.Getstatic (c, "lock"));
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:1 "main"
+      [
+        i (I.New "Object");
+        i (I.Putstatic (c, "lock"));
+        i (I.Spawn (c, "waiter"));
+        i (I.Store 0);
+        i (I.Const 10);
+        i I.Sleep;
+        i (I.Load 0);
+        i I.Interrupt;
+        i (I.Load 0);
+        i I.Join;
+        i I.Ret;
+      ]
+  in
+  let p =
+    D.program
+      [ D.cdecl c ~statics:[ D.field ~ty:(I.Tobj "Object") "lock" ] [ waiter; main ] ]
+  in
+  expect_output p (printed [ 1 ])
+
+let test_interrupt_sleep () =
+  let c = "IntSleep" in
+  let sleeper =
+    A.method_ ~nlocals:0 "sleeper"
+      [
+        i (I.Const 100000);
+        i I.Sleep;
+        i (I.Const 5);
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:1 "main"
+      [
+        i (I.Spawn (c, "sleeper"));
+        i (I.Store 0);
+        i (I.Const 5);
+        i I.Sleep;
+        i (I.Load 0);
+        i I.Interrupt;
+        i (I.Load 0);
+        i I.Join;
+        i I.Ret;
+      ]
+  in
+  (* the interrupt cuts the long sleep short; the program finishes fast *)
+  let vm, st = run ~limit:2_000_000 (D.program [ D.cdecl c [ sleeper; main ] ]) in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  Alcotest.(check string) "woke early" (printed [ 5 ]) (Vm.output vm)
+
+let test_guaranteed_deadlock () =
+  (* handshake forces lock-order inversion: always deadlocks *)
+  let c = "DL" in
+  let t1 =
+    A.method_ ~nlocals:0 "t1"
+      [
+        i (I.Getstatic (c, "a"));
+        i I.Monitorenter;
+        i (I.Const 1);
+        i (I.Putstatic (c, "f1"));
+        l "spin";
+        i (I.Getstatic (c, "f2"));
+        i (I.Ifz (I.Eq, "spin"));
+        i (I.Getstatic (c, "b"));
+        i I.Monitorenter;
+        i I.Ret;
+      ]
+  in
+  let t2 =
+    A.method_ ~nlocals:0 "t2"
+      [
+        i (I.Getstatic (c, "b"));
+        i I.Monitorenter;
+        i (I.Const 1);
+        i (I.Putstatic (c, "f2"));
+        l "spin";
+        i (I.Getstatic (c, "f1"));
+        i (I.Ifz (I.Eq, "spin"));
+        i (I.Getstatic (c, "a"));
+        i I.Monitorenter;
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:2 "main"
+      [
+        i (I.New "Object");
+        i (I.Putstatic (c, "a"));
+        i (I.New "Object");
+        i (I.Putstatic (c, "b"));
+        i (I.Spawn (c, "t1"));
+        i (I.Store 0);
+        i (I.Spawn (c, "t2"));
+        i (I.Store 1);
+        i (I.Load 0);
+        i I.Join;
+        i (I.Load 1);
+        i I.Join;
+        i I.Ret;
+      ]
+  in
+  let p =
+    D.program
+      [
+        D.cdecl c
+          ~statics:
+            [
+              D.field ~ty:(I.Tobj "Object") "a";
+              D.field ~ty:(I.Tobj "Object") "b";
+              D.field "f1";
+              D.field "f2";
+            ]
+          [ t1; t2; main ];
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let _, st = run ~seed p in
+      Alcotest.check status_testable (Fmt.str "seed %d deadlocks" seed)
+        Vm.Rt.Deadlocked st)
+    [ 1; 2; 3 ]
+
+let test_philosophers_ordered_never_deadlock () =
+  List.iter
+    (fun seed ->
+      let p = Workloads.Philosophers.program ~n:4 ~meals:6 () in
+      let out, st = run_output ~seed p in
+      Alcotest.check status_testable (Fmt.str "seed %d" seed) Vm.Rt.Finished st;
+      Alcotest.(check string) "meals" (printed [ 24 ]) out)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_spawn_passes_refs () =
+  (* a spawned thread receives a reference argument correctly (and the GC
+     sees it while parked) *)
+  let c = "SpawnRef" in
+  let worker =
+    A.method_ ~args:[ I.Tobj "String" ] ~nlocals:1 "worker"
+      [ i (I.Load 0); i I.Prints; i I.Ret ]
+  in
+  let main =
+    A.method_ ~nlocals:1 "main"
+      [
+        i (I.Sconst "from-arg\n");
+        i (I.Spawn (c, "worker"));
+        i (I.Store 0);
+        i (I.Load 0);
+        i I.Join;
+        i I.Ret;
+      ]
+  in
+  expect_output (D.program [ D.cdecl c [ worker; main ] ]) "from-arg\n"
+
+let test_barrier_invariant () =
+  (* per-phase sums are schedule-independent: workers*phase*1000 + 0+1+2+3 *)
+  List.iter
+    (fun seed ->
+      let p = Workloads.Sync_patterns.barrier ~workers:4 ~rounds:3 () in
+      let out, st = run_output ~seed p in
+      Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+      Alcotest.(check string) (Fmt.str "seed %d" seed)
+        (printed [ 6; 4006; 8006 ]) out)
+    [ 1; 2; 3; 4 ]
+
+let test_rwlock_isolation () =
+  List.iter
+    (fun seed ->
+      let p = Workloads.Sync_patterns.rwlock ~readers:3 ~writers:2 ~ops:10 () in
+      let out, st = run_output ~seed p in
+      Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+      Alcotest.(check string) (Fmt.str "seed %d" seed) "violations=0\n" out)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_mergesort_sorts () =
+  List.iter
+    (fun seed ->
+      let p = Workloads.Sorting.program ~size:128 () in
+      let out, st = run_output ~seed p in
+      Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+      Alcotest.(check string) (Fmt.str "seed %d" seed)
+        (Fmt.str "inversions=0\nsum=%d\n" (128 * 127 / 2))
+        out)
+    [ 1; 2; 3 ]
+
+let test_ring_conserves_token () =
+  List.iter
+    (fun seed ->
+      let p = Workloads.Ring_actors.program ~actors:4 ~laps:3 () in
+      let out, st = run_output ~seed p in
+      Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+      Alcotest.(check string) (Fmt.str "seed %d" seed) "token=18\nlaps=3\n" out)
+    [ 1; 2; 3; 4 ]
+
+let test_sleep_zero_yields () =
+  let body = [ i (I.Const 0); i I.Sleep; i (I.Const 3); i I.Print; i I.Ret ] in
+  expect_output (main_prog body) (printed [ 3 ])
+
+let () =
+  ignore spawn_join;
+  Alcotest.run "sched"
+    [
+      ( "monitors",
+        [
+          quick "recursion" test_monitor_recursion;
+          quick "illegal exit" test_illegal_monitor_exit;
+          quick "wait without monitor" test_wait_without_monitor;
+          quick "mutual exclusion" test_mutual_exclusion;
+        ] );
+      ( "wait/notify",
+        [
+          quick "producer/consumer conservation" test_producer_consumer_conservation;
+          quick "notify wakes fifo" test_notify_wakes_fifo;
+          quick "timed wait times out" test_timedwait_times_out;
+        ] );
+      ( "time",
+        [
+          quick "sleep idles the clock" test_sleep_is_not_busy;
+          quick "sleep(0) yields" test_sleep_zero_yields;
+        ] );
+      ( "join/interrupt",
+        [
+          quick "join terminated" test_join_terminated;
+          quick "join bad tid" test_join_bad_tid;
+          quick "interrupt wait" test_interrupt_wait;
+          quick "interrupt sleep" test_interrupt_sleep;
+        ] );
+      ( "liveness",
+        [
+          quick "guaranteed deadlock" test_guaranteed_deadlock;
+          quick "ordered philosophers" test_philosophers_ordered_never_deadlock;
+          quick "spawn passes refs" test_spawn_passes_refs;
+        ] );
+      ( "patterns",
+        [
+          quick "barrier phases" test_barrier_invariant;
+          quick "rwlock isolation" test_rwlock_isolation;
+          quick "mergesort sorts" test_mergesort_sorts;
+          quick "ring conserves token" test_ring_conserves_token;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Trace codec: tapes, varints, serialization, error handling. *)
+
+open Tutil
+
+module T = Dejavu.Trace
+
+let mk ?(digest = "d") ?(switches = [||]) ?(clocks = [||]) ?(inputs = [||])
+    ?(natives = [||]) () =
+  { T.program_digest = digest; switches; clocks; inputs; natives }
+
+let trace_eq a b =
+  a.T.program_digest = b.T.program_digest
+  && a.T.switches = b.T.switches
+  && a.T.clocks = b.T.clocks
+  && a.T.inputs = b.T.inputs
+  && a.T.natives = b.T.natives
+
+(* --- Tape --------------------------------------------------------------- *)
+
+let test_tape_push_read () =
+  let t = T.Tape.create "t" in
+  T.Tape.push t 1;
+  T.Tape.push t 2;
+  T.Tape.push t 3;
+  Alcotest.(check int) "len" 3 (T.Tape.length t);
+  Alcotest.(check int) "r1" 1 (T.Tape.read t);
+  Alcotest.(check int) "r2" 2 (T.Tape.read t);
+  Alcotest.(check int) "remaining" 1 (T.Tape.remaining t);
+  Alcotest.(check int) "r3" 3 (T.Tape.read t);
+  match T.Tape.read t with
+  | exception T.End_of_tape "t" -> ()
+  | _ -> Alcotest.fail "no end-of-tape"
+
+let test_tape_growth () =
+  let t = T.Tape.create "g" in
+  for k = 0 to 9999 do
+    T.Tape.push t k
+  done;
+  Alcotest.(check int) "len" 10000 (T.Tape.length t);
+  let arr = T.Tape.to_array t in
+  Alcotest.(check int) "arr len" 10000 (Array.length arr);
+  Alcotest.(check int) "arr contents" 1234 arr.(1234)
+
+let test_tape_read_opt () =
+  let t = T.Tape.of_array "o" [| 5 |] in
+  Alcotest.(check (option int)) "some" (Some 5) (T.Tape.read_opt t);
+  Alcotest.(check (option int)) "none" None (T.Tape.read_opt t)
+
+(* --- varints ------------------------------------------------------------ *)
+
+let varint_roundtrip v =
+  let buf = Buffer.create 16 in
+  T.put_varint buf v;
+  let got, pos = T.get_varint (Buffer.contents buf) 0 in
+  Alcotest.(check int) (Fmt.str "varint %d" v) v got;
+  Alcotest.(check int) "consumed all" (Buffer.length buf) pos
+
+let test_varint_edges () =
+  List.iter varint_roundtrip
+    [ 0; 1; -1; 2; -2; 63; 64; -64; -65; 127; 128; 1 lsl 30; -(1 lsl 30);
+      max_int; min_int; max_int - 1; min_int + 1 ]
+
+let test_varint_truncated () =
+  let buf = Buffer.create 16 in
+  T.put_varint buf max_int;
+  let s = Buffer.contents buf in
+  let truncated = String.sub s 0 (String.length s - 1) in
+  match T.get_varint truncated 0 with
+  | exception T.Format_error _ -> ()
+  | _ -> Alcotest.fail "truncated varint accepted"
+
+(* --- whole-trace serialization ------------------------------------------ *)
+
+let test_roundtrip_empty () =
+  let t = mk () in
+  Alcotest.(check bool) "rt" true (trace_eq t (T.of_bytes (T.to_bytes t)))
+
+let test_roundtrip_full () =
+  let t =
+    mk ~digest:(String.make 32 'a')
+      ~switches:[| 1; 2; 3; 1000000 |]
+      ~clocks:[| 0; 5; 1; 700; 2; 800 |]
+      ~inputs:[| -5; 0; max_int |]
+      ~natives:[| 1; 1; 42; 0 |]
+      ()
+  in
+  Alcotest.(check bool) "rt" true (trace_eq t (T.of_bytes (T.to_bytes t)))
+
+let test_bad_magic () =
+  match T.of_bytes "NOPE\nxxxxx" with
+  | exception T.Format_error _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted"
+
+let test_trailing_bytes () =
+  let s = T.to_bytes (mk ()) ^ "junk" in
+  match T.of_bytes s with
+  | exception T.Format_error _ -> ()
+  | _ -> Alcotest.fail "trailing bytes accepted"
+
+let test_truncation () =
+  let s = T.to_bytes (mk ~switches:[| 1; 2; 3 |] ()) in
+  let s = String.sub s 0 (String.length s - 2) in
+  match T.of_bytes s with
+  | exception T.Format_error _ -> ()
+  | _ -> Alcotest.fail "truncated trace accepted"
+
+let test_save_load () =
+  let t = mk ~switches:[| 9; 8; 7 |] ~inputs:[| 1 |] () in
+  let path = Filename.temp_file "trace" ".djv" in
+  T.save path t;
+  let t' = T.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "rt" true (trace_eq t t')
+
+(* --- native outcome encoding --------------------------------------------- *)
+
+let test_native_outcome_codec () =
+  let tape = T.Tape.create "n" in
+  let o1 = { Vm.Rt.no_result = Some 42; no_callbacks = [ (3, [| 1; 2 |]); (5, [||]) ] } in
+  let o2 = { Vm.Rt.no_result = None; no_callbacks = [] } in
+  T.push_native_outcome tape 7 o1;
+  T.push_native_outcome tape 9 o2;
+  let id1, got1 = T.read_native_outcome tape in
+  let id2, got2 = T.read_native_outcome tape in
+  Alcotest.(check int) "id1" 7 id1;
+  Alcotest.(check int) "id2" 9 id2;
+  Alcotest.(check bool) "o1" true (got1 = o1);
+  Alcotest.(check bool) "o2" true (got2 = o2);
+  Alcotest.(check int) "consumed" 0 (T.Tape.remaining tape)
+
+let test_sizes () =
+  let t =
+    mk ~switches:[| 1; 2 |] ~clocks:[| 0; 1; 1; 2 |] ~inputs:[| 3 |]
+      ~natives:[| 1; 0; 0 |] ()
+  in
+  let s = T.sizes t in
+  Alcotest.(check int) "switches" 2 s.T.n_switches;
+  Alcotest.(check int) "clock reads" 2 s.T.n_clock_reads;
+  Alcotest.(check int) "inputs" 1 s.T.n_inputs;
+  Alcotest.(check int) "native words" 3 s.T.n_native_words;
+  Alcotest.(check int) "total" 10 s.T.total_words;
+  Alcotest.(check bool) "bytes positive" true (s.T.total_bytes > 0)
+
+let test_reason_tags () =
+  Alcotest.(check int) "app" 0 (T.tag_of_reason Vm.Rt.Capp);
+  Alcotest.(check int) "sched" 1 (T.tag_of_reason Vm.Rt.Csched);
+  Alcotest.(check int) "idle" 2 (T.tag_of_reason (Vm.Rt.Cidle 7));
+  Alcotest.(check string) "name" "sched" (T.reason_name 1)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "tape",
+        [
+          quick "push/read" test_tape_push_read;
+          quick "growth" test_tape_growth;
+          quick "read_opt" test_tape_read_opt;
+        ] );
+      ( "varint",
+        [ quick "edges" test_varint_edges; quick "truncated" test_varint_truncated ] );
+      ( "codec",
+        [
+          quick "roundtrip empty" test_roundtrip_empty;
+          quick "roundtrip full" test_roundtrip_full;
+          quick "bad magic" test_bad_magic;
+          quick "trailing bytes" test_trailing_bytes;
+          quick "truncation" test_truncation;
+          quick "save/load" test_save_load;
+          quick "native outcomes" test_native_outcome_codec;
+          quick "sizes" test_sizes;
+          quick "reason tags" test_reason_tags;
+        ] );
+    ]

@@ -1,0 +1,412 @@
+(* The verifier: type checking, reference maps, max-stack, rejection of
+   ill-typed code. These are the maps the type-accurate GC trusts. *)
+
+open Tutil
+
+let trivial_main = D.mdecl ~nlocals:0 "main" [ I.Ret ]
+
+(* Compile method "m" of class "T" in [prog]; return its compiled form. *)
+let compile_m ?(cls = "T") ?(meth = "m") prog =
+  let vm = Vm.create prog in
+  let cid = Vm.Rt.class_id vm cls in
+  let uid = Hashtbl.find (Vm.Rt.the_class vm cid).Vm.Rt.rc_method_of meth in
+  Vm.Compile.compile vm (Vm.Rt.the_method vm uid)
+
+let expect_reject ?cls ?meth prog what =
+  match compile_m ?cls ?meth prog with
+  | exception Vm.Verify.Error _ -> ()
+  | _ -> Alcotest.failf "%s: accepted" what
+
+let expect_accept ?cls ?meth prog =
+  match compile_m ?cls ?meth prog with
+  | c -> c
+  | exception Vm.Verify.Error msg -> Alcotest.failf "rejected: %s" msg
+
+let with_m ?args ?ret ?nlocals ?(extra = []) body =
+  prog1 ~extra_classes:extra
+    [
+      trivial_main;
+      A.method_ ?args ?ret ~nlocals:(Option.value nlocals ~default:4) "m" body;
+    ]
+
+(* --- rejections ---------------------------------------------------------- *)
+
+let test_underflow () =
+  expect_reject (with_m [ i I.Add; i I.Pop; i I.Ret ]) "stack underflow"
+
+let test_depth_mismatch () =
+  (* one path leaves an extra word on the stack *)
+  let body =
+    [
+      i (I.Const 0);
+      i (I.Ifz (I.Eq, "merge"));
+      i (I.Const 1);
+      l "merge";
+      i I.Ret;
+    ]
+  in
+  expect_reject (with_m body) "depth mismatch"
+
+let test_int_ref_conflict () =
+  (* a local holds an int on one path, a ref on the other, then is loaded *)
+  let body =
+    [
+      i (I.Const 0);
+      i (I.Ifz (I.Eq, "refside"));
+      i (I.Const 7);
+      i (I.Store 0);
+      i (I.Goto "merge");
+      l "refside";
+      i (I.Sconst "s");
+      i (I.Store 0);
+      l "merge";
+      i (I.Load 0);
+      i I.Pop;
+      i I.Ret;
+    ]
+  in
+  expect_reject (with_m body) "int/ref conflict"
+
+let test_arith_on_ref () =
+  expect_reject
+    (with_m [ i (I.Sconst "x"); i (I.Const 1); i I.Add; i I.Pop; i I.Ret ])
+    "arith on ref"
+
+let test_aload_non_array () =
+  expect_reject
+    (with_m [ i (I.Sconst "x"); i (I.Const 0); i I.Aload; i I.Pop; i I.Ret ])
+    "aload on string"
+
+let test_astore_elem_type () =
+  (* storing a ref into an int[] *)
+  let body =
+    [
+      i (I.Const 3);
+      i (I.Newarray I.Tint);
+      i (I.Const 0);
+      i (I.Sconst "oops");
+      i I.Astore;
+      i I.Ret;
+    ]
+  in
+  expect_reject (with_m body) "astore ref into int[]"
+
+let test_array_invariance () =
+  (* int[] where int[][] expected *)
+  let body =
+    [
+      i (I.Const 1);
+      i (I.Newarray (I.Tarr I.Tint));
+      i (I.Const 0);
+      i (I.Const 2);
+      i (I.Newarray I.Tint);
+      i I.Astore;
+      i I.Ret;
+    ]
+  in
+  (* this one is fine: int[] goes into int[][] *)
+  ignore (expect_accept (with_m body));
+  (* but ref[] into int[][] is not *)
+  let bad =
+    [
+      i (I.Const 1);
+      i (I.Newarray (I.Tarr I.Tint));
+      i (I.Const 0);
+      i (I.Const 2);
+      i (I.Newarray I.Tref);
+      i I.Astore;
+      i I.Ret;
+    ]
+  in
+  expect_reject (with_m bad) "covariant array store"
+
+let test_retv_in_void () =
+  expect_reject (with_m [ i (I.Const 1); i I.Retv ]) "retv in void"
+
+let test_ret_in_valued () =
+  expect_reject (with_m ~ret:I.Tint [ i I.Ret ]) "ret in valued"
+
+let test_retv_wrong_type () =
+  expect_reject
+    (with_m ~ret:I.Tint [ i (I.Sconst "s"); i I.Retv ])
+    "retv ref for int"
+
+let test_throw_non_throwable () =
+  expect_reject
+    (with_m [ i (I.Sconst "s"); i I.Throw ])
+    "throw of a String"
+
+let test_putfield_wrong_type () =
+  let extra = [ D.cdecl "P" ~fields:[ D.field ~ty:(I.Tobj "P") "next" ] [] ] in
+  let body =
+    [ i (I.New "P"); i (I.Const 3); i (I.Putfield ("P", "next")); i I.Ret ]
+  in
+  expect_reject (with_m ~extra body) "int into ref field"
+
+let test_receiver_class_check () =
+  (* passing a P where a Q receiver is needed *)
+  let extra =
+    [
+      D.cdecl "P" [];
+      D.cdecl "Q"
+        [ A.method_ ~static:false ~args:[ I.Tobj "Q" ] ~nlocals:1 "go" [ i I.Ret ] ];
+    ]
+  in
+  let body = [ i (I.New "P"); i (I.Invoke ("Q", "go")); i I.Ret ] in
+  expect_reject (with_m ~extra body) "receiver type"
+
+let test_subclass_receiver_ok () =
+  let extra =
+    [
+      D.cdecl "Q"
+        [ A.method_ ~static:false ~args:[ I.Tobj "Q" ] ~nlocals:1 "go" [ i I.Ret ] ];
+      D.cdecl ~super:"Q" "R" [];
+    ]
+  in
+  let body = [ i (I.New "R"); i (I.Invoke ("Q", "go")); i I.Ret ] in
+  ignore (expect_accept (with_m ~extra body))
+
+let test_lca_merge_then_misuse () =
+  (* merge R1/R2 (both extend Q): result types as Q; calling an R1-only
+     method on it must be rejected *)
+  let extra =
+    [
+      D.cdecl "Q" [];
+      D.cdecl ~super:"Q" "R1"
+        [ A.method_ ~static:false ~args:[ I.Tobj "R1" ] ~nlocals:1 "only" [ i I.Ret ] ];
+      D.cdecl ~super:"Q" "R2" [];
+    ]
+  in
+  let body =
+    [
+      i (I.Const 0);
+      i (I.Ifz (I.Eq, "r2"));
+      i (I.New "R1");
+      i (I.Goto "merge");
+      l "r2";
+      i (I.New "R2");
+      l "merge";
+      i (I.Invoke ("R1", "only"));
+      i I.Ret;
+    ]
+  in
+  expect_reject (with_m ~extra body) "lca misuse"
+
+let test_checkcast_recovers_type () =
+  let extra =
+    [
+      D.cdecl "Q" [];
+      D.cdecl ~super:"Q" "R1"
+        [ A.method_ ~static:false ~args:[ I.Tobj "R1" ] ~nlocals:1 "only" [ i I.Ret ] ];
+      D.cdecl ~super:"Q" "R2" [];
+    ]
+  in
+  let body =
+    [
+      i (I.Const 0);
+      i (I.Ifz (I.Eq, "r2"));
+      i (I.New "R1");
+      i (I.Goto "merge");
+      l "r2";
+      i (I.New "R2");
+      l "merge";
+      i (I.Checkcast "R1");
+      i (I.Invoke ("R1", "only"));
+      i I.Ret;
+    ]
+  in
+  ignore (expect_accept (with_m ~extra body))
+
+(* --- acceptance and reference maps ---------------------------------------- *)
+
+let test_bot_merges () =
+  (* a local assigned only on one path merges Bot+Ref = Ref; loading it is
+     fine (zero-initialized = null) *)
+  let body =
+    [
+      i (I.Const 0);
+      i (I.Ifz (I.Eq, "skip"));
+      i (I.Sconst "s");
+      i (I.Store 1);
+      l "skip";
+      i (I.Load 1);
+      i I.Pop;
+      i I.Ret;
+    ]
+  in
+  ignore (expect_accept (with_m body))
+
+let test_refmaps_locals () =
+  let body =
+    [
+      i (I.Sconst "hello");
+      i (I.Store 0);
+      i (I.Const 7);
+      i (I.Store 1);
+      i I.Ret;
+    ]
+  in
+  let c = expect_accept (with_m ~nlocals:2 body) in
+  (* at the final Ret, local 0 is a ref, local 1 an int *)
+  let ret_pc =
+    let found = ref (-1) in
+    Array.iteri (fun pc ins -> if ins = Vm.Rt.KRet then found := pc) c.Vm.Rt.k_code;
+    !found
+  in
+  let map = c.Vm.Rt.k_maps.(ret_pc) in
+  Alcotest.(check bool) "local0 ref" true map.Vm.Rt.map_locals.(0);
+  Alcotest.(check bool) "local1 int" false map.Vm.Rt.map_locals.(1)
+
+let test_refmaps_stack () =
+  let body =
+    [ i (I.Sconst "x"); i (I.Const 1); i I.Pop; i I.Pop; i I.Ret ]
+  in
+  let c = expect_accept (with_m body) in
+  (* find the first Pop: stack is [ref; int] before it *)
+  let pop_pc =
+    let found = ref (-1) in
+    Array.iteri
+      (fun pc ins -> if ins = Vm.Rt.KPop && !found < 0 then found := pc)
+      c.Vm.Rt.k_code;
+    !found
+  in
+  let map = c.Vm.Rt.k_maps.(pop_pc) in
+  Alcotest.(check int) "depth" 2 map.Vm.Rt.map_depth;
+  Alcotest.(check bool) "slot0 ref" true map.Vm.Rt.map_stack.(0);
+  Alcotest.(check bool) "slot1 int" false map.Vm.Rt.map_stack.(1)
+
+let test_max_stack () =
+  let body =
+    [
+      i (I.Const 1);
+      i (I.Const 2);
+      i (I.Const 3);
+      i I.Add;
+      i I.Add;
+      i I.Print;
+      i I.Ret;
+    ]
+  in
+  let c = expect_accept (with_m body) in
+  Alcotest.(check int) "max stack" 3 c.Vm.Rt.k_max_stack
+
+let test_handler_state () =
+  (* at a handler entry the stack is exactly [exception] *)
+  let m =
+    A.method_with_handlers ~nlocals:1 "m"
+      [
+        l "try";
+        i (I.Const 1);
+        i (I.Const 0);
+        i I.Div;
+        i (I.Store 0);
+        l "endtry";
+        i I.Ret;
+        l "catch";
+        i I.Pop;
+        i I.Ret;
+      ]
+      [
+        {
+          A.ah_from = "try";
+          ah_upto = "endtry";
+          ah_target = "catch";
+          ah_class = Some "ArithmeticException";
+        };
+      ]
+  in
+  let prog = prog1 [ trivial_main; m ] in
+  let c = expect_accept prog in
+  (* the handler target (first Pop after KRet) has depth 1 with a ref *)
+  let handler_pc = c.Vm.Rt.k_handlers.(0).Vm.Rt.k_target in
+  let map = c.Vm.Rt.k_maps.(handler_pc) in
+  Alcotest.(check int) "depth" 1 map.Vm.Rt.map_depth;
+  Alcotest.(check bool) "exc is ref" true map.Vm.Rt.map_stack.(0)
+
+let test_yieldpoint_injection () =
+  (* loops get a yield point before the backward branch; prologue gets one *)
+  let body =
+    [
+      i (I.Const 10);
+      i (I.Store 0);
+      l "loop";
+      i (I.Load 0);
+      i (I.Ifz (I.Le, "end"));
+      i (I.Load 0);
+      i (I.Const 1);
+      i I.Sub;
+      i (I.Store 0);
+      i (I.Goto "loop");
+      l "end";
+      i I.Ret;
+    ]
+  in
+  let c = expect_accept (with_m ~nlocals:1 body) in
+  let yields =
+    Array.to_list c.Vm.Rt.k_code
+    |> List.filter (fun x -> x = Vm.Rt.KYield)
+    |> List.length
+  in
+  Alcotest.(check int) "prologue + backedge" 2 yields;
+  Alcotest.(check bool) "first is yieldpoint" true (c.Vm.Rt.k_code.(0) = Vm.Rt.KYield)
+
+let test_sync_expansion () =
+  (* synchronized methods: enter at entry, exit on return, catch-all *)
+  let m =
+    A.method_ ~static:false ~sync:true ~args:[ I.Tobj "T" ] ~nlocals:1 "m"
+      [ i I.Ret ]
+  in
+  let prog = prog1 [ trivial_main; m ] in
+  let c = expect_accept prog in
+  let count x =
+    Array.to_list c.Vm.Rt.k_code |> List.filter (fun k -> k = x) |> List.length
+  in
+  Alcotest.(check int) "one enter" 1 (count Vm.Rt.KMonitorenter);
+  Alcotest.(check int) "exit on return and in handler" 2 (count Vm.Rt.KMonitorexit);
+  Alcotest.(check bool) "has catch-all" true
+    (Array.exists (fun h -> h.Vm.Rt.k_catch = -1) c.Vm.Rt.k_handlers)
+
+let test_src_pc_mapping () =
+  let body = [ i (I.Const 1); i I.Print; i I.Ret ] in
+  let c = expect_accept (with_m body) in
+  (* compiled: KYield; KConst; KPrint; KRet — src pcs 0;0;1;2 *)
+  Alcotest.(check (list int)) "src map" [ 0; 0; 1; 2 ]
+    (Array.to_list c.Vm.Rt.k_src_pc)
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "rejection",
+        [
+          quick "stack underflow" test_underflow;
+          quick "depth mismatch" test_depth_mismatch;
+          quick "int/ref conflict" test_int_ref_conflict;
+          quick "arith on ref" test_arith_on_ref;
+          quick "aload on non-array" test_aload_non_array;
+          quick "astore elem type" test_astore_elem_type;
+          quick "array invariance" test_array_invariance;
+          quick "retv in void" test_retv_in_void;
+          quick "ret in valued" test_ret_in_valued;
+          quick "retv wrong type" test_retv_wrong_type;
+          quick "throw non-throwable" test_throw_non_throwable;
+          quick "putfield wrong type" test_putfield_wrong_type;
+          quick "receiver class" test_receiver_class_check;
+          quick "lca merge misuse" test_lca_merge_then_misuse;
+        ] );
+      ( "acceptance",
+        [
+          quick "subclass receiver" test_subclass_receiver_ok;
+          quick "checkcast recovers" test_checkcast_recovers_type;
+          quick "bot merges" test_bot_merges;
+        ] );
+      ( "artifacts",
+        [
+          quick "refmaps: locals" test_refmaps_locals;
+          quick "refmaps: stack" test_refmaps_stack;
+          quick "max stack" test_max_stack;
+          quick "handler state" test_handler_state;
+          quick "yieldpoint injection" test_yieldpoint_injection;
+          quick "sync expansion" test_sync_expansion;
+          quick "source pc mapping" test_src_pc_mapping;
+        ] );
+    ]

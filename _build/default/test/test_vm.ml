@@ -1,0 +1,660 @@
+(* Interpreter semantics: arithmetic, control flow, objects, arrays,
+   strings, dispatch, class initialization, natives, printing. *)
+
+open Tutil
+
+(* run a body in main and compare printed output *)
+let body_prints ?statics ?fields ?extra_classes ?nlocals body expected =
+  expect_output (main_prog ?statics ?fields ?extra_classes ?nlocals body) expected
+
+let pr = [ i I.Print ]
+
+(* --- arithmetic -------------------------------------------------------- *)
+
+let arith_case _name lhs rhs op expected () =
+  body_prints ([ i (I.Const lhs); i (I.Const rhs); i op ] @ pr @ [ i I.Ret ])
+    (printed [ expected ])
+
+let test_division_semantics () =
+  body_prints
+    [ i (I.Const (-7)); i (I.Const 2); i I.Div; i I.Print; i I.Ret ]
+    (printed [ -3 ]);
+  body_prints
+    [ i (I.Const (-7)); i (I.Const 2); i I.Rem; i I.Print; i I.Ret ]
+    (printed [ -1 ])
+
+let test_neg () =
+  body_prints [ i (I.Const 5); i I.Neg; i I.Print; i I.Ret ] (printed [ -5 ])
+
+let test_shifts () =
+  body_prints
+    [ i (I.Const 3); i (I.Const 4); i I.Shl; i I.Print; i I.Ret ]
+    (printed [ 48 ]);
+  body_prints
+    [ i (I.Const (-64)); i (I.Const 3); i I.Shr; i I.Print; i I.Ret ]
+    (printed [ -8 ])
+
+(* --- stack ops ---------------------------------------------------------- *)
+
+let test_dup_pop_swap () =
+  body_prints
+    [ i (I.Const 3); i I.Dup; i I.Add; i I.Print; i I.Ret ]
+    (printed [ 6 ]);
+  body_prints
+    [ i (I.Const 1); i (I.Const 2); i I.Pop; i I.Print; i I.Ret ]
+    (printed [ 1 ]);
+  body_prints
+    [ i (I.Const 1); i (I.Const 2); i I.Swap; i I.Sub; i I.Print; i I.Ret ]
+    (printed [ 1 ])
+
+(* --- control flow ------------------------------------------------------- *)
+
+let test_branches () =
+  let prog cmp a b =
+    main_prog
+      [
+        i (I.Const a);
+        i (I.Const b);
+        i (I.If (cmp, "yes"));
+        i (I.Const 0);
+        i I.Print;
+        i I.Ret;
+        l "yes";
+        i (I.Const 1);
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  expect_output (prog I.Lt 1 2) (printed [ 1 ]);
+  expect_output (prog I.Lt 2 1) (printed [ 0 ]);
+  expect_output (prog I.Eq 5 5) (printed [ 1 ]);
+  expect_output (prog I.Ge 5 5) (printed [ 1 ]);
+  expect_output (prog I.Gt 5 5) (printed [ 0 ])
+
+let test_loop_sum () =
+  (* sum 1..100 = 5050 *)
+  body_prints ~nlocals:2
+    [
+      i (I.Const 0);
+      i (I.Store 0);
+      i (I.Const 1);
+      i (I.Store 1);
+      l "loop";
+      i (I.Load 1);
+      i (I.Const 100);
+      i (I.If (I.Gt, "end"));
+      i (I.Load 0);
+      i (I.Load 1);
+      i I.Add;
+      i (I.Store 0);
+      i (I.Load 1);
+      i (I.Const 1);
+      i I.Add;
+      i (I.Store 1);
+      i (I.Goto "loop");
+      l "end";
+      i (I.Load 0);
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 5050 ])
+
+let test_refeq () =
+  (* two identical string literals are interned to the same object *)
+  body_prints
+    [
+      i (I.Sconst "abc");
+      i (I.Sconst "abc");
+      i (I.Ifrefeq "same");
+      i (I.Const 0);
+      i I.Print;
+      i I.Ret;
+      l "same";
+      i (I.Const 1);
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 1 ]);
+  body_prints
+    [
+      i (I.New "Object");
+      i (I.New "Object");
+      i (I.Ifrefne "diff");
+      i (I.Const 0);
+      i I.Print;
+      i I.Ret;
+      l "diff";
+      i (I.Const 1);
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 1 ])
+
+(* --- objects, fields, statics ------------------------------------------- *)
+
+let test_fields () =
+  body_prints ~fields:[ D.field "x"; D.field "y" ] ~nlocals:1
+    [
+      i (I.New "T");
+      i (I.Store 0);
+      i (I.Load 0);
+      i (I.Const 11);
+      i (I.Putfield ("T", "x"));
+      i (I.Load 0);
+      i (I.Const 22);
+      i (I.Putfield ("T", "y"));
+      i (I.Load 0);
+      i (I.Getfield ("T", "x"));
+      i (I.Load 0);
+      i (I.Getfield ("T", "y"));
+      i I.Add;
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 33 ])
+
+let test_field_defaults () =
+  body_prints
+    ~fields:[ D.field "x"; D.field ~ty:I.Tref "r" ]
+    ~nlocals:1
+    [
+      i (I.New "T");
+      i (I.Store 0);
+      i (I.Load 0);
+      i (I.Getfield ("T", "x"));
+      i I.Print;
+      i (I.Load 0);
+      i (I.Getfield ("T", "r"));
+      i (I.Ifnull "isnull");
+      i (I.Const 0);
+      i I.Print;
+      i I.Ret;
+      l "isnull";
+      i (I.Const 1);
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 0; 1 ])
+
+let test_statics () =
+  body_prints ~statics:[ D.field "s" ]
+    [
+      i (I.Const 5);
+      i (I.Putstatic ("T", "s"));
+      i (I.Getstatic ("T", "s"));
+      i (I.Getstatic ("T", "s"));
+      i I.Mul;
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 25 ])
+
+let test_inherited_fields () =
+  let extra =
+    [
+      D.cdecl "A" ~fields:[ D.field "a" ] [];
+      D.cdecl ~super:"A" "B" ~fields:[ D.field "b" ] [];
+    ]
+  in
+  body_prints ~extra_classes:extra ~nlocals:1
+    [
+      i (I.New "B");
+      i (I.Store 0);
+      i (I.Load 0);
+      i (I.Const 1);
+      i (I.Putfield ("A", "a"));
+      i (I.Load 0);
+      i (I.Const 2);
+      i (I.Putfield ("B", "b"));
+      i (I.Load 0);
+      i (I.Getfield ("A", "a"));
+      i (I.Load 0);
+      i (I.Getfield ("B", "b"));
+      i I.Add;
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 3 ])
+
+(* --- arrays -------------------------------------------------------------- *)
+
+let test_arrays () =
+  body_prints ~nlocals:1
+    [
+      i (I.Const 5);
+      i (I.Newarray I.Tint);
+      i (I.Store 0);
+      i (I.Load 0);
+      i (I.Const 2);
+      i (I.Const 42);
+      i I.Astore;
+      i (I.Load 0);
+      i (I.Const 2);
+      i I.Aload;
+      i I.Print;
+      i (I.Load 0);
+      i I.Arraylength;
+      i I.Print;
+      i (I.Load 0);
+      i (I.Const 0);
+      i I.Aload;
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 42; 5; 0 ])
+
+let test_ref_arrays () =
+  body_prints ~nlocals:1
+    [
+      i (I.Const 2);
+      i (I.Newarray (I.Tobj "Object"));
+      i (I.Store 0);
+      i (I.Load 0);
+      i (I.Const 1);
+      i (I.New "Object");
+      i I.Astore;
+      i (I.Load 0);
+      i (I.Const 0);
+      i I.Aload;
+      i (I.Ifnull "ok0");
+      i I.Ret;
+      l "ok0";
+      i (I.Load 0);
+      i (I.Const 1);
+      i I.Aload;
+      i (I.Ifnonnull "ok1");
+      i I.Ret;
+      l "ok1";
+      i (I.Const 7);
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 7 ])
+
+let test_nested_arrays () =
+  body_prints ~nlocals:2
+    [
+      i (I.Const 3);
+      i (I.Newarray (I.Tarr I.Tint));
+      i (I.Store 0);
+      i (I.Const 4);
+      i (I.Newarray I.Tint);
+      i (I.Store 1);
+      i (I.Load 1);
+      i (I.Const 2);
+      i (I.Const 99);
+      i I.Astore;
+      i (I.Load 0);
+      i (I.Const 1);
+      i (I.Load 1);
+      i I.Astore;
+      i (I.Load 0);
+      i (I.Const 1);
+      i I.Aload;
+      i (I.Const 2);
+      i I.Aload;
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 99 ])
+
+(* --- strings -------------------------------------------------------------- *)
+
+let test_prints () =
+  body_prints
+    [ i (I.Sconst "hello "); i I.Prints; i (I.Sconst "world\n"); i I.Prints; i I.Ret ]
+    "hello world\n"
+
+(* --- calls ---------------------------------------------------------------- *)
+
+let test_static_call () =
+  let p =
+    prog1
+      [
+        A.method_ ~args:[ I.Tint; I.Tint ] ~ret:I.Tint ~nlocals:2 "add2"
+          [ i (I.Load 0); i (I.Load 1); i I.Add; i I.Retv ];
+        main_method
+          [
+            i (I.Const 20);
+            i (I.Const 22);
+            i (I.Invoke ("T", "add2"));
+            i I.Print;
+            i I.Ret;
+          ];
+      ]
+  in
+  expect_output p (printed [ 42 ])
+
+let test_virtual_dispatch () =
+  let animal m =
+    A.method_ ~static:false ~args:[ I.Tobj "Animal" ] ~ret:I.Tint ~nlocals:1
+      "noise" m
+  in
+  let extra =
+    [
+      D.cdecl "Animal" [ animal [ i (I.Const 0); i I.Retv ] ];
+      D.cdecl ~super:"Animal" "Dog" [ animal [ i (I.Const 1); i I.Retv ] ];
+      D.cdecl ~super:"Animal" "Cat" [ animal [ i (I.Const 2); i I.Retv ] ];
+      D.cdecl ~super:"Dog" "Puppy" [];
+    ]
+  in
+  body_prints ~extra_classes:extra
+    [
+      i (I.New "Dog");
+      i (I.Invoke ("Animal", "noise"));
+      i I.Print;
+      i (I.New "Cat");
+      i (I.Invoke ("Animal", "noise"));
+      i I.Print;
+      i (I.New "Animal");
+      i (I.Invoke ("Animal", "noise"));
+      i I.Print;
+      i (I.New "Puppy");
+      i (I.Invoke ("Animal", "noise"));
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 1; 2; 0; 1 ])
+
+let test_recursion () =
+  let p =
+    prog1
+      [
+        A.method_ ~args:[ I.Tint ] ~ret:I.Tint ~nlocals:1 "fib"
+          [
+            i (I.Load 0);
+            i (I.Const 2);
+            i (I.If (I.Ge, "rec"));
+            i (I.Load 0);
+            i I.Retv;
+            l "rec";
+            i (I.Load 0);
+            i (I.Const 1);
+            i I.Sub;
+            i (I.Invoke ("T", "fib"));
+            i (I.Load 0);
+            i (I.Const 2);
+            i I.Sub;
+            i (I.Invoke ("T", "fib"));
+            i I.Add;
+            i I.Retv;
+          ];
+        main_method
+          [ i (I.Const 15); i (I.Invoke ("T", "fib")); i I.Print; i I.Ret ];
+      ]
+  in
+  expect_output p (printed [ 610 ])
+
+let test_checkcast_instanceof () =
+  let extra = [ D.cdecl "Q" []; D.cdecl ~super:"Q" "R" [] ] in
+  body_prints ~extra_classes:extra ~nlocals:1
+    [
+      i (I.New "R");
+      i (I.Store 0);
+      i (I.Load 0);
+      i (I.Instanceof "Q");
+      i I.Print;
+      i (I.Load 0);
+      i (I.Instanceof "String");
+      i I.Print;
+      i I.Null;
+      i (I.Instanceof "Q");
+      i I.Print;
+      i (I.Load 0);
+      i (I.Checkcast "Q");
+      i I.Pop;
+      i (I.Const 9);
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 1; 0; 0; 9 ])
+
+(* --- class initialization -------------------------------------------------- *)
+
+let test_clinit_runs_once () =
+  let extra =
+    [
+      D.cdecl "Init" ~statics:[ D.field "v" ]
+        [
+          A.method_ ~nlocals:0 Bytecode.Decl.clinit_name
+            [
+              i (I.Getstatic ("Init", "v"));
+              i (I.Const 1);
+              i I.Add;
+              i (I.Putstatic ("Init", "v"));
+              i I.Ret;
+            ];
+        ];
+    ]
+  in
+  body_prints ~extra_classes:extra
+    [
+      i (I.New "Init");
+      i I.Pop;
+      i (I.New "Init");
+      i I.Pop;
+      i (I.Getstatic ("Init", "v"));
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 1 ])
+
+let test_clinit_super_order () =
+  (* super's clinit must run before the sub's *)
+  let extra =
+    [
+      D.cdecl "Base" ~statics:[ D.field "trace" ]
+        [
+          A.method_ ~nlocals:0 Bytecode.Decl.clinit_name
+            [
+              i (I.Getstatic ("Base", "trace"));
+              i (I.Const 10);
+              i I.Mul;
+              i (I.Const 1);
+              i I.Add;
+              i (I.Putstatic ("Base", "trace"));
+              i I.Ret;
+            ];
+        ];
+      D.cdecl ~super:"Base" "Derived"
+        [
+          A.method_ ~nlocals:0 Bytecode.Decl.clinit_name
+            [
+              i (I.Getstatic ("Base", "trace"));
+              i (I.Const 10);
+              i I.Mul;
+              i (I.Const 2);
+              i I.Add;
+              i (I.Putstatic ("Base", "trace"));
+              i I.Ret;
+            ];
+        ];
+    ]
+  in
+  (* trace becomes 1 then 12: super first *)
+  body_prints ~extra_classes:extra
+    [
+      i (I.New "Derived");
+      i I.Pop;
+      i (I.Getstatic ("Base", "trace"));
+      i I.Print;
+      i I.Ret;
+    ]
+    (printed [ 12 ])
+
+let test_getstatic_triggers_init () =
+  let extra =
+    [
+      D.cdecl "Lazy" ~statics:[ D.field "v" ]
+        [
+          A.method_ ~nlocals:0 Bytecode.Decl.clinit_name
+            [ i (I.Const 77); i (I.Putstatic ("Lazy", "v")); i I.Ret ];
+        ];
+    ]
+  in
+  body_prints ~extra_classes:extra
+    [ i (I.Getstatic ("Lazy", "v")); i I.Print; i I.Ret ]
+    (printed [ 77 ])
+
+let test_invokestatic_triggers_init () =
+  let extra =
+    [
+      D.cdecl "Lazy2" ~statics:[ D.field "v" ]
+        [
+          A.method_ ~nlocals:0 Bytecode.Decl.clinit_name
+            [ i (I.Const 5); i (I.Putstatic ("Lazy2", "v")); i I.Ret ];
+          A.method_ ~ret:I.Tint ~nlocals:0 "get"
+            [ i (I.Getstatic ("Lazy2", "v")); i I.Retv ];
+        ];
+    ]
+  in
+  body_prints ~extra_classes:extra
+    [ i (I.Invoke ("Lazy2", "get")); i I.Print; i I.Ret ]
+    (printed [ 5 ])
+
+(* --- natives ---------------------------------------------------------------- *)
+
+let test_native_stock_id () =
+  body_prints
+    [ i (I.Const 123); i (I.Nativecall "sys_id"); i I.Print; i I.Ret ]
+    (printed [ 123 ])
+
+let test_native_callbacks () =
+  let natives =
+    [
+      Vm.Native.make ~name:"cb_native" ~arity:0 ~returns:true (fun _vm _ ->
+          {
+            Vm.Native.result = Some 5;
+            callbacks = [ (("T", "cb"), [| 10 |]); (("T", "cb"), [| 20 |]) ];
+          });
+    ]
+  in
+  let p =
+    prog1 ~statics:[ D.field "acc" ]
+      [
+        A.method_ ~args:[ I.Tint ] ~nlocals:1 "cb"
+          [
+            i (I.Getstatic ("T", "acc"));
+            i (I.Const 100);
+            i I.Mul;
+            i (I.Load 0);
+            i I.Add;
+            i (I.Putstatic ("T", "acc"));
+            i I.Ret;
+          ];
+        main_method
+          [
+            i (I.Nativecall "cb_native");
+            i I.Print;
+            i (I.Getstatic ("T", "acc"));
+            i I.Print;
+            i I.Ret;
+          ];
+      ]
+  in
+  (* callbacks run in order before control returns behind the call site:
+     acc = ((0*100+10)*100)+20 = 1020, then main prints result 5, then acc *)
+  expect_output ~natives p (printed [ 5; 1020 ])
+
+(* --- halt / status ----------------------------------------------------------- *)
+
+let test_halt () =
+  let vm, st = run (main_prog [ i (I.Const 1); i I.Print; i I.Halt ]) in
+  Alcotest.(check string) "output" (printed [ 1 ]) (Vm.output vm);
+  match st with Vm.Rt.Halted 0 -> () | _ -> Alcotest.fail "not halted"
+
+let test_determinism_same_seed () =
+  let p = Workloads.Counters.racy ~threads:3 ~increments:200 () in
+  let vm1, _ = run ~seed:7 p in
+  let vm2, _ = run ~seed:7 p in
+  Alcotest.(check string) "same output" (Vm.output vm1) (Vm.output vm2);
+  Alcotest.(check int) "same digest" (Vm.digest vm1) (Vm.digest vm2)
+
+let test_observer_collect () =
+  (* the collecting observer records events in execution order *)
+  let p = main_prog [ i (I.Const 1); i I.Print; i I.Ret ] in
+  let vm = Vm.create p in
+  let obs = Vm.Observer.attach_collect vm in
+  ignore (Vm.run vm);
+  let evs = Vm.Observer.events obs in
+  Alcotest.(check int) "count matches stats" (Vm.stats vm).n_instr
+    (List.length evs);
+  (match evs with
+  | first :: _ ->
+    (* execution starts with main's prologue yield point *)
+    Alcotest.(check int) "first is a yield point"
+      (Vm.Rt.tag_of_cinstr Vm.Rt.KYield) first.Vm.Rt.o_tag
+  | [] -> Alcotest.fail "no events");
+  Alcotest.(check int) "digest consistent with count"
+    (List.length evs) (Vm.Observer.count obs)
+
+let test_instruction_limit () =
+  let p = main_prog [ l "spin"; i (I.Goto "spin") ] in
+  let _, st = run ~limit:10_000 p in
+  match st with
+  | Vm.Rt.Fatal _ -> ()
+  | st -> Alcotest.failf "expected fatal, got %s" (Vm.string_of_status st)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "arith",
+        [
+          quick "add" (arith_case "add" 2 3 I.Add 5);
+          quick "sub" (arith_case "sub" 2 3 I.Sub (-1));
+          quick "mul" (arith_case "mul" 6 7 I.Mul 42);
+          quick "band" (arith_case "band" 12 10 I.Band 8);
+          quick "bor" (arith_case "bor" 12 10 I.Bor 14);
+          quick "bxor" (arith_case "bxor" 12 10 I.Bxor 6);
+          quick "division" test_division_semantics;
+          quick "neg" test_neg;
+          quick "shifts" test_shifts;
+        ] );
+      ("stack", [ quick "dup/pop/swap" test_dup_pop_swap ]);
+      ( "control",
+        [
+          quick "branches" test_branches;
+          quick "loop sum" test_loop_sum;
+          quick "ref identity" test_refeq;
+        ] );
+      ( "objects",
+        [
+          quick "fields" test_fields;
+          quick "field defaults" test_field_defaults;
+          quick "statics" test_statics;
+          quick "inherited fields" test_inherited_fields;
+          quick "checkcast/instanceof" test_checkcast_instanceof;
+        ] );
+      ( "arrays",
+        [
+          quick "int arrays" test_arrays;
+          quick "ref arrays" test_ref_arrays;
+          quick "nested arrays" test_nested_arrays;
+        ] );
+      ("strings", [ quick "prints" test_prints ]);
+      ( "calls",
+        [
+          quick "static call" test_static_call;
+          quick "virtual dispatch" test_virtual_dispatch;
+          quick "recursion" test_recursion;
+        ] );
+      ( "clinit",
+        [
+          quick "runs once" test_clinit_runs_once;
+          quick "super first" test_clinit_super_order;
+          quick "getstatic triggers" test_getstatic_triggers_init;
+          quick "invokestatic triggers" test_invokestatic_triggers_init;
+        ] );
+      ( "natives",
+        [
+          quick "stock identity" test_native_stock_id;
+          quick "callbacks" test_native_callbacks;
+        ] );
+      ( "lifecycle",
+        [
+          quick "halt" test_halt;
+          quick "determinism per seed" test_determinism_same_seed;
+          quick "observer collect" test_observer_collect;
+          quick "instruction limit" test_instruction_limit;
+        ] );
+    ]
