@@ -1,0 +1,22 @@
+# Convenience targets; everything below is plain dune.
+
+.PHONY: all build test smoke bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate plus the perf trajectory: build, full test suite, and the
+# machine-readable dispatch benchmark (writes BENCH_interp.json).
+smoke:
+	dune build && dune runtest && dune exec bench/main.exe -- --json
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -151,45 +151,60 @@ let overhead_workloads =
     ("racy-counter", entry "racy-counter"); ("gc-churn", entry "gc-churn");
     ("producer-consumer", entry "producer-consumer") ]
 
+(* Measure one workload's live / record / replay rates. Record and replay
+   run WITHOUT the event-sequence digest observer: it is a verification
+   artifact (a per-instruction hash fold) rather than part of the replay
+   instrumentation, so including it would overstate the overhead the paper
+   talks about. [reps] runs are taken and the fastest kept. *)
+let measure_modes ?(reps = 5) ~natives ~program () =
+  let best f =
+    let r = ref infinity in
+    let instrs = ref 0 in
+    for _ = 1 to reps do
+      let (n : int), t = time f in
+      instrs := n;
+      if t < !r then r := t
+    done;
+    (!instrs, !r)
+  in
+  let live =
+    best (fun () ->
+        let vm, _ = Vm.execute ~natives ~seed:1 program in
+        (Vm.stats vm).n_instr)
+  in
+  let record =
+    best (fun () ->
+        let run, _ =
+          Dejavu.record ~natives ~seed:1 ~observe:false program
+        in
+        (Vm.stats run.Dejavu.vm).n_instr)
+  in
+  let _, trace = Dejavu.record ~natives ~seed:1 ~observe:false program in
+  let replay =
+    best (fun () ->
+        let run, _ =
+          Dejavu.replay ~natives ~observe:false program trace
+        in
+        (Vm.stats run.Dejavu.vm).n_instr)
+  in
+  (live, record, replay, Dejavu.Trace.sizes trace)
+
 let e6 () =
   section "E6" "Record/replay overhead vs uninstrumented execution";
   Fmt.pr "%-20s %-12s %-12s %-12s %-10s %-10s@." "workload" "live Mi/s"
     "record Mi/s" "replay Mi/s" "rec ovhd" "rep ovhd";
   List.iter
     (fun (name, (e : Workloads.Registry.entry)) ->
-      (* warm up and measure a few times, keep the best (least noisy) *)
-      let best f =
-        let r = ref infinity in
-        let instrs = ref 0 in
-        for _ = 1 to 3 do
-          let (n : int), t = time f in
-          instrs := n;
-          if t < !r then r := t
-        done;
-        (!instrs, !r)
-      in
-      let live_instrs, live_t =
-        best (fun () ->
-            let vm, _ = Vm.execute ~natives:e.natives ~seed:1 e.program in
-            (Vm.stats vm).n_instr)
-      in
-      let rec_instrs, rec_t =
-        best (fun () ->
-            let run, _ = Dejavu.record ~natives:e.natives ~seed:1 e.program in
-            (Vm.stats run.Dejavu.vm).n_instr)
-      in
-      let _, trace = Dejavu.record ~natives:e.natives ~seed:1 e.program in
-      let rep_instrs, rep_t =
-        best (fun () ->
-            let run, _ = Dejavu.replay ~natives:e.natives e.program trace in
-            (Vm.stats run.Dejavu.vm).n_instr)
+      let (live_instrs, live_t), (rec_instrs, rec_t), (rep_instrs, rep_t), _ =
+        measure_modes ~natives:e.natives ~program:e.program ()
       in
       let mips n t = rate n t /. 1e6 in
       Fmt.pr "%-20s %-12.2f %-12.2f %-12.2f %-10.3f %-10.3f@." name
         (mips live_instrs live_t) (mips rec_instrs rec_t)
         (mips rep_instrs rep_t)
         (rec_t /. live_t) (rep_t /. live_t))
-    overhead_workloads
+    overhead_workloads;
+  Fmt.pr "(verification observer excluded; timings include VM setup)@."
 
 (* ------------------------------------------------------------------- E7 *)
 
@@ -419,6 +434,63 @@ let micro () =
         tbl)
     results
 
+(* ---------------------------------------------------------------- json *)
+
+(* Machine-readable perf trajectory: per-workload instrs/sec for live,
+   record, and replay plus trace sizes, written to BENCH_interp.json so a
+   checked-in history of dispatch-loop performance accumulates PR over PR.
+   The registry workloads match E6 (short runs, VM setup included); the
+   -XL entries are scaled up so the steady-state dispatch rate dominates
+   setup noise. No JSON library in the tree — the writer is hand-rolled. *)
+let json_out = "BENCH_interp.json"
+
+let json_workloads () =
+  let xl name program = (name, program, []) in
+  List.map
+    (fun (name, (e : Workloads.Registry.entry)) -> (name, e.program, e.natives))
+    overhead_workloads
+  @ [
+      xl "primes-XL" (Workloads.Compute.primes ~n:30000 ());
+      xl "parsum-XL" (Workloads.Compute.parsum ~threads:4 ~size:200000 ());
+    ]
+
+let json () =
+  section "json" ("perf trajectory -> " ^ json_out);
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"bench\": \"interp-dispatch\",\n";
+  Buffer.add_string buf "  \"units\": \"instructions_per_cpu_second\",\n";
+  Buffer.add_string buf "  \"observer\": \"detached\",\n  \"workloads\": {\n";
+  let n_total = List.length (json_workloads ()) in
+  List.iteri
+    (fun i (name, program, natives) ->
+      let (live_n, live_t), (rec_n, rec_t), (rep_n, rep_t), sizes =
+        measure_modes ~natives ~program ()
+      in
+      Fmt.pr "%-14s live %.2f record %.2f replay %.2f Mi/s@." name
+        (rate live_n live_t /. 1e6)
+        (rate rec_n rec_t /. 1e6)
+        (rate rep_n rep_t /. 1e6);
+      Buffer.add_string buf
+        (Fmt.str
+           "    %S: {\n\
+           \      \"n_instr\": %d,\n\
+           \      \"live_ips\": %.0f,\n\
+           \      \"record_ips\": %.0f,\n\
+           \      \"replay_ips\": %.0f,\n\
+           \      \"trace_words\": %d,\n\
+           \      \"trace_bytes\": %d\n\
+           \    }%s\n"
+           name live_n (rate live_n live_t) (rate rec_n rec_t)
+           (rate rep_n rep_t) sizes.Dejavu.Trace.total_words
+           sizes.Dejavu.Trace.total_bytes
+           (if i = n_total - 1 then "" else ",")))
+    (json_workloads ());
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out json_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s@." json_out
+
 (* -------------------------------------------------------------- driver *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -435,12 +507,14 @@ let all : (string * string * (unit -> unit)) list =
     ("E10", "time travel", e10);
     ("E11", "symmetry ablation", e11);
     ("micro", "bechamel microbenches", micro);
+    ("--json", "write the BENCH_interp.json perf trajectory", json);
   ]
 
 let () =
   let want = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   let selected =
-    if want = [] then List.filter (fun (id, _, _) -> id <> "micro") all
+    if want = [] then
+      List.filter (fun (id, _, _) -> id <> "micro" && id <> "--json") all
     else List.filter (fun (id, _, _) -> List.mem id want) all
   in
   if selected = [] then begin

@@ -36,6 +36,17 @@ let find_workload name =
         (String.concat ", " (Workloads.Registry.names ()));
       Stdlib.exit 2
 
+(* Malformed trace files are user error, not an internal failure. *)
+let load_trace path =
+  match Dejavu.Trace.load path with
+  | t -> t
+  | exception Dejavu.Trace.Format_error msg ->
+    Fmt.epr "%s: malformed trace (%s)@." path msg;
+    Stdlib.exit 2
+  | exception Sys_error msg ->
+    Fmt.epr "%s@." msg;
+    Stdlib.exit 2
+
 let pp_stats ppf (s : Vm.Rt.stats) =
   Fmt.pf ppf
     "instr=%d yields=%d switches=%d preempts=%d gcs=%d allocs=%d(%dw)@\n\
@@ -48,10 +59,17 @@ let pp_stats ppf (s : Vm.Rt.stats) =
 
 let run_live name seed verbose =
   let e = find_workload name in
+  let t0 = Sys.time () in
   let vm, st = Vm.execute ~natives:e.natives ~seed e.program in
+  let dt = Sys.time () -. t0 in
   Fmt.pr "--- output ---@.%s--- status: %s ---@." (Vm.output vm)
     (Vm.string_of_status st);
-  if verbose then Fmt.pr "%a@." pp_stats (Vm.stats vm);
+  if verbose then begin
+    Fmt.pr "%a@." pp_stats (Vm.stats vm);
+    let n = (Vm.stats vm).n_instr in
+    Fmt.pr "cpu %.3fs  %.2f Mi/s@." dt
+      (if dt > 0. then float_of_int n /. dt /. 1e6 else 0.)
+  end;
   match st with Vm.Rt.Fatal _ -> Stdlib.exit 1 | _ -> ()
 
 let seed_arg =
@@ -154,7 +172,7 @@ let replay_cmd =
     Term.(
       const (fun name inp verbose ->
           let e = find_workload name in
-          let trace = Dejavu.Trace.load inp in
+          let trace = load_trace inp in
           let run, leftovers =
             Dejavu.replay ~natives:e.natives e.program trace
           in
@@ -198,7 +216,7 @@ let dump_cmd =
   Cmd.v (Cmd.info "trace-dump" ~doc)
     Term.(
       const (fun inp ->
-          let t = Dejavu.Trace.load inp in
+          let t = load_trace inp in
           Fmt.pr "program digest: %s@." t.Dejavu.Trace.program_digest;
           Fmt.pr "%a@." Dejavu.Trace.pp_sizes (Dejavu.Trace.sizes t);
           Fmt.pr "@.-- preemptive switches (yield-point deltas) --@.";

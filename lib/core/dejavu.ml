@@ -32,21 +32,25 @@ let finish_run vm session observer =
     status = Vm.status vm;
     output = Vm.output vm;
     state_digest = Vm.digest vm;
-    obs_digest = Vm.Observer.digest observer;
-    obs_count = Vm.Observer.count observer;
+    obs_digest =
+      (match observer with Some o -> Vm.Observer.digest o | None -> 0);
+    obs_count =
+      (match observer with Some o -> Vm.Observer.count o | None -> 0);
     session = Some session;
   }
 
 (* Run a program in record mode. The environment (seed) supplies the
-   non-determinism being captured. *)
+   non-determinism being captured. [observe] attaches the event-sequence
+   digest observer the roundtrip check compares; it costs a per-instruction
+   hash fold, so overhead measurements turn it off. *)
 let record ?(config = Vm.Rt.default_config) ?(natives = []) ?(inputs = [])
-    ?(seed = 1) ?limit program : run * Trace.t =
+    ?(seed = 1) ?limit ?(observe = true) program : run * Trace.t =
   let config =
     { config with Vm.Rt.env_cfg = { config.Vm.Rt.env_cfg with Vm.Env.seed } }
   in
   let vm = Vm.create ~config ~natives ~inputs program in
   let session = Recorder.attach vm in
-  let observer = Vm.Observer.attach_digest vm in
+  let observer = if observe then Some (Vm.Observer.attach_digest vm) else None in
   ignore (Vm.run ?limit vm);
   let run = finish_run vm session observer in
   (run, Recorder.finish session)
@@ -54,7 +58,7 @@ let record ?(config = Vm.Rt.default_config) ?(natives = []) ?(inputs = [])
 (* Replay a trace. The seed deliberately defaults to something different
    from any recording seed: replay must not depend on the environment. *)
 let replay ?(config = Vm.Rt.default_config) ?(natives = []) ?(seed = 424242)
-    ?limit program (trace : Trace.t) : run * string list =
+    ?limit ?(observe = true) program (trace : Trace.t) : run * string list =
   let config =
     { config with Vm.Rt.env_cfg = { config.Vm.Rt.env_cfg with Vm.Env.seed } }
   in
@@ -73,7 +77,9 @@ let replay ?(config = Vm.Rt.default_config) ?(natives = []) ?(seed = 424242)
       },
       [ msg ] )
   | session ->
-    let observer = Vm.Observer.attach_digest vm in
+    let observer =
+      if observe then Some (Vm.Observer.attach_digest vm) else None
+    in
     (try ignore (Vm.run ?limit vm)
      with Session.Divergence msg ->
        vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));

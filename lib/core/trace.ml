@@ -138,15 +138,25 @@ let put_varint buf v =
     else Buffer.add_char buf (Char.chr (b lor 0x80))
   done
 
+(* A 63-bit zigzagged int needs at most 9 groups of 7 bits, i.e. shifts
+   0..56; a 10th continuation byte would shift past bit 62, which [lsl]
+   leaves unspecified — reject it. A final byte of 0 past the first group
+   is a non-canonical encoding [put_varint] never produces; reject it too
+   so every value has exactly one byte representation. *)
 let get_varint s pos =
   let v = ref 0 and shift = ref 0 and p = ref pos and continue_ = ref true in
   while !continue_ do
     if !p >= String.length s then raise (Format_error "truncated varint");
+    if !shift > 56 then raise (Format_error "oversized varint");
     let b = Char.code s.[!p] in
     incr p;
     v := !v lor ((b land 0x7f) lsl !shift);
-    shift := !shift + 7;
-    if b land 0x80 = 0 then continue_ := false
+    if b land 0x80 = 0 then begin
+      if b = 0 && !shift > 0 then
+        raise (Format_error "non-canonical varint");
+      continue_ := false
+    end
+    else shift := !shift + 7
   done;
   (unzigzag !v, !p)
 

@@ -165,7 +165,7 @@ let lower (vm : Rt.t) (owner : Rt.rclass) (ins : I.t) : Rt.cinstr =
     let idx = ref (-1) in
     Array.iteri (fun i l -> if l = s then idx := i) owner.rc_string_lits;
     if !idx < 0 then error "string literal not in pool: %S" s;
-    KStr !idx
+    KStr (owner, !idx)
   | I.Null -> KNull
   | I.Load i -> KLoad i
   | I.Store i -> KStore i
@@ -217,7 +217,7 @@ let lower (vm : Rt.t) (owner : Rt.rclass) (ins : I.t) : Rt.cinstr =
   | I.Instanceof cname -> KInstanceof (Rt.class_id vm cname)
   | I.Invoke (cname, mname) -> (
     match resolve_call vm cname mname with
-    | `Static uid -> KInvokestatic uid
+    | `Static uid -> KInvokestatic vm.methods.(uid)
     | `Virtual (cid, slot, nargs) -> KInvokevirtual (cid, slot, nargs))
   | I.Ret -> KRet
   | I.Retv -> KRetv
@@ -230,7 +230,7 @@ let lower (vm : Rt.t) (owner : Rt.rclass) (ins : I.t) : Rt.cinstr =
   | I.Notifyall -> KNotifyall
   | I.Spawn (cname, mname) -> (
     match resolve_call vm cname mname with
-    | `Static uid -> KSpawnstatic uid
+    | `Static uid -> KSpawnstatic vm.methods.(uid)
     | `Virtual (cid, slot, nargs) -> KSpawnvirtual (cid, slot, nargs))
   | I.Sleep -> KSleep
   | I.Join -> KJoin

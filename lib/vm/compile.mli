@@ -4,7 +4,12 @@
     GC safe points, and DejaVu's logical clock), name resolution, and
     verification (reference maps + stack bound). Compilation is charged to
     the virtual clock, so {e when} a method gets compiled is visible to the
-    environment — a cross-optimization side effect DejaVu keeps symmetric. *)
+    environment — a cross-optimization side effect DejaVu keeps symmetric.
+
+    Lowering pre-resolves everything the dispatch loop would otherwise
+    re-derive per visit: static call and spawn operands carry the callee
+    [Rt.rmethod] itself, and string loads carry the owning [Rt.rclass],
+    so the interpreter's hot loop performs no table lookups for them. *)
 
 exception Error of string
 

@@ -63,12 +63,26 @@ let create ?(inputs = []) cfg =
 let tick t =
   t.ticks <- t.ticks + 1;
   let cost =
-    t.cfg.base_cost
-    + (if t.cfg.jitter > 0 then Prng.int t.rng (t.cfg.jitter + 1) else 0)
-    +
-    if t.cfg.spike_per_mille > 0 && Prng.int t.rng 1000 < t.cfg.spike_per_mille
-    then t.cfg.spike_cost
-    else 0
+    (* The common shape (both draws active) goes through the fused stub
+       call. Draw order matters: the historical sum evaluated its operands
+       right to left (OCaml's order), so the SPIKE draw consumed the
+       stream before the jitter draw — preserved here, or every
+       interleaving would shift. *)
+    if t.cfg.jitter > 0 && t.cfg.jitter < 1024 && t.cfg.spike_per_mille > 0
+    then begin
+      let d = Prng.int_pair t.rng 1000 (t.cfg.jitter + 1) in
+      t.cfg.base_cost + (d land 1023)
+      + if d lsr 10 < t.cfg.spike_per_mille then t.cfg.spike_cost else 0
+    end
+    else
+      t.cfg.base_cost
+      + (if t.cfg.jitter > 0 then Prng.int t.rng (t.cfg.jitter + 1) else 0)
+      +
+      if
+        t.cfg.spike_per_mille > 0
+        && Prng.int t.rng 1000 < t.cfg.spike_per_mille
+      then t.cfg.spike_cost
+      else 0
   in
   t.now <- t.now + cost;
   if t.now >= t.next_timer then begin

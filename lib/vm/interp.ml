@@ -16,15 +16,20 @@ let fatal fmt = Fmt.kstr (fun s -> raise (Fatal s)) fmt
 
 (* --- operand stack ---------------------------------------------------- *)
 
+(* Operand-stack traffic uses the unchecked accessors: the slots are below
+   the capacity [ensure_stack] reserved at frame push (header + locals +
+   the verifier's max_stack bound), so the bounds check would be pure
+   per-instruction overhead. *)
 let push (vm : Rt.t) (t : Rt.thread) v =
-  Layout.stack_set vm t t.t_sp v;
+  Layout.stack_set_u vm t t.t_sp v;
   t.t_sp <- t.t_sp + 1
 
 let pop (vm : Rt.t) (t : Rt.thread) =
   t.t_sp <- t.t_sp - 1;
-  Layout.stack_get vm t t.t_sp
+  Layout.stack_get_u vm t t.t_sp
 
-let peek (vm : Rt.t) (t : Rt.thread) k = Layout.stack_get vm t (t.t_sp - 1 - k)
+let peek (vm : Rt.t) (t : Rt.thread) k =
+  Layout.stack_get_u vm t (t.t_sp - 1 - k)
 
 let npe () = raise (Rt.Vm_exception "NullPointerException")
 
@@ -294,66 +299,48 @@ let check_bounds vm arr idx =
   if idx < 0 || idx >= Layout.len_of vm arr then
     raise (Rt.Vm_exception "ArrayIndexOutOfBoundsException")
 
-(* Execute exactly one instruction of the current thread. *)
-let exec (vm : Rt.t) =
-  let t = Rt.cur vm in
-  let c = Rt.compiled t.t_meth in
-  let pc = t.t_pc in
-  let ins = c.k_code.(pc) in
-  vm.stats.n_instr <- vm.stats.n_instr + 1;
-  (match vm.hooks.h_instr with Some f -> f vm | None -> ());
-  (match vm.hooks.h_observe with
-  | Some f ->
-    f vm
-      {
-        Rt.o_tid = t.tid;
-        o_uid = t.t_meth.uid;
-        o_pc = pc;
-        o_tag = Rt.tag_of_cinstr ins;
-      }
-  | None -> ());
-  if Env.tick vm.env then begin
-    vm.preempt_pending <- true;
-    vm.stats.n_preempt_req <- vm.stats.n_preempt_req + 1
-  end;
-  let next () = t.t_pc <- pc + 1 in
-  match ins with
+(* Execute [ins], fetched from [pc] of thread [t]. Stat accounting and the
+   per-instruction hooks/clock are the caller's job: [exec] pays them one
+   instruction at a time (debugger single-stepping), [exec_batch] amortizes
+   them over a run-until-yield segment. *)
+let dispatch (vm : Rt.t) (t : Rt.thread) pc ins =
+  match (ins : Rt.cinstr) with
   | KConst n ->
     push vm t n;
-    next ()
-  | KStr idx ->
-    push vm t vm.classes.(t.t_meth.rm_cid).rc_strings.(idx);
-    next ()
+    t.t_pc <- pc + 1
+  | KStr (owner, idx) ->
+    push vm t owner.rc_strings.(idx);
+    t.t_pc <- pc + 1
   | KNull ->
     push vm t 0;
-    next ()
+    t.t_pc <- pc + 1
   | KLoad i ->
-    push vm t (Layout.stack_get vm t (t.t_fp + Rt.frame_header_words + i));
-    next ()
+    push vm t (Layout.stack_get_u vm t (t.t_fp + Rt.frame_header_words + i));
+    t.t_pc <- pc + 1
   | KStore i ->
     let v = pop vm t in
-    Layout.stack_set vm t (t.t_fp + Rt.frame_header_words + i) v;
-    next ()
+    Layout.stack_set_u vm t (t.t_fp + Rt.frame_header_words + i) v;
+    t.t_pc <- pc + 1
   | KDup ->
     push vm t (peek vm t 0);
-    next ()
+    t.t_pc <- pc + 1
   | KPop ->
     ignore (pop vm t);
-    next ()
+    t.t_pc <- pc + 1
   | KSwap ->
     let a = pop vm t in
     let b = pop vm t in
     push vm t a;
     push vm t b;
-    next ()
+    t.t_pc <- pc + 1
   | KBin op ->
     let b = pop vm t in
     let a = pop vm t in
     push vm t (binop op a b);
-    next ()
+    t.t_pc <- pc + 1
   | KNeg ->
     push vm t (-pop vm t);
-    next ()
+    t.t_pc <- pc + 1
   | KIf (cmp, target) ->
     let b = pop vm t in
     let a = pop vm t in
@@ -377,39 +364,39 @@ let exec (vm : Rt.t) =
   | KNew cid ->
     if ensure_initialized vm cid then begin
       push vm t (Heap.alloc_object vm cid);
-      next ()
+      t.t_pc <- pc + 1
     end
   | KGetfield (slot, _) ->
     let obj = pop vm t in
     check_null obj;
     (match vm.hooks.h_heap_read with Some f -> f vm obj slot | None -> ());
     push vm t vm.heap.(obj + slot);
-    next ()
+    t.t_pc <- pc + 1
   | KPutfield (slot, _) ->
     let v = pop vm t in
     let obj = pop vm t in
     check_null obj;
     (match vm.hooks.h_heap_write with Some f -> f vm obj slot | None -> ());
     vm.heap.(obj + slot) <- v;
-    next ()
+    t.t_pc <- pc + 1
   | KGetstatic (cid, slot, _) ->
     if ensure_initialized vm cid then begin
       (match vm.hooks.h_heap_read with Some f -> f vm (-1) slot | None -> ());
       push vm t vm.globals.(slot);
-      next ()
+      t.t_pc <- pc + 1
     end
   | KPutstatic (cid, slot, _) ->
     if ensure_initialized vm cid then begin
       let v = pop vm t in
       (match vm.hooks.h_heap_write with Some f -> f vm (-1) slot | None -> ());
       vm.globals.(slot) <- v;
-      next ()
+      t.t_pc <- pc + 1
     end
   | KNewarray ty ->
     let len = pop vm t in
     if len < 0 then raise (Rt.Vm_exception "NegativeArraySizeException");
     push vm t (Heap.alloc_array vm ~elem_ref:(Bytecode.Instr.is_ref_ty ty) ~len);
-    next ()
+    t.t_pc <- pc + 1
   | KAload ->
     let idx = pop vm t in
     let arr = pop vm t in
@@ -419,7 +406,7 @@ let exec (vm : Rt.t) =
     | Some f -> f vm arr (Layout.header_words + idx)
     | None -> ());
     push vm t (Layout.get vm arr idx);
-    next ()
+    t.t_pc <- pc + 1
   | KAstore ->
     let v = pop vm t in
     let idx = pop vm t in
@@ -430,26 +417,25 @@ let exec (vm : Rt.t) =
     | Some f -> f vm arr (Layout.header_words + idx)
     | None -> ());
     Layout.set vm arr idx v;
-    next ()
+    t.t_pc <- pc + 1
   | KArraylength ->
     let arr = pop vm t in
     check_null arr;
     push vm t (Layout.len_of vm arr);
-    next ()
+    t.t_pc <- pc + 1
   | KCheckcast cid ->
     let obj = peek vm t 0 in
     if obj <> 0 && not (Rt.is_subclass vm ~sub:(Layout.class_of vm obj) ~sup:cid)
     then raise (Rt.Vm_exception "ClassCastException");
-    next ()
+    t.t_pc <- pc + 1
   | KInstanceof cid ->
     let obj = pop vm t in
     push vm t
       (if obj <> 0 && Rt.is_subclass vm ~sub:(Layout.class_of vm obj) ~sup:cid
        then 1
        else 0);
-    next ()
-  | KInvokestatic uid ->
-    let callee = vm.methods.(uid) in
+    t.t_pc <- pc + 1
+  | KInvokestatic callee ->
     if ensure_initialized vm callee.rm_cid then
       push_frame vm callee ~resume_pc:(pc + 1) ()
   | KInvokevirtual (_, vslot, nargs) ->
@@ -499,8 +485,7 @@ let exec (vm : Rt.t) =
     check_null obj;
     Sched.do_notify vm obj ~all:true;
     t.t_pc <- pc + 1
-  | KSpawnstatic uid ->
-    let callee = vm.methods.(uid) in
+  | KSpawnstatic callee ->
     if ensure_initialized vm callee.rm_cid then begin
       let cc = Compile.compile vm callee in
       let stack_addr =
@@ -518,7 +503,7 @@ let exec (vm : Rt.t) =
       in
       Sched.ready vm tid;
       push vm t tid;
-      next ()
+      t.t_pc <- pc + 1
     end
   | KSpawnvirtual (_, vslot, nargs) ->
     let receiver = peek vm t (nargs - 1) in
@@ -538,7 +523,7 @@ let exec (vm : Rt.t) =
     in
     Sched.ready vm tid;
     push vm t tid;
-    next ()
+    t.t_pc <- pc + 1
   | KSleep ->
     let ms = pop vm t in
     t.t_pc <- pc + 1;
@@ -555,28 +540,50 @@ let exec (vm : Rt.t) =
     t.t_pc <- pc + 1
   | KCurrenttime ->
     push vm t (Rt.read_clock vm Rt.Capp);
-    next ()
+    t.t_pc <- pc + 1
   | KReadinput ->
     vm.stats.n_input_reads <- vm.stats.n_input_reads + 1;
     push vm t (vm.hooks.h_input vm);
-    next ()
+    t.t_pc <- pc + 1
   | KNative nid -> do_native vm t nid pc
   | KPrint ->
     let v = pop vm t in
     Buffer.add_string vm.output (string_of_int v);
     Buffer.add_char vm.output '\n';
-    next ()
+    t.t_pc <- pc + 1
   | KPrints ->
     let s = pop vm t in
     check_null s;
     Buffer.add_string vm.output (Layout.string_value vm s);
-    next ()
+    t.t_pc <- pc + 1
   | KHalt -> vm.status <- Rt.Halted 0
-  | KNop -> next ()
+  | KNop -> t.t_pc <- pc + 1
   | KYield ->
     vm.stats.n_yield <- vm.stats.n_yield + 1;
     t.t_pc <- pc + 1;
     vm.hooks.h_yieldpoint vm
+
+(* Advance the environment clock for one executed instruction and latch a
+   timer fire into the preemption bit. *)
+let clock_instr (vm : Rt.t) =
+  if Env.tick vm.env then begin
+    vm.preempt_pending <- true;
+    vm.stats.n_preempt_req <- vm.stats.n_preempt_req + 1
+  end
+
+(* Execute exactly one instruction of the current thread. *)
+let exec (vm : Rt.t) =
+  let t = Rt.cur vm in
+  let c = Rt.compiled t.t_meth in
+  let pc = t.t_pc in
+  let ins = c.k_code.(pc) in
+  vm.stats.n_instr <- vm.stats.n_instr + 1;
+  (match vm.hooks.h_instr with Some f -> f vm | None -> ());
+  (match vm.hooks.h_observe with
+  | Some f -> f vm t.tid t.t_meth.uid pc (Rt.tag_of_cinstr ins)
+  | None -> ());
+  clock_instr vm;
+  dispatch vm t pc ins
 
 (* One step with exception conversion. *)
 let step (vm : Rt.t) =
@@ -586,6 +593,91 @@ let step (vm : Rt.t) =
   | Verify.Error msg -> vm.status <- Rt.Fatal ("verify: " ^ msg)
   | Compile.Error msg -> vm.status <- Rt.Fatal ("compile: " ^ msg)
   | Fatal msg -> vm.status <- Rt.Fatal msg
+
+(* The batched hot path: run up to [fuel] instructions before returning.
+
+   The outer loop re-reads everything a dispatch segment depends on — the
+   current thread, its compiled body, and which hooks are attached — then a
+   tight inner loop dispatches until the segment dies: a call, return, or
+   unwind changes the method; a yield point or blocking operation switches
+   threads; the machine leaves Running_; or the fuel runs out. Yield points
+   that do NOT switch (the overwhelmingly common case: one per guest loop
+   iteration vs. one switch per scheduling quantum) stay inside the loop.
+
+   [n_instr] is committed in one batched store per call, including the
+   faulting instruction when an exception unwinds (same accounting as the
+   one-at-a-time path). The segment loop is specialized once per segment for
+   the no-observer/no-instr-hook case — attaching or detaching those hooks
+   takes effect at the next segment boundary, never mid-segment (all stock
+   instrumentation attaches before the run starts). *)
+let exec_batch (vm : Rt.t) ~fuel =
+  let executed = ref 0 in
+  let commit () = vm.stats.n_instr <- vm.stats.n_instr + !executed in
+  try
+    while vm.status = Rt.Running_ && !executed < fuel do
+      let tid = vm.current in
+      let t = vm.threads.(tid) in
+      let meth = t.t_meth in
+      let code = (Rt.compiled meth).k_code in
+      match (vm.hooks.h_instr, vm.hooks.h_observe) with
+      | None, None ->
+        (* fast loop: fetch, clock, dispatch — nothing else *)
+        let live = ref true in
+        while !live do
+          let pc = t.t_pc in
+          let ins = code.(pc) in
+          incr executed;
+          clock_instr vm;
+          dispatch vm t pc ins;
+          if
+            vm.current <> tid || t.t_meth != meth
+            || vm.status <> Rt.Running_ || !executed >= fuel
+          then live := false
+        done
+      | hi, ho ->
+        (* observed loop: identical event sequence to the one-at-a-time
+           path — hooks fire per instruction, in the same order. The hook
+           closures and the segment-constant event fields are hoisted; a
+           hook attached mid-segment is seen at the next boundary. *)
+        let otid = t.tid and ouid = meth.uid in
+        let live = ref true in
+        while !live do
+          let pc = t.t_pc in
+          let ins = code.(pc) in
+          incr executed;
+          (match hi with Some f -> f vm | None -> ());
+          (match ho with
+          | Some f -> f vm otid ouid pc (Rt.tag_of_cinstr ins)
+          | None -> ());
+          clock_instr vm;
+          dispatch vm t pc ins;
+          if
+            vm.current <> tid || t.t_meth != meth
+            || vm.status <> Rt.Running_ || !executed >= fuel
+          then live := false
+        done
+    done;
+    commit ()
+  with
+  | Rt.Vm_exception name ->
+    commit ();
+    throw_by_name vm name
+  | Heap.Out_of_memory ->
+    commit ();
+    vm.status <- Rt.Fatal "OutOfMemoryError"
+  | Verify.Error msg ->
+    commit ();
+    vm.status <- Rt.Fatal ("verify: " ^ msg)
+  | Compile.Error msg ->
+    commit ();
+    vm.status <- Rt.Fatal ("compile: " ^ msg)
+  | Fatal msg ->
+    commit ();
+    vm.status <- Rt.Fatal msg
+  | e ->
+    (* divergence signals etc.: keep the count exact, let it propagate *)
+    commit ();
+    raise e
 
 (* Create the main thread and queue main-class initialization. *)
 let boot (vm : Rt.t) =
@@ -607,7 +699,7 @@ let boot (vm : Rt.t) =
 let run ?limit (vm : Rt.t) =
   let limit = match limit with Some l -> l | None -> vm.cfg.instr_limit in
   while vm.status = Rt.Running_ && vm.stats.n_instr < limit do
-    step vm
+    exec_batch vm ~fuel:(limit - vm.stats.n_instr)
   done;
   if vm.status = Rt.Running_ then
     vm.status <- Rt.Fatal (Fmt.str "instruction limit (%d) exceeded" limit)

@@ -29,12 +29,22 @@ val raise_exception : Rt.t -> int -> unit
 val throw_by_name : Rt.t -> string -> unit
 
 (** Execute one instruction of the current thread, converting VM-level
-    exceptions into unwinding and resource exhaustion into a Fatal
-    status. *)
+    exceptions into unwinding and resource exhaustion into a Fatal status.
+    This is the precise single-instruction path (the debugger steps with
+    it); [run] goes through the batched dispatch loop instead. *)
 val step : Rt.t -> unit
+
+(** Execute up to [fuel] instructions through the batched run-until-yield
+    dispatch loop, committing [n_instr] once at exit. The event sequence
+    (hooks, env ticks, yield points) is identical to repeated [step]s;
+    hook attachment and detachment take effect at the next dispatch-segment
+    boundary (thread switch, call/return, unwind, or re-entry), never
+    mid-segment. *)
+val exec_batch : Rt.t -> fuel:int -> unit
 
 (** Create the main thread and queue main-class initialization. *)
 val boot : Rt.t -> unit
 
-(** Run until the machine stops or [limit] instructions retire. *)
+(** Run until the machine stops or [limit] instructions retire; drives
+    [exec_batch]. *)
 val run : ?limit:int -> Rt.t -> unit

@@ -35,6 +35,17 @@ let stack_get (vm : Rt.t) (t : Rt.thread) off = vm.heap.(stack_abs t off)
 
 let stack_set (vm : Rt.t) (t : Rt.thread) off v = vm.heap.(stack_abs t off) <- v
 
+(* Unchecked variants for the interpreter's operand-stack traffic only:
+   every slot it touches is below the capacity [ensure_stack] reserved at
+   frame push (frame header + locals + the verifier's max_stack), so the
+   bounds check is pure per-instruction overhead there. Everything else
+   goes through the checked accessors. *)
+let stack_get_u (vm : Rt.t) (t : Rt.thread) off =
+  Array.unsafe_get vm.heap (stack_abs t off)
+
+let stack_set_u (vm : Rt.t) (t : Rt.thread) off v =
+  Array.unsafe_set vm.heap (stack_abs t off) v
+
 let stack_capacity (vm : Rt.t) (t : Rt.thread) = len_of vm t.t_stack
 
 (* Strings: instances of the builtin String class with one ref field (the

@@ -37,6 +37,15 @@ val stack_get : Rt.t -> Rt.thread -> int -> int
 
 val stack_set : Rt.t -> Rt.thread -> int -> int -> unit
 
+(** Unchecked variants, for the interpreter's operand-stack traffic only:
+    every slot it touches is below the capacity [Interp.ensure_stack]
+    reserved at frame push (frame header + locals + the verifier's
+    max_stack bound), so the bounds check is pure per-instruction
+    overhead there. All other callers use the checked accessors. *)
+val stack_get_u : Rt.t -> Rt.thread -> int -> int
+
+val stack_set_u : Rt.t -> Rt.thread -> int -> int -> unit
+
 val stack_capacity : Rt.t -> Rt.thread -> int
 
 (** The character array of a String object. *)

@@ -1,25 +1,43 @@
 (* SplitMix64 — a small, fast, seedable PRNG. Used only for the *simulated
    environment* (instruction-time jitter, synthetic input); never for program
-   semantics, so replay never depends on it. *)
+   semantics, so replay never depends on it.
 
-type t = { mutable state : int64 }
+   The generator runs once per executed instruction (Env.tick draws from it
+   twice), so it sits on the interpreter's hottest path. Without flambda,
+   an Int64 implementation boxes every intermediate — around 12ns per draw,
+   a quarter of the whole per-instruction budget. The step function
+   therefore lives in a tiny [@@noalloc] C stub operating on the 8-byte
+   state buffer; it returns the low 62 bits of the raw output (exactly what
+   [Int64.to_int x land max_int] used to extract), so the stream is
+   bit-for-bit the one the boxed implementation produced. *)
 
-let create seed = { state = Int64.of_int seed }
+type t = { state : Bytes.t (* 8 bytes, native-endian uint64 *) }
 
-let copy t = { state = t.state }
+(* Advances the state and returns the low 62 bits of the next output. *)
+external next_bits : Bytes.t -> int = "dv_prng_next_bits" [@@noalloc]
 
-let next_int64 t =
-  let open Int64 in
-  t.state <- add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  logxor z (shift_right_logical z 31)
+let create seed =
+  let state = Bytes.create 8 in
+  Bytes.set_int64_ne state 0 (Int64.of_int seed);
+  { state }
+
+let copy t = { state = Bytes.copy t.state }
+
+(* Overwrite [t]'s state with [from]'s (snapshot restore). *)
+let restore t ~from = Bytes.blit from.state 0 t.state 0 8
 
 (* Uniform in [0, bound). bound must be positive. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int";
-  let v = Int64.to_int (next_int64 t) land max_int in
-  v mod bound
+  next_bits t.state mod bound
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t = next_bits t.state land 1 = 1
+
+external pair_bits : Bytes.t -> int -> int -> int = "dv_prng_pair" [@@noalloc]
+
+(* Two consecutive [int] draws fused into one stub call (the interpreter's
+   per-instruction clock makes exactly this pair). Packed (d1 lsl 10) lor
+   d2, hence the b2 cap. *)
+let int_pair t b1 b2 =
+  if b1 <= 0 || b2 <= 0 || b2 > 1024 then invalid_arg "Prng.int_pair";
+  pair_bits t.state b1 b2

@@ -1,16 +1,25 @@
 (** SplitMix64 — a small, fast, seedable PRNG. Used only by the simulated
     environment (instruction-time jitter, synthetic input), never for
-    program semantics, so replay never depends on it. *)
+    program semantics, so replay never depends on it. The step function is
+    a [@@noalloc] C stub (see prng_stubs.c): it runs once per executed
+    instruction, where Int64 boxing would dominate the dispatch loop. *)
 
-type t = { mutable state : int64 }
+type t
 
 val create : int -> t
 
 val copy : t -> t
 
-val next_int64 : t -> int64
+(** Overwrite [t]'s state in place with [from]'s (snapshot restore). *)
+val restore : t -> from:t -> unit
 
 (** Uniform in [0, bound); [bound] must be positive. *)
 val int : t -> int -> int
 
 val bool : t -> bool
+
+(** [int_pair t b1 b2] makes the same two draws as [int t b1] then
+    [int t b2] — one stub call, results packed [(d1 lsl 10) lor d2].
+    Requires [0 < b1] and [0 < b2 <= 1024]. The interpreter's
+    per-instruction clock (jitter draw + spike draw) is the client. *)
+val int_pair : t -> int -> int -> int

@@ -1,0 +1,44 @@
+/* SplitMix64 step, kept in C so the per-instruction environment clock
+   (Env.tick) pays no Int64 boxing: one load, a handful of register ops,
+   one store, no allocation. Must match the historical OCaml Int64
+   implementation bit for bit — traces and interleavings depend on the
+   stream staying put across versions. */
+
+#include <caml/mlvalues.h>
+#include <stdint.h>
+#include <string.h>
+
+static uint64_t dv_step(uint64_t *s)
+{
+  *s += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = *s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/* low 62 bits: what Int64.to_int .. land max_int used to keep */
+#define DV_MASK62 0x3FFFFFFFFFFFFFFFULL
+
+CAMLprim value dv_prng_next_bits(value state)
+{
+  uint64_t s;
+  memcpy(&s, Bytes_val(state), sizeof s); /* native-endian, as written */
+  uint64_t z = dv_step(&s);
+  memcpy(Bytes_val(state), &s, sizeof s);
+  return Val_long((long)(z & DV_MASK62));
+}
+
+/* Two consecutive bounded draws in one call — Env.tick's jitter and spike
+   draws fused so the per-instruction clock pays one stub transition, not
+   two. Exactly (int t b1, int t b2) in that order, packed as
+   (d1 << 10) | d2; the caller guarantees 0 < b2 <= 1024. */
+CAMLprim value dv_prng_pair(value state, value b1, value b2)
+{
+  uint64_t s;
+  memcpy(&s, Bytes_val(state), sizeof s);
+  long d1 = (long)(dv_step(&s) & DV_MASK62) % Long_val(b1);
+  long d2 = (long)(dv_step(&s) & DV_MASK62) % Long_val(b2);
+  memcpy(Bytes_val(state), &s, sizeof s);
+  return Val_long((d1 << 10) | d2);
+}

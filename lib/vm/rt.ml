@@ -15,11 +15,18 @@ type cmp = Bytecode.Instr.cmp
 
 type bin = Badd | Bsub | Bmul | Bdiv | Brem | Band | Bor | Bxor | Bshl | Bshr
 
+type cstate = Registered | Initialized
+
+type elemkind = Not_array | Arr_int | Arr_ref
+
 (* Resolved ("compiled") instructions. Branch targets are compiled-code
-   indices; names are resolved to ids/slots. *)
+   indices; names are resolved to ids/slots. Call, spawn, and string-load
+   operands carry the resolved record itself rather than an index, so the
+   dispatcher's hot loop never re-derives them per visit — the type group
+   below is mutually recursive for exactly this reason. *)
 type cinstr =
   | KConst of int
-  | KStr of int (* index into the owning class's interned-string table *)
+  | KStr of rclass * int (* owning class, interned-string index *)
   | KNull
   | KLoad of int
   | KStore of int
@@ -46,7 +53,7 @@ type cinstr =
   | KArraylength
   | KCheckcast of int (* class id *)
   | KInstanceof of int
-  | KInvokestatic of int (* method uid *)
+  | KInvokestatic of rmethod (* pre-resolved callee *)
   | KInvokevirtual of int * int * int (* declaring cid, vtable slot, nargs *)
   | KRet
   | KRetv
@@ -57,7 +64,7 @@ type cinstr =
   | KTimedwait
   | KNotify
   | KNotifyall
-  | KSpawnstatic of int
+  | KSpawnstatic of rmethod (* pre-resolved thread body *)
   | KSpawnvirtual of int * int * int
   | KSleep
   | KJoin
@@ -73,16 +80,16 @@ type cinstr =
 
 (* Reference map: which local slots / operand-stack slots hold references at
    a given pc. [map_stack] covers the prefix up to [map_depth]. *)
-type refmap = { map_locals : bool array; map_stack : bool array; map_depth : int }
+and refmap = { map_locals : bool array; map_stack : bool array; map_depth : int }
 
-type rhandler = {
+and rhandler = {
   k_from : int; (* compiled pcs *)
   k_upto : int;
   k_target : int;
   k_catch : int; (* class id, -1 catches all *)
 }
 
-type compiled = {
+and compiled = {
   k_code : cinstr array;
   k_handlers : rhandler array;
   k_maps : refmap array; (* one per compiled pc *)
@@ -91,7 +98,7 @@ type compiled = {
   k_lines : (int * int) array; (* compiled pc -> source line table *)
 }
 
-type rmethod = {
+and rmethod = {
   uid : int;
   rm_cid : int;
   rm_name : string;
@@ -104,13 +111,7 @@ type rmethod = {
   mutable rm_compiled : compiled option; (* lazily compiled on first call *)
 }
 
-let returns m = m.rm_ret <> None
-
-type cstate = Registered | Initialized
-
-type elemkind = Not_array | Arr_int | Arr_ref
-
-type rclass = {
+and rclass = {
   cid : int;
   rc_name : string;
   rc_super : int; (* -1 for Object *)
@@ -128,6 +129,8 @@ type rclass = {
   mutable rc_state : cstate;
   rc_elem : elemkind;
 }
+
+let returns m = m.rm_ret <> None
 
 type tstate =
   | Ready
@@ -264,7 +267,10 @@ and hooks = {
   mutable h_clock : t -> clock_reason -> int;
   mutable h_input : t -> int;
   mutable h_native : t -> native -> int array -> native_outcome;
-  mutable h_observe : (t -> obs -> unit) option;
+  mutable h_observe : (t -> int -> int -> int -> int -> unit) option;
+      (* tid, method uid, pc, instruction tag — unboxed so the hot loop
+         never allocates an event record; Observer builds [obs] values
+         only when it keeps them *)
   mutable h_heap_read : (t -> int -> int -> unit) option; (* addr, slot *)
   mutable h_heap_write : (t -> int -> int -> unit) option;
   mutable h_switch : (t -> int -> int -> unit) option; (* from tid, to tid *)

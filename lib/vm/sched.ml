@@ -156,16 +156,33 @@ let rec dispatch (vm : Rt.t) =
     end
 
 (* Preemptive / voluntary thread switch from a yield point: the current
-   thread goes to the back of the ready queue. *)
+   thread goes to the back of the ready queue.
+
+   Short-circuit: when the current thread is the only runnable one, no
+   sleeper could wake (the clock is only read when sleepers exist, so none
+   is read here either), and no scheme hooks the choice (h_pick) or the
+   transition (h_switch), the full path would deterministically re-pick the
+   same thread — skip the queue round-trip. The hook guards keep record and
+   replay symmetric for every scheme: DejaVu and crew/read-log install
+   neither hook in either mode, switch-map installs h_switch when recording
+   and h_pick when replaying, so both modes take the slow path together. *)
 let perform_thread_switch (vm : Rt.t) =
   vm.stats.n_switch <- vm.stats.n_switch + 1;
-  let from_tid = vm.current in
-  let t = Rt.cur vm in
-  ready vm t.tid;
-  dispatch vm;
-  (match vm.hooks.h_switch with
-  | Some f -> f vm from_tid vm.current
-  | None -> ())
+  let hooked =
+    match (vm.hooks.h_pick, vm.hooks.h_switch) with
+    | None, None -> false
+    | _ -> true
+  in
+  if (not hooked) && Queue.is_empty vm.readyq && vm.sleepers = [] then ()
+  else begin
+    let from_tid = vm.current in
+    let t = Rt.cur vm in
+    ready vm t.tid;
+    dispatch vm;
+    match vm.hooks.h_switch with
+    | Some f -> f vm from_tid vm.current
+    | None -> ()
+  end
 
 (* Park the current thread in [state] (not runnable) and dispatch. *)
 let park (vm : Rt.t) state =

@@ -220,8 +220,8 @@ let restore (vm : Rt.t) (c : t) =
   vm.preempt_pending <- c.c_preempt_pending;
   Buffer.clear vm.output;
   Buffer.add_string vm.output c.c_output;
-  vm.env.rng.state <- c.c_env.s_rng.state;
-  vm.env.input_rng.state <- c.c_env.s_input_rng.state;
+  Prng.restore vm.env.rng ~from:c.c_env.s_rng;
+  Prng.restore vm.env.input_rng ~from:c.c_env.s_input_rng;
   vm.env.now <- c.c_env.s_now;
   vm.env.next_timer <- c.c_env.s_next_timer;
   vm.env.inputs <- c.c_env.s_inputs;

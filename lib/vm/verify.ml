@@ -161,7 +161,11 @@ let verify (vm : Rt.t) (m : Rt.rmethod) (code : Rt.cinstr array)
   while not (Queue.is_empty work) do
     let pc = Queue.pop work in
     let s0 =
-      match states.(pc) with Some s -> s | None -> assert false
+      match states.(pc) with
+      | Some s -> s
+      | None ->
+        error "%s: verifier worklist reached pc %d with no recorded state"
+          m.rm_name pc
     in
     if s0.depth > !max_depth then max_depth := s0.depth;
     (* Any instruction may raise: merge the in-state into the handlers that
@@ -235,12 +239,16 @@ let verify (vm : Rt.t) (m : Rt.rmethod) (code : Rt.cinstr array)
     | KNull ->
       pushv VNull;
       goto_next ()
+    (* the interpreter's local-slot accesses are unchecked, so both range
+       ends must be rejected here *)
     | KLoad i ->
-      if i >= nlocals then error "%s: pc %d: load %d out of range" m.rm_name pc i;
+      if i < 0 || i >= nlocals then
+        error "%s: pc %d: load %d out of range" m.rm_name pc i;
       pushv s.locals.(i);
       goto_next ()
     | KStore i ->
-      if i >= nlocals then error "%s: pc %d: store %d out of range" m.rm_name pc i;
+      if i < 0 || i >= nlocals then
+        error "%s: pc %d: store %d out of range" m.rm_name pc i;
       let v = popv () in
       s.locals.(i) <- v;
       goto_next ()
@@ -341,8 +349,7 @@ let verify (vm : Rt.t) (m : Rt.rmethod) (code : Rt.cinstr array)
       ignore (pop_refish "instanceof");
       pushv VInt;
       goto_next ()
-    | KInvokestatic uid ->
-      let callee = vm.methods.(uid) in
+    | KInvokestatic callee ->
       let args, ret = sig_of callee in
       pop_args ("call " ^ callee.rm_name) args;
       Option.iter (fun ty -> pushv (of_ty vm ty)) ret;
@@ -385,8 +392,7 @@ let verify (vm : Rt.t) (m : Rt.rmethod) (code : Rt.cinstr array)
     | KNotify | KNotifyall ->
       ignore (pop_refish "notify");
       goto_next ()
-    | KSpawnstatic uid ->
-      let callee = vm.methods.(uid) in
+    | KSpawnstatic callee ->
       pop_args ("spawn " ^ callee.rm_name) callee.rm_args;
       pushv VInt;
       goto_next ()

@@ -1,0 +1,143 @@
+(* Dispatch-loop specialization checks: the interpreter picks a fast loop
+   when no observer is attached and an observed loop when one is, and the
+   two must be semantically indistinguishable — same outputs, same state
+   digests, same recorded traces, same event sequences. *)
+
+open Tutil
+
+let all () = Lazy.force Workloads.Registry.all
+
+let seeded seed =
+  {
+    Vm.Rt.default_config with
+    Vm.Rt.env_cfg = { Vm.Rt.default_config.Vm.Rt.env_cfg with Vm.Env.seed };
+  }
+
+(* Live run under the observed loop: attach an observer before booting. *)
+let run_observed ?max_events ~natives ~seed program =
+  let vm = Vm.create ~config:(seeded seed) ~natives program in
+  let obs =
+    match max_events with
+    | None -> Vm.Observer.attach_digest vm
+    | Some m -> Vm.Observer.attach_collect ~max_events:m vm
+  in
+  ignore (Vm.run vm);
+  (vm, obs)
+
+(* Fast loop vs observed loop: a hook that only reads events must not
+   change the execution it observes. *)
+let test_fast_vs_observed_live () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      List.iter
+        (fun seed ->
+          let fast, fast_st = run ~natives:e.natives ~seed e.program in
+          let obs_vm, obs = run_observed ~natives:e.natives ~seed e.program in
+          let ctx = Fmt.str "%s/%d" e.name seed in
+          Alcotest.check status_testable (ctx ^ " status") fast_st
+            (Vm.status obs_vm);
+          Alcotest.(check string) (ctx ^ " output") (Vm.output fast)
+            (Vm.output obs_vm);
+          Alcotest.(check int) (ctx ^ " state digest") (Vm.digest fast)
+            (Vm.digest obs_vm);
+          Alcotest.(check int)
+            (ctx ^ " one event per instruction")
+            (Vm.stats obs_vm).n_instr (Vm.Observer.count obs))
+        [ 1; 3 ])
+    (all ())
+
+(* Record/replay under the observed loop: the roundtrip's event digests
+   must agree for every catalogued workload. *)
+let test_roundtrip_digests_observed () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let rt = Dejavu.verify_roundtrip ~natives:e.natives ~seed:3 e.program in
+      Alcotest.(check bool)
+        (e.name ^ " events equal")
+        true rt.Dejavu.events_equal;
+      Alcotest.(check bool) (e.name ^ " roundtrip ok") true (Dejavu.ok rt))
+    (all ())
+
+(* Cross-loop recording: a trace recorded under the fast loop (observer
+   detached) must be byte-identical to one recorded under the observed
+   loop, and replaying it with an observer must reproduce the observed
+   recording's event digest. *)
+let test_fast_recorded_trace_matches () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let obs_run, obs_trace =
+        Dejavu.record ~natives:e.natives ~seed:1 e.program
+      in
+      let fast_run, fast_trace =
+        Dejavu.record ~natives:e.natives ~seed:1 ~observe:false e.program
+      in
+      Alcotest.(check string)
+        (e.name ^ " trace bytes")
+        (Dejavu.Trace.to_bytes obs_trace)
+        (Dejavu.Trace.to_bytes fast_trace);
+      Alcotest.(check int)
+        (e.name ^ " fast record leaves no digest")
+        0 fast_run.Dejavu.obs_count;
+      let replayed, leftovers =
+        Dejavu.replay ~natives:e.natives e.program fast_trace
+      in
+      Alcotest.(check (list string)) (e.name ^ " trace consumed") [] leftovers;
+      Alcotest.(check int)
+        (e.name ^ " replay digest vs observed record")
+        obs_run.Dejavu.obs_digest replayed.Dejavu.obs_digest;
+      Alcotest.(check int)
+        (e.name ^ " replay count vs observed record")
+        obs_run.Dejavu.obs_count replayed.Dejavu.obs_count)
+    (all ())
+
+(* Collecting and digesting observers fold the same hash; the collection
+   cap bounds retention only, never the digest or the true count. *)
+let test_collect_matches_digest () =
+  let e =
+    match Workloads.Registry.find "ring" with
+    | Some e -> e
+    | None -> Alcotest.fail "ring workload missing"
+  in
+  let _, dig = run_observed ~natives:e.natives ~seed:2 e.program in
+  let _, col = run_observed ~max_events:max_int ~natives:e.natives ~seed:2 e.program in
+  Alcotest.(check int) "digest" (Vm.Observer.digest dig)
+    (Vm.Observer.digest col);
+  Alcotest.(check int) "count" (Vm.Observer.count dig) (Vm.Observer.count col);
+  Alcotest.(check int) "nothing dropped" 0 (Vm.Observer.dropped col);
+  Alcotest.(check int) "kept all events" (Vm.Observer.count col)
+    (List.length (Vm.Observer.events col))
+
+let test_collect_cap_semantics () =
+  let e =
+    match Workloads.Registry.find "ring" with
+    | Some e -> e
+    | None -> Alcotest.fail "ring workload missing"
+  in
+  let _, dig = run_observed ~natives:e.natives ~seed:2 e.program in
+  let cap = 100 in
+  let _, col = run_observed ~max_events:cap ~natives:e.natives ~seed:2 e.program in
+  let total = Vm.Observer.count dig in
+  Alcotest.(check bool) "workload exceeds cap" true (total > cap);
+  Alcotest.(check int) "digest exact past cap" (Vm.Observer.digest dig)
+    (Vm.Observer.digest col);
+  Alcotest.(check int) "true count past cap" total (Vm.Observer.count col);
+  Alcotest.(check int) "dropped = count - kept" (total - cap)
+    (Vm.Observer.dropped col);
+  Alcotest.(check int) "kept exactly the cap" cap
+    (List.length (Vm.Observer.events col))
+
+let () =
+  Alcotest.run "dispatch"
+    [
+      ( "loops",
+        [
+          quick "fast vs observed live" test_fast_vs_observed_live;
+          quick "roundtrip digests (observed)" test_roundtrip_digests_observed;
+          quick "fast-recorded trace matches" test_fast_recorded_trace_matches;
+        ] );
+      ( "observer",
+        [
+          quick "collect matches digest" test_collect_matches_digest;
+          quick "cap: digest, count, dropped" test_collect_cap_semantics;
+        ] );
+    ]

@@ -18,6 +18,73 @@ let prop_varint_roundtrip =
       let got, pos = Dejavu.Trace.get_varint (Buffer.contents buf) 0 in
       got = v && pos = Buffer.length buf)
 
+(* Edge values first, then uniform 63-bit: QCheck.int alone rarely visits
+   the extremes where the zigzag/shift logic can go wrong. *)
+let extreme_int_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, oneofl [ min_int; max_int; min_int + 1; max_int - 1; 0; -1; 1 ]);
+        (8, map (fun (a, b) -> a lxor (b lsl 31)) (pair int int));
+      ])
+
+let prop_varint_roundtrip_extremes =
+  qtest ~count:2000 "varint roundtrip at 63-bit extremes"
+    (QCheck.make ~print:string_of_int extreme_int_gen) (fun v ->
+      let buf = Buffer.create 16 in
+      Dejavu.Trace.put_varint buf v;
+      let got, pos = Dejavu.Trace.get_varint (Buffer.contents buf) 0 in
+      got = v && pos = Buffer.length buf)
+
+(* Malformed varint streams must always surface as Format_error — never an
+   out-of-range read, a silent wrong value, or a non-Trace exception. *)
+let decodes_or_format_error s =
+  match Dejavu.Trace.get_varint s 0 with
+  | _, pos -> pos <= String.length s
+  | exception Dejavu.Trace.Format_error _ -> true
+
+let prop_varint_truncated =
+  qtest ~count:500 "truncated varints yield Format_error"
+    (QCheck.make ~print:string_of_int extreme_int_gen) (fun v ->
+      let buf = Buffer.create 16 in
+      Dejavu.Trace.put_varint buf v;
+      let s = Buffer.contents buf in
+      (* every proper prefix that still ends mid-value must be rejected *)
+      List.for_all
+        (fun k ->
+          match Dejavu.Trace.get_varint (String.sub s 0 k) 0 with
+          | exception Dejavu.Trace.Format_error _ -> true
+          | _ -> false)
+        (List.init (String.length s - 1) (fun k -> k)))
+
+let prop_varint_oversized =
+  qtest ~count:200 "oversized varints yield Format_error"
+    QCheck.(int_range 9 20)
+    (fun n ->
+      (* n continuation bytes (>= 9 shifts past bit 56) then a terminator *)
+      let s = String.make n '\xff' ^ "\x01" in
+      match Dejavu.Trace.get_varint s 0 with
+      | exception Dejavu.Trace.Format_error _ -> true
+      | _ -> false)
+
+let prop_varint_noncanonical =
+  qtest ~count:500 "non-canonical trailing 0x00 yields Format_error"
+    QCheck.(int_range 1 8)
+    (fun n ->
+      (* n continuation bytes then a zero final byte: decodes to a value
+         the encoder would have written shorter — must be rejected *)
+      let s = String.make n '\x81' ^ "\x00" in
+      match Dejavu.Trace.get_varint s 0 with
+      | exception Dejavu.Trace.Format_error _ -> true
+      | _ -> false)
+
+let garbage_gen =
+  QCheck.string_gen_of_size (QCheck.Gen.int_range 0 24) QCheck.Gen.char
+
+let prop_varint_garbage_total =
+  qtest ~count:2000 "arbitrary bytes: decode or Format_error, never a crash"
+    garbage_gen decodes_or_format_error
+
 let arr_gen = QCheck.(array_of_size (Gen.int_bound 200) int)
 
 let prop_trace_roundtrip =
@@ -442,7 +509,13 @@ let prop_fuzzed_emit_roundtrip =
 let () =
   Alcotest.run "props"
     [
-      ("codec", [ prop_varint_roundtrip; prop_trace_roundtrip ]);
+      ( "codec",
+        [
+          prop_varint_roundtrip; prop_varint_roundtrip_extremes;
+          prop_varint_truncated; prop_varint_oversized;
+          prop_varint_noncanonical; prop_varint_garbage_total;
+          prop_trace_roundtrip;
+        ] );
       ("interp", [ prop_arith_matches_reference ]);
       ("determinism", [ prop_execution_deterministic ]);
       ( "replay",
