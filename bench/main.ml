@@ -437,12 +437,49 @@ let micro () =
 (* ---------------------------------------------------------------- json *)
 
 (* Machine-readable perf trajectory: per-workload instrs/sec for live,
-   record, and replay plus trace sizes, written to BENCH_interp.json so a
+   record, and replay plus trace sizes, kept in BENCH_interp.json so a
    checked-in history of dispatch-loop performance accumulates PR over PR.
+   The file is a JSON array of {pr, date, workloads} points; each --json
+   run APPENDS a point rather than overwriting the history (a pre-history
+   single-object file is wrapped as point 1 on first append). The pr number
+   is inferred from the number of existing points, or forced with --pr=N.
    The registry workloads match E6 (short runs, VM setup included); the
    -XL entries are scaled up so the steady-state dispatch rate dominates
    setup noise. No JSON library in the tree — the writer is hand-rolled. *)
 let json_out = "BENCH_interp.json"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The text of the existing points (everything between the outer brackets),
+   or [None] for no/empty history. A legacy single-object file — the format
+   before the trajectory became an array — is wrapped as point 1, dated by
+   the PR-1 commit. *)
+let prior_points () =
+  if not (Sys.file_exists json_out) then None
+  else
+    let s = String.trim (read_file json_out) in
+    let len = String.length s in
+    if len = 0 then None
+    else if s.[0] = '[' then Some (String.trim (String.sub s 1 (len - 2)))
+    else
+      (* "{ body }" -> "{ pr/date, body }" *)
+      let body = String.sub s 1 (len - 2) in
+      Some (Fmt.str "{\n  \"pr\": 1,\n  \"date\": \"2026-08-05\",%s}" body)
+
+let count_points s =
+  (* one "pr" key per point *)
+  let n = ref 0 in
+  let key = "\"pr\":" in
+  let klen = String.length key in
+  for i = 0 to String.length s - klen do
+    if String.sub s i klen = key then incr n
+  done;
+  !n
 
 let json_workloads () =
   let xl name program = (name, program, []) in
@@ -456,8 +493,32 @@ let json_workloads () =
 
 let json () =
   section "json" ("perf trajectory -> " ^ json_out);
+  let prior = prior_points () in
+  let pr =
+    let forced =
+      Array.fold_left
+        (fun acc a ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if String.length a > 5 && String.sub a 0 5 = "--pr=" then
+              int_of_string_opt (String.sub a 5 (String.length a - 5))
+            else None)
+        None Sys.argv
+    in
+    match forced with
+    | Some n -> n
+    | None -> (match prior with None -> 1 | Some s -> count_points s + 1)
+  in
+  let date =
+    let t = Unix.localtime (Unix.time ()) in
+    Fmt.str "%04d-%02d-%02d" (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+      t.Unix.tm_mday
+  in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"bench\": \"interp-dispatch\",\n";
+  Buffer.add_string buf
+    (Fmt.str "{\n  \"pr\": %d,\n  \"date\": %S,\n" pr date);
+  Buffer.add_string buf "  \"bench\": \"interp-dispatch\",\n";
   Buffer.add_string buf "  \"units\": \"instructions_per_cpu_second\",\n";
   Buffer.add_string buf "  \"observer\": \"detached\",\n  \"workloads\": {\n";
   let n_total = List.length (json_workloads ()) in
@@ -485,11 +546,16 @@ let json () =
            sizes.Dejavu.Trace.total_bytes
            (if i = n_total - 1 then "" else ",")))
     (json_workloads ());
-  Buffer.add_string buf "  }\n}\n";
+  Buffer.add_string buf "  }\n}";
+  let point = Buffer.contents buf in
   let oc = open_out json_out in
-  output_string oc (Buffer.contents buf);
+  (match prior with
+  | None -> output_string oc (Fmt.str "[\n%s\n]\n" point)
+  | Some pts -> output_string oc (Fmt.str "[\n%s,\n%s\n]\n" pts point));
   close_out oc;
-  Fmt.pr "wrote %s@." json_out
+  Fmt.pr "appended point %d (pr %d) to %s@."
+    (match prior with None -> 1 | Some s -> count_points s + 1)
+    pr json_out
 
 (* -------------------------------------------------------------- driver *)
 

@@ -96,14 +96,35 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run_live $ name_arg $ seed_arg $ verbose_arg)
 
+(* With --compiled, every method is force-compiled (charging the same
+   virtual-clock cost a run's first visit would) and its post-fusion kinstr
+   stream prints next to the source bytecode: fused superinstruction heads
+   marked [*] with shadowed originals behind them, inline-cache sites
+   marked [ic], injected yield points marked [; yp]. *)
+let disasm name compiled =
+  let e = find_workload name in
+  if not compiled then Fmt.pr "%a@." Bytecode.Disasm.pp_program e.program
+  else begin
+    let vm = Vm.create ~natives:e.natives e.program in
+    Array.iter
+      (fun (m : Vm.Rt.rmethod) -> ignore (Vm.Compile.compile vm m))
+      vm.Vm.Rt.methods;
+    Array.iter
+      (fun (m : Vm.Rt.rmethod) ->
+        Fmt.pr "%a@.%a@.@." Bytecode.Disasm.pp_method m.rm_decl
+          (Vm.Kdisasm.pp_compiled vm) m)
+      vm.Vm.Rt.methods
+  end
+
+let compiled_arg =
+  Arg.(
+    value & flag
+    & info [ "compiled" ]
+        ~doc:"show the post-fusion compiled kinstr stream for each method")
+
 let disasm_cmd =
   let doc = "disassemble a workload" in
-  Cmd.v (Cmd.info "disasm" ~doc)
-    Term.(
-      const (fun name ->
-          let e = find_workload name in
-          Fmt.pr "%a@." Bytecode.Disasm.pp_program e.program)
-      $ name_arg)
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const disasm $ name_arg $ compiled_arg)
 
 let compare_cmd =
   let doc = "run under several seeds and report output differences" in

@@ -8,8 +8,17 @@
 
     Lowering pre-resolves everything the dispatch loop would otherwise
     re-derive per visit: static call and spawn operands carry the callee
-    [Rt.rmethod] itself, and string loads carry the owning [Rt.rclass],
-    so the interpreter's hot loop performs no table lookups for them. *)
+    [Rt.rmethod] itself, string loads carry the owning [Rt.rclass], and
+    virtual call/spawn sites carry a monomorphic inline cache.
+
+    After verification a fusion pass builds [Rt.compiled.k_fused] — the
+    canonical stream with common 2–4 instruction shapes rewritten as
+    superinstructions in their head slots (shadow slots keep the
+    originals; pc numbering is unchanged). A fused region never spans a
+    branch target, an exception-handler boundary, or a yield point, and
+    [Verify.check_fusion] audits the result. With [cfg.fuse = false],
+    [k_fused == k_code]. See DESIGN.md section 7 for the parity
+    contract. *)
 
 exception Error of string
 

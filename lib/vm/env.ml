@@ -43,9 +43,21 @@ type t = {
   mutable input_count : int;
   mutable ticks : int; (* instructions charged *)
   mutable timer_fires : int;
+  batch_buf : Bytes.t;
+      (* scratch for the batched-tick stub: 8 int64 slots; slots 2..7 hold
+         the (immutable) config, written once here; slots 0..1 carry
+         now/next_timer across a call. Never holds state between calls. *)
 }
 
 let create ?(inputs = []) cfg =
+  let batch_buf = Bytes.create 64 in
+  let slot i v = Bytes.set_int64_ne batch_buf (8 * i) (Int64.of_int v) in
+  slot 2 cfg.base_cost;
+  slot 3 (cfg.jitter + 1);
+  slot 4 cfg.spike_per_mille;
+  slot 5 cfg.spike_cost;
+  slot 6 cfg.quantum;
+  slot 7 cfg.quantum_jitter;
   {
     cfg;
     rng = Prng.create cfg.seed;
@@ -56,6 +68,7 @@ let create ?(inputs = []) cfg =
     input_count = 0;
     ticks = 0;
     timer_fires = 0;
+    batch_buf;
   }
 
 (* Advance the clock for one executed instruction; returns true when the
@@ -101,6 +114,37 @@ let tick t =
     true
   end
   else false
+
+external tick_batch_stub : Bytes.t -> Bytes.t -> int -> int
+  = "dv_env_tick_batch"
+[@@noalloc]
+
+(* Advance the clock for [n] executed instructions in one stub call. Draws
+   exactly the stream [n] successive [tick]s draw (the stub replicates the
+   fused-pair branch above, spike draw first), so fused and unfused
+   execution stay on the same PRNG sequence; returns how many of the [n]
+   instructions crossed the timer — each would have made [tick] return
+   true. Falls back to a [tick] loop for config shapes outside the fused
+   fast path. *)
+let tick_batch t n =
+  if t.cfg.jitter > 0 && t.cfg.jitter < 1024 && t.cfg.spike_per_mille > 0
+  then begin
+    Bytes.set_int64_ne t.batch_buf 0 (Int64.of_int t.now);
+    Bytes.set_int64_ne t.batch_buf 8 (Int64.of_int t.next_timer);
+    let fires = tick_batch_stub (Prng.raw_state t.rng) t.batch_buf n in
+    t.now <- Int64.to_int (Bytes.get_int64_ne t.batch_buf 0);
+    t.next_timer <- Int64.to_int (Bytes.get_int64_ne t.batch_buf 8);
+    t.ticks <- t.ticks + n;
+    t.timer_fires <- t.timer_fires + fires;
+    fires
+  end
+  else begin
+    let fires = ref 0 in
+    for _ = 1 to n do
+      if tick t then incr fires
+    done;
+    !fires
+  end
 
 (* Charge non-instruction work (e.g. method compilation) to the clock. *)
 let charge t cost =

@@ -29,6 +29,7 @@ type t = {
   mutable input_count : int;
   mutable ticks : int;
   mutable timer_fires : int;
+  batch_buf : Bytes.t;  (** scratch for the batched-tick stub *)
 }
 
 val create : ?inputs:int list -> config -> t
@@ -36,6 +37,14 @@ val create : ?inputs:int list -> config -> t
 (** Advance the clock for one executed instruction; [true] when the timer
     interrupt fired during it. *)
 val tick : t -> bool
+
+(** [tick_batch t n] advances the clock for [n] executed instructions in
+    one C-stub call, drawing exactly the PRNG stream [n] successive
+    {!tick}s draw; returns how many of the [n] instructions crossed the
+    timer. The fast dispatch loop uses this for fused regions — the clock,
+    the stream, and the preemption-request count stay bit-identical to
+    unfused execution. *)
+val tick_batch : t -> int -> int
 
 (** Charge non-instruction work (e.g. method compilation) to the clock. *)
 val charge : t -> int -> unit

@@ -19,7 +19,13 @@ let heap_start = 4
 let collect (vm : Rt.t) =
   vm.stats.n_gc <- vm.stats.n_gc + 1;
   let from_ = vm.heap in
-  let to_ = vm.heap_alt in
+  let to_ =
+    (* lazily materialized: Vm.create defers the second semispace to the
+       first collection (fresh zeros here, stale bytes after later swaps —
+       exactly what an eagerly allocated to-space would hold too) *)
+    if Array.length vm.heap_alt = 0 then Array.make vm.cfg.heap_words 0
+    else vm.heap_alt
+  in
   (* swap immediately so Layout reads go to to-space *)
   vm.heap <- to_;
   vm.heap_alt <- from_;

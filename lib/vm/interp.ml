@@ -438,11 +438,22 @@ let dispatch (vm : Rt.t) (t : Rt.thread) pc ins =
   | KInvokestatic callee ->
     if ensure_initialized vm callee.rm_cid then
       push_frame vm callee ~resume_pc:(pc + 1) ()
-  | KInvokevirtual (_, vslot, nargs) ->
+  | KInvokevirtual (_, vslot, nargs, ic) ->
     let receiver = peek vm t (nargs - 1) in
     check_null receiver;
-    let rcv_class = vm.classes.(Layout.class_of vm receiver) in
-    let callee = vm.methods.(rcv_class.rc_vtable.(vslot)) in
+    let rcid = Layout.class_of vm receiver in
+    (* monomorphic inline cache: skip the vtable walk when the receiver
+       class repeats. The cell memoizes a deterministic lookup, so hits and
+       misses are indistinguishable to record/replay. *)
+    let callee =
+      if ic.Rt.ic_cid = rcid then ic.Rt.ic_meth
+      else begin
+        let callee = vm.methods.(vm.classes.(rcid).rc_vtable.(vslot)) in
+        ic.Rt.ic_cid <- rcid;
+        ic.Rt.ic_meth <- callee;
+        callee
+      end
+    in
     push_frame vm callee ~resume_pc:(pc + 1) ()
   | KRet -> do_return vm ~result:None
   | KRetv ->
@@ -505,11 +516,19 @@ let dispatch (vm : Rt.t) (t : Rt.thread) pc ins =
       push vm t tid;
       t.t_pc <- pc + 1
     end
-  | KSpawnvirtual (_, vslot, nargs) ->
+  | KSpawnvirtual (_, vslot, nargs, ic) ->
     let receiver = peek vm t (nargs - 1) in
     check_null receiver;
-    let rcv_class = vm.classes.(Layout.class_of vm receiver) in
-    let callee = vm.methods.(rcv_class.rc_vtable.(vslot)) in
+    let rcid = Layout.class_of vm receiver in
+    let callee =
+      if ic.Rt.ic_cid = rcid then ic.Rt.ic_meth
+      else begin
+        let callee = vm.methods.(vm.classes.(rcid).rc_vtable.(vslot)) in
+        ic.Rt.ic_cid <- rcid;
+        ic.Rt.ic_meth <- callee;
+        callee
+      end
+    in
     let cc = Compile.compile vm callee in
     let stack_addr =
       Heap.alloc_stack_array vm ~len:(thread_stack_size vm callee cc)
@@ -562,6 +581,13 @@ let dispatch (vm : Rt.t) (t : Rt.thread) pc ins =
     vm.stats.n_yield <- vm.stats.n_yield + 1;
     t.t_pc <- pc + 1;
     vm.hooks.h_yieldpoint vm
+  | KLdLdBin _ | KLdConstBin _ | KBinIf _ | KBinIfz _ | KLdGetfield _
+  | KLdStore _ | KLdIf _ | KLdIfz _ | KLdLdIf _ | KLdConstIf _
+  | KLdLdBinIf _ | KLdLdBinIfz _ | KLdConstBinSt _ | KBinSt _ ->
+    (* superinstructions live only in k_fused and are executed inline by
+       the fast loop in [exec_batch]; every other fetch path (single-step,
+       observed loop, fuel fallback) reads the canonical k_code *)
+    fatal "superinstruction reached the generic dispatcher at pc %d" pc
 
 (* Advance the environment clock for one executed instruction and latch a
    timer fire into the preemption bit. *)
@@ -569,6 +595,15 @@ let clock_instr (vm : Rt.t) =
   if Env.tick vm.env then begin
     vm.preempt_pending <- true;
     vm.stats.n_preempt_req <- vm.stats.n_preempt_req + 1
+  end
+
+(* [clock_instr] for [n] instructions of a fused region at once: one stub
+   call, same draws, every fire latched and counted as n ticks would. *)
+let clock_batch (vm : Rt.t) n =
+  let fires = Env.tick_batch vm.env n in
+  if fires > 0 then begin
+    vm.preempt_pending <- true;
+    vm.stats.n_preempt_req <- vm.stats.n_preempt_req + fires
   end
 
 (* Execute exactly one instruction of the current thread. *)
@@ -618,17 +653,327 @@ let exec_batch (vm : Rt.t) ~fuel =
       let tid = vm.current in
       let t = vm.threads.(tid) in
       let meth = t.t_meth in
-      let code = (Rt.compiled meth).k_code in
+      let comp = Rt.compiled meth in
+      let code = comp.k_code in
       match (vm.hooks.h_instr, vm.hooks.h_observe) with
       | None, None ->
-        (* fast loop: fetch, clock, dispatch — nothing else *)
+        (* fast loop: fetch, clock, dispatch — nothing else. It executes
+           the fused stream; superinstructions are handled inline, paying
+           one env tick and one [executed] increment per constituent (so
+           the PRNG draw sequence, the preemption-request count, and the
+           instruction count match unfused execution exactly, including
+           when a constituent faults mid-region). The tick prefix of a
+           region — every constituent up to and including the first one
+           that can fault — is paid in a single [clock_batch] stub call,
+           which draws the same stream as that many successive ticks;
+           constituents after a fault point (only [KBin] and the
+           [KGetfield] null check can fault) tick one at a time, after the
+           fault point succeeds, so a mid-region exception leaves the
+           clock exactly where unfused execution would. The handlers also
+           replicate the unfused operand-stack WRITES — the state digest
+           hashes every heap word up to the bump pointer, dead stack slots
+           included, so skipping a push that unfused execution performs
+           would leak into the digest. What fusion saves is the
+           per-constituent fetch/decode/dispatch, the per-tick stub
+           transitions, the segment-death checks, and the re-reads of
+           just-written slots.
+
+           Near the fuel limit a region that no longer fits falls back to
+           dispatching the head constituent from the canonical stream —
+           the shadow slots behind it are the originals, so execution
+           degrades to one-at-a-time without overshooting the limit. *)
+        let fused = comp.k_fused in
         let live = ref true in
         while !live do
           let pc = t.t_pc in
-          let ins = code.(pc) in
-          incr executed;
-          clock_instr vm;
-          dispatch vm t pc ins;
+          (match fused.(pc) with
+          | Rt.KLdLdBin (i, j, op) ->
+            if fuel - !executed >= 3 then begin
+              executed := !executed + 3;
+              clock_batch vm 3;
+              let base = t.t_fp + Rt.frame_header_words in
+              let sp = t.t_sp in
+              let x = Layout.stack_get_u vm t (base + i) in
+              Layout.stack_set_u vm t sp x;
+              let y = Layout.stack_get_u vm t (base + j) in
+              Layout.stack_set_u vm t (sp + 1) y;
+              t.t_pc <- pc + 2;
+              Layout.stack_set_u vm t sp (binop op x y);
+              t.t_sp <- sp + 1;
+              t.t_pc <- pc + 3
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KLdConstBin (i, n, op) ->
+            if fuel - !executed >= 3 then begin
+              executed := !executed + 3;
+              clock_batch vm 3;
+              let sp = t.t_sp in
+              let x =
+                Layout.stack_get_u vm t (t.t_fp + Rt.frame_header_words + i)
+              in
+              Layout.stack_set_u vm t sp x;
+              Layout.stack_set_u vm t (sp + 1) n;
+              t.t_pc <- pc + 2;
+              Layout.stack_set_u vm t sp (binop op x n);
+              t.t_sp <- sp + 1;
+              t.t_pc <- pc + 3
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KBinIf (op, cmp, target) ->
+            if fuel - !executed >= 2 then begin
+              incr executed;
+              clock_instr vm;
+              let sp = t.t_sp in
+              let y = Layout.stack_get_u vm t (sp - 1) in
+              let x = Layout.stack_get_u vm t (sp - 2) in
+              t.t_sp <- sp - 2;
+              let r = binop op x y in
+              incr executed;
+              clock_instr vm;
+              Layout.stack_set_u vm t (sp - 2) r;
+              let a = Layout.stack_get_u vm t (sp - 3) in
+              t.t_sp <- sp - 3;
+              t.t_pc <-
+                (if Bytecode.Instr.eval_cmp cmp a r then target else pc + 2)
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KBinIfz (op, cmp, target) ->
+            if fuel - !executed >= 2 then begin
+              incr executed;
+              clock_instr vm;
+              let sp = t.t_sp in
+              let y = Layout.stack_get_u vm t (sp - 1) in
+              let x = Layout.stack_get_u vm t (sp - 2) in
+              t.t_sp <- sp - 2;
+              let r = binop op x y in
+              incr executed;
+              clock_instr vm;
+              Layout.stack_set_u vm t (sp - 2) r;
+              t.t_pc <-
+                (if Bytecode.Instr.eval_cmp cmp r 0 then target else pc + 2)
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KLdGetfield (i, slot, _) ->
+            if fuel - !executed >= 2 then begin
+              executed := !executed + 2;
+              clock_batch vm 2;
+              let sp = t.t_sp in
+              let obj =
+                Layout.stack_get_u vm t (t.t_fp + Rt.frame_header_words + i)
+              in
+              Layout.stack_set_u vm t sp obj;
+              t.t_pc <- pc + 1;
+              check_null obj;
+              (match vm.hooks.h_heap_read with
+              | Some f -> f vm obj slot
+              | None -> ());
+              Layout.stack_set_u vm t sp vm.heap.(obj + slot);
+              t.t_sp <- sp + 1;
+              t.t_pc <- pc + 2
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KLdStore (i, j) ->
+            if fuel - !executed >= 2 then begin
+              executed := !executed + 2;
+              clock_batch vm 2;
+              let base = t.t_fp + Rt.frame_header_words in
+              let v = Layout.stack_get_u vm t (base + i) in
+              Layout.stack_set_u vm t t.t_sp v;
+              Layout.stack_set_u vm t (base + j) v;
+              t.t_pc <- pc + 2
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KLdIf (i, cmp, target) ->
+            if fuel - !executed >= 2 then begin
+              executed := !executed + 2;
+              clock_batch vm 2;
+              let sp = t.t_sp in
+              let x =
+                Layout.stack_get_u vm t (t.t_fp + Rt.frame_header_words + i)
+              in
+              Layout.stack_set_u vm t sp x;
+              let a = Layout.stack_get_u vm t (sp - 1) in
+              t.t_sp <- sp - 1;
+              t.t_pc <-
+                (if Bytecode.Instr.eval_cmp cmp a x then target else pc + 2)
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KLdIfz (i, cmp, target) ->
+            if fuel - !executed >= 2 then begin
+              executed := !executed + 2;
+              clock_batch vm 2;
+              let x =
+                Layout.stack_get_u vm t (t.t_fp + Rt.frame_header_words + i)
+              in
+              Layout.stack_set_u vm t t.t_sp x;
+              t.t_pc <-
+                (if Bytecode.Instr.eval_cmp cmp x 0 then target else pc + 2)
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KLdLdIf (i, j, cmp, target) ->
+            if fuel - !executed >= 3 then begin
+              executed := !executed + 3;
+              clock_batch vm 3;
+              let base = t.t_fp + Rt.frame_header_words in
+              let sp = t.t_sp in
+              let x = Layout.stack_get_u vm t (base + i) in
+              Layout.stack_set_u vm t sp x;
+              let y = Layout.stack_get_u vm t (base + j) in
+              Layout.stack_set_u vm t (sp + 1) y;
+              t.t_pc <-
+                (if Bytecode.Instr.eval_cmp cmp x y then target else pc + 3)
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KLdConstIf (i, n, cmp, target) ->
+            if fuel - !executed >= 3 then begin
+              executed := !executed + 3;
+              clock_batch vm 3;
+              let sp = t.t_sp in
+              let x =
+                Layout.stack_get_u vm t (t.t_fp + Rt.frame_header_words + i)
+              in
+              Layout.stack_set_u vm t sp x;
+              Layout.stack_set_u vm t (sp + 1) n;
+              t.t_pc <-
+                (if Bytecode.Instr.eval_cmp cmp x n then target else pc + 3)
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KLdLdBinIf (i, j, op, cmp, target) ->
+            if fuel - !executed >= 4 then begin
+              executed := !executed + 3;
+              clock_batch vm 3;
+              let base = t.t_fp + Rt.frame_header_words in
+              let sp = t.t_sp in
+              let x = Layout.stack_get_u vm t (base + i) in
+              Layout.stack_set_u vm t sp x;
+              let y = Layout.stack_get_u vm t (base + j) in
+              Layout.stack_set_u vm t (sp + 1) y;
+              t.t_pc <- pc + 2;
+              let r = binop op x y in
+              incr executed;
+              clock_instr vm;
+              Layout.stack_set_u vm t sp r;
+              let a = Layout.stack_get_u vm t (sp - 1) in
+              t.t_sp <- sp - 1;
+              t.t_pc <-
+                (if Bytecode.Instr.eval_cmp cmp a r then target else pc + 4)
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KLdLdBinIfz (i, j, op, cmp, target) ->
+            if fuel - !executed >= 4 then begin
+              executed := !executed + 3;
+              clock_batch vm 3;
+              let base = t.t_fp + Rt.frame_header_words in
+              let sp = t.t_sp in
+              let x = Layout.stack_get_u vm t (base + i) in
+              Layout.stack_set_u vm t sp x;
+              let y = Layout.stack_get_u vm t (base + j) in
+              Layout.stack_set_u vm t (sp + 1) y;
+              t.t_pc <- pc + 2;
+              let r = binop op x y in
+              incr executed;
+              clock_instr vm;
+              Layout.stack_set_u vm t sp r;
+              t.t_pc <-
+                (if Bytecode.Instr.eval_cmp cmp r 0 then target else pc + 4)
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KLdConstBinSt (i, n, op, j) ->
+            if fuel - !executed >= 4 then begin
+              executed := !executed + 3;
+              clock_batch vm 3;
+              let base = t.t_fp + Rt.frame_header_words in
+              let sp = t.t_sp in
+              let x = Layout.stack_get_u vm t (base + i) in
+              Layout.stack_set_u vm t sp x;
+              Layout.stack_set_u vm t (sp + 1) n;
+              t.t_pc <- pc + 2;
+              let r = binop op x n in
+              incr executed;
+              clock_instr vm;
+              Layout.stack_set_u vm t sp r;
+              Layout.stack_set_u vm t (base + j) r;
+              t.t_pc <- pc + 4
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | Rt.KBinSt (op, j) ->
+            if fuel - !executed >= 2 then begin
+              incr executed;
+              clock_instr vm;
+              let sp = t.t_sp in
+              let y = Layout.stack_get_u vm t (sp - 1) in
+              let x = Layout.stack_get_u vm t (sp - 2) in
+              t.t_sp <- sp - 2;
+              let r = binop op x y in
+              incr executed;
+              clock_instr vm;
+              Layout.stack_set_u vm t (sp - 2) r;
+              Layout.stack_set_u vm t
+                (t.t_fp + Rt.frame_header_words + j)
+                r;
+              t.t_pc <- pc + 2
+            end
+            else begin
+              incr executed;
+              clock_instr vm;
+              dispatch vm t pc code.(pc)
+            end
+          | ins ->
+            incr executed;
+            clock_instr vm;
+            dispatch vm t pc ins);
           if
             vm.current <> tid || t.t_meth != meth
             || vm.status <> Rt.Running_ || !executed >= fuel

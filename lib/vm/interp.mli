@@ -1,7 +1,15 @@
 (** The bytecode interpreter: frame management on heap-allocated stacks,
     lazy class initialization, lazy method compilation, exception
     unwinding, and the yield-point hook through which all thread switching
-    happens. See the implementation header for the GC invariants. *)
+    happens. See the implementation header for the GC invariants.
+
+    The hook-free fast loop executes the fused stream ([Rt.compiled
+    .k_fused]) — superinstruction handlers that batch their clock ticks
+    through [Env.tick_batch] while preserving instruction counts, PRNG
+    draws, stack writes, and fault points bit-for-bit ({e the parity
+    contract}, DESIGN.md section 7). The observed loop and the single-step
+    [step] path execute the canonical [k_code], which never contains a
+    superinstruction. *)
 
 exception Fatal of string
 

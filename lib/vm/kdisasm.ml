@@ -1,0 +1,161 @@
+(* Human-readable listings of COMPILED code — the kinstr stream the
+   interpreter actually executes, as opposed to Bytecode.Disasm's listings
+   of source bytecode. The compiled stream differs from the source in ways
+   that matter when debugging the dispatch pipeline: monitorenter/exit
+   wrapping from sync expansion, injected yield points, pre-resolved
+   callees, and (in the fused stream) superinstructions. The listing shows
+   the post-fusion stream: a fused region prints its superinstruction head
+   marked [*] with the shadowed originals indented behind it, virtual
+   call/spawn sites are marked [ic] (each carries a monomorphic inline
+   cache), and injected yield points are marked so safe-point placement can
+   be read off the listing. *)
+
+let string_of_bin : Rt.bin -> string = function
+  | Badd -> "add"
+  | Bsub -> "sub"
+  | Bmul -> "mul"
+  | Bdiv -> "div"
+  | Brem -> "rem"
+  | Band -> "and"
+  | Bor -> "or"
+  | Bxor -> "xor"
+  | Bshl -> "shl"
+  | Bshr -> "shr"
+
+let cmp = Bytecode.Instr.string_of_cmp
+
+let ty = Bytecode.Instr.string_of_ty
+
+(* Resolve names through the runtime: class ids, vtable slots, and callee
+   uids all print as the entities they denote. *)
+let pp_cinstr (vm : Rt.t) ppf (ins : Rt.cinstr) =
+  let cname cid = (Rt.the_class vm cid).Rt.rc_name in
+  let vmeth cid vslot =
+    vm.Rt.methods.((Rt.the_class vm cid).Rt.rc_vtable.(vslot))
+  in
+  let qual (m : Rt.rmethod) = cname m.rm_cid ^ "." ^ m.rm_name in
+  match ins with
+  | KConst n -> Fmt.pf ppf "const %d" n
+  | KStr (owner, idx) -> Fmt.pf ppf "str %s[%d]" owner.rc_name idx
+  | KNull -> Fmt.string ppf "null"
+  | KLoad i -> Fmt.pf ppf "load l%d" i
+  | KStore i -> Fmt.pf ppf "store l%d" i
+  | KDup -> Fmt.string ppf "dup"
+  | KPop -> Fmt.string ppf "pop"
+  | KSwap -> Fmt.string ppf "swap"
+  | KBin op -> Fmt.pf ppf "bin %s" (string_of_bin op)
+  | KNeg -> Fmt.string ppf "neg"
+  | KIf (c, t) -> Fmt.pf ppf "if%s -> %d" (cmp c) t
+  | KIfz (c, t) -> Fmt.pf ppf "ifz%s -> %d" (cmp c) t
+  | KIfnull t -> Fmt.pf ppf "ifnull -> %d" t
+  | KIfnonnull t -> Fmt.pf ppf "ifnonnull -> %d" t
+  | KIfrefeq t -> Fmt.pf ppf "ifrefeq -> %d" t
+  | KIfrefne t -> Fmt.pf ppf "ifrefne -> %d" t
+  | KGoto t -> Fmt.pf ppf "goto %d" t
+  | KNew cid -> Fmt.pf ppf "new %s" (cname cid)
+  | KGetfield (slot, fty) -> Fmt.pf ppf "getfield +%d :%s" slot (ty fty)
+  | KPutfield (slot, fty) -> Fmt.pf ppf "putfield +%d :%s" slot (ty fty)
+  | KGetstatic (cid, g, fty) ->
+    Fmt.pf ppf "getstatic %s g%d :%s" (cname cid) g (ty fty)
+  | KPutstatic (cid, g, fty) ->
+    Fmt.pf ppf "putstatic %s g%d :%s" (cname cid) g (ty fty)
+  | KNewarray elt -> Fmt.pf ppf "newarray %s" (ty elt)
+  | KAload -> Fmt.string ppf "aload"
+  | KAstore -> Fmt.string ppf "astore"
+  | KArraylength -> Fmt.string ppf "arraylength"
+  | KCheckcast cid -> Fmt.pf ppf "checkcast %s" (cname cid)
+  | KInstanceof cid -> Fmt.pf ppf "instanceof %s" (cname cid)
+  | KInvokestatic m -> Fmt.pf ppf "invokestatic %s" (qual m)
+  | KInvokevirtual (cid, vslot, nargs, _) ->
+    Fmt.pf ppf "invokevirtual %s/%d [ic]" (qual (vmeth cid vslot)) nargs
+  | KRet -> Fmt.string ppf "ret"
+  | KRetv -> Fmt.string ppf "retv"
+  | KThrow -> Fmt.string ppf "throw"
+  | KMonitorenter -> Fmt.string ppf "monitorenter"
+  | KMonitorexit -> Fmt.string ppf "monitorexit"
+  | KWait -> Fmt.string ppf "wait"
+  | KTimedwait -> Fmt.string ppf "timedwait"
+  | KNotify -> Fmt.string ppf "notify"
+  | KNotifyall -> Fmt.string ppf "notifyall"
+  | KSpawnstatic m -> Fmt.pf ppf "spawnstatic %s" (qual m)
+  | KSpawnvirtual (cid, vslot, nargs, _) ->
+    Fmt.pf ppf "spawnvirtual %s/%d [ic]" (qual (vmeth cid vslot)) nargs
+  | KSleep -> Fmt.string ppf "sleep"
+  | KJoin -> Fmt.string ppf "join"
+  | KInterrupt -> Fmt.string ppf "interrupt"
+  | KCurrenttime -> Fmt.string ppf "currenttime"
+  | KReadinput -> Fmt.string ppf "readinput"
+  | KNative id -> Fmt.pf ppf "native #%d" id
+  | KPrint -> Fmt.string ppf "print"
+  | KPrints -> Fmt.string ppf "prints"
+  | KHalt -> Fmt.string ppf "halt"
+  | KNop -> Fmt.string ppf "nop"
+  | KYield -> Fmt.string ppf "yield"
+  | KLdLdBin (i, j, op) ->
+    Fmt.pf ppf "ld.ld.bin l%d l%d %s" i j (string_of_bin op)
+  | KLdConstBin (i, n, op) ->
+    Fmt.pf ppf "ld.const.bin l%d %d %s" i n (string_of_bin op)
+  | KBinIf (op, c, t) ->
+    Fmt.pf ppf "bin.if %s %s -> %d" (string_of_bin op) (cmp c) t
+  | KBinIfz (op, c, t) ->
+    Fmt.pf ppf "bin.ifz %s %s -> %d" (string_of_bin op) (cmp c) t
+  | KLdGetfield (i, slot, fty) ->
+    Fmt.pf ppf "ld.getfield l%d +%d :%s" i slot (ty fty)
+  | KLdStore (i, j) -> Fmt.pf ppf "ld.store l%d l%d" i j
+  | KLdIf (i, c, t) -> Fmt.pf ppf "ld.if l%d %s -> %d" i (cmp c) t
+  | KLdIfz (i, c, t) -> Fmt.pf ppf "ld.ifz l%d %s -> %d" i (cmp c) t
+  | KLdLdIf (i, j, c, t) ->
+    Fmt.pf ppf "ld.ld.if l%d l%d %s -> %d" i j (cmp c) t
+  | KLdConstIf (i, n, c, t) ->
+    Fmt.pf ppf "ld.const.if l%d %d %s -> %d" i n (cmp c) t
+  | KLdLdBinIf (i, j, op, c, t) ->
+    Fmt.pf ppf "ld.ld.bin.if l%d l%d %s %s -> %d" i j (string_of_bin op)
+      (cmp c) t
+  | KLdLdBinIfz (i, j, op, c, t) ->
+    Fmt.pf ppf "ld.ld.bin.ifz l%d l%d %s %s -> %d" i j (string_of_bin op)
+      (cmp c) t
+  | KLdConstBinSt (i, n, op, j) ->
+    Fmt.pf ppf "ld.const.bin.st l%d %d %s l%d" i n (string_of_bin op) j
+  | KBinSt (op, j) -> Fmt.pf ppf "bin.st %s l%d" (string_of_bin op) j
+
+(* One compiled method: the post-fusion stream, pc by pc. A fused region's
+   head line is marked [*] and its shadow slots print the canonical
+   originals behind a [|]; [; yp] tags injected yield points; the src
+   column maps each compiled pc back to the source-bytecode pc. *)
+let pp_compiled (vm : Rt.t) ppf (m : Rt.rmethod) =
+  let c = Rt.compiled m in
+  let n = Array.length c.k_code in
+  let n_fused = ref 0 and n_ic = ref 0 and n_yp = ref 0 in
+  Array.iteri
+    (fun pc ins ->
+      if ins != c.k_code.(pc) then incr n_fused;
+      match c.k_code.(pc) with
+      | Rt.KInvokevirtual _ | Rt.KSpawnvirtual _ -> incr n_ic
+      | Rt.KYield -> incr n_yp
+      | _ -> ())
+    c.k_fused;
+  Fmt.pf ppf "@[<v 2>compiled %s.%s (uid %d): %d instrs, %d fused, %d ic, %d yp@,"
+    (Rt.the_class vm m.rm_cid).rc_name
+    m.rm_name m.uid n !n_fused !n_ic !n_yp;
+  let shadow_until = ref 0 in
+  for pc = 0 to n - 1 do
+    let ins = c.k_fused.(pc) in
+    let src = c.k_src_pc.(pc) in
+    if pc < !shadow_until then
+      Fmt.pf ppf "%4d      |   %a@," pc (pp_cinstr vm) c.k_code.(pc)
+    else if ins != c.k_code.(pc) then begin
+      shadow_until := pc + Rt.width_of_cinstr ins;
+      Fmt.pf ppf "%4d %4d * %a@," pc src (pp_cinstr vm) ins
+    end
+    else
+      Fmt.pf ppf "%4d %4d   %a%s@," pc src (pp_cinstr vm) ins
+        (match ins with Rt.KYield -> "  ; yp" | _ -> "")
+  done;
+  Array.iter
+    (fun (h : Rt.rhandler) ->
+      Fmt.pf ppf "  catch%s [%d,%d) -> %d@,"
+        (if h.k_catch < 0 then " *"
+         else " " ^ (Rt.the_class vm h.k_catch).rc_name)
+        h.k_from h.k_upto h.k_target)
+    c.k_handlers;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,18 @@
+(** Listings of compiled kinstr code — what the interpreter actually
+    executes, after sync expansion, yield-point injection, lowering, and
+    superinstruction fusion. Complements [Bytecode.Disasm] (which prints
+    source bytecode): fused regions show the superinstruction head marked
+    [*] with the shadowed canonical originals behind it, virtual call/spawn
+    sites are tagged [ic] (monomorphic inline cache), and injected yield
+    points are tagged [; yp]. *)
+
+val string_of_bin : Rt.bin -> string
+
+(** Print one compiled instruction, resolving class/method names through
+    the runtime. *)
+val pp_cinstr : Rt.t -> Format.formatter -> Rt.cinstr -> unit
+
+(** Print a method's post-fusion compiled stream, one line per pc, with a
+    source-pc column and fusion/ic/yield-point markers. The method must
+    already be compiled (raises [Invalid_argument] otherwise). *)
+val pp_compiled : Rt.t -> Format.formatter -> Rt.rmethod -> unit

@@ -41,3 +41,7 @@ external pair_bits : Bytes.t -> int -> int -> int = "dv_prng_pair" [@@noalloc]
 let int_pair t b1 b2 =
   if b1 <= 0 || b2 <= 0 || b2 > 1024 then invalid_arg "Prng.int_pair";
   pair_bits t.state b1 b2
+
+(* The raw 8-byte state, for Env's batched-tick stub — which steps the
+   generator in C with the same SplitMix64 transition the stubs above use. *)
+let raw_state t = t.state

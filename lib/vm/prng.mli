@@ -23,3 +23,7 @@ val bool : t -> bool
     Requires [0 < b1] and [0 < b2 <= 1024]. The interpreter's
     per-instruction clock (jitter draw + spike draw) is the client. *)
 val int_pair : t -> int -> int -> int
+
+(** The raw 8-byte SplitMix64 state, shared with [Env]'s batched-tick stub
+    (which advances it in C). Not for general use. *)
+val raw_state : t -> Bytes.t

@@ -42,3 +42,44 @@ CAMLprim value dv_prng_pair(value state, value b1, value b2)
   memcpy(Bytes_val(state), &s, sizeof s);
   return Val_long((d1 << 10) | d2);
 }
+
+/* [n] consecutive Env.tick steps in one call, for the fast loop's fused
+   regions: per instruction the spike draw, the jitter draw, the cost
+   accumulation, and the timer-crossing test (with its interval draws)
+   happen exactly as n successive dv_prng_pair-based ticks would, so the
+   PRNG stream, [now], and [next_timer] stay bit-identical to unfused
+   execution. [buf] is 8 native-endian int64 slots:
+     0 now (in/out)   1 next_timer (in/out)   2 base_cost   3 jitter+1
+     4 spike_per_mille   5 spike_cost   6 quantum   7 quantum_jitter
+   Returns how many of the n instructions crossed the timer (each such
+   instruction latches one preemption request, as in Env.tick). */
+CAMLprim value dv_env_tick_batch(value state, value buf, value vn)
+{
+  uint64_t s;
+  int64_t io[8];
+  memcpy(&s, Bytes_val(state), sizeof s);
+  memcpy(io, Bytes_val(buf), sizeof io);
+  int64_t now = io[0], next_timer = io[1];
+  long base = (long)io[2], jitter1 = (long)io[3], spm = (long)io[4],
+       spike = (long)io[5], quantum = (long)io[6], qjit = (long)io[7];
+  long n = Long_val(vn), fires = 0;
+  for (long k = 0; k < n; k++) {
+    long d1 = (long)(dv_step(&s) & DV_MASK62) % 1000;
+    long d2 = (long)(dv_step(&s) & DV_MASK62) % jitter1;
+    now += base + d2 + (d1 < spm ? spike : 0);
+    if (now >= next_timer) {
+      fires++;
+      while (now >= next_timer) {
+        long interval = quantum;
+        if (qjit > 0)
+          interval += (long)(dv_step(&s) & DV_MASK62) % (2 * qjit) - qjit;
+        next_timer += interval > 1 ? interval : 1;
+      }
+    }
+  }
+  io[0] = now;
+  io[1] = next_timer;
+  memcpy(Bytes_val(buf), io, 2 * sizeof(int64_t));
+  memcpy(Bytes_val(state), &s, sizeof s);
+  return Val_long(fires);
+}

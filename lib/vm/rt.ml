@@ -54,7 +54,8 @@ type cinstr =
   | KCheckcast of int (* class id *)
   | KInstanceof of int
   | KInvokestatic of rmethod (* pre-resolved callee *)
-  | KInvokevirtual of int * int * int (* declaring cid, vtable slot, nargs *)
+  | KInvokevirtual of int * int * int * ic
+    (* declaring cid, vtable slot, nargs, per-site monomorphic cache *)
   | KRet
   | KRetv
   | KThrow
@@ -65,7 +66,7 @@ type cinstr =
   | KNotify
   | KNotifyall
   | KSpawnstatic of rmethod (* pre-resolved thread body *)
-  | KSpawnvirtual of int * int * int
+  | KSpawnvirtual of int * int * int * ic
   | KSleep
   | KJoin
   | KInterrupt
@@ -77,6 +78,37 @@ type cinstr =
   | KHalt
   | KNop
   | KYield (* yield point, injected by the method compiler *)
+  (* Superinstructions, produced only by the fusion pass in Vm.Compile and
+     present only in [k_fused] (never in the canonical [k_code]). Each one
+     occupies the first constituent's slot; the shadow slots behind it keep
+     the original instructions, so pc numbering, branch targets, handler
+     ranges, reference maps, and the source-pc table are untouched and a
+     branch into the middle of a fused region executes the originals. *)
+  | KLdLdBin of int * int * bin (* load i; load j; bin op *)
+  | KLdConstBin of int * int * bin (* load i; const n; bin op *)
+  | KBinIf of bin * cmp * int (* bin op; if cmp target *)
+  | KBinIfz of bin * cmp * int (* bin op; ifz cmp target *)
+  | KLdGetfield of int * int * Bytecode.Instr.ty (* load i; getfield slot *)
+  | KLdStore of int * int (* load i; store j *)
+  | KLdIf of int * cmp * int (* load i; if cmp target *)
+  | KLdIfz of int * cmp * int (* load i; ifz cmp target *)
+  | KLdLdIf of int * int * cmp * int (* load i; load j; if cmp target *)
+  | KLdConstIf of int * int * cmp * int (* load i; const n; if cmp target *)
+  | KLdLdBinIf of int * int * bin * cmp * int
+      (* load i; load j; bin op; if cmp target *)
+  | KLdLdBinIfz of int * int * bin * cmp * int
+      (* load i; load j; bin op; ifz cmp target *)
+  | KLdConstBinSt of int * int * bin * int
+      (* load i; const n; bin op; store j *)
+  | KBinSt of bin * int (* bin op; store j *)
+
+(* Monomorphic inline cache: one mutable cell per virtual call/spawn site,
+   holding the receiver class and resolved callee of the previous dispatch.
+   The cells live in OCaml-side compiled code — outside the heap, the state
+   digest, and snapshots — so cache state is invisible to record/replay:
+   warm or cold caches yield bit-identical traces and digests, because the
+   cache only memoizes the deterministic [rc_vtable] walk. *)
+and ic = { mutable ic_cid : int; mutable ic_meth : rmethod }
 
 (* Reference map: which local slots / operand-stack slots hold references at
    a given pc. [map_stack] covers the prefix up to [map_depth]. *)
@@ -90,7 +122,12 @@ and rhandler = {
 }
 
 and compiled = {
-  k_code : cinstr array;
+  k_code : cinstr array; (* canonical stream: verifier, observers, debugger *)
+  k_fused : cinstr array;
+      (* same length and pc numbering as [k_code]; superinstruction heads
+         with original instructions in the shadow slots. Physically equal
+         to [k_code] when fusion is disabled. Only the fast dispatch loop
+         executes it. *)
   k_handlers : rhandler array;
   k_maps : refmap array; (* one per compiled pc *)
   k_max_stack : int;
@@ -289,6 +326,7 @@ and config = {
   stack_max : int; (* max thread-stack words *)
   stack_slack : int; (* eager-growth threshold, see DejaVu symmetry *)
   instr_limit : int; (* safety valve; Fatal when exceeded *)
+  fuse : bool; (* superinstruction fusion in the compiler (k_fused) *)
   env_cfg : Env.config;
 }
 
@@ -380,6 +418,7 @@ let default_config =
     stack_max = 1 lsl 16;
     stack_slack = 48;
     instr_limit = 200_000_000;
+    fuse = true;
     env_cfg = Env.default_config;
   }
 
@@ -437,3 +476,59 @@ let tag_of_cinstr = function
   | KHalt -> 46
   | KNop -> 47
   | KYield -> 48
+  (* superinstructions never reach observers (the observed loop executes
+     the canonical k_code), but the tags stay total and stable for the
+     disassembler and any future fused-stream tooling *)
+  | KLdLdBin _ -> 53
+  | KLdConstBin _ -> 54
+  | KBinIf _ -> 55
+  | KBinIfz _ -> 56
+  | KLdGetfield _ -> 57
+  | KLdStore _ -> 58
+  | KLdIf _ -> 59
+  | KLdIfz _ -> 60
+  | KLdLdIf _ -> 61
+  | KLdConstIf _ -> 62
+  | KLdLdBinIf _ -> 63
+  | KLdLdBinIfz _ -> 64
+  | KLdConstBinSt _ -> 65
+  | KBinSt _ -> 66
+
+(* Number of canonical-stream slots a fused-stream instruction covers. *)
+let width_of_cinstr = function
+  | KLdLdBinIf _ | KLdLdBinIfz _ | KLdConstBinSt _ -> 4
+  | KLdLdBin _ | KLdConstBin _ | KLdLdIf _ | KLdConstIf _ -> 3
+  | KBinIf _ | KBinIfz _ | KLdGetfield _ | KLdStore _ | KLdIf _ | KLdIfz _
+  | KBinSt _ -> 2
+  | _ -> 1
+
+(* The canonical instructions a superinstruction stands for, in execution
+   order; [None] for ordinary instructions. [Verify.check_fusion] compares
+   this expansion against the shadow slots, and the disassembler prints it. *)
+let constituents_of_cinstr = function
+  | KLdLdBin (i, j, op) -> Some [| KLoad i; KLoad j; KBin op |]
+  | KLdConstBin (i, n, op) -> Some [| KLoad i; KConst n; KBin op |]
+  | KBinIf (op, c, t) -> Some [| KBin op; KIf (c, t) |]
+  | KBinIfz (op, c, t) -> Some [| KBin op; KIfz (c, t) |]
+  | KLdGetfield (i, slot, ty) -> Some [| KLoad i; KGetfield (slot, ty) |]
+  | KLdStore (i, j) -> Some [| KLoad i; KStore j |]
+  | KLdIf (i, c, t) -> Some [| KLoad i; KIf (c, t) |]
+  | KLdIfz (i, c, t) -> Some [| KLoad i; KIfz (c, t) |]
+  | KLdLdIf (i, j, c, t) -> Some [| KLoad i; KLoad j; KIf (c, t) |]
+  | KLdConstIf (i, n, c, t) -> Some [| KLoad i; KConst n; KIf (c, t) |]
+  | KLdLdBinIf (i, j, op, c, t) ->
+    Some [| KLoad i; KLoad j; KBin op; KIf (c, t) |]
+  | KLdLdBinIfz (i, j, op, c, t) ->
+    Some [| KLoad i; KLoad j; KBin op; KIfz (c, t) |]
+  | KLdConstBinSt (i, n, op, j) ->
+    Some [| KLoad i; KConst n; KBin op; KStore j |]
+  | KBinSt (op, j) -> Some [| KBin op; KStore j |]
+  | _ -> None
+
+(* Branch target carried by a canonical instruction, if any — the fusion
+   pass uses this to find the barriers no fused region may span. *)
+let target_of_cinstr = function
+  | KIf (_, t) | KIfz (_, t) | KIfnull t | KIfnonnull t | KIfrefeq t
+  | KIfrefne t | KGoto t ->
+    Some t
+  | _ -> None

@@ -8,9 +8,14 @@
    Boothe): instead of forking processes, a deterministic replayer only
    needs periodic snapshots plus re-execution from the nearest one.
 
-   Note: lazily compiled method bodies are deliberately NOT rolled back —
-   compilation has no VM-visible effect beyond charging the (recorded)
-   clock, and keeping the code cache warm is the point of a checkpoint.
+   Compiled code is split by the checkpoint line. Methods compiled BEFORE
+   the save stay compiled across a restore — keeping the code cache warm
+   (with its superinstruction streams and inline caches) is the point of a
+   checkpoint, and neither fusion nor warm IC contents is VM-visible.
+   Methods compiled AFTER the save are rolled back to uncompiled: the
+   compiler charges the virtual clock, so a live re-execution from the
+   checkpoint must re-pay exactly the charges the first execution paid
+   after that point, or the timelines diverge.
    Class initialization state IS rolled back: it has heap side effects. *)
 
 type thread_snap = {
@@ -69,6 +74,7 @@ type t = {
   c_preempt_pending : bool;
   c_output : string;
   c_env : env_snap;
+  c_compiled : bool array; (* per uid: was the method compiled at save time? *)
   c_stats : Rt.stats;
   c_words : int; (* rough memory footprint of this checkpoint *)
 }
@@ -154,6 +160,8 @@ let save (vm : Rt.t) : t =
         s_ticks = vm.env.ticks;
         s_timer_fires = vm.env.timer_fires;
       };
+    c_compiled =
+      Array.map (fun (m : Rt.rmethod) -> m.rm_compiled <> None) vm.methods;
     c_stats = copy_stats vm.stats;
     c_words = vm.hp + vm.nglobals + (vm.n_threads * 16) + vm.n_monitors * 8;
   }
@@ -228,6 +236,14 @@ let restore (vm : Rt.t) (c : t) =
   vm.env.input_count <- c.c_env.s_input_count;
   vm.env.ticks <- c.c_env.s_ticks;
   vm.env.timer_fires <- c.c_env.s_timer_fires;
+  (* methods compiled after the save point revert to uncompiled so the
+     re-execution re-pays their compile-time clock charges on schedule;
+     nothing compiled at save time can be un-compiled here, so no restored
+     thread frame loses the body it is executing *)
+  Array.iteri
+    (fun k (m : Rt.rmethod) ->
+      if not c.c_compiled.(k) then m.rm_compiled <- None)
+    vm.methods;
   let s = c.c_stats in
   let d = vm.stats in
   d.n_instr <- s.n_instr;

@@ -20,6 +20,7 @@ module Native = Native
 module Observer = Observer
 module Digest_state = Digest_state
 module Snapshot = Snapshot
+module Kdisasm = Kdisasm
 
 type t = Rt.t
 
@@ -101,7 +102,10 @@ let create ?(config = Rt.default_config) ?(natives = []) ?(inputs = [])
       program;
       env;
       heap = Array.make config.heap_words 0;
-      heap_alt = Array.make config.heap_words 0;
+      (* the GC to-space materializes at the first collection — most short
+         runs never collect, and eagerly zeroing a second semispace here
+         would dominate VM start-up *)
+      heap_alt = [||];
       hp = Gc.heap_start;
       gc_threshold = 0;
       temp_roots = Array.make 16 0;

@@ -90,6 +90,67 @@ let test_fast_recorded_trace_matches () =
         obs_run.Dejavu.obs_count replayed.Dejavu.obs_count)
     (all ())
 
+(* Fused vs unfused compilation: [cfg.fuse] only decides whether the
+   executed stream (k_fused) carries superinstructions; every observable —
+   status, output, state digest, instruction count, event sequence, and
+   recorded trace bytes — must be identical across the whole catalogue,
+   and traces recorded under one setting must replay under the other. *)
+let unfused = { Vm.Rt.default_config with Vm.Rt.fuse = false }
+
+let test_fused_vs_unfused_live () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      List.iter
+        (fun seed ->
+          let f, f_st = run ~natives:e.natives ~seed e.program in
+          let u, u_st = run ~config:unfused ~natives:e.natives ~seed e.program in
+          let ctx = Fmt.str "%s/%d" e.name seed in
+          Alcotest.check status_testable (ctx ^ " status") u_st f_st;
+          Alcotest.(check string) (ctx ^ " output") (Vm.output u) (Vm.output f);
+          Alcotest.(check int) (ctx ^ " state digest") (Vm.digest u)
+            (Vm.digest f);
+          Alcotest.(check int)
+            (ctx ^ " instruction count")
+            (Vm.stats u).n_instr (Vm.stats f).n_instr)
+        [ 1; 3 ])
+    (all ())
+
+let test_fused_vs_unfused_traces () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let fr, ft = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+      let ur, ut =
+        Dejavu.record ~config:unfused ~natives:e.natives ~seed:1 e.program
+      in
+      Alcotest.(check string)
+        (e.name ^ " trace bytes")
+        (Dejavu.Trace.to_bytes ut) (Dejavu.Trace.to_bytes ft);
+      Alcotest.(check int) (e.name ^ " event digest") ur.Dejavu.obs_digest
+        fr.Dejavu.obs_digest;
+      Alcotest.(check int) (e.name ^ " event count") ur.Dejavu.obs_count
+        fr.Dejavu.obs_count;
+      (* cross-replay: a trace recorded fused replays unfused, and back *)
+      let rep_u, left_u =
+        Dejavu.replay ~config:unfused ~natives:e.natives e.program ft
+      in
+      Alcotest.(check (list string))
+        (e.name ^ " fused->unfused consumed")
+        [] left_u;
+      Alcotest.(check int)
+        (e.name ^ " fused->unfused events")
+        fr.Dejavu.obs_digest rep_u.Dejavu.obs_digest;
+      let rep_f, left_f = Dejavu.replay ~natives:e.natives e.program ut in
+      Alcotest.(check (list string))
+        (e.name ^ " unfused->fused consumed")
+        [] left_f;
+      Alcotest.(check int)
+        (e.name ^ " unfused->fused events")
+        ur.Dejavu.obs_digest rep_f.Dejavu.obs_digest;
+      Alcotest.(check int)
+        (e.name ^ " replay state digest")
+        rep_u.Dejavu.state_digest rep_f.Dejavu.state_digest)
+    (all ())
+
 (* Collecting and digesting observers fold the same hash; the collection
    cap bounds retention only, never the digest or the true count. *)
 let test_collect_matches_digest () =
@@ -134,6 +195,11 @@ let () =
           quick "fast vs observed live" test_fast_vs_observed_live;
           quick "roundtrip digests (observed)" test_roundtrip_digests_observed;
           quick "fast-recorded trace matches" test_fast_recorded_trace_matches;
+        ] );
+      ( "fusion",
+        [
+          quick "fused vs unfused live" test_fused_vs_unfused_live;
+          quick "fused vs unfused traces" test_fused_vs_unfused_traces;
         ] );
       ( "observer",
         [

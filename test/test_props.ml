@@ -486,6 +486,176 @@ let prop_random_programs_icount =
       let p = program_of_tacts nt iters bodies in
       Baselines.Runner.ok (Baselines.Runner.roundtrip_icount ~seed:11 p))
 
+(* --- superinstruction fusion is invisible --------------------------------- *)
+
+let unfused_config = { Vm.Rt.default_config with Vm.Rt.fuse = false }
+
+(* Random multithreaded programs: recording under the fused stream and
+   under the canonical stream must produce the same output, final state,
+   event sequence, and byte-identical traces. *)
+let prop_fusion_transparent_mt =
+  qtest ~count:30 "fusion invisible on random multithreaded programs" racy_arb
+    (fun (nt, iters, bodies) ->
+      let p = program_of_tacts nt iters bodies in
+      let seed = (7 * nt) + iters in
+      let fr, ft = Dejavu.record ~seed p in
+      let ur, ut = Dejavu.record ~config:unfused_config ~seed p in
+      fr.Dejavu.output = ur.Dejavu.output
+      && fr.Dejavu.state_digest = ur.Dejavu.state_digest
+      && fr.Dejavu.obs_digest = ur.Dejavu.obs_digest
+      && fr.Dejavu.obs_count = ur.Dejavu.obs_count
+      && Dejavu.Trace.to_bytes ft = Dejavu.Trace.to_bytes ut)
+
+(* Fuzzed programs reach the paths the structured generator cannot: faults
+   inside fused regions (division by zero mid-superinstruction), mid-region
+   branch targets, and instruction-limit cutoffs. The fused run must agree
+   with the canonical run on status, output, and state digest — the digest
+   covers dead stack slots, so even transient pushes must match. *)
+let prop_fuzzed_fusion_agrees =
+  qtest ~count:250 "accepted random programs: fusion transparent" fuzz_arb
+    (fun instrs ->
+      let code = instrs @ [ I.Ret ] in
+      let aux = D.mdecl ~nlocals:0 "aux" [ I.Ret ] in
+      let main = D.mdecl ~nlocals:5 "main" code in
+      let p =
+        D.program ~main_class:"T"
+          [
+            D.cdecl "T"
+              ~statics:[ D.field "s0"; D.field ~ty:I.Tref "r0" ]
+              [ aux; main ];
+          ]
+      in
+      match run ~limit:100_000 p with
+      | exception _ -> true (* rejected before dispatch: nothing to compare *)
+      | vm_f, st_f ->
+        let vm_u, st_u = run ~limit:100_000 ~config:unfused_config p in
+        st_f = st_u
+        && Vm.output vm_f = Vm.output vm_u
+        && Vm.digest vm_f = Vm.digest vm_u)
+
+(* --- monomorphic inline caches are invisible -------------------------------- *)
+
+(* The catalogue workloads that compile virtual call/spawn sites. *)
+let ic_workloads = [ "synced-counter"; "producer-consumer"; "exceptions" ]
+
+let find_entry name =
+  match Workloads.Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.failf "workload %s missing" name
+
+let seeded_config seed =
+  {
+    Vm.Rt.default_config with
+    Vm.Rt.env_cfg = { Vm.Rt.default_config.Vm.Rt.env_cfg with Vm.Env.seed };
+  }
+
+let force_compile vm =
+  Array.iter
+    (fun (m : Vm.Rt.rmethod) -> ignore (Vm.Compile.compile vm m))
+    vm.Vm.Rt.methods
+
+(* Copy warm inline-cache contents from [src]'s compiled methods into
+   [dst]'s (both link the same program, so uids and pcs line up; [dst]
+   must already be force-compiled). Returns the number of warm sites. *)
+let copy_warm_ics src dst =
+  let copied = ref 0 in
+  Array.iteri
+    (fun k (m : Vm.Rt.rmethod) ->
+      match m.Vm.Rt.rm_compiled with
+      | None -> ()
+      | Some c ->
+        let c' = Vm.Rt.compiled dst.Vm.Rt.methods.(k) in
+        Array.iteri
+          (fun pc ins ->
+            match (ins, c'.Vm.Rt.k_code.(pc)) with
+            | ( Vm.Rt.KInvokevirtual (_, _, _, ic),
+                Vm.Rt.KInvokevirtual (_, _, _, ic') )
+            | ( Vm.Rt.KSpawnvirtual (_, _, _, ic),
+                Vm.Rt.KSpawnvirtual (_, _, _, ic') ) ->
+              if ic.Vm.Rt.ic_cid >= 0 then begin
+                incr copied;
+                ic'.Vm.Rt.ic_cid <- ic.Vm.Rt.ic_cid;
+                ic'.Vm.Rt.ic_meth <-
+                  dst.Vm.Rt.methods.(ic.Vm.Rt.ic_meth.Vm.Rt.uid)
+              end
+            | _ -> ())
+          c.Vm.Rt.k_code)
+    src.Vm.Rt.methods;
+  !copied
+
+(* Record on a VM whose methods were all compiled up front (the compile
+   cost lands before boot instead of mid-run, so two such records share a
+   timeline), optionally warming its inline caches from a prior run. *)
+let record_precompiled ?warm_from (e : Workloads.Registry.entry) seed =
+  let vm = Vm.create ~config:(seeded_config seed) ~natives:e.natives e.program in
+  force_compile vm;
+  let warmed =
+    match warm_from with None -> 0 | Some src -> copy_warm_ics src vm
+  in
+  let session = Dejavu.Recorder.attach vm in
+  let obs = Vm.Observer.attach_digest vm in
+  ignore (Vm.run vm);
+  (vm, Dejavu.Recorder.finish session, obs, warmed)
+
+(* Cold vs warm inline caches: an IC is pure memoization of the vtable
+   walk, so a recording taken with every cache pre-warmed must be
+   byte-identical to one taken cold. *)
+let test_warm_ic_record_identical () =
+  List.iter
+    (fun name ->
+      let e = find_entry name in
+      let live, _ = Vm.execute ~natives:e.natives ~seed:1 e.program in
+      let vm_c, tr_c, obs_c, _ = record_precompiled e 1 in
+      let vm_w, tr_w, obs_w, warmed = record_precompiled ~warm_from:live e 1 in
+      Alcotest.(check bool) (name ^ " some ics warmed") true (warmed > 0);
+      Alcotest.(check string)
+        (name ^ " trace bytes")
+        (Dejavu.Trace.to_bytes tr_c)
+        (Dejavu.Trace.to_bytes tr_w);
+      Alcotest.(check int)
+        (name ^ " event digest")
+        (Vm.Observer.digest obs_c) (Vm.Observer.digest obs_w);
+      Alcotest.(check string) (name ^ " output") (Vm.output vm_c)
+        (Vm.output vm_w);
+      Alcotest.(check int) (name ^ " state digest") (Vm.digest vm_c)
+        (Vm.digest vm_w))
+    ic_workloads
+
+(* Replay is environment-independent, so a warm replay VM — methods
+   pre-compiled, caches pre-warmed — must consume a cold-recorded trace
+   exactly as a cold replay does. *)
+let test_warm_ic_replay_identical () =
+  List.iter
+    (fun name ->
+      let e = find_entry name in
+      let _, trace = Dejavu.record ~natives:e.natives ~seed:2 e.program in
+      let cold, left = Dejavu.replay ~natives:e.natives e.program trace in
+      Alcotest.(check (list string)) (name ^ " cold replay consumed") [] left;
+      let live, _ = Vm.execute ~natives:e.natives ~seed:2 e.program in
+      let vm = Vm.create ~natives:e.natives e.program in
+      force_compile vm;
+      let warmed = copy_warm_ics live vm in
+      Alcotest.(check bool) (name ^ " some ics warmed") true (warmed > 0);
+      let session = Dejavu.Replayer.attach vm trace in
+      let obs = Vm.Observer.attach_digest vm in
+      ignore (Vm.run vm);
+      Alcotest.(check (list string))
+        (name ^ " warm replay consumed")
+        []
+        (Dejavu.Replayer.check_complete session);
+      Alcotest.(check int)
+        (name ^ " event digest")
+        cold.Dejavu.obs_digest (Vm.Observer.digest obs);
+      Alcotest.(check int)
+        (name ^ " event count")
+        cold.Dejavu.obs_count (Vm.Observer.count obs);
+      Alcotest.(check string) (name ^ " output") cold.Dejavu.output
+        (Vm.output vm);
+      Alcotest.(check int)
+        (name ^ " state digest")
+        cold.Dejavu.state_digest (Vm.digest vm))
+    ic_workloads
+
 let prop_fuzzed_emit_roundtrip =
   qtest ~count:200 "accepted random programs survive emit+parse" fuzz_arb
     (fun instrs ->
@@ -524,6 +694,15 @@ let () =
           prop_random_programs_icount;
         ] );
       ("snapshot", [ prop_snapshot_transparent ]);
+      ( "fusion",
+        [
+          prop_fusion_transparent_mt; prop_fuzzed_fusion_agrees;
+        ] );
+      ( "inline-caches",
+        [
+          quick "warm record = cold record" test_warm_ic_record_identical;
+          quick "warm replay = cold replay" test_warm_ic_replay_identical;
+        ] );
       ("gc", [ prop_gc_transparent ]);
       ( "fuzz",
         [
