@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune.
 
-.PHONY: all build test smoke bench clean
+.PHONY: all build test smoke bench lint clean
 
 all: build
 
@@ -17,6 +17,11 @@ smoke:
 
 bench:
 	dune exec bench/main.exe
+
+# Static race audit over the whole workload registry, gated by the curated
+# allow-list (exit 1 on any racy finding not in LINT_baseline.json).
+lint:
+	dune exec bin/dvrun.exe -- lint --all --baseline LINT_baseline.json
 
 clean:
 	dune clean

@@ -527,10 +527,14 @@ let json () =
       let (live_n, live_t), (rec_n, rec_t), (rep_n, rep_t), sizes =
         measure_modes ~natives ~program ()
       in
-      Fmt.pr "%-14s live %.2f record %.2f replay %.2f Mi/s@." name
+      (* static race-audit cost, from scratch (the recorder itself hits the
+         memoized Dejavu.Audit cache, so recording pays this only once) *)
+      let _, lint_t = time (fun () -> Analysis.run ~name program) in
+      Fmt.pr "%-14s live %.2f record %.2f replay %.2f Mi/s lint %.1f ms@." name
         (rate live_n live_t /. 1e6)
         (rate rec_n rec_t /. 1e6)
-        (rate rep_n rep_t /. 1e6);
+        (rate rep_n rep_t /. 1e6)
+        (lint_t *. 1e3);
       Buffer.add_string buf
         (Fmt.str
            "    %S: {\n\
@@ -538,11 +542,12 @@ let json () =
            \      \"live_ips\": %.0f,\n\
            \      \"record_ips\": %.0f,\n\
            \      \"replay_ips\": %.0f,\n\
+           \      \"lint_ms\": %.2f,\n\
            \      \"trace_words\": %d,\n\
            \      \"trace_bytes\": %d\n\
            \    }%s\n"
            name live_n (rate live_n live_t) (rate rec_n rec_t)
-           (rate rep_n rep_t) sizes.Dejavu.Trace.total_words
+           (rate rep_n rep_t) (lint_t *. 1e3) sizes.Dejavu.Trace.total_words
            sizes.Dejavu.Trace.total_bytes
            (if i = n_total - 1 then "" else ",")))
     (json_workloads ());

@@ -239,6 +239,10 @@ let dump_cmd =
       const (fun inp ->
           let t = load_trace inp in
           Fmt.pr "program digest: %s@." t.Dejavu.Trace.program_digest;
+          Fmt.pr "race audit: %s@."
+            (match t.Dejavu.Trace.analysis_hash with
+            | "" -> "(unaudited)"
+            | h -> h);
           Fmt.pr "%a@." Dejavu.Trace.pp_sizes (Dejavu.Trace.sizes t);
           Fmt.pr "@.-- preemptive switches (yield-point deltas) --@.";
           Array.iteri
@@ -272,12 +276,130 @@ let dump_cmd =
              Fmt.pr "(malformed native tape)@."))
       $ in_arg)
 
+(* --- lint: static race audit (lockset + thread-escape) --- *)
+
+(* '*' matches any substring; everything else is literal. *)
+let glob_match pat s =
+  let np = String.length pat and ns = String.length s in
+  let rec go i j =
+    if i = np then j = ns
+    else
+      match pat.[i] with
+      | '*' ->
+        let rec try_ k = k <= ns && (go (i + 1) k || try_ (k + 1)) in
+        try_ j
+      | c -> j < ns && s.[j] = c && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+let read_file path =
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error msg ->
+    Fmt.epr "%s@." msg;
+    Stdlib.exit 2
+
+(* Allow-entries for one workload from the committed baseline:
+   { "workloads": [ { "name", "summary_hash", "allow":
+     [ { "key", "why" } ] } ] }. Keys may use '*' globs. *)
+let baseline_allows baseline wl_name =
+  let open Analysis.Json in
+  member "workloads" baseline |> to_list
+  |> List.filter (fun w -> to_string_opt (member "name" w) = Some wl_name)
+  |> List.concat_map (fun w ->
+         member "allow" w |> to_list
+         |> List.filter_map (fun a -> to_string_opt (member "key" a)))
+
+let lint name_opt all json allows baseline_path =
+  let entries =
+    if all then Lazy.force Workloads.Registry.all
+    else
+      match name_opt with
+      | Some n -> [ find_workload n ]
+      | None ->
+        Fmt.epr "lint: give a WORKLOAD (or .djv file) or --all@.";
+        Stdlib.exit 2
+  in
+  let baseline =
+    Option.map
+      (fun p ->
+        match Analysis.Json.parse (read_file p) with
+        | j -> j
+        | exception Analysis.Json.Parse_error msg ->
+          Fmt.epr "%s: malformed baseline (%s)@." p msg;
+          Stdlib.exit 2)
+      baseline_path
+  in
+  let results =
+    List.map
+      (fun (e : Workloads.Registry.entry) ->
+        (e.name, Analysis.run ~name:e.name e.program))
+      entries
+  in
+  if json then begin
+    match results with
+    | [ (_, r) ] -> print_endline (Analysis.Json.to_string (Analysis.Report.to_json r))
+    | _ ->
+      print_endline
+        (Analysis.Json.to_string
+           (Analysis.Json.List
+              (List.map (fun (_, r) -> Analysis.Report.to_json r) results)))
+  end
+  else List.iter (fun (_, r) -> Fmt.pr "%a" Analysis.Report.pp r) results;
+  (* Racy findings fail the run unless matched by --allow or the baseline. *)
+  let failures =
+    List.concat_map
+      (fun (name, r) ->
+        let allowed =
+          allows
+          @ (match baseline with
+            | Some b -> baseline_allows b name
+            | None -> [])
+        in
+        Analysis.Report.racy_keys r
+        |> List.filter (fun k -> not (List.exists (fun p -> glob_match p k) allowed))
+        |> List.map (fun k -> (name, k)))
+      results
+  in
+  if failures <> [] then begin
+    Fmt.epr "lint: %d unallowed racy finding(s):@." (List.length failures);
+    List.iter (fun (n, k) -> Fmt.epr "  %s: %s@." n k) failures;
+    Stdlib.exit 1
+  end
+
+let lint_cmd =
+  let doc = "statically audit a workload for data races (lockset + escape)" in
+  let name_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"lint every registry workload")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"machine-readable JSON output")
+  in
+  let allow_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "allow" ] ~docv:"GLOB"
+          ~doc:"accept racy findings whose key matches GLOB (repeatable)")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"accept racy findings allow-listed in this baseline JSON")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const lint $ name_opt_arg $ all_arg $ json_arg $ allow_arg $ baseline_arg)
+
 let main_cmd =
   let doc = "DejaVu replay platform driver (simulated Jalapeño VM)" in
   Cmd.group (Cmd.info "dvrun" ~doc)
     [
       list_cmd; run_cmd; disasm_cmd; emit_cmd; compare_cmd; record_cmd;
-      replay_cmd; verify_cmd; dump_cmd;
+      replay_cmd; verify_cmd; dump_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,16 @@
+(* Public facade of the static analysis subsystem: a generic worklist
+   dataflow engine, a call-graph/thread-structure builder, the
+   interprocedural lockset pass, the thread-escape pass, and the race-audit
+   report consumed by `dvrun lint`, the recorder's trace stamp, and the
+   Observer's thread-local fast path. *)
+
+module Json = Json
+module Dataflow = Dataflow
+module Prog = Prog
+module Callgraph = Callgraph
+module Lockset = Lockset
+module Escape = Escape
+module Report = Report
+
+(* One-call entry point: full audit of a program. *)
+let run = Report.build

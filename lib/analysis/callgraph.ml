@@ -1,0 +1,300 @@
+(* Call graph and thread structure over a resolved program.
+
+   Methods are keyed "DeclaringClass.method". Reachability starts at the
+   program entry (main plus every <clinit>, which the VM runs on the main
+   thread at boot) and follows Invoke/Spawn edges through CHA
+   ({!Prog.cha_targets}); a [Nativecall] conservatively may call back into
+   any static method, since native callbacks are bound only at VM creation
+   and are invisible at the Decl level.
+
+   A *root* is a thread-creation point: root 0 is the main thread, and
+   every reachable [Spawn] site gets one root (its entries are the CHA
+   targets of the spawned method). A root is [Once] when its spawn site
+   provably executes at most once — the site sits outside every intra-method
+   loop, in a method that is itself once-executed. "Once-executed" is a
+   small fixpoint: main/<clinit> with no other callers are once; a method
+   whose single incoming call/spawn site is a non-loop pc of a once method
+   is once.
+
+   [balanced] is the transitive monitor-balance summary used by the lockset
+   pass to keep must-locksets across calls: a method is balanced when
+   {!Bytecode.Check.check_monitors} finds no issue in it and every CHA
+   callee is balanced (greatest fixpoint, so cycles stay balanced unless a
+   member is locally unbalanced). *)
+
+module Instr = Bytecode.Instr
+module Decl = Bytecode.Decl
+module Check = Bytecode.Check
+
+type mref = { mr_class : string; mr_decl : Decl.mdecl }
+
+type site_kind = Scall | Sspawn
+
+type site = {
+  s_caller : string;  (* method key of the calling method *)
+  s_pc : int;
+  s_in_loop : bool;
+  s_kind : site_kind;
+}
+
+type mult = Once | Many
+
+type root = {
+  r_id : int;
+  r_label : string;
+  r_entries : string list;  (* method keys of the CHA-resolved entries *)
+  r_mult : mult;
+  r_parent : int;  (* spawning root; -1 = none (main), -2 = ambiguous *)
+  r_where : string option;  (* "Caller.method:pc" of the spawn site *)
+}
+
+type t = {
+  prog : Prog.t;
+  methods : (string, mref) Hashtbl.t;  (* the reachable methods *)
+  method_order : string list;  (* stable discovery order *)
+  incoming : (string, site list) Hashtbl.t;
+  outgoing_calls : (string, string list) Hashtbl.t;  (* call edges only *)
+  loops : (string, bool array) Hashtbl.t;
+  once : (string, unit) Hashtbl.t;
+  roots : root array;
+  root_of_spawn : (string, int) Hashtbl.t;  (* "caller:pc" -> root id *)
+  reach : (string, unit) Hashtbl.t;  (* "rootid/methodkey" context set *)
+  balanced : (string, bool) Hashtbl.t;
+}
+
+let mkey cname (m : Decl.mdecl) = cname ^ "." ^ m.Decl.m_name
+
+let ckey root_id method_key = string_of_int root_id ^ "/" ^ method_key
+
+let in_context t root_id method_key = Hashtbl.mem t.reach (ckey root_id method_key)
+
+let spawn_key caller pc = caller ^ ":" ^ string_of_int pc
+
+let is_once t key = Hashtbl.mem t.once key
+
+let is_balanced t key =
+  match Hashtbl.find_opt t.balanced key with Some b -> b | None -> false
+
+let loop_at t key pc =
+  match Hashtbl.find_opt t.loops key with
+  | Some l when pc >= 0 && pc < Array.length l -> l.(pc)
+  | _ -> true (* unknown method: assume the worst *)
+
+let find_method t key = Hashtbl.find_opt t.methods key
+
+(* Contexts (root, method) in a stable order for deterministic reports. *)
+let contexts t : (int * string) list =
+  List.concat_map
+    (fun key ->
+      List.filter_map
+        (fun r ->
+          if in_context t r.r_id key then Some (r.r_id, key) else None)
+        (Array.to_list t.roots))
+    t.method_order
+
+let build (prog : Prog.t) : t =
+  let p = prog.Prog.program in
+  let methods = Hashtbl.create 64 in
+  let method_order = ref [] in
+  let incoming = Hashtbl.create 64 in
+  let outgoing_calls = Hashtbl.create 64 in
+  let loops = Hashtbl.create 64 in
+  let spawn_sites = ref [] in (* (caller key, pc, in_loop, target keys) rev *)
+  let static_methods =
+    List.filter_map
+      (fun (cn, m) -> if m.Decl.m_static then Some (cn, m) else None)
+      (Prog.all_methods prog)
+  in
+  let work = Queue.create () in
+  let add_method cname (m : Decl.mdecl) =
+    let key = mkey cname m in
+    if not (Hashtbl.mem methods key) then begin
+      Hashtbl.replace methods key { mr_class = cname; mr_decl = m };
+      method_order := key :: !method_order;
+      Hashtbl.replace loops key (Dataflow.loop_pcs m.Decl.m_code m.Decl.m_handlers);
+      Queue.add key work
+    end;
+    key
+  in
+  let add_incoming target site =
+    let cur = match Hashtbl.find_opt incoming target with Some l -> l | None -> [] in
+    Hashtbl.replace incoming target (cur @ [ site ])
+  in
+  let add_call_edge from target =
+    let cur =
+      match Hashtbl.find_opt outgoing_calls from with Some l -> l | None -> []
+    in
+    if not (List.mem target cur) then
+      Hashtbl.replace outgoing_calls from (cur @ [ target ])
+  in
+  (* Entry points: main + every <clinit>. *)
+  (match Decl.find_class p p.Decl.main_class with
+  | Some c -> (
+    match Decl.find_method c "main" with
+    | Some m -> ignore (add_method p.Decl.main_class m)
+    | None -> ())
+  | None -> ());
+  List.iter
+    (fun c ->
+      match Decl.find_method c Decl.clinit_name with
+      | Some m -> ignore (add_method c.Decl.cd_name m)
+      | None -> ())
+    p.Decl.classes;
+  let entry_keys = List.rev !method_order in
+  (* Syntactic reachability with CHA. *)
+  while not (Queue.is_empty work) do
+    let key = Queue.pop work in
+    let { mr_decl = m; _ } = Hashtbl.find methods key in
+    let in_loop = Hashtbl.find loops key in
+    Array.iteri
+      (fun pc ins ->
+        match (ins : Instr.t) with
+        | Instr.Invoke (c, mn) ->
+          List.iter
+            (fun (tc, tm) ->
+              let tkey = add_method tc tm in
+              add_incoming tkey
+                { s_caller = key; s_pc = pc; s_in_loop = in_loop.(pc); s_kind = Scall };
+              add_call_edge key tkey)
+            (Prog.cha_targets prog c mn)
+        | Instr.Spawn (c, mn) ->
+          let targets =
+            List.map
+              (fun (tc, tm) ->
+                let tkey = add_method tc tm in
+                add_incoming tkey
+                  { s_caller = key; s_pc = pc; s_in_loop = in_loop.(pc); s_kind = Sspawn };
+                tkey)
+              (Prog.cha_targets prog c mn)
+          in
+          spawn_sites := (key, pc, in_loop.(pc), targets) :: !spawn_sites
+        | Instr.Nativecall _ ->
+          (* Callbacks may target any static method. *)
+          List.iter
+            (fun (tc, tm) ->
+              let tkey = add_method tc tm in
+              add_incoming tkey
+                { s_caller = key; s_pc = pc; s_in_loop = in_loop.(pc); s_kind = Scall };
+              add_call_edge key tkey)
+            static_methods
+        | _ -> ())
+      m.Decl.m_code
+  done;
+  let method_order = List.rev !method_order in
+  let spawn_sites = List.rev !spawn_sites in
+  (* Once-executed methods (fixpoint, monotone increasing). *)
+  let once = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun key ->
+        if not (Hashtbl.mem once key) then begin
+          let inc = match Hashtbl.find_opt incoming key with Some l -> l | None -> [] in
+          let is_entry = List.mem key entry_keys in
+          let ok =
+            match (is_entry, inc) with
+            | true, [] -> true (* boot entry, never called again *)
+            | false, [ s ] -> (not s.s_in_loop) && Hashtbl.mem once s.s_caller
+            | _ -> false
+          in
+          if ok then begin
+            Hashtbl.replace once key ();
+            changed := true
+          end
+        end)
+      method_order
+  done;
+  (* Roots. *)
+  let roots = ref [] in
+  let root_of_spawn = Hashtbl.create 16 in
+  let main_root =
+    { r_id = 0; r_label = "main"; r_entries = entry_keys; r_mult = Once;
+      r_parent = -1; r_where = None }
+  in
+  roots := [ main_root ];
+  List.iteri
+    (fun i (caller, pc, in_loop, targets) ->
+      let id = i + 1 in
+      let mult =
+        if (not in_loop) && Hashtbl.mem once caller then Once else Many
+      in
+      let where = caller ^ ":" ^ string_of_int pc in
+      let label =
+        (match targets with t :: _ -> t | [] -> "<unresolved>") ^ "@" ^ where
+      in
+      Hashtbl.replace root_of_spawn (spawn_key caller pc) id;
+      roots :=
+        { r_id = id; r_label = label; r_entries = targets; r_mult = mult;
+          r_parent = -1 (* fixed up below *); r_where = Some where }
+        :: !roots)
+    spawn_sites;
+  let roots = Array.of_list (List.rev !roots) in
+  (* Per-root reach: call edges only, from the root's entries. *)
+  let reach = Hashtbl.create 64 in
+  Array.iter
+    (fun r ->
+      let q = Queue.create () in
+      List.iter
+        (fun e ->
+          if not (Hashtbl.mem reach (ckey r.r_id e)) then begin
+            Hashtbl.replace reach (ckey r.r_id e) ();
+            Queue.add e q
+          end)
+        r.r_entries;
+      while not (Queue.is_empty q) do
+        let key = Queue.pop q in
+        List.iter
+          (fun tgt ->
+            if not (Hashtbl.mem reach (ckey r.r_id tgt)) then begin
+              Hashtbl.replace reach (ckey r.r_id tgt) ();
+              Queue.add tgt q
+            end)
+          (match Hashtbl.find_opt outgoing_calls key with Some l -> l | None -> [])
+      done)
+    roots;
+  (* Parents: the root(s) that can execute the spawn site. *)
+  List.iteri
+    (fun i (caller, _pc, _l, _t) ->
+      let id = i + 1 in
+      let holders =
+        Array.to_list roots
+        |> List.filter_map (fun r ->
+               if Hashtbl.mem reach (ckey r.r_id caller) then Some r.r_id else None)
+      in
+      let parent = match holders with [ h ] -> h | _ -> -2 in
+      roots.(id) <- { (roots.(id)) with r_parent = parent })
+    spawn_sites;
+  (* Transitive monitor balance (greatest fixpoint). *)
+  let balanced = Hashtbl.create 64 in
+  let locally_unbalanced = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Check.issue) -> Hashtbl.replace locally_unbalanced i.Check.where ())
+    (Check.check_monitors p);
+  List.iter
+    (fun key ->
+      Hashtbl.replace balanced key (not (Hashtbl.mem locally_unbalanced key)))
+    method_order;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun key ->
+        if Hashtbl.find balanced key then
+          let callees =
+            match Hashtbl.find_opt outgoing_calls key with Some l -> l | None -> []
+          in
+          if
+            List.exists
+              (fun c -> not (match Hashtbl.find_opt balanced c with
+                             | Some b -> b
+                             | None -> false))
+              callees
+          then begin
+            Hashtbl.replace balanced key false;
+            changed := true
+          end)
+      method_order
+  done;
+  { prog; methods; method_order; incoming; outgoing_calls; loops; once; roots;
+    root_of_spawn; reach; balanced }

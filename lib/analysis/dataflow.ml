@@ -1,0 +1,162 @@
+(* Generic worklist dataflow over one method body, program-level sibling of
+   the VM verifier's fixpoint (lib/vm/verify.ml): same states-array +
+   work-queue shape, but parameterized by the lattice and the direction so
+   the lockset pass, the monitor-depth check style of analysis, and simple
+   backward problems (liveness) can share it.
+
+   The solution array holds, per pc, the state *entering* the instruction
+   for a forward problem and the state *leaving* it (live-out style) for a
+   backward one; [None] means the pc was never reached. Exception edges are
+   driven by [Instr.may_throw] and the method's handler table: a forward
+   problem propagates the pre-instruction state (adapted by [exn_adapt],
+   which typically clears the operand stack the way the VM does on unwind)
+   into every covering handler; a backward problem runs the same edges in
+   reverse. *)
+
+module Instr = Bytecode.Instr
+module Decl = Bytecode.Decl
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type conf = {
+    dir : direction;
+    code : Instr.t array;
+    handlers : Decl.handler list;
+    entry : L.t;
+        (* initial state at pc 0 (forward) or at every exit (backward) *)
+    transfer : pc:int -> Instr.t -> L.t -> L.t;
+    exn_adapt : (pc:int -> L.t -> L.t) option;
+        (* [None] disables exception edges entirely *)
+  }
+
+  let solve (conf : conf) : L.t option array =
+    let code = conf.code in
+    let len = Array.length code in
+    let states = Array.make len None in
+    let work = Queue.create () in
+    let queued = Array.make len false in
+    let enqueue pc =
+      if not queued.(pc) then begin
+        queued.(pc) <- true;
+        Queue.add pc work
+      end
+    in
+    let propagate pc st =
+      if pc >= 0 && pc < len then
+        match states.(pc) with
+        | None ->
+          states.(pc) <- Some st;
+          enqueue pc
+        | Some old ->
+          let j = L.join old st in
+          if not (L.equal j old) then begin
+            states.(pc) <- Some j;
+            enqueue pc
+          end
+    in
+    let preds =
+      match conf.dir with
+      | Forward -> [||]
+      | Backward ->
+        let p = Array.make len [] in
+        Array.iteri
+          (fun pc ins ->
+            List.iter
+              (fun s -> if s >= 0 && s < len then p.(s) <- pc :: p.(s))
+              (Instr.successors ins ~pc))
+          code;
+        p
+    in
+    (match conf.dir with
+    | Forward -> if len > 0 then propagate 0 conf.entry
+    | Backward ->
+      Array.iteri
+        (fun pc ins ->
+          match (ins : Instr.t) with
+          | Instr.Ret | Instr.Retv | Instr.Throw | Instr.Halt ->
+            propagate pc conf.entry
+          | _ -> ())
+        code);
+    while not (Queue.is_empty work) do
+      let pc = Queue.pop work in
+      queued.(pc) <- false;
+      match states.(pc) with
+      | None -> ()
+      | Some st -> (
+        match conf.dir with
+        | Forward ->
+          let out = conf.transfer ~pc code.(pc) st in
+          (match conf.exn_adapt with
+          | Some f when Instr.may_throw code.(pc) ->
+            List.iter
+              (fun (h : Decl.handler) ->
+                if h.h_from <= pc && pc < h.h_upto then
+                  propagate h.h_target (f ~pc st))
+              conf.handlers
+          | _ -> ());
+          List.iter
+            (fun s -> propagate s out)
+            (Instr.successors code.(pc) ~pc)
+        | Backward ->
+          let inx = conf.transfer ~pc code.(pc) st in
+          List.iter (fun p -> propagate p inx) preds.(pc);
+          (match conf.exn_adapt with
+          | Some f ->
+            List.iter
+              (fun (h : Decl.handler) ->
+                if h.h_target = pc then
+                  for q = h.h_from to min (h.h_upto - 1) (len - 1) do
+                    if Instr.may_throw code.(q) then propagate q (f ~pc inx)
+                  done)
+              conf.handlers
+          | None -> ()))
+    done;
+    states
+end
+
+(* Intra-method loop detection, shared by the callgraph's once-method and
+   spawn-multiplicity logic: pc [p] is on a cycle iff it can reach itself
+   through normal successors or exception edges. Methods are tiny, so a
+   per-method boolean matrix via repeated DFS is plenty. *)
+let loop_pcs (code : Instr.t array) (handlers : Decl.handler list) : bool array =
+  let len = Array.length code in
+  let succ pc =
+    let s = Instr.successors code.(pc) ~pc in
+    if Instr.may_throw code.(pc) then
+      List.fold_left
+        (fun acc (h : Decl.handler) ->
+          if h.h_from <= pc && pc < h.h_upto then h.h_target :: acc else acc)
+        s handlers
+    else s
+  in
+  let on_loop = Array.make len false in
+  for start = 0 to len - 1 do
+    if not on_loop.(start) then begin
+      (* Can [start] reach itself? *)
+      let seen = Array.make len false in
+      let stack = ref (succ start) in
+      let found = ref false in
+      while (not !found) && !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | pc :: rest ->
+          stack := rest;
+          if pc = start then found := true
+          else if pc >= 0 && pc < len && not seen.(pc) then begin
+            seen.(pc) <- true;
+            stack := succ pc @ !stack
+          end
+      done;
+      on_loop.(start) <- !found
+    end
+  done;
+  on_loop

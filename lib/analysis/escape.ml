@@ -1,0 +1,50 @@
+(* Thread-escape fixpoint over allocation sites.
+
+   A site is *escaping* when an object allocated there may become reachable
+   by another thread: stored into a static, passed as a spawn argument,
+   handed to a native call (callbacks and retention are invisible at the
+   Decl level), or stored into an object that itself escapes (including any
+   base whose identity is opaque or read from a static). Everything else is
+   confined to its allocating thread, and accesses through provably
+   confined bases are excluded from race pairing by the report. *)
+
+let solve (res : Lockset.result) : bool array =
+  let n = Array.length res.Lockset.sites in
+  let escaping = Array.make n false in
+  let edges = Array.make n [] in (* base site -> value sites stored into it *)
+  let queue = Queue.create () in
+  let mark i =
+    if not escaping.(i) then begin
+      escaping.(i) <- true;
+      Queue.add i queue
+    end
+  in
+  let sites_of v =
+    List.filter_map (function Lockset.NSite i -> Some i | _ -> None) v
+  in
+  List.iter
+    (fun { Lockset.st_value; st_sink } ->
+      let vs = sites_of st_value in
+      if vs <> [] then
+        match st_sink with
+        | Lockset.Global -> List.iter mark vs
+        | Lockset.Into base ->
+          if
+            List.exists
+              (function
+                | Lockset.NOpaque | Lockset.NStatic _ -> true
+                | Lockset.NSite _ | Lockset.NTid _ -> false)
+              base
+          then List.iter mark vs
+          else
+            List.iter
+              (function
+                | Lockset.NSite b -> edges.(b) <- vs @ edges.(b)
+                | _ -> ())
+              base)
+    res.Lockset.stores;
+  while not (Queue.is_empty queue) do
+    let b = Queue.pop queue in
+    List.iter mark edges.(b)
+  done;
+  escaping

@@ -1,0 +1,780 @@
+(* Flow-sensitive, interprocedural lockset + thread-structure analysis.
+
+   Abstract values are small *name sets*. A name denotes a runtime object
+   conservatively:
+     - [NStatic key]  the object currently stored in the static field [key]
+     - [NSite id]     an object allocated at allocation site [id]
+     - [NTid root]    a thread id returned by the spawn site behind [root]
+     - [NOpaque]      anything (absorbing top)
+   A name is usable as a *lock name* only when it provably denotes a single
+   runtime object for the whole execution: a static written by exactly one
+   [Putstatic] at a non-loop pc of a once-executed method, or an allocation
+   site that runs at most once ({!Callgraph.is_once} + loop map). Must-held
+   locksets are sets of such names with re-entry depths; merging intersects
+   them, so a lock is reported at an access only when every path holds it —
+   under-approximating held locks can only create false racy findings,
+   never hide one.
+
+   Contexts are (root, method) pairs. Entry environments carry concrete
+   global name sets (no parameter symbols): each call site joins its
+   argument names into the callee entry, spawn sites seed their root's
+   entries, and return-value names flow back through per-context summaries.
+   Each context also tracks [spawned] (roots that *may* already be running:
+   union-merged) and [joined] (roots whose single thread has *definitely*
+   terminated: intersection-merged); the report uses both to prove
+   accesses ordered by thread structure. Calls keep the caller's lockset
+   only when every CHA target is transitively monitor-balanced
+   ({!Callgraph.is_balanced}); otherwise the must-set is cleared.
+
+   Exception edges model the VM's unwind: operand stack replaced by the
+   thrown reference, monitors kept (explicit monitors are not released by
+   unwinding), and a throwing call still publishes the callee's may-spawn
+   effect. *)
+
+module Instr = Bytecode.Instr
+module Decl = Bytecode.Decl
+
+type name = NStatic of string | NSite of int | NTid of int | NOpaque
+
+type aval = name list (* sorted, distinct; [NOpaque] = top, [] = bottom *)
+
+let name_cap = 4
+
+let vnorm ns : aval =
+  let ns = List.sort_uniq compare ns in
+  if List.mem NOpaque ns || List.length ns > name_cap then [ NOpaque ] else ns
+
+let vjoin a b = vnorm (a @ b)
+
+type site = {
+  site_id : int;
+  site_where : string;  (* "Class.method:pc" *)
+  site_desc : string;  (* class name or "elem[]" *)
+  site_once : bool;
+  site_method : string;
+  site_pc : int;
+}
+
+type access = {
+  acc_field : string;
+  acc_write : bool;
+  acc_root : int;
+  acc_locks : name list;
+  acc_base : aval;  (* [] for statics *)
+  acc_spawned : int list;
+  acc_joined : int list;
+  acc_where : string;
+}
+
+type sink = Into of aval | Global
+(* value stored through a base object / value made globally reachable
+   (static store, spawn argument, native-call operand) *)
+
+type store = { st_value : aval; st_sink : sink }
+
+(* Per-pc flow state. The stack lists the top first; merging aligns stacks
+   from the top and drops any excess bottom, which also absorbs the depth
+   noise of [Nativecall] (arity unknown at the Decl level). *)
+type st = {
+  locals : aval array;
+  stack : aval list;
+  locked : (name * int) list;  (* must-held, with re-entry depth *)
+  spawned : int list;
+  joined : int list;
+}
+
+let inter_sorted a b = List.filter (fun x -> List.mem x b) a
+
+let union_sorted a b = List.sort_uniq compare (a @ b)
+
+let locked_join la lb =
+  List.filter_map
+    (fun (n, d) ->
+      match List.assoc_opt n lb with
+      | Some d' -> Some (n, min d d')
+      | None -> None)
+    la
+
+let stack_join sa sb =
+  let rec take k l =
+    if k = 0 then [] else match l with [] -> [] | x :: t -> x :: take (k - 1) t
+  in
+  let k = min (List.length sa) (List.length sb) in
+  List.map2 vjoin (take k sa) (take k sb)
+
+let st_join a b =
+  {
+    locals = Array.map2 vjoin a.locals b.locals;
+    stack = stack_join a.stack b.stack;
+    locked = locked_join a.locked b.locked;
+    spawned = union_sorted a.spawned b.spawned;
+    joined = inter_sorted a.joined b.joined;
+  }
+
+let st_equal (a : st) (b : st) = a = b
+
+module L = struct
+  type t = st
+
+  let equal = st_equal
+
+  let join = st_join
+end
+
+module Engine = Dataflow.Make (L)
+
+(* Interprocedural context: one per (root, reachable method). *)
+type centry = {
+  c_root : int;
+  c_key : string;
+  c_mref : Callgraph.mref;
+  mutable e_args : aval array;
+  mutable e_locked : (name * int) list option;  (* None = never called yet *)
+  mutable e_spawned : int list;
+  mutable e_joined : int list option;  (* None = never called yet *)
+  mutable seen : bool;  (* has at least one entry contribution *)
+  mutable s_ret : aval;
+  mutable s_exit_spawned : int list;
+  mutable s_exit_joined : int list option;  (* None = no normal exit seen *)
+  mutable callers : string list;  (* ckeys to re-enqueue on summary change *)
+  mutable c_states : st option array;
+}
+
+type result = {
+  cg : Callgraph.t;
+  sites : site array;
+  accesses : access list;
+  stores : store list;
+  converged : bool;
+}
+
+let pp_name ppf = function
+  | NStatic key -> Fmt.pf ppf "static %s" key
+  | NSite id -> Fmt.pf ppf "site#%d" id
+  | NTid r -> Fmt.pf ppf "tid(root %d)" r
+  | NOpaque -> Fmt.string ppf "?"
+
+let static_suffix = " (static)"
+
+let analyze_program (cg : Callgraph.t) : result =
+  let prog = cg.Callgraph.prog in
+  (* Allocation sites, pre-assigned in method discovery order so ids are
+     stable regardless of fixpoint order. *)
+  let sites = ref [] in
+  let site_ids = Hashtbl.create 64 in
+  let n_sites = ref 0 in
+  List.iter
+    (fun key ->
+      match Callgraph.find_method cg key with
+      | None -> ()
+      | Some { Callgraph.mr_decl = m; _ } ->
+        Array.iteri
+          (fun pc ins ->
+            let desc =
+              match (ins : Instr.t) with
+              | Instr.New c -> Some c
+              | Instr.Newarray ty -> Some (Instr.string_of_ty ty ^ "[]")
+              | _ -> None
+            in
+            match desc with
+            | None -> ()
+            | Some site_desc ->
+              let id = !n_sites in
+              incr n_sites;
+              Hashtbl.replace site_ids (key ^ ":" ^ string_of_int pc) id;
+              sites :=
+                {
+                  site_id = id;
+                  site_where = key ^ ":" ^ string_of_int pc;
+                  site_desc;
+                  site_once =
+                    Callgraph.is_once cg key && not (Callgraph.loop_at cg key pc);
+                  site_method = key;
+                  site_pc = pc;
+                }
+                :: !sites)
+          m.Decl.m_code)
+    cg.Callgraph.method_order;
+  let sites = Array.of_list (List.rev !sites) in
+  let site_at key pc = Hashtbl.find_opt site_ids (key ^ ":" ^ string_of_int pc) in
+  (* Lock-name validity. *)
+  let valid_static key =
+    match Hashtbl.find_opt prog.Prog.putstatic_sites key with
+    | Some [ (mkey, pc) ] ->
+      Callgraph.is_once cg mkey && not (Callgraph.loop_at cg mkey pc)
+    | _ -> false
+  in
+  let valid_lock = function
+    | NStatic key -> valid_static key
+    | NSite id -> sites.(id).site_once
+    | NTid _ | NOpaque -> false
+  in
+  (* Contexts. *)
+  let ctxs : (string, centry) Hashtbl.t = Hashtbl.create 64 in
+  let ctx_order = Callgraph.contexts cg in
+  List.iter
+    (fun (r, key) ->
+      match Callgraph.find_method cg key with
+      | None -> ()
+      | Some mref ->
+        let n = Decl.nargs mref.Callgraph.mr_decl in
+        Hashtbl.replace ctxs (Callgraph.ckey r key)
+          {
+            c_root = r;
+            c_key = key;
+            c_mref = mref;
+            e_args = Array.make n [];
+            e_locked = None;
+            e_spawned = [];
+            e_joined = None;
+            seen = false;
+            s_ret = [];
+            s_exit_spawned = [];
+            s_exit_joined = None;
+            callers = [];
+            c_states = [||];
+          })
+    ctx_order;
+  let n_roots = Array.length cg.Callgraph.roots in
+  let all_roots = List.init n_roots (fun i -> i) in
+  (* Worklist. *)
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let enqueue ck =
+    if Hashtbl.mem ctxs ck && not (Hashtbl.mem queued ck) then begin
+      Hashtbl.replace queued ck ();
+      Queue.add ck queue
+    end
+  in
+  (* Entry contribution from a call or spawn site; returns true on change. *)
+  let contribute (ce : centry) ~args ~locked ~spawned ~joined =
+    let changed = ref false in
+    Array.iteri
+      (fun i v ->
+        if i < Array.length ce.e_args then begin
+          let j = vjoin ce.e_args.(i) v in
+          if j <> ce.e_args.(i) then begin
+            ce.e_args.(i) <- j;
+            changed := true
+          end
+        end)
+      args;
+    (match ce.e_locked with
+    | None ->
+      ce.e_locked <- Some locked;
+      changed := true
+    | Some cur ->
+      let j = locked_join cur locked in
+      if j <> cur then begin
+        ce.e_locked <- Some j;
+        changed := true
+      end);
+    let sp = union_sorted ce.e_spawned spawned in
+    if sp <> ce.e_spawned then begin
+      ce.e_spawned <- sp;
+      changed := true
+    end;
+    (match ce.e_joined with
+    | None ->
+      ce.e_joined <- Some joined;
+      changed := true
+    | Some cur ->
+      let j = inter_sorted cur joined in
+      if j <> cur then begin
+        ce.e_joined <- Some j;
+        changed := true
+      end);
+    if not ce.seen then begin
+      ce.seen <- true;
+      changed := true
+    end;
+    !changed
+  in
+  (* Seed the main root's entries (main + clinits run lock-free at boot)
+     and any context reachable only through a native callback (argument
+     values and prior thread structure unknown). *)
+  List.iter
+    (fun (r, key) ->
+      let ck = Callgraph.ckey r key in
+      match Hashtbl.find_opt ctxs ck with
+      | None -> ()
+      | Some ce ->
+        if r = 0 && List.mem key cg.Callgraph.roots.(0).Callgraph.r_entries then begin
+          ignore
+            (contribute ce
+               ~args:(Array.make (Array.length ce.e_args) [])
+               ~locked:[] ~spawned:[] ~joined:[]);
+          enqueue ck
+        end;
+        let native_incoming =
+          match Hashtbl.find_opt cg.Callgraph.incoming key with
+          | None -> false
+          | Some l ->
+            List.exists
+              (fun (s : Callgraph.site) ->
+                match Callgraph.find_method cg s.Callgraph.s_caller with
+                | Some { Callgraph.mr_decl = m; _ }
+                  when s.Callgraph.s_pc < Array.length m.Decl.m_code -> (
+                  match m.Decl.m_code.(s.Callgraph.s_pc) with
+                  | Instr.Nativecall _ -> true
+                  | _ -> false)
+                | _ -> false)
+              l
+        in
+        if native_incoming then begin
+          ignore
+            (contribute ce
+               ~args:(Array.make (Array.length ce.e_args) [ NOpaque ])
+               ~locked:[] ~spawned:all_roots ~joined:[]);
+          enqueue ck
+        end)
+    ctx_order;
+  (* Stack helpers. *)
+  let pop st =
+    match st.stack with
+    | [] -> ([ NOpaque ], st)
+    | v :: rest -> (v, { st with stack = rest })
+  in
+  let popn n st =
+    (* returns the popped values topmost-first *)
+    let rec go n st acc =
+      if n = 0 then (List.rev acc, st)
+      else
+        let v, st = pop st in
+        go (n - 1) st (v :: acc)
+    in
+    go n st []
+  in
+  let push v st = { st with stack = v :: st.stack } in
+  let callee ce_root tkey = Hashtbl.find_opt ctxs (Callgraph.ckey ce_root tkey) in
+  let resolved_static c f = Prog.field_key prog ~static:true c f in
+  (* The pure transfer; interprocedural propagation happens in a separate
+     post-solve pass so the engine's internal iteration stays effect-free. *)
+  let transfer (ce : centry) ~pc (ins : Instr.t) st =
+    let key = ce.c_key in
+    match ins with
+    | Instr.Const _ | Instr.Null | Instr.Currenttime | Instr.Readinput ->
+      push [] st
+    | Instr.Sconst _ ->
+      (* interned: the same literal is one shared object program-wide, so
+         its identity is deliberately opaque *)
+      push [ NOpaque ] st
+    | Instr.Load i ->
+      push (if i < Array.length st.locals then st.locals.(i) else [ NOpaque ]) st
+    | Instr.Store i ->
+      let v, st = pop st in
+      if i < Array.length st.locals then begin
+        let locals = Array.copy st.locals in
+        locals.(i) <- v;
+        { st with locals }
+      end
+      else st
+    | Instr.Dup ->
+      let v, st = pop st in
+      push v (push v st)
+    | Instr.Pop ->
+      let _, st = pop st in
+      st
+    | Instr.Swap ->
+      let a, st = pop st in
+      let b, st = pop st in
+      push b (push a st)
+    | Instr.Add | Instr.Sub | Instr.Mul | Instr.Div | Instr.Rem | Instr.Band
+    | Instr.Bor | Instr.Bxor | Instr.Shl | Instr.Shr ->
+      let _, st = pop st in
+      let _, st = pop st in
+      push [] st
+    | Instr.Neg ->
+      let _, st = pop st in
+      push [] st
+    | Instr.If _ | Instr.Ifrefeq _ | Instr.Ifrefne _ ->
+      let _, st = pop st in
+      let _, st = pop st in
+      st
+    | Instr.Ifz _ | Instr.Ifnull _ | Instr.Ifnonnull _ ->
+      let _, st = pop st in
+      st
+    | Instr.Goto _ | Instr.Nop | Instr.Yieldpoint | Instr.Halt | Instr.Ret -> st
+    | Instr.Retv | Instr.Throw | Instr.Print | Instr.Prints | Instr.Sleep
+    | Instr.Interrupt | Instr.Notify | Instr.Notifyall | Instr.Putstatic _ ->
+      let _, st = pop st in
+      st
+    | Instr.New _ | Instr.Newarray _ ->
+      let st =
+        match ins with
+        | Instr.Newarray _ ->
+          let _, st = pop st in
+          st (* length *)
+        | _ -> st
+      in
+      push
+        (match site_at key pc with Some id -> [ NSite id ] | None -> [ NOpaque ])
+        st
+    | Instr.Getfield _ ->
+      let _, st = pop st in
+      push [ NOpaque ] st
+    | Instr.Putfield _ ->
+      let _, st = pop st in
+      let _, st = pop st in
+      st
+    | Instr.Getstatic (c, f) -> push [ NStatic (resolved_static c f) ] st
+    | Instr.Aload ->
+      let _, st = pop st in
+      let _, st = pop st in
+      push [ NOpaque ] st
+    | Instr.Astore ->
+      let _, st = pop st in
+      let _, st = pop st in
+      let _, st = pop st in
+      st
+    | Instr.Arraylength | Instr.Instanceof _ ->
+      let _, st = pop st in
+      push [] st
+    | Instr.Checkcast _ -> st
+    | Instr.Monitorenter -> (
+      let v, st = pop st in
+      match v with
+      | [ n ] when valid_lock n ->
+        let d = match List.assoc_opt n st.locked with Some d -> d | None -> 0 in
+        { st with locked = (n, d + 1) :: List.remove_assoc n st.locked
+                           |> List.sort compare }
+      | _ -> st)
+    | Instr.Monitorexit -> (
+      let v, st = pop st in
+      match v with
+      | [ n ] when valid_lock n -> (
+        match List.assoc_opt n st.locked with
+        | Some d when d > 1 ->
+          { st with locked = (n, d - 1) :: List.remove_assoc n st.locked
+                            |> List.sort compare }
+        | Some _ -> { st with locked = List.remove_assoc n st.locked }
+        | None -> st)
+      | _ -> { st with locked = [] } (* released an unknown monitor *))
+    | Instr.Wait ->
+      (* released and reacquired around the park: held again afterwards *)
+      let _, st = pop st in
+      push [] st
+    | Instr.Timedwait ->
+      let _, st = pop st in
+      let _, st = pop st in
+      push [] st
+    | Instr.Join -> (
+      let v, st = pop st in
+      match v with
+      | [ NTid r ]
+        when r < n_roots && cg.Callgraph.roots.(r).Callgraph.r_mult = Callgraph.Once
+        ->
+        { st with joined = union_sorted st.joined [ r ] }
+      | _ -> st)
+    | Instr.Spawn (c, mn) ->
+      let n =
+        match Prog.cha_targets prog c mn with
+        | (_, tm) :: _ -> Decl.nargs tm
+        | [] -> 0
+      in
+      let _, st = popn n st in
+      let rid =
+        Hashtbl.find_opt cg.Callgraph.root_of_spawn (Callgraph.spawn_key key pc)
+      in
+      let st =
+        match rid with
+        | Some r -> { st with spawned = union_sorted st.spawned [ r ] }
+        | None -> st
+      in
+      push (match rid with Some r -> [ NTid r ] | None -> [ NOpaque ]) st
+    | Instr.Invoke (c, mn) -> (
+      match Prog.cha_targets prog c mn with
+      | [] -> st
+      | (_, tm) :: _ as targets ->
+        let n = Decl.nargs tm in
+        let _, st = popn n st in
+        let tkeys = List.map (fun (tc, m) -> Callgraph.mkey tc m) targets in
+        let balanced = List.for_all (Callgraph.is_balanced cg) tkeys in
+        let summaries = List.filter_map (callee ce.c_root) tkeys in
+        let locked = if balanced then st.locked else [] in
+        let spawned =
+          List.fold_left
+            (fun acc s -> union_sorted acc s.s_exit_spawned)
+            st.spawned summaries
+        in
+        let joined =
+          (* must-effect: only when every target has a normal-exit summary *)
+          match List.map (fun s -> s.s_exit_joined) summaries with
+          | Some j0 :: rest when List.for_all (( <> ) None) rest ->
+            let inter_all =
+              List.fold_left
+                (fun acc d ->
+                  match d with Some j -> inter_sorted acc j | None -> acc)
+                j0 rest
+            in
+            union_sorted st.joined inter_all
+          | _ -> st.joined
+        in
+        let st = { st with locked; spawned; joined } in
+        if Decl.returns tm then
+          push
+            (List.fold_left (fun acc s -> vjoin acc s.s_ret) [] summaries)
+            st
+        else st)
+    | Instr.Nativecall _ ->
+      (* Arity is a VM-registration fact, invisible here: keep the depth,
+         forget the values. The escape harvest marks everything on the
+         stack as globally reachable. *)
+      { st with stack = List.map (fun _ -> [ NOpaque ]) st.stack }
+  in
+  (* Exceptional edge: stack replaced by the thrown reference; explicit
+     monitors survive the unwind; a throwing call has still published the
+     callee's may-spawn effect (and a throwing spawn may have started the
+     thread). *)
+  let exn_adapt (ce : centry) ~pc st =
+    let m = ce.c_mref.Callgraph.mr_decl in
+    let base = { st with stack = [ [ NOpaque ] ] } in
+    match m.Decl.m_code.(pc) with
+    | Instr.Invoke (c, mn) ->
+      let tkeys =
+        List.map (fun (tc, tm) -> Callgraph.mkey tc tm) (Prog.cha_targets prog c mn)
+      in
+      let balanced = List.for_all (Callgraph.is_balanced cg) tkeys in
+      let summaries = List.filter_map (callee ce.c_root) tkeys in
+      {
+        base with
+        locked = (if balanced then st.locked else []);
+        spawned =
+          List.fold_left
+            (fun acc s -> union_sorted acc s.s_exit_spawned)
+            st.spawned summaries;
+      }
+    | Instr.Spawn _ -> (
+      match
+        Hashtbl.find_opt cg.Callgraph.root_of_spawn
+          (Callgraph.spawn_key ce.c_key pc)
+      with
+      | Some r -> { base with spawned = union_sorted st.spawned [ r ] }
+      | None -> base)
+    | _ -> base
+  in
+  let entry_state (ce : centry) =
+    let m = ce.c_mref.Callgraph.mr_decl in
+    let locals = Array.make (max m.Decl.m_nlocals (Array.length ce.e_args)) [] in
+    Array.iteri (fun i v -> locals.(i) <- v) ce.e_args;
+    let locked = match ce.e_locked with Some l -> l | None -> [] in
+    let locked =
+      if m.Decl.m_sync && Array.length ce.e_args > 0 then
+        match ce.e_args.(0) with
+        | [ n ] when valid_lock n && not (List.mem_assoc n locked) ->
+          List.sort compare ((n, 1) :: locked)
+        | _ -> locked
+      else locked
+    in
+    {
+      locals;
+      stack = [];
+      locked;
+      spawned = ce.e_spawned;
+      joined = (match ce.e_joined with Some j -> j | None -> []);
+    }
+  in
+  let analyze (ce : centry) =
+    let m = ce.c_mref.Callgraph.mr_decl in
+    if Array.length m.Decl.m_code = 0 then ()
+    else begin
+      let states =
+        Engine.solve
+          {
+            Engine.dir = Dataflow.Forward;
+            code = m.Decl.m_code;
+            handlers = m.Decl.m_handlers;
+            entry = entry_state ce;
+            transfer = (fun ~pc ins st -> transfer ce ~pc ins st);
+            exn_adapt = Some (fun ~pc st -> exn_adapt ce ~pc st);
+          }
+      in
+      ce.c_states <- states;
+      (* Inter-procedural propagation from the solved states. *)
+      let my_ck = Callgraph.ckey ce.c_root ce.c_key in
+      Array.iteri
+        (fun pc stopt ->
+          match stopt with
+          | None -> ()
+          | Some st -> (
+            match m.Decl.m_code.(pc) with
+            | Instr.Invoke (c, mn) ->
+              let targets = Prog.cha_targets prog c mn in
+              let n = match targets with (_, tm) :: _ -> Decl.nargs tm | [] -> 0 in
+              let vs, _ = popn n st in
+              (* vs is topmost-first = arg n-1 first; reverse to arg order *)
+              let args = Array.of_list (List.rev vs) in
+              List.iter
+                (fun (tc, tm) ->
+                  let tkey = Callgraph.mkey tc tm in
+                  match callee ce.c_root tkey with
+                  | None -> ()
+                  | Some tce ->
+                    if not (List.mem my_ck tce.callers) then
+                      tce.callers <- my_ck :: tce.callers;
+                    if
+                      contribute tce ~args ~locked:st.locked ~spawned:st.spawned
+                        ~joined:st.joined
+                    then enqueue (Callgraph.ckey ce.c_root tkey))
+                targets
+            | Instr.Spawn (c, mn) -> (
+              let targets = Prog.cha_targets prog c mn in
+              let n = match targets with (_, tm) :: _ -> Decl.nargs tm | [] -> 0 in
+              let vs, _ = popn n st in
+              let args = Array.of_list (List.rev vs) in
+              match
+                Hashtbl.find_opt cg.Callgraph.root_of_spawn
+                  (Callgraph.spawn_key ce.c_key pc)
+              with
+              | None -> ()
+              | Some rid ->
+                List.iter
+                  (fun (tc, tm) ->
+                    let tkey = Callgraph.mkey tc tm in
+                    match callee rid tkey with
+                    | None -> ()
+                    | Some tce ->
+                      (* the child starts lock-free; it can overlap anything
+                         spawned before it (including itself) *)
+                      if
+                        contribute tce ~args ~locked:[]
+                          ~spawned:(union_sorted st.spawned [ rid ])
+                          ~joined:st.joined
+                      then enqueue (Callgraph.ckey rid tkey))
+                  targets)
+            | _ -> ()))
+        states;
+      (* Summaries. *)
+      let ret = ref ce.s_ret in
+      let exit_spawned = ref ce.s_exit_spawned in
+      let exit_joined = ref ce.s_exit_joined in
+      Array.iteri
+        (fun pc stopt ->
+          match stopt with
+          | None -> ()
+          | Some st -> (
+            exit_spawned := union_sorted !exit_spawned st.spawned;
+            match m.Decl.m_code.(pc) with
+            | Instr.Retv ->
+              let v, _ = pop st in
+              ret := vjoin !ret v;
+              exit_joined :=
+                Some
+                  (match !exit_joined with
+                  | None -> st.joined
+                  | Some j -> inter_sorted j st.joined)
+            | Instr.Ret ->
+              exit_joined :=
+                Some
+                  (match !exit_joined with
+                  | None -> st.joined
+                  | Some j -> inter_sorted j st.joined)
+            | _ -> ()))
+        states;
+      if
+        !ret <> ce.s_ret
+        || !exit_spawned <> ce.s_exit_spawned
+        || !exit_joined <> ce.s_exit_joined
+      then begin
+        ce.s_ret <- !ret;
+        ce.s_exit_spawned <- !exit_spawned;
+        ce.s_exit_joined <- !exit_joined;
+        List.iter enqueue ce.callers
+      end
+    end
+  in
+  (* Chaotic iteration with a generous cap; on overflow the harvest drops
+     all lock/ordering facts (fully conservative) rather than report from a
+     non-fixpoint. *)
+  let max_runs = max 2000 (64 * List.length ctx_order) in
+  let runs = ref 0 in
+  while (not (Queue.is_empty queue)) && !runs < max_runs do
+    let ck = Queue.pop queue in
+    Hashtbl.remove queued ck;
+    incr runs;
+    match Hashtbl.find_opt ctxs ck with
+    | Some ce when ce.seen -> analyze ce
+    | _ -> ()
+  done;
+  let converged = Queue.is_empty queue in
+  (* Harvest accesses and escape stores from the final states. *)
+  let accesses = ref [] in
+  let stores = ref [] in
+  let harvest (ce : centry) =
+    let m = ce.c_mref.Callgraph.mr_decl in
+    let key = ce.c_key in
+    Array.iteri
+      (fun pc stopt ->
+        match stopt with
+        | None -> ()
+        | Some st ->
+          let where = key ^ ":" ^ string_of_int pc in
+          let locks =
+            if converged then List.map fst st.locked else []
+          in
+          let spawned = if converged then st.spawned else all_roots in
+          let joined = if converged then st.joined else [] in
+          let acc field write base =
+            accesses :=
+              {
+                acc_field = field;
+                acc_write = write;
+                acc_root = ce.c_root;
+                acc_locks = locks;
+                acc_base = base;
+                acc_spawned = spawned;
+                acc_joined = joined;
+                acc_where = where;
+              }
+              :: !accesses
+          in
+          let nth n =
+            match List.nth_opt st.stack n with
+            | Some v -> v
+            | None -> [ NOpaque ]
+          in
+          (match m.Decl.m_code.(pc) with
+          | Instr.Getfield (c, f) ->
+            acc (Prog.field_key prog ~static:false c f) false (nth 0)
+          | Instr.Putfield (c, f) ->
+            acc (Prog.field_key prog ~static:false c f) true (nth 1);
+            stores := { st_value = nth 0; st_sink = Into (nth 1) } :: !stores
+          | Instr.Getstatic (c, f) ->
+            acc (resolved_static c f ^ static_suffix) false []
+          | Instr.Putstatic (c, f) ->
+            acc (resolved_static c f ^ static_suffix) true [];
+            stores := { st_value = nth 0; st_sink = Global } :: !stores
+          | Instr.Aload -> acc Prog.array_key false (nth 1)
+          | Instr.Astore ->
+            acc Prog.array_key true (nth 2);
+            stores := { st_value = nth 0; st_sink = Into (nth 2) } :: !stores
+          | Instr.Spawn (c, mn) ->
+            let n =
+              match Prog.cha_targets prog c mn with
+              | (_, tm) :: _ -> Decl.nargs tm
+              | [] -> 0
+            in
+            let vs, _ = popn n st in
+            List.iter
+              (fun v -> stores := { st_value = v; st_sink = Global } :: !stores)
+              vs
+          | Instr.Nativecall _ ->
+            List.iter
+              (fun v -> stores := { st_value = v; st_sink = Global } :: !stores)
+              st.stack
+          | _ -> ()))
+      ce.c_states
+  in
+  List.iter
+    (fun (r, key) ->
+      match Hashtbl.find_opt ctxs (Callgraph.ckey r key) with
+      | Some ce -> harvest ce
+      | None -> ())
+    ctx_order;
+  {
+    cg;
+    sites;
+    accesses = List.rev !accesses;
+    stores = List.rev !stores;
+    converged;
+  }

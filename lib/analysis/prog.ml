@@ -1,0 +1,146 @@
+(* Resolved whole-program index over a [Decl.program]: class lookup, super
+   chains, CHA subclass sets, method resolution, and field-key naming. The
+   analyses key every instance field by its *declaring* class ("C.f" where C
+   is the first class up the super chain that declares f), matching the
+   VM's flattened-layout slot ownership, statics likewise, and all arrays by
+   the single key "[]" (a documented soundness coarsening: element-index
+   insensitivity). *)
+
+module Instr = Bytecode.Instr
+module Decl = Bytecode.Decl
+
+type t = {
+  program : Decl.program;
+  by_name : (string, Decl.cdecl) Hashtbl.t;
+  subclasses : (string, string list) Hashtbl.t;
+      (* class -> self + all transitive subclasses, declaration order *)
+  putstatic_sites : (string, (string * int) list) Hashtbl.t;
+      (* static field key -> [(qualified method, pc)] across the program *)
+}
+
+let array_key = "[]"
+
+let find_class t name = Hashtbl.find_opt t.by_name name
+
+let super_chain t name =
+  let rec go acc n depth =
+    if depth > 1000 then List.rev acc (* cycles are Check's problem *)
+    else
+      match Hashtbl.find_opt t.by_name n with
+      | None -> List.rev (n :: acc)
+      | Some c -> (
+        match c.Decl.cd_super with
+        | None -> List.rev (n :: acc)
+        | Some s -> go (n :: acc) s (depth + 1))
+  in
+  go [] name 0
+
+(* First class in [cname]'s super chain that declares the field; falls back
+   to [cname] for unresolvable (builtin or broken) references so every
+   access still gets *some* stable key. *)
+let field_key t ~static cname fname =
+  let declares c =
+    let fields = if static then c.Decl.cd_statics else c.Decl.cd_fields in
+    List.exists (fun f -> f.Decl.fd_name = fname) fields
+  in
+  let rec go = function
+    | [] -> cname
+    | cn :: rest -> (
+      match Hashtbl.find_opt t.by_name cn with
+      | Some c when declares c -> cn
+      | _ -> go rest)
+  in
+  go (super_chain t cname) ^ "." ^ fname
+
+(* Walk the super chain for the nearest definition, as the vtable builder
+   does. *)
+let resolve_method t cname mname : (string * Decl.mdecl) option =
+  let rec go = function
+    | [] -> None
+    | cn :: rest -> (
+      match Hashtbl.find_opt t.by_name cn with
+      | Some c -> (
+        match Decl.find_method c mname with
+        | Some m -> Some (cn, m)
+        | None -> go rest)
+      | None -> go rest)
+  in
+  go (super_chain t cname)
+
+(* Class-hierarchy-analysis call targets of [Invoke (cname, mname)] (or a
+   [Spawn]): the static method if resolution finds one, else the resolved
+   method for every subclass of the declared receiver class, deduplicated
+   by declaring class. Soundness caveat (documented in DESIGN.md): the
+   receiver's *declared* class bounds the set, so a receiver smuggled
+   through [Tref] still dispatches within the declared hierarchy — the
+   assembler's type discipline makes that the only hierarchy reachable. *)
+let cha_targets t cname mname : (string * Decl.mdecl) list =
+  match resolve_method t cname mname with
+  | None -> []
+  | Some ((_, m0) as r0) ->
+    if m0.Decl.m_static then [ r0 ]
+    else
+      let subs =
+        match Hashtbl.find_opt t.subclasses cname with
+        | Some s -> s
+        | None -> [ cname ]
+      in
+      let seen = Hashtbl.create 4 in
+      List.filter_map
+        (fun sub ->
+          match resolve_method t sub mname with
+          | Some (decl_c, m) when not (Hashtbl.mem seen decl_c) ->
+            Hashtbl.replace seen decl_c ();
+            Some (decl_c, m)
+          | _ -> None)
+        subs
+
+let putstatic_count t key =
+  match Hashtbl.find_opt t.putstatic_sites key with
+  | None -> 0
+  | Some l -> List.length l
+
+let qname cname (m : Decl.mdecl) = cname ^ "." ^ m.Decl.m_name
+
+let all_methods t : (string * Decl.mdecl) list =
+  List.concat_map
+    (fun c -> List.map (fun m -> (c.Decl.cd_name, m)) c.Decl.cd_methods)
+    t.program.Decl.classes
+
+let build (p : Decl.program) : t =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace by_name c.Decl.cd_name c) p.Decl.classes;
+  let t = { program = p; by_name; subclasses = Hashtbl.create 16; putstatic_sites = Hashtbl.create 16 } in
+  (* subclasses: every class is a subclass of each ancestor (and itself) *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun anc ->
+          let cur =
+            match Hashtbl.find_opt t.subclasses anc with Some l -> l | None -> []
+          in
+          Hashtbl.replace t.subclasses anc (cur @ [ c.Decl.cd_name ]))
+        (super_chain t c.Decl.cd_name))
+    p.Decl.classes;
+  (* putstatic sites, keyed by resolved static key *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun m ->
+          Array.iteri
+            (fun pc ins ->
+              match (ins : Instr.t) with
+              | Instr.Putstatic (cl, fd) ->
+                let key = field_key t ~static:true cl fd in
+                let cur =
+                  match Hashtbl.find_opt t.putstatic_sites key with
+                  | Some l -> l
+                  | None -> []
+                in
+                Hashtbl.replace t.putstatic_sites key
+                  (cur @ [ (qname c.Decl.cd_name m, pc) ])
+              | _ -> ())
+            m.Decl.m_code)
+        c.Decl.cd_methods)
+    p.Decl.classes;
+  t

@@ -158,3 +158,97 @@ let check_exn p =
     failwith
       (Fmt.str "program check failed:@\n%a" (Fmt.list ~sep:Fmt.cut pp_issue)
          issues)
+
+(* Advisory monitor-depth sanity pass. Deliberately NOT part of [check] (and
+   hence not of the [Vm.Link] gate): the suite intentionally links and runs
+   unbalanced programs to exercise the runtime IllegalMonitorStateException
+   and deadlock paths, and those must keep loading.
+
+   Per method, a small forward dataflow where the abstract state at a pc is
+   the set of possible monitor depths reachable there, encoded as a bitmask
+   (bit d set = some path reaches this pc holding d monitors entered in this
+   frame). Merge is union; exception edges propagate the pre-instruction
+   mask into every covering handler, so a handler that re-enters a
+   synchronized region is analyzed at every depth the protected range can
+   throw from. Flagged:
+   - [Monitorexit] reachable at depth 0 (possible IllegalMonitorStateException),
+   - [Ret]/[Retv] reachable at depth > 0 (the frame leaks a lock; [Throw]
+     and [Halt] are exempt — unwinding and VM stop are sanctioned exits),
+   - nesting beyond [monitor_depth_cap], almost always a loop around a
+     [Monitorenter] with no matching exit.
+   Depths are frame-relative and count only explicit instructions: the
+   receiver monitor wrapped around a [m_sync] body by the compiler's
+   expansion is balanced by construction and invisible here. *)
+
+let monitor_depth_cap = 30
+
+let check_monitors (p : Decl.program) : issue list =
+  let issues = ref [] in
+  let add where fmt =
+    Fmt.kstr (fun what -> issues := { where; what } :: !issues) fmt
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun m ->
+          let where = c.Decl.cd_name ^ "." ^ m.Decl.m_name in
+          let code = m.Decl.m_code in
+          let len = Array.length code in
+          if len > 0 then begin
+            let masks = Array.make len 0 in
+            let q = Queue.create () in
+            let push pc mask =
+              if pc >= 0 && pc < len && mask land lnot masks.(pc) <> 0 then begin
+                masks.(pc) <- masks.(pc) lor mask;
+                Queue.add pc q
+              end
+            in
+            push 0 1;
+            while not (Queue.is_empty q) do
+              let pc = Queue.pop q in
+              let mask = masks.(pc) in
+              let ins = code.(pc) in
+              (* Exception edge: the pre-instruction monitor state reaches
+                 every handler covering this pc. *)
+              if Instr.may_throw ins then
+                List.iter
+                  (fun h ->
+                    if h.Decl.h_from <= pc && pc < h.Decl.h_upto then
+                      push h.Decl.h_target mask)
+                  m.Decl.m_handlers;
+              let out =
+                match ins with
+                | Instr.Monitorenter ->
+                  mask lsl 1 land ((1 lsl (monitor_depth_cap + 1)) - 1)
+                | Instr.Monitorexit -> mask lsr 1
+                | _ -> mask
+              in
+              if out <> 0 then
+                List.iter (fun s -> push s out) (Instr.successors ins ~pc)
+            done;
+            Array.iteri
+              (fun pc ins ->
+                let mask = masks.(pc) in
+                if mask <> 0 then
+                  match (ins : Instr.t) with
+                  | Instr.Monitorexit when mask land 1 <> 0 ->
+                    add where
+                      "pc %d: monitorexit may execute with no monitor held" pc
+                  | Instr.Monitorenter
+                    when mask land (1 lsl monitor_depth_cap) <> 0 ->
+                    add where
+                      "pc %d: monitor nesting may exceed depth %d (missing \
+                       monitorexit in a loop?)"
+                      pc monitor_depth_cap
+                  | Instr.Ret | Instr.Retv ->
+                    if mask land lnot 1 <> 0 then
+                      add where
+                        "pc %d: method may return while still holding a \
+                         monitor"
+                        pc
+                  | _ -> ())
+              code
+          end)
+        c.Decl.cd_methods)
+    p.classes;
+  List.rev !issues

@@ -13,3 +13,14 @@ val check : Decl.program -> issue list
 
 (** Raise [Failure] with a readable report when {!check} finds issues. *)
 val check_exn : Decl.program -> unit
+
+(** Advisory monitor-depth sanity pass, deliberately not part of {!check}
+    (programs with unbalanced monitors still load and fail at runtime with
+    IllegalMonitorStateException — tests rely on that). Per method, a
+    forward dataflow over the set of possible monitor depths (a bitmask)
+    flags: a [Monitorexit] reachable at depth 0, a [Ret]/[Retv] reachable
+    while possibly holding a monitor ([Throw]/[Halt] are exempt), and
+    nesting beyond an internal cap. Exception edges carry the
+    pre-instruction depth set into covering handlers. Surfaced by
+    [dvrun lint]. *)
+val check_monitors : Decl.program -> issue list

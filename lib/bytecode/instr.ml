@@ -189,6 +189,34 @@ let target (i : 'a gen) : 'a option =
 let falls_through (i : 'a gen) =
   match i with Goto _ | Ret | Retv | Throw | Halt -> false | _ -> true
 
+(* Normal (non-exceptional) control-flow successors of the instruction at
+   [pc] in resolved form. Exception edges are not included; callers that
+   care about them consult the method's handler table. *)
+let successors (i : t) ~pc : int list =
+  let fall = if falls_through i then [ pc + 1 ] else [] in
+  match target i with
+  | Some l -> (match i with Goto _ -> [ l ] | _ -> l :: fall)
+  | None -> fall
+
+(* Can executing this instruction raise a catchable exception in the current
+   frame? Environmental failures (out of memory, stack overflow) are not
+   counted; this lists the instructions whose own semantics can throw:
+   arithmetic on a zero divisor, null/bounds/cast failures, illegal monitor
+   states, and anything that runs other code (calls, spawns of bad targets)
+   or can be interrupted while parked. *)
+let may_throw (i : 'a gen) =
+  match i with
+  | Div | Rem -> true
+  | Getfield _ | Putfield _ -> true
+  | Newarray _ | Aload | Astore | Arraylength -> true
+  | Checkcast _ -> true
+  | Invoke _ | Spawn _ | Nativecall _ -> true
+  | Monitorenter | Monitorexit | Wait | Timedwait | Notify | Notifyall -> true
+  | Sleep | Join | Interrupt -> true
+  | Throw -> true
+  | Prints -> true
+  | _ -> false
+
 let mnemonic (i : 'a gen) =
   match i with
   | Const _ -> "const"

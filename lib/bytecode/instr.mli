@@ -112,6 +112,17 @@ val target : 'a gen -> 'a option
 (** Does control ever fall through to the next instruction? *)
 val falls_through : 'a gen -> bool
 
+(** Normal (non-exceptional) control-flow successors of the instruction at
+    [pc], in resolved form. Exception edges are not included; consult the
+    method's handler table for those. *)
+val successors : t -> pc:int -> int list
+
+(** Can this instruction's own semantics raise a catchable exception
+    (arithmetic, null/bounds/cast failures, illegal monitor states, running
+    other code)? Environmental failures such as out-of-memory are not
+    counted. *)
+val may_throw : 'a gen -> bool
+
 (** The textual mnemonic (also the assembly-language spelling). *)
 val mnemonic : 'a gen -> string
 

@@ -1,0 +1,33 @@
+(* Bridge from the record/replay core to the static race audit
+   (lib/analysis). The recorder stamps every trace with the audit's
+   summary hash; the replayer recomputes it and refuses a mismatch, so a
+   replay can never silently run under different racy/thread-local
+   assumptions than the recording — which matters once the Observer's
+   thread-local fast path (skip tables built from the same audit) is
+   enabled on one side.
+
+   Reports are memoized by program digest: benches and tests record the
+   same program many times, and the whole-program analysis must not be
+   re-run per recording. *)
+
+let reports : (string, Analysis.Report.t) Hashtbl.t = Hashtbl.create 8
+
+let report_for (p : Bytecode.Decl.program) : Analysis.Report.t =
+  let d = Bytecode.Decl.digest p in
+  match Hashtbl.find_opt reports d with
+  | Some r -> r
+  | None ->
+    let r = Analysis.run p in
+    Hashtbl.replace reports d r;
+    r
+
+let hash_for p = (report_for p).Analysis.Report.summary_hash
+
+(* Skip predicate for the Observer's sharing tracker: true exactly for the
+   field keys the audit proved thread-local. *)
+let skip_for p : string -> bool =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun k -> Hashtbl.replace tbl k ())
+    (Analysis.Report.thread_local_fields (report_for p));
+  fun key -> Hashtbl.mem tbl key

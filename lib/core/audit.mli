@@ -1,0 +1,15 @@
+(** Bridge from the record/replay core to the static race audit: memoized
+    (by program digest) analysis reports, the trace-header fingerprint,
+    and the Observer's thread-local skip predicate. *)
+
+(** The full audit for a program, computed at most once per program
+    digest. *)
+val report_for : Bytecode.Decl.program -> Analysis.Report.t
+
+(** The audit fingerprint stamped into trace headers. *)
+val hash_for : Bytecode.Decl.program -> string
+
+(** [skip_for p key] is true exactly for field keys the audit proved
+    thread-local — safe to exempt from dynamic shared-access
+    bookkeeping. *)
+val skip_for : Bytecode.Decl.program -> string -> bool

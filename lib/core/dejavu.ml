@@ -12,6 +12,7 @@ module Session = Session
 module Figure2 = Figure2
 module Recorder = Recorder
 module Replayer = Replayer
+module Audit = Audit
 module Symmetry = Symmetry
 
 exception Divergence = Session.Divergence

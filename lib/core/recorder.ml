@@ -39,6 +39,10 @@ let attach (vm : Vm.Rt.t) : Session.t =
   vm.hooks.h_yieldpoint <- Figure2.record s;
   s
 
-(* Finish a recording: produce the trace, stamped with the program digest. *)
+(* Finish a recording: produce the trace, stamped with the program digest
+   and the static race audit's fingerprint (memoized per program, so
+   repeated recordings of one program pay for the analysis once). *)
 let finish (s : Session.t) : Trace.t =
-  Session.to_trace s (Bytecode.Decl.digest s.vm.program)
+  Session.to_trace s
+    ~analysis_hash:(Audit.hash_for s.vm.program)
+    (Bytecode.Decl.digest s.vm.program)

@@ -55,7 +55,18 @@ let check_digest (vm : Vm.Rt.t) (trace : Trace.t) =
   if trace.program_digest <> own_digest then
     Session.divergence
       "trace was recorded for a different program (digest %s, expected %s)"
-      trace.program_digest own_digest
+      trace.program_digest own_digest;
+  (* same code, but a different race audit: the recording may have relied
+     on thread-local assumptions this side does not share — refuse. "" is
+     a trace recorded without an audit stamp, accepted as unchecked. *)
+  if trace.analysis_hash <> "" then begin
+    let own_hash = Audit.hash_for vm.program in
+    if trace.analysis_hash <> own_hash then
+      Session.divergence
+        "trace was recorded under a different race audit (hash %s, expected \
+         %s)"
+        trace.analysis_hash own_hash
+  end
 
 let attach (vm : Vm.Rt.t) (trace : Trace.t) : Session.t =
   check_digest vm trace;

@@ -83,9 +83,10 @@ let for_replay vm (trace : Trace.t) =
     | None -> max_int);
   s
 
-let to_trace (s : t) program_digest : Trace.t =
+let to_trace ?(analysis_hash = "") (s : t) program_digest : Trace.t =
   {
     Trace.program_digest;
+    analysis_hash;
     switches = Trace.Tape.to_array s.switches;
     clocks = Trace.Tape.to_array s.clocks;
     inputs = Trace.Tape.to_array s.inputs;

@@ -39,8 +39,9 @@ val for_record : Vm.Rt.t -> t
     recorded switch delta. *)
 val for_replay : Vm.Rt.t -> Trace.t -> t
 
-(** Freeze a (record) session's tapes into a trace. *)
-val to_trace : t -> string -> Trace.t
+(** Freeze a (record) session's tapes into a trace, optionally stamped
+    with the static race-audit fingerprint (default [""] = unaudited). *)
+val to_trace : ?analysis_hash:string -> t -> string -> Trace.t
 
 (** Session state that must roll back together with a VM snapshot
     (checkpoint-accelerated time travel). *)

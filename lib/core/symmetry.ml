@@ -23,6 +23,7 @@ let warmup_io () =
     Trace.to_bytes
       {
         Trace.program_digest = "warmup";
+        analysis_hash = "";
         switches = [| 1; 2; 3 |];
         clocks = [| 0; 42 |];
         inputs = [| 7 |];

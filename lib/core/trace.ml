@@ -54,6 +54,12 @@ end
 
 type t = {
   program_digest : string;
+  analysis_hash : string;
+      (* fingerprint of the static race audit the program was recorded
+         under ("" = recorded without an audit); the replayer refuses a
+         trace stamped with a different audit, so a replay never silently
+         runs under different thread-local/racy assumptions than the
+         recording (e.g. the Observer's thread-local fast path) *)
   switches : int array;
   clocks : int array; (* flattened (reason, value) pairs *)
   inputs : int array;
@@ -119,7 +125,8 @@ type sizes = {
 
 (* --- serialization ---------------------------------------------------- *)
 
-let magic = "DJVU1\n"
+(* DJVU2 added the analysis-hash header field after the program digest. *)
+let magic = "DJVU2\n"
 
 let zigzag v = (v lsl 1) lxor (v asr 62)
 
@@ -181,6 +188,8 @@ let to_bytes (t : t) : string =
   Buffer.add_string buf magic;
   put_varint buf (String.length t.program_digest);
   Buffer.add_string buf t.program_digest;
+  put_varint buf (String.length t.analysis_hash);
+  Buffer.add_string buf t.analysis_hash;
   put_section buf t.switches;
   put_section buf t.clocks;
   put_section buf t.inputs;
@@ -196,12 +205,17 @@ let of_bytes (s : string) : t =
     raise (Format_error "bad digest length");
   let program_digest = String.sub s pos dlen in
   let pos = pos + dlen in
+  let hlen, pos = get_varint s pos in
+  if hlen < 0 || pos + hlen > String.length s then
+    raise (Format_error "bad analysis-hash length");
+  let analysis_hash = String.sub s pos hlen in
+  let pos = pos + hlen in
   let switches, pos = get_section s pos in
   let clocks, pos = get_section s pos in
   let inputs, pos = get_section s pos in
   let natives, pos = get_section s pos in
   if pos <> String.length s then raise (Format_error "trailing bytes");
-  { program_digest; switches; clocks; inputs; natives }
+  { program_digest; analysis_hash; switches; clocks; inputs; natives }
 
 let save path t =
   let oc = open_out_bin path in

@@ -50,6 +50,11 @@ end
 
 type t = {
   program_digest : string;
+  analysis_hash : string;
+      (** fingerprint of the static race audit ({!Audit.hash_for}) the
+          program was recorded under; [""] means recorded without an
+          audit. The replayer refuses a trace stamped with a different
+          audit. *)
   switches : int array;
   clocks : int array;  (** flattened (reason, value) pairs *)
   inputs : int array;

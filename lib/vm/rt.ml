@@ -318,6 +318,14 @@ and hooks = {
          that do NOT replay the thread package and therefore have to steer
          it externally (Russinovich-Cogswell style). *)
   mutable h_spawn : (t -> int -> unit) option; (* new thread's tid *)
+  mutable h_lock : (t -> bool -> int -> int -> unit) option;
+      (* monitor ownership transition: acquired?, monitor id, tid — fires
+         only on the free->owned and owned->free edges, never on recursive
+         re-entry/exit, so listeners see lock *release points* and *acquire
+         points* in the JMM sense *)
+  mutable h_hb : (t -> int -> int -> unit) option;
+      (* cross-thread happens-before edge established outside monitors:
+         from tid, to tid (join completion, interrupt delivery) *)
 }
 
 and config = {

@@ -12,6 +12,15 @@
 
 let illegal_monitor () = raise (Rt.Vm_exception "IllegalMonitorStateException")
 
+(* Instrumentation: monitor ownership edges and cross-thread happens-before
+   edges (join completion, interrupt delivery). No-ops unless a listener —
+   e.g. the Observer's sharing tracker — installed the hook. *)
+let lock_event (vm : Rt.t) acquired (m : Rt.monitor) tid =
+  match vm.hooks.h_lock with Some f -> f vm acquired m.m_id tid | None -> ()
+
+let hb_event (vm : Rt.t) from_tid to_tid =
+  match vm.hooks.h_hb with Some f -> f vm from_tid to_tid | None -> ()
+
 (* --- monitors ------------------------------------------------------- *)
 
 (* Monitor ids are assigned lazily, in execution order, so they reproduce
@@ -63,6 +72,7 @@ let contend (vm : Rt.t) (t : Rt.thread) (m : Rt.monitor) =
   if m.m_owner = -1 then begin
     m.m_owner <- t.tid;
     m.m_count <- t.t_saved_count;
+    lock_event vm true m t.tid;
     ready vm t.tid
   end
   else begin
@@ -198,6 +208,7 @@ let terminate_current (vm : Rt.t) =
   let t = Rt.cur vm in
   t.t_state <- Rt.Terminated;
   vm.live_threads <- vm.live_threads - 1;
+  List.iter (fun tid -> hb_event vm t.tid tid) t.t_joiners;
   List.iter (fun tid -> ready vm tid) t.t_joiners;
   t.t_joiners <- [];
   if vm.status = Rt.Running_ then begin
@@ -218,7 +229,8 @@ let monitor_enter (vm : Rt.t) addr =
   let t = Rt.cur vm in
   if m.m_owner = -1 then begin
     m.m_owner <- t.tid;
-    m.m_count <- 1
+    m.m_count <- 1;
+    lock_event vm true m t.tid
   end
   else if m.m_owner = t.tid then m.m_count <- m.m_count + 1
   else begin
@@ -239,11 +251,13 @@ let monitor_exit (vm : Rt.t) addr =
   m.m_count <- m.m_count - 1;
   if m.m_count = 0 then begin
     m.m_owner <- -1;
+    lock_event vm false m t.tid;
     match Queue.take_opt m.m_entryq with
     | Some tid ->
       let w = vm.threads.(tid) in
       m.m_owner <- tid;
       m.m_count <- w.t_saved_count;
+      lock_event vm true m tid;
       ready vm tid
     | None -> ()
   end
@@ -253,11 +267,13 @@ let release_for_wait (vm : Rt.t) (m : Rt.monitor) (t : Rt.thread) =
   t.t_saved_count <- m.m_count;
   m.m_count <- 0;
   m.m_owner <- -1;
+  lock_event vm false m t.tid;
   match Queue.take_opt m.m_entryq with
   | Some tid ->
     let w = vm.threads.(tid) in
     m.m_owner <- tid;
     m.m_count <- w.t_saved_count;
+    lock_event vm true m tid;
     ready vm tid
   | None -> ()
 
@@ -338,7 +354,9 @@ let do_join (vm : Rt.t) target_tid =
   if target_tid < 0 || target_tid >= vm.n_threads then
     raise (Rt.Vm_exception "NullPointerException");
   let target = vm.threads.(target_tid) in
-  if target.t_state = Rt.Terminated then ()
+  if target.t_state = Rt.Terminated then
+    (* the dead thread's writes are visible to the joiner right away *)
+    hb_event vm target_tid (Rt.cur vm).tid
   else begin
     let t = Rt.cur vm in
     target.t_joiners <- t.tid :: target.t_joiners;
@@ -349,6 +367,7 @@ let do_interrupt (vm : Rt.t) target_tid =
   if target_tid < 0 || target_tid >= vm.n_threads then
     raise (Rt.Vm_exception "NullPointerException");
   let w = vm.threads.(target_tid) in
+  hb_event vm (Rt.cur vm).tid target_tid;
   match w.t_state with
   | Rt.Waiting | Rt.Timed_waiting ->
     let m = vm.monitors.(w.t_wait_mon) in

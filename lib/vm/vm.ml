@@ -66,6 +66,8 @@ let live_hooks () : Rt.hooks =
     h_instr = None;
     h_pick = None;
     h_spawn = None;
+    h_lock = None;
+    h_hb = None;
   }
 
 let create ?(config = Rt.default_config) ?(natives = []) ?(inputs = [])

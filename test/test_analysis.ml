@@ -1,0 +1,482 @@
+(* Static race audit: exact classifications on hand-built programs, the
+   generic backward dataflow engine, the monitor-depth sanity pass, the
+   dynamic-vs-static containment property (every race the dynamic tracker
+   observes must be flagged racy statically), and the trace-header audit
+   stamp with the Observer's thread-local fast path. *)
+
+open Tutil
+
+module Report = Analysis.Report
+module Sharing = Vm.Observer.Sharing
+
+let find_key (r : Report.t) key =
+  List.find_opt (fun (f : Report.finding) -> f.Report.f_key = key) r.Report.findings
+
+let check_status (r : Report.t) key expected =
+  match find_key r key with
+  | None -> Alcotest.failf "no finding for %S" key
+  | Some f ->
+    Alcotest.(check string)
+      key
+      (Report.status_name expected)
+      (Report.status_name f.Report.f_status)
+
+(* A heap large enough that the tracked runs never GC (Sharing keys
+   state per heap word, so a collection invalidates it). *)
+let big_config = { Vm.Rt.default_config with Vm.Rt.heap_words = 1 lsl 22 }
+
+(* --- classification on hand-built programs ------------------------------ *)
+
+(* Two workers increment a static with no lock: the canonical race. *)
+let racy_static_prog =
+  let c = "C" in
+  let worker =
+    A.method_ ~nlocals:0 "worker"
+      [
+        i (I.Getstatic (c, "count"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "count"));
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:2 "main"
+      [
+        i (I.Spawn (c, "worker"));
+        i (I.Store 0);
+        i (I.Spawn (c, "worker"));
+        i (I.Store 1);
+        i (I.Load 0);
+        i I.Join;
+        i (I.Load 1);
+        i I.Join;
+        i (I.Getstatic (c, "count"));
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  D.program [ D.cdecl c ~statics:[ D.field "count" ] [ worker; main ] ]
+
+let test_racy_static () =
+  let r = Analysis.run racy_static_prog in
+  Alcotest.(check bool) "converged" true r.Report.converged;
+  check_status r "C.count (static)" Report.Racy;
+  (* provenance: accesses carry method:pc positions *)
+  match find_key r "C.count (static)" with
+  | None -> Alcotest.fail "finding vanished"
+  | Some f ->
+    Alcotest.(check bool) "has accesses" true (f.Report.f_accesses <> []);
+    List.iter
+      (fun (a : Report.acc_view) ->
+        Alcotest.(check bool)
+          (Fmt.str "provenance %S" a.Report.av_where)
+          true
+          (contains a.Report.av_where ":"))
+      f.Report.f_accesses
+
+(* Writes before spawn and reads after join never overlap: thread-local. *)
+let spawn_join_prog =
+  let c = "C" in
+  let worker =
+    A.method_ ~nlocals:0 "worker"
+      [
+        i (I.Getstatic (c, "g"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "g"));
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:1 "main"
+      [
+        i (I.Const 5);
+        i (I.Putstatic (c, "g"));
+        i (I.Spawn (c, "worker"));
+        i (I.Store 0);
+        i (I.Load 0);
+        i I.Join;
+        i (I.Getstatic (c, "g"));
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  D.program [ D.cdecl c ~statics:[ D.field "g" ] [ worker; main ] ]
+
+let test_spawn_join_ordered () =
+  let r = Analysis.run spawn_join_prog in
+  check_status r "C.g (static)" Report.Thread_local;
+  match find_key r "C.g (static)" with
+  | Some f ->
+    Alcotest.(check bool) "why mentions ordering" true
+      (contains f.Report.f_why "spawn/join")
+  | None -> Alcotest.fail "no finding"
+
+(* An object that never leaves its allocating thread. *)
+let test_confined_allocation () =
+  let p =
+    main_prog ~fields:[ D.field "f" ]
+      [
+        i (I.New "T");
+        i (I.Store 0);
+        i (I.Load 0);
+        i (I.Const 7);
+        i (I.Putfield ("T", "f"));
+        i (I.Load 0);
+        i (I.Getfield ("T", "f"));
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  let r = Analysis.run p in
+  check_status r "T.f" Report.Thread_local;
+  (match find_key r "T.f" with
+  | Some f ->
+    Alcotest.(check bool) "why mentions confinement" true
+      (contains f.Report.f_why "confined")
+  | None -> Alcotest.fail "no field finding");
+  (* and the allocation site itself is classified thread-local *)
+  let site =
+    List.find_opt
+      (fun (f : Report.finding) ->
+        f.Report.f_kind = `Site && contains f.Report.f_key "new T")
+      r.Report.findings
+  in
+  match site with
+  | Some f ->
+    Alcotest.(check string) "site status" "thread_local"
+      (Report.status_name f.Report.f_status)
+  | None -> Alcotest.fail "no site finding for new T"
+
+let test_counters_twins () =
+  (* the registry's racy/synced counter pair gets opposite verdicts *)
+  let racy = Analysis.run (Workloads.Counters.racy ()) in
+  check_status racy "Racy.count (static)" Report.Racy;
+  let synced = Analysis.run (Workloads.Counters.synced ()) in
+  check_status synced "Counter.value" Report.Lock_consistent
+
+(* --- the generic backward engine: liveness ------------------------------ *)
+
+module Bits = struct
+  type t = int
+
+  let equal = Int.equal
+
+  let join = ( lor )
+end
+
+module Live = Analysis.Dataflow.Make (Bits)
+
+let test_liveness_backward () =
+  (* 0: Const 5; 1: Store 0; 2: Const 7; 3: Store 1; 4: Load 0; 5: Print;
+     6: Ret.  Local 1 is stored but never read — dead everywhere; local 0
+     is live-out exactly between its store (pc 1) and its load (pc 4). *)
+  let code, _ =
+    A.assemble
+      [
+        i (I.Const 5);
+        i (I.Store 0);
+        i (I.Const 7);
+        i (I.Store 1);
+        i (I.Load 0);
+        i I.Print;
+        i I.Ret;
+      ]
+  in
+  let transfer ~pc:_ (ins : I.t) out =
+    match ins with
+    | I.Store n -> out land lnot (1 lsl n)
+    | I.Load n -> out lor (1 lsl n)
+    | _ -> out
+  in
+  let states =
+    Live.solve
+      {
+        Live.dir = Analysis.Dataflow.Backward;
+        code;
+        handlers = [];
+        entry = 0;
+        transfer;
+        exn_adapt = None;
+      }
+  in
+  let out pc =
+    match states.(pc) with
+    | Some s -> s
+    | None -> Alcotest.failf "pc %d unreached" pc
+  in
+  List.iteri
+    (fun pc expected ->
+      Alcotest.(check int) (Fmt.str "live-out at pc %d" pc) expected (out pc))
+    [ 0; 1; 1; 1; 0; 0; 0 ]
+
+(* --- monitor-depth sanity pass ------------------------------------------ *)
+
+let monitor_issue_containing p needle =
+  List.exists
+    (fun (iss : Bytecode.Check.issue) -> contains iss.Bytecode.Check.what needle)
+    (Bytecode.Check.check_monitors p)
+
+let test_monitor_exit_at_zero () =
+  let p = main_prog [ i (I.Const 0); i I.Monitorexit; i I.Ret ] in
+  Alcotest.(check bool) "flagged" true
+    (monitor_issue_containing p "monitorexit may execute with no monitor held")
+
+let test_monitor_leak_on_return () =
+  let p = main_prog [ i (I.New "T"); i I.Monitorenter; i I.Ret ] in
+  Alcotest.(check bool) "flagged" true
+    (monitor_issue_containing p "may return while still holding a monitor")
+
+let test_monitor_nesting_in_loop () =
+  let p =
+    main_prog
+      [ l "loop"; i (I.New "T"); i I.Monitorenter; i (I.Goto "loop") ]
+  in
+  Alcotest.(check bool) "flagged" true
+    (monitor_issue_containing p "monitor nesting may exceed depth")
+
+let test_monitor_balanced_clean () =
+  let p =
+    main_prog
+      [
+        i (I.New "T");
+        i (I.Store 0);
+        i (I.Load 0);
+        i I.Monitorenter;
+        i (I.Load 0);
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  Alcotest.(check int) "no issues" 0
+    (List.length (Bytecode.Check.check_monitors p))
+
+(* --- dynamic ⊆ static --------------------------------------------------- *)
+
+(* Run [p] with the dynamic tracker attached; return (tracker, status). *)
+let run_tracked ?skip ?(seed = 1) ?natives p =
+  let config =
+    {
+      big_config with
+      Vm.Rt.env_cfg = { big_config.Vm.Rt.env_cfg with Vm.Env.seed };
+    }
+  in
+  let vm = Vm.create ~config ?natives p in
+  let sh = Sharing.attach ?skip vm in
+  let st = Vm.run vm in
+  (sh, st)
+
+let dynamic_subset_of_static ?(where = "") sh p =
+  let static_racy = Report.racy_keys (Dejavu.Audit.report_for p) in
+  List.for_all
+    (fun k ->
+      let ok = List.mem k static_racy in
+      if not ok then
+        Alcotest.failf "%sdynamic race on %S not flagged statically" where k;
+      ok)
+    (Sharing.racy_keys sh)
+
+let test_registry_dynamic_subset () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let sh, _ = run_tracked ~natives:e.natives e.Workloads.Registry.program in
+      (* a collection invalidates per-word keying; workloads that GC even
+         under the big heap are exempt from the containment check *)
+      if Sharing.valid sh then
+        ignore
+          (dynamic_subset_of_static ~where:(e.Workloads.Registry.name ^ ": ")
+             sh e.Workloads.Registry.program))
+    (Lazy.force Workloads.Registry.all)
+
+let test_registry_fully_classified () =
+  (* every workload's audit converges and classifies every field with
+     method:pc provenance on each recorded access *)
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let r = Dejavu.Audit.report_for e.Workloads.Registry.program in
+      Alcotest.(check bool) (e.Workloads.Registry.name ^ " converged") true
+        r.Report.converged;
+      List.iter
+        (fun (f : Report.finding) ->
+          Alcotest.(check bool) "nonempty key" true (f.Report.f_key <> "");
+          if f.Report.f_kind = `Field then
+            List.iter
+              (fun (a : Report.acc_view) ->
+                Alcotest.(check bool)
+                  (Fmt.str "%s: provenance %S" e.Workloads.Registry.name
+                     a.Report.av_where)
+                  true
+                  (contains a.Report.av_where ":"))
+              f.Report.f_accesses)
+        r.Report.findings)
+    (Lazy.force Workloads.Registry.all)
+
+let prop_dynamic_subset =
+  QCheck.Test.make ~count:15 ~name:"dynamic races are flagged statically"
+    QCheck.(
+      quad (2 -- 4) (1 -- 20) bool (1 -- 5))
+    (fun (threads, increments, sync, seed) ->
+      let p =
+        if sync then Workloads.Counters.synced ~threads ~increments ()
+        else Workloads.Counters.racy ~threads ~increments ()
+      in
+      let sh, st = run_tracked ~seed p in
+      (match st with
+      | Vm.Rt.Finished | Vm.Rt.Halted _ -> ()
+      | st -> QCheck.Test.fail_reportf "bad status %s" (Vm.string_of_status st));
+      Sharing.valid sh && dynamic_subset_of_static sh p)
+
+(* --- trace stamp + thread-local fast path ------------------------------- *)
+
+(* Main hammers a private instance field (proven thread-local — skippable)
+   while two workers race on a static. *)
+let skip_prog =
+  let c = "C" in
+  let worker =
+    A.method_ ~nlocals:1 "worker"
+      [
+        i (I.Const 30);
+        i (I.Store 0);
+        l "loop";
+        i (I.Load 0);
+        i (I.Ifz (I.Le, "end"));
+        i (I.Getstatic (c, "count"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "count"));
+        i (I.Load 0);
+        i (I.Const 1);
+        i I.Sub;
+        i (I.Store 0);
+        i (I.Goto "loop");
+        l "end";
+        i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:3 "main"
+      ([ i (I.New c); i (I.Store 2); i (I.Const 20); i (I.Store 0); l "ml" ]
+      @ [
+          i (I.Load 0);
+          i (I.Ifz (I.Le, "mend"));
+          i (I.Load 2);
+          i (I.Load 2);
+          i (I.Getfield (c, "x"));
+          i (I.Const 1);
+          i I.Add;
+          i (I.Putfield (c, "x"));
+          i (I.Load 0);
+          i (I.Const 1);
+          i I.Sub;
+          i (I.Store 0);
+          i (I.Goto "ml");
+          l "mend";
+        ]
+      @ [
+          i (I.Spawn (c, "worker"));
+          i (I.Store 0);
+          i (I.Spawn (c, "worker"));
+          i (I.Store 1);
+          i (I.Load 0);
+          i I.Join;
+          i (I.Load 1);
+          i I.Join;
+          i (I.Getstatic (c, "count"));
+          i I.Print;
+          i (I.Load 2);
+          i (I.Getfield (c, "x"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program
+    [
+      D.cdecl c ~statics:[ D.field "count" ] ~fields:[ D.field "x" ]
+        [ worker; main ];
+    ]
+
+let test_skip_predicate () =
+  let skip = Dejavu.Audit.skip_for skip_prog in
+  Alcotest.(check bool) "C.x skippable" true (skip "C.x");
+  Alcotest.(check bool) "C.count not skippable" false (skip "C.count (static)");
+  Alcotest.(check bool) "audit hash nonempty" true
+    (Dejavu.Audit.hash_for skip_prog <> "")
+
+let record_bytes ~with_sharing p =
+  let vm = Vm.create ~config:big_config p in
+  let session = Dejavu.Recorder.attach vm in
+  let sh =
+    if with_sharing then
+      Some (Sharing.attach ~skip:(Dejavu.Audit.skip_for p) vm)
+    else None
+  in
+  ignore (Vm.run vm);
+  (Dejavu.Recorder.finish session, sh)
+
+let test_fast_path_preserves_trace () =
+  (* recording with the tracker + thread-local fast path attached must
+     produce byte-identical traces: observation is perturbation-free *)
+  let t_plain, _ = record_bytes ~with_sharing:false skip_prog in
+  let t_tracked, sh = record_bytes ~with_sharing:true skip_prog in
+  Alcotest.(check bool) "byte-identical traces" true
+    (Dejavu.Trace.to_bytes t_plain = Dejavu.Trace.to_bytes t_tracked);
+  match sh with
+  | None -> Alcotest.fail "no tracker"
+  | Some sh ->
+    Alcotest.(check bool) "no GC during run" true (Sharing.valid sh);
+    Alcotest.(check bool) "fast path taken" true (Sharing.n_skipped sh > 0);
+    Alcotest.(check bool) "still tracking shared state" true
+      (Sharing.n_tracked sh > 0);
+    Alcotest.(check bool) "dynamic race seen on the static" true
+      (List.mem "C.count (static)" (Sharing.shared_keys sh))
+
+let test_trace_carries_audit_hash () =
+  let rt = Dejavu.verify_roundtrip ~config:big_config skip_prog in
+  Alcotest.(check bool) "roundtrip ok" true (Dejavu.ok rt);
+  Alcotest.(check string) "stamped hash"
+    (Dejavu.Audit.hash_for skip_prog)
+    rt.Dejavu.trace.Dejavu.Trace.analysis_hash
+
+let test_replay_rejects_other_audit () =
+  let t, _ = record_bytes ~with_sharing:false skip_prog in
+  let tampered = { t with Dejavu.Trace.analysis_hash = "0000000000000000" } in
+  let run, leftovers =
+    Dejavu.replay ~config:big_config skip_prog tampered
+  in
+  Alcotest.(check bool) "rejected" true (run.Dejavu.session = None);
+  Alcotest.(check bool) "names the audit" true
+    (List.exists (fun m -> contains m "different race audit") leftovers)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "classify",
+        [
+          quick "racy static counter" test_racy_static;
+          quick "spawn/join ordered" test_spawn_join_ordered;
+          quick "confined allocation" test_confined_allocation;
+          quick "counter twins" test_counters_twins;
+        ] );
+      ("engine", [ quick "backward liveness" test_liveness_backward ]);
+      ( "monitors",
+        [
+          quick "exit at depth 0" test_monitor_exit_at_zero;
+          quick "leak on return" test_monitor_leak_on_return;
+          quick "nesting in loop" test_monitor_nesting_in_loop;
+          quick "balanced is clean" test_monitor_balanced_clean;
+        ] );
+      ( "dynamic",
+        [
+          quick "registry: dynamic ⊆ static" test_registry_dynamic_subset;
+          quick "registry: fully classified" test_registry_fully_classified;
+          QCheck_alcotest.to_alcotest prop_dynamic_subset;
+        ] );
+      ( "stamp",
+        [
+          quick "skip predicate" test_skip_predicate;
+          quick "fast path preserves trace" test_fast_path_preserves_trace;
+          quick "trace carries audit hash" test_trace_carries_audit_hash;
+          quick "replay rejects other audit" test_replay_rejects_other_audit;
+        ] );
+    ]

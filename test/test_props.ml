@@ -94,6 +94,7 @@ let prop_trace_roundtrip =
       let t =
         {
           Dejavu.Trace.program_digest = "prop";
+          analysis_hash = "prop-audit";
           switches = a;
           clocks = b;
           inputs = c;

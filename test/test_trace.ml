@@ -4,12 +4,13 @@ open Tutil
 
 module T = Dejavu.Trace
 
-let mk ?(digest = "d") ?(switches = [||]) ?(clocks = [||]) ?(inputs = [||])
-    ?(natives = [||]) () =
-  { T.program_digest = digest; switches; clocks; inputs; natives }
+let mk ?(digest = "d") ?(analysis_hash = "") ?(switches = [||])
+    ?(clocks = [||]) ?(inputs = [||]) ?(natives = [||]) () =
+  { T.program_digest = digest; analysis_hash; switches; clocks; inputs; natives }
 
 let trace_eq a b =
   a.T.program_digest = b.T.program_digest
+  && a.T.analysis_hash = b.T.analysis_hash
   && a.T.switches = b.T.switches
   && a.T.clocks = b.T.clocks
   && a.T.inputs = b.T.inputs
