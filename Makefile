@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune.
 
-.PHONY: all build test smoke bench lint clean
+.PHONY: all build test smoke batch-smoke bench lint clean
 
 all: build
 
@@ -14,6 +14,12 @@ test:
 # machine-readable dispatch benchmark (writes BENCH_interp.json).
 smoke:
 	dune build && dune runtest && dune exec bench/main.exe -- --json
+
+# Replay farm gate: record the whole registry across 4 shard domains and
+# fail unless every job completes (the aggregate digest is checked against
+# a sequential run by test_server and bench E12).
+batch-smoke:
+	dune exec bin/dvrun.exe -- batch --shards 4 --out _batch
 
 bench:
 	dune exec bench/main.exe

@@ -434,6 +434,40 @@ let micro () =
         tbl)
     results
 
+(* ------------------------------------------------------------------ E12 *)
+
+(* Replay-farm throughput: record the whole registry under increasing shard
+   counts and compare wall clock. The aggregate digest must not change with
+   the shard count — sharding alters scheduling, never results. *)
+let batch_under shards =
+  let out_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "dv-bench-batch-%d-%d" (Unix.getpid ()) shards)
+  in
+  let rep = Server.Batch.run_registry ~shards ~out_dir () in
+  List.iter
+    (fun r -> try Sys.remove (Filename.concat out_dir (r ^ ".trace")) with Sys_error _ -> ())
+    (Workloads.Registry.names ());
+  (try Sys.rmdir out_dir with Sys_error _ -> ());
+  rep
+
+let e12 () =
+  section "E12" "Replay farm: batch record throughput vs shard count";
+  let base = batch_under 1 in
+  Fmt.pr "%-8s %10s %10s %10s %10s@." "shards" "wall s" "jobs/s" "p50 ms"
+    "p99 ms";
+  List.iter
+    (fun shards ->
+      let rep = if shards = 1 then base else batch_under shards in
+      Fmt.pr "%-8d %10.2f %10.1f %10.1f %10.1f%s@." shards
+        rep.Server.Batch.wall_s rep.Server.Batch.jobs_per_s
+        (rep.Server.Batch.stats.Server.Stats.v_p50 *. 1e3)
+        (rep.Server.Batch.stats.Server.Stats.v_p99 *. 1e3)
+        (if rep.Server.Batch.aggregate = base.Server.Batch.aggregate then
+           "  (digest = sequential)"
+         else "  AGGREGATE MISMATCH"))
+    [ 1; 2; 4 ]
+
 (* ---------------------------------------------------------------- json *)
 
 (* Machine-readable perf trajectory: per-workload instrs/sec for live,
@@ -551,6 +585,45 @@ let json () =
            sizes.Dejavu.Trace.total_bytes
            (if i = n_total - 1 then "" else ",")))
     (json_workloads ());
+  Buffer.add_string buf "  },\n";
+  (* replay-farm batch throughput: whole registry recorded under 1 and 4
+     shards (streamed traces); jobs/sec and latency quantiles come from the
+     farm's own histogram *)
+  let batch_json shards =
+    let rep = batch_under shards in
+    Fmt.pr "batch %d shard(s): %.1f jobs/s (p50 <= %.1f ms, p99 <= %.1f ms)@."
+      shards rep.Server.Batch.jobs_per_s
+      (rep.Server.Batch.stats.Server.Stats.v_p50 *. 1e3)
+      (rep.Server.Batch.stats.Server.Stats.v_p99 *. 1e3);
+    rep
+  in
+  let b1 = batch_json 1 in
+  let b4 = batch_json 4 in
+  let batch_field key (rep : Server.Batch.report) last =
+    Buffer.add_string buf
+      (Fmt.str
+         "    %S: {\n\
+         \      \"jobs\": %d,\n\
+         \      \"wall_s\": %.3f,\n\
+         \      \"jobs_per_s\": %.2f,\n\
+         \      \"p50_ms\": %.2f,\n\
+         \      \"p99_ms\": %.2f\n\
+         \    }%s\n"
+         key (List.length rep.Server.Batch.rows) rep.Server.Batch.wall_s
+         rep.Server.Batch.jobs_per_s
+         (rep.Server.Batch.stats.Server.Stats.v_p50 *. 1e3)
+         (rep.Server.Batch.stats.Server.Stats.v_p99 *. 1e3)
+         (if last then "" else ","))
+  in
+  Buffer.add_string buf "  \"batch\": {\n";
+  batch_field "shards_1" b1 false;
+  batch_field "shards_4" b4 false;
+  Buffer.add_string buf
+    (Fmt.str "    \"speedup_4v1\": %.2f,\n    \"digests_equal\": %b\n"
+       (if b4.Server.Batch.wall_s > 0. then
+          b1.Server.Batch.wall_s /. b4.Server.Batch.wall_s
+        else 0.)
+       (b1.Server.Batch.aggregate = b4.Server.Batch.aggregate));
   Buffer.add_string buf "  }\n}";
   let point = Buffer.contents buf in
   let oc = open_out json_out in
@@ -577,6 +650,7 @@ let all : (string * string * (unit -> unit)) list =
     ("E9", "ablations", e9);
     ("E10", "time travel", e10);
     ("E11", "symmetry ablation", e11);
+    ("E12", "replay farm batch throughput", e12);
     ("micro", "bechamel microbenches", micro);
     ("--json", "write the BENCH_interp.json perf trajectory", json);
   ]

@@ -170,14 +170,14 @@ let record_cmd =
     Term.(
       const (fun name seed out verbose ->
           let e = find_workload name in
-          let run, trace =
-            Dejavu.record ~natives:e.natives ~seed e.program
+          (* streamed: the recorder never holds the whole trace in memory,
+             and a failed run leaves no partial file *)
+          let run, sizes =
+            Dejavu.record_to ~natives:e.natives ~seed ~path:out e.program
           in
-          Dejavu.Trace.save out trace;
           Fmt.pr "--- output ---@.%s--- status: %s ---@." run.Dejavu.output
             (Vm.string_of_status run.status);
-          Fmt.pr "trace -> %s (%a)@." out Dejavu.Trace.pp_sizes
-            (Dejavu.Trace.sizes trace);
+          Fmt.pr "trace -> %s (%a)@." out Dejavu.Trace.pp_sizes sizes;
           if verbose then Fmt.pr "%a@." pp_stats (Vm.stats run.vm))
       $ name_arg $ seed_arg $ out_arg $ verbose_arg)
 
@@ -193,9 +193,16 @@ let replay_cmd =
     Term.(
       const (fun name inp verbose ->
           let e = find_workload name in
-          let trace = load_trace inp in
+          (* streamed: O(chunk) trace memory during replay *)
           let run, leftovers =
-            Dejavu.replay ~natives:e.natives e.program trace
+            match Dejavu.replay_from ~natives:e.natives ~path:inp e.program with
+            | r -> r
+            | exception Dejavu.Trace.Format_error msg ->
+              Fmt.epr "%s: malformed trace (%s)@." inp msg;
+              Stdlib.exit 2
+            | exception Sys_error msg ->
+              Fmt.epr "%s@." msg;
+              Stdlib.exit 2
           in
           Fmt.pr "--- output ---@.%s--- status: %s ---@." run.Dejavu.output
             (Vm.string_of_status run.status);
@@ -394,12 +401,157 @@ let lint_cmd =
     Term.(
       const lint $ name_opt_arg $ all_arg $ json_arg $ allow_arg $ baseline_arg)
 
+(* --- the replay farm: batch / serve / submit --- *)
+
+let shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N" ~doc:"worker domains (one VM each)")
+
+let out_dir_arg =
+  Arg.(
+    value & opt string "_batch"
+    & info [ "out" ] ~docv:"DIR" ~doc:"directory for recorded traces")
+
+let batch_cmd =
+  let doc = "record every registry workload across N shard domains" in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS" ~doc:"per-job deadline in seconds")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N" ~doc:"retry budget per job")
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const (fun shards seed out_dir deadline_s max_retries ->
+          let rep =
+            Server.Batch.run_registry ~shards ~seed ?deadline_s ~max_retries
+              ~out_dir ()
+          in
+          Fmt.pr "%a@." Server.Batch.pp_report rep;
+          if not rep.Server.Batch.ok then Stdlib.exit 1)
+      $ shards_arg $ seed_arg $ out_dir_arg $ deadline_arg $ retries_arg)
+
+let socket_arg =
+  Arg.(
+    value & opt string "/tmp/dvrun.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let serve_cmd =
+  let doc = "serve record/replay/roundtrip/lint jobs over a Unix socket" in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"exit after N connections (0 = serve forever)")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const (fun shards socket_path out_dir max_conns ->
+          let srv =
+            Server.Serve.create ~shards ~socket_path ~out_dir ()
+          in
+          Fmt.pr "serving on %s (%d shards, traces -> %s)@." socket_path
+            shards out_dir;
+          let max_conns = if max_conns = 0 then None else Some max_conns in
+          Fun.protect
+            ~finally:(fun () -> Server.Serve.shutdown srv)
+            (fun () -> Server.Serve.serve ?max_conns srv);
+          Fmt.pr "%a@." Server.Stats.pp_view
+            (Server.Stats.view (Server.Serve.stats srv)))
+      $ shards_arg $ socket_arg $ out_dir_arg $ max_conns_arg)
+
+let submit_cmd =
+  let doc = "submit jobs to a running dvrun serve and print the replies" in
+  let op_arg =
+    let ops =
+      [ ("record", Server.Protocol.Op_record);
+        ("replay", Server.Protocol.Op_replay);
+        ("roundtrip", Server.Protocol.Op_roundtrip);
+        ("lint", Server.Protocol.Op_lint) ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum ops)) None
+      & info [] ~docv:"OP" ~doc:"record | replay | roundtrip | lint")
+  in
+  let workloads_arg =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"WORKLOAD" ~doc:"workloads (default: whole registry)")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:"server-side trace path (replay jobs)")
+  in
+  let deadline_ms_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"per-job deadline (0 = none)")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N" ~doc:"retry budget per job")
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const (fun socket_path op workloads seed trace deadline_ms retries ->
+          let workloads =
+            if workloads <> [] then workloads
+            else Workloads.Registry.names ()
+          in
+          let reqs =
+            List.map
+              (fun w ->
+                Server.Protocol.Submit
+                  {
+                    q_op = op;
+                    q_workload = w;
+                    q_seed = seed;
+                    q_trace = trace;
+                    q_deadline_ms = deadline_ms;
+                    q_max_retries = retries;
+                  })
+              workloads
+          in
+          let replies = Server.Serve.client_submit ~socket_path reqs in
+          let failed = ref 0 in
+          List.iter
+            (fun (r : Server.Protocol.reply) ->
+              if r.p_outcome <> 0 then incr failed;
+              Fmt.pr "%-24s %-9s %-10s %2d att  %7.1f ms  %s %s@."
+                r.p_workload
+                (Server.Protocol.string_of_op r.p_op)
+                (match r.p_outcome with
+                | 0 -> "done"
+                | 1 -> "failed"
+                | 2 -> "timeout"
+                | _ -> "cancelled")
+                r.p_attempts
+                (float_of_int r.p_latency_us /. 1e3)
+                r.p_status
+                (if r.p_digest = "" then ""
+                 else String.sub r.p_digest 0 (min 12 (String.length r.p_digest))))
+            replies;
+          if !failed > 0 then Stdlib.exit 1)
+      $ socket_arg $ op_arg $ workloads_arg $ seed_arg $ trace_arg
+      $ deadline_ms_arg $ retries_arg)
+
 let main_cmd =
   let doc = "DejaVu replay platform driver (simulated Jalapeño VM)" in
   Cmd.group (Cmd.info "dvrun" ~doc)
     [
       list_cmd; run_cmd; disasm_cmd; emit_cmd; compare_cmd; record_cmd;
-      replay_cmd; verify_cmd; dump_cmd; lint_cmd;
+      replay_cmd; verify_cmd; dump_cmd; lint_cmd; batch_cmd; serve_cmd;
+      submit_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

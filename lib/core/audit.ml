@@ -8,18 +8,23 @@
 
    Reports are memoized by program digest: benches and tests record the
    same program many times, and the whole-program analysis must not be
-   re-run per recording. *)
+   re-run per recording. The table is shared by every replay shard (one VM
+   per domain), so access is serialized by a mutex — the analysis of a
+   given program runs once per process, not once per shard. *)
 
 let reports : (string, Analysis.Report.t) Hashtbl.t = Hashtbl.create 8
 
+let reports_mutex = Mutex.create ()
+
 let report_for (p : Bytecode.Decl.program) : Analysis.Report.t =
   let d = Bytecode.Decl.digest p in
-  match Hashtbl.find_opt reports d with
-  | Some r -> r
-  | None ->
-    let r = Analysis.run p in
-    Hashtbl.replace reports d r;
-    r
+  Mutex.protect reports_mutex (fun () ->
+      match Hashtbl.find_opt reports d with
+      | Some r -> r
+      | None ->
+        let r = Analysis.run p in
+        Hashtbl.replace reports d r;
+        r)
 
 let hash_for p = (report_for p).Analysis.Report.summary_hash
 

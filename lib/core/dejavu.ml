@@ -87,6 +87,67 @@ let replay ?(config = Vm.Rt.default_config) ?(natives = []) ?(seed = 424242)
     let run = finish_run vm session observer in
     (run, Replayer.check_complete session)
 
+(* Record straight into a trace file through the streaming writer: bounded
+   recorder-side memory, temp-file + atomic-rename on finish, and abort on
+   any error — a crashed or cancelled recording leaves nothing behind. *)
+let record_to ?(config = Vm.Rt.default_config) ?(natives = []) ?(inputs = [])
+    ?(seed = 1) ?limit ?(observe = true) ?buf_words ~path program :
+    run * Trace.sizes =
+  let config =
+    { config with Vm.Rt.env_cfg = { config.Vm.Rt.env_cfg with Vm.Env.seed } }
+  in
+  let vm = Vm.create ~config ~natives ~inputs program in
+  let writer = Trace.Writer.create ?buf_words path in
+  match
+    let session = Recorder.attach_stream vm writer in
+    let observer =
+      if observe then Some (Vm.Observer.attach_digest vm) else None
+    in
+    ignore (Vm.run ?limit vm);
+    (finish_run vm session observer, Recorder.finish_stream session writer)
+  with
+  | result -> result
+  | exception e ->
+    Trace.Writer.abort writer;
+    raise e
+
+(* Replay from a trace file through the streaming reader: O(chunk) replay-
+   side trace memory. Raises Trace.Format_error on a malformed file;
+   divergences are reported like [replay]. *)
+let replay_from ?(config = Vm.Rt.default_config) ?(natives = [])
+    ?(seed = 424242) ?limit ?(observe = true) ?chunk_words ~path program :
+    run * string list =
+  let config =
+    { config with Vm.Rt.env_cfg = { config.Vm.Rt.env_cfg with Vm.Env.seed } }
+  in
+  let vm = Vm.create ~config ~natives program in
+  let reader = Trace.Reader.open_file ?chunk_words path in
+  Fun.protect
+    ~finally:(fun () -> Trace.Reader.close reader)
+    (fun () ->
+      match Replayer.attach_stream vm reader with
+      | exception Session.Divergence msg ->
+        vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg);
+        ( {
+            vm;
+            status = Vm.status vm;
+            output = "";
+            state_digest = 0;
+            obs_digest = 0;
+            obs_count = 0;
+            session = None;
+          },
+          [ msg ] )
+      | session ->
+        let observer =
+          if observe then Some (Vm.Observer.attach_digest vm) else None
+        in
+        (try ignore (Vm.run ?limit vm)
+         with Session.Divergence msg ->
+           vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));
+        let run = finish_run vm session observer in
+        (run, Replayer.check_complete session))
+
 type roundtrip = {
   recorded : run;
   replayed : run;

@@ -39,6 +39,15 @@ let attach (vm : Vm.Rt.t) : Session.t =
   vm.hooks.h_yieldpoint <- Figure2.record s;
   s
 
+(* Streaming record attachment: identical hooks, but every tape drains into
+   the writer's bounded buffers, so the recorder holds O(buffer) trace
+   memory no matter how long the run is. *)
+let attach_stream (vm : Vm.Rt.t) (w : Trace.Writer.t) : Session.t =
+  let s = Session.for_record_stream vm w in
+  attach_io vm s;
+  vm.hooks.h_yieldpoint <- Figure2.record s;
+  s
+
 (* Finish a recording: produce the trace, stamped with the program digest
    and the static race audit's fingerprint (memoized per program, so
    repeated recordings of one program pay for the analysis once). *)
@@ -46,3 +55,17 @@ let finish (s : Session.t) : Trace.t =
   Session.to_trace s
     ~analysis_hash:(Audit.hash_for s.vm.program)
     (Bytecode.Decl.digest s.vm.program)
+
+(* Seal a streamed recording into its destination file (temp file + atomic
+   rename inside the writer). On any error the writer is aborted, so a
+   cancelled or crashed recording never leaves a partial trace behind. *)
+let finish_stream (s : Session.t) (w : Trace.Writer.t) : Trace.sizes =
+  match
+    Trace.Writer.finish w
+      ~program_digest:(Bytecode.Decl.digest s.vm.program)
+      ~analysis_hash:(Audit.hash_for s.vm.program)
+  with
+  | sizes -> sizes
+  | exception e ->
+    Trace.Writer.abort w;
+    raise e

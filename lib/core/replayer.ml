@@ -50,27 +50,43 @@ let attach_io (vm : Vm.Rt.t) (s : Session.t) =
       Ring.put s.ring nat.nat_id;
       outcome)
 
-let check_digest (vm : Vm.Rt.t) (trace : Trace.t) =
+let check_header (vm : Vm.Rt.t) ~program_digest ~analysis_hash =
   let own_digest = Bytecode.Decl.digest vm.program in
-  if trace.program_digest <> own_digest then
+  if program_digest <> own_digest then
     Session.divergence
       "trace was recorded for a different program (digest %s, expected %s)"
-      trace.program_digest own_digest;
+      program_digest own_digest;
   (* same code, but a different race audit: the recording may have relied
      on thread-local assumptions this side does not share — refuse. "" is
      a trace recorded without an audit stamp, accepted as unchecked. *)
-  if trace.analysis_hash <> "" then begin
+  if analysis_hash <> "" then begin
     let own_hash = Audit.hash_for vm.program in
-    if trace.analysis_hash <> own_hash then
+    if analysis_hash <> own_hash then
       Session.divergence
         "trace was recorded under a different race audit (hash %s, expected \
          %s)"
-        trace.analysis_hash own_hash
+        analysis_hash own_hash
   end
+
+let check_digest (vm : Vm.Rt.t) (trace : Trace.t) =
+  check_header vm ~program_digest:trace.program_digest
+    ~analysis_hash:trace.analysis_hash
 
 let attach (vm : Vm.Rt.t) (trace : Trace.t) : Session.t =
   check_digest vm trace;
   let s = Session.for_replay vm trace in
+  attach_io vm s;
+  vm.hooks.h_yieldpoint <- Figure2.replay s;
+  s
+
+(* Streaming replay attachment: the header was already parsed by the reader;
+   the tapes refill chunk by chunk, so replay-side trace memory is O(chunk)
+   regardless of trace length. *)
+let attach_stream (vm : Vm.Rt.t) (r : Trace.Reader.t) : Session.t =
+  check_header vm
+    ~program_digest:(Trace.Reader.program_digest r)
+    ~analysis_hash:(Trace.Reader.analysis_hash r);
+  let s = Session.for_replay_stream vm r in
   attach_io vm s;
   vm.hooks.h_yieldpoint <- Figure2.replay s;
   s

@@ -9,12 +9,21 @@ exception Divergence of string
 (** Install only the clock/input/native substitution. *)
 val attach_io : Vm.Rt.t -> Session.t -> unit
 
+(** Reject a header recorded for a different program or under a different
+    race audit. *)
+val check_header :
+  Vm.Rt.t -> program_digest:string -> analysis_hash:string -> unit
+
 (** Reject a trace recorded for a different program (digest check). *)
 val check_digest : Vm.Rt.t -> Trace.t -> unit
 
 (** Full DejaVu replay attachment: digest check, {!attach_io}, and the
     Figure-2 replay yield-point hook. *)
 val attach : Vm.Rt.t -> Trace.t -> Session.t
+
+(** Like {!attach}, over a streaming reader: replay-side trace memory is
+    O(chunk) in trace length. *)
+val attach_stream : Vm.Rt.t -> Trace.Reader.t -> Session.t
 
 (** Unconsumed-trace warnings, empty after a complete replay. *)
 val check_complete : Session.t -> string list

@@ -83,6 +83,29 @@ let for_replay vm (trace : Trace.t) =
     | None -> max_int);
   s
 
+(* Streaming variants: the tapes are the Writer's sink-wired buffers (record)
+   or the Reader's chunk-refilled views (replay), so neither side ever holds
+   a whole tape in memory. Everything downstream — Figure 2, the I/O hooks,
+   leftover accounting — is tape-agnostic and unchanged. *)
+let for_record_stream vm (w : Trace.Writer.t) =
+  let t = Trace.Writer.tapes w in
+  create vm Record ~switches:t.(0) ~clocks:t.(1) ~inputs:t.(2) ~natives:t.(3)
+
+let for_replay_stream vm (r : Trace.Reader.t) =
+  let t = Trace.Reader.tapes r in
+  let s =
+    create vm Replay ~switches:t.(0) ~clocks:t.(1) ~inputs:t.(2) ~natives:t.(3)
+  in
+  s.nyp <-
+    (match Trace.Tape.read_opt s.switches with
+    | Some d -> d
+    | None -> max_int);
+  s
+
+let streaming (s : t) =
+  Array.exists Trace.Tape.is_streaming
+    [| s.switches; s.clocks; s.inputs; s.natives |]
+
 let to_trace ?(analysis_hash = "") (s : t) program_digest : Trace.t =
   {
     Trace.program_digest;
@@ -112,7 +135,15 @@ type snap = {
 
 let tapes s = [| s.switches; s.clocks; s.inputs; s.natives |]
 
+(* Checkpoints cut tape cursors/lengths backwards, which a flushed sink or a
+   consumed refill chunk cannot honour — the time-travel debugger keeps to
+   materialized sessions. *)
+let check_not_streaming what s =
+  if streaming s then
+    invalid_arg (what ^ ": streaming sessions do not support checkpoints")
+
 let snapshot (s : t) : snap =
+  check_not_streaming "Session.snapshot" s;
   {
     sn_rd = Array.map (fun (t : Trace.Tape.t) -> t.rd) (tapes s);
     sn_len = Array.map (fun (t : Trace.Tape.t) -> t.len) (tapes s);
@@ -126,6 +157,7 @@ let snapshot (s : t) : snap =
   }
 
 let restore (s : t) (c : snap) =
+  check_not_streaming "Session.restore" s;
   Array.iteri
     (fun i (t : Trace.Tape.t) ->
       t.rd <- c.sn_rd.(i);

@@ -39,6 +39,18 @@ val for_record : Vm.Rt.t -> t
     recorded switch delta. *)
 val for_replay : Vm.Rt.t -> Trace.t -> t
 
+(** Record-mode session whose tapes drain into the writer's bounded
+    buffers: recorder-side trace memory stays constant in event count. *)
+val for_record_stream : Vm.Rt.t -> Trace.Writer.t -> t
+
+(** Replay-mode session over the reader's chunk-refilled tapes (O(1)
+    memory in trace length); primes [nyp] like {!for_replay}. *)
+val for_replay_stream : Vm.Rt.t -> Trace.Reader.t -> t
+
+(** True when any tape is sink- or refill-wired; such sessions refuse
+    {!snapshot}/{!restore} (checkpoints cannot rewind flushed data). *)
+val streaming : t -> bool
+
 (** Freeze a (record) session's tapes into a trace, optionally stamped
     with the static race-audit fingerprint (default [""] = unaudited). *)
 val to_trace : ?analysis_hash:string -> t -> string -> Trace.t

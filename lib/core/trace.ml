@@ -22,34 +22,111 @@ module Tape = struct
     mutable data : int array;
     mutable len : int;
     mutable rd : int; (* read cursor (replay) *)
+    mutable base : int; (* elements flushed to a sink / consumed by refills *)
+    mutable pending : int; (* elements still in the source beyond [data] *)
+    mutable sink : (int array -> int -> unit) option;
+        (* streaming record: drains [data.(0..len)] when the buffer fills *)
+    mutable refill : (t -> bool) option;
+        (* streaming replay: loads the next chunk; false at end of stream *)
   }
 
-  let create name = { name; data = Array.make 64 0; len = 0; rd = 0 }
+  let create name =
+    {
+      name;
+      data = Array.make 64 0;
+      len = 0;
+      rd = 0;
+      base = 0;
+      pending = 0;
+      sink = None;
+      refill = None;
+    }
 
-  let of_array name data = { name; data; len = Array.length data; rd = 0 }
+  let of_array name data =
+    {
+      name;
+      data;
+      len = Array.length data;
+      rd = 0;
+      base = 0;
+      pending = 0;
+      sink = None;
+      refill = None;
+    }
+
+  (* A tape draining into [sink]: the buffer is a fixed [cap] words, flushed
+     whenever it fills, so a recording holds at most [cap] unflushed words
+     per tape regardless of run length. *)
+  let with_sink name ~cap sink =
+    {
+      name;
+      data = Array.make (max 1 cap) 0;
+      len = 0;
+      rd = 0;
+      base = 0;
+      pending = 0;
+      sink = Some sink;
+      refill = None;
+    }
+
+  (* A tape filled on demand by [refill]; [pending] is the element count the
+     source still holds, so [remaining] stays exact for leftover checks. *)
+  let of_refill name ~pending refill =
+    {
+      name;
+      data = [||];
+      len = 0;
+      rd = 0;
+      base = 0;
+      pending;
+      sink = None;
+      refill = Some refill;
+    }
+
+  let is_streaming t = t.sink <> None || t.refill <> None
+
+  let flush t =
+    match t.sink with
+    | Some f when t.len > 0 ->
+      f t.data t.len;
+      t.base <- t.base + t.len;
+      t.len <- 0
+    | _ -> ()
 
   let push t v =
     if t.len >= Array.length t.data then begin
-      let bigger = Array.make (2 * Array.length t.data) 0 in
-      Array.blit t.data 0 bigger 0 t.len;
-      t.data <- bigger
+      match t.sink with
+      | Some _ -> flush t
+      | None ->
+        let bigger = Array.make (2 * Array.length t.data) 0 in
+        Array.blit t.data 0 bigger 0 t.len;
+        t.data <- bigger
     end;
     t.data.(t.len) <- v;
     t.len <- t.len + 1
 
-  let read t =
-    if t.rd >= t.len then raise (End_of_tape t.name);
-    let v = t.data.(t.rd) in
-    t.rd <- t.rd + 1;
-    v
+  let rec read t =
+    if t.rd >= t.len then begin
+      match t.refill with
+      | Some f when f t -> read t
+      | _ -> raise (End_of_tape t.name)
+    end
+    else begin
+      let v = t.data.(t.rd) in
+      t.rd <- t.rd + 1;
+      v
+    end
 
-  let read_opt t = if t.rd >= t.len then None else Some (read t)
+  let read_opt t = match read t with v -> Some v | exception End_of_tape _ -> None
 
-  let remaining t = t.len - t.rd
+  let remaining t = t.len - t.rd + t.pending
 
-  let length t = t.len
+  let length t = t.base + t.len
 
-  let to_array t = Array.sub t.data 0 t.len
+  let to_array t =
+    if is_streaming t then
+      invalid_arg (Fmt.str "Tape.to_array: %s is a streaming tape" t.name);
+    Array.sub t.data 0 t.len
 end
 
 type t = {
@@ -167,6 +244,13 @@ let get_varint s pos =
   done;
   (unzigzag !v, !p)
 
+(* Encoded size of one value, without producing the bytes: a zigzagged
+   63-bit int occupies ceil(bits/7) groups of 7. *)
+let varint_size v =
+  let z = zigzag v in
+  let rec go z n = if z lsr 7 = 0 then n else go (z lsr 7) (n + 1) in
+  go z 1
+
 let put_section buf arr =
   put_varint buf (Array.length arr);
   Array.iter (put_varint buf) arr
@@ -217,10 +301,36 @@ let of_bytes (s : string) : t =
   if pos <> String.length s then raise (Format_error "trailing bytes");
   { program_digest; analysis_hash; switches; clocks; inputs; natives }
 
+(* Byte size of the serialized form, computed arithmetically — no buffer is
+   materialized, so statistics on a large trace cost no allocation spike. *)
+let encoded_size (t : t) : int =
+  let section arr =
+    Array.fold_left
+      (fun acc v -> acc + varint_size v)
+      (varint_size (Array.length arr))
+      arr
+  in
+  String.length magic
+  + varint_size (String.length t.program_digest)
+  + String.length t.program_digest
+  + varint_size (String.length t.analysis_hash)
+  + String.length t.analysis_hash
+  + section t.switches + section t.clocks + section t.inputs
+  + section t.natives
+
+(* Write via a temp file and atomic rename: a crash (or cancellation)
+   mid-write never leaves a truncated trace under the final name. *)
 let save path t =
-  let oc = open_out_bin path in
-  output_string oc (to_bytes t);
-  close_out oc
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc (to_bytes t))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let load path =
   let ic = open_in_bin path in
@@ -240,7 +350,7 @@ let sizes (t : t) : sizes =
     n_inputs = Array.length t.inputs;
     n_native_words = Array.length t.natives;
     total_words;
-    total_bytes = String.length (to_bytes t);
+    total_bytes = encoded_size t;
   }
 
 let pp_sizes ppf s =
@@ -248,3 +358,324 @@ let pp_sizes ppf s =
     "switches=%d clock-reads=%d inputs=%d native-words=%d words=%d bytes=%d"
     s.n_switches s.n_clock_reads s.n_inputs s.n_native_words s.total_words
     s.total_bytes
+
+(* --- streaming writer -------------------------------------------------- *)
+
+(* The DJVU2 layout prefixes each section with its element count, which is
+   unknown until the run ends — so a bounded-memory recording spills each
+   tape's varint-encoded elements to its own scratch file as the in-memory
+   buffer fills, and [finish] stitches header + counts + spill contents into
+   the final file (temp file + atomic rename). The result is byte-identical
+   to [to_bytes] of the materialized trace. *)
+module Writer = struct
+  let stream_names = [| "switches"; "clocks"; "inputs"; "natives" |]
+
+  type stream = {
+    w_spill : string;
+    mutable w_oc : out_channel option;
+    w_buf : Buffer.t; (* scratch for encoding one flush *)
+    mutable w_count : int; (* elements flushed *)
+    mutable w_bytes : int; (* encoded bytes flushed *)
+  }
+
+  type t = {
+    path : string;
+    streams : stream array;
+    mutable w_tapes : Tape.t array;
+    mutable peak_words : int; (* high-water mark of buffered words *)
+    mutable closed : bool;
+  }
+
+  let default_buf_words = 4096
+
+  let create ?(buf_words = default_buf_words) path =
+    let streams =
+      Array.map
+        (fun name ->
+          let spill = Fmt.str "%s.%s.spill" path name in
+          {
+            w_spill = spill;
+            w_oc = Some (open_out_bin spill);
+            w_buf = Buffer.create (buf_words * 2);
+            w_count = 0;
+            w_bytes = 0;
+          })
+        stream_names
+    in
+    let w = { path; streams; w_tapes = [||]; peak_words = 0; closed = false } in
+    let tapes =
+      Array.mapi
+        (fun i name ->
+          Tape.with_sink name ~cap:buf_words (fun data len ->
+              let s = streams.(i) in
+              let oc =
+                match s.w_oc with
+                | Some oc -> oc
+                | None -> invalid_arg "Trace.Writer: finished writer"
+              in
+              (* high-water mark sampled at the flush boundary, where the
+                 buffered total is maximal *)
+              let buffered =
+                Array.fold_left
+                  (fun acc (t : Tape.t) -> acc + t.len)
+                  0 w.w_tapes
+              in
+              if buffered > w.peak_words then w.peak_words <- buffered;
+              Buffer.clear s.w_buf;
+              for k = 0 to len - 1 do
+                put_varint s.w_buf data.(k)
+              done;
+              Buffer.output_buffer oc s.w_buf;
+              s.w_count <- s.w_count + len;
+              s.w_bytes <- s.w_bytes + Buffer.length s.w_buf;
+              Buffer.clear s.w_buf))
+        stream_names
+    in
+    w.w_tapes <- tapes;
+    w
+
+  let tapes w = w.w_tapes
+
+  let peak_buffered_words w =
+    let buffered =
+      Array.fold_left (fun acc (t : Tape.t) -> acc + t.len) 0 w.w_tapes
+    in
+    max w.peak_words buffered
+
+  let buffered_words w =
+    Array.fold_left (fun acc (t : Tape.t) -> acc + t.len) 0 w.w_tapes
+
+  (* Remove scratch state; safe to call more than once, and after [finish].
+     A cancelled recording aborts instead of finishing, so no partial trace
+     ever appears under the destination name. *)
+  let abort w =
+    if not w.closed then begin
+      w.closed <- true;
+      Array.iter
+        (fun s ->
+          (match s.w_oc with
+          | Some oc ->
+            close_out_noerr oc;
+            s.w_oc <- None
+          | None -> ());
+          try Sys.remove s.w_spill with Sys_error _ -> ())
+        w.streams;
+      try Sys.remove (w.path ^ ".tmp") with Sys_error _ -> ()
+    end
+
+  let copy_file ic oc =
+    let chunk = Bytes.create 65536 in
+    let rec go () =
+      let n = input ic chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        output oc chunk 0 n;
+        go ()
+      end
+    in
+    go ()
+
+  let finish w ~program_digest ~analysis_hash : sizes =
+    if w.closed then invalid_arg "Trace.Writer.finish: finished writer";
+    (match
+       (* drain the tail of every tape, then detach the spill channels *)
+       Array.iter Tape.flush w.w_tapes
+     with
+    | () -> ()
+    | exception e ->
+      abort w;
+      raise e);
+    Array.iter
+      (fun s ->
+        match s.w_oc with
+        | Some oc ->
+          close_out oc;
+          s.w_oc <- None
+        | None -> ())
+      w.streams;
+    let tmp = w.path ^ ".tmp" in
+    (try
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           Buffer.clear w.streams.(0).w_buf;
+           let hdr = w.streams.(0).w_buf in
+           Buffer.add_string hdr magic;
+           put_varint hdr (String.length program_digest);
+           Buffer.add_string hdr program_digest;
+           put_varint hdr (String.length analysis_hash);
+           Buffer.add_string hdr analysis_hash;
+           Buffer.output_buffer oc hdr;
+           Buffer.clear hdr;
+           Array.iter
+             (fun s ->
+               let cnt = Buffer.create 10 in
+               put_varint cnt s.w_count;
+               Buffer.output_buffer oc cnt;
+               let ic = open_in_bin s.w_spill in
+               Fun.protect
+                 ~finally:(fun () -> close_in_noerr ic)
+                 (fun () -> copy_file ic oc))
+             w.streams);
+       Sys.rename tmp w.path
+     with e ->
+       abort w;
+       raise e);
+    let counts = Array.map (fun s -> s.w_count) w.streams in
+    let total_words = Array.fold_left ( + ) 0 counts in
+    let total_bytes =
+      String.length magic
+      + varint_size (String.length program_digest)
+      + String.length program_digest
+      + varint_size (String.length analysis_hash)
+      + String.length analysis_hash
+      + Array.fold_left
+          (fun acc s -> acc + varint_size s.w_count + s.w_bytes)
+          0 w.streams
+    in
+    let sizes =
+      {
+        n_switches = counts.(0);
+        n_clock_reads = counts.(1) / 2;
+        n_inputs = counts.(2);
+        n_native_words = counts.(3);
+        total_words;
+        total_bytes;
+      }
+    in
+    Array.iter
+      (fun s -> try Sys.remove s.w_spill with Sys_error _ -> ())
+      w.streams;
+    w.closed <- true;
+    sizes
+end
+
+(* --- streaming reader -------------------------------------------------- *)
+
+(* Replays a trace file through chunked tapes: the header is parsed and the
+   four sections located up front (one linear scan, O(1) memory), then each
+   tape refills [chunk_words]-element chunks on demand from its own cursor
+   into the shared channel. Resident memory is O(chunk), constant in trace
+   length. *)
+module Reader = struct
+  type cursor = { mutable offset : int; mutable left : int }
+
+  type t = {
+    ic : in_channel;
+    r_digest : string;
+    r_hash : string;
+    r_tapes : Tape.t array;
+    r_counts : int array;
+    mutable r_closed : bool;
+  }
+
+  let input_varint ic =
+    let v = ref 0 and shift = ref 0 and continue_ = ref true in
+    while !continue_ do
+      if !shift > 56 then raise (Format_error "oversized varint");
+      let b =
+        match input_char ic with
+        | c -> Char.code c
+        | exception End_of_file -> raise (Format_error "truncated varint")
+      in
+      v := !v lor ((b land 0x7f) lsl !shift);
+      if b land 0x80 = 0 then begin
+        if b = 0 && !shift > 0 then
+          raise (Format_error "non-canonical varint");
+        continue_ := false
+      end
+      else shift := !shift + 7
+    done;
+    unzigzag !v
+
+  let input_exact ic n what =
+    match really_input_string ic n with
+    | s -> s
+    | exception End_of_file ->
+      raise (Format_error (Fmt.str "truncated %s" what))
+
+  (* Skip [n] varints by scanning for terminator bytes (top bit clear);
+     malformed interiors surface as Format_error at read time. *)
+  let skip_varints ic n =
+    for _ = 1 to n do
+      let fin = ref false in
+      while not !fin do
+        match input_char ic with
+        | c -> if Char.code c land 0x80 = 0 then fin := true
+        | exception End_of_file ->
+          raise (Format_error "truncated section")
+      done
+    done
+
+  let default_chunk_words = 1024
+
+  let open_file ?(chunk_words = default_chunk_words) path =
+    let ic = open_in_bin path in
+    match
+      let file_len = in_channel_length ic in
+      let ml = String.length magic in
+      if input_exact ic ml "magic" <> magic then
+        raise (Format_error "bad magic");
+      let str_field what =
+        let n = input_varint ic in
+        if n < 0 || n > file_len then
+          raise (Format_error (Fmt.str "bad %s length" what));
+        input_exact ic n what
+      in
+      let r_digest = str_field "digest" in
+      let r_hash = str_field "analysis-hash" in
+      let cursors =
+        Array.map
+          (fun _name ->
+            let count = input_varint ic in
+            if count < 0 then
+              raise (Format_error "negative section length");
+            let start = pos_in ic in
+            skip_varints ic count;
+            (count, { offset = start; left = count }))
+          Writer.stream_names
+      in
+      if pos_in ic <> file_len then raise (Format_error "trailing bytes");
+      let r_counts = Array.map fst cursors in
+      let r_tapes =
+        Array.mapi
+          (fun i name ->
+            let _, cur = cursors.(i) in
+            Tape.of_refill name ~pending:cur.left (fun (t : Tape.t) ->
+                if cur.left = 0 then false
+                else begin
+                  let k = min chunk_words cur.left in
+                  seek_in ic cur.offset;
+                  let chunk = Array.init k (fun _ -> input_varint ic) in
+                  cur.offset <- pos_in ic;
+                  cur.left <- cur.left - k;
+                  t.base <- t.base + t.len;
+                  t.data <- chunk;
+                  t.len <- k;
+                  t.rd <- 0;
+                  t.pending <- cur.left;
+                  true
+                end))
+          Writer.stream_names
+      in
+      { ic; r_digest; r_hash; r_tapes; r_counts; r_closed = false }
+    with
+    | r -> r
+    | exception e ->
+      close_in_noerr ic;
+      raise e
+
+  let program_digest r = r.r_digest
+
+  let analysis_hash r = r.r_hash
+
+  let tapes r = r.r_tapes
+
+  let counts r = r.r_counts
+
+  let close r =
+    if not r.r_closed then begin
+      r.r_closed <- true;
+      close_in_noerr r.ic
+    end
+end

@@ -21,18 +21,43 @@ exception End_of_tape of string
 (** Raised by {!of_bytes} on a malformed trace. *)
 exception Format_error of string
 
-(** Growable integer sequences with an independent read cursor. *)
+(** Growable integer sequences with an independent read cursor. A tape can
+    also be wired to a streaming side: a {e sink} drains full buffers during
+    recording ({!Writer}), a {e refill} loads chunks on demand during replay
+    ({!Reader}); in both cases resident memory stays bounded by the
+    chunk/buffer size rather than the event count. *)
 module Tape : sig
   type t = {
     name : string;
     mutable data : int array;
     mutable len : int;
     mutable rd : int;  (** read cursor (replay) *)
+    mutable base : int;
+        (** elements flushed to a sink / consumed by refills before
+            [data.(0)] *)
+    mutable pending : int;
+        (** elements still held by the refill source beyond [data] *)
+    mutable sink : (int array -> int -> unit) option;
+    mutable refill : (t -> bool) option;
   }
 
   val create : string -> t
 
   val of_array : string -> int array -> t
+
+  (** Fixed-capacity buffer drained through the sink whenever it fills. *)
+  val with_sink : string -> cap:int -> (int array -> int -> unit) -> t
+
+  (** Chunk-refilled tape; [pending] is the source's total element count so
+      {!remaining} stays exact. The refill returns false at end of stream. *)
+  val of_refill : string -> pending:int -> (t -> bool) -> t
+
+  (** True when the tape has a sink or refill attached; such tapes do not
+      support {!to_array} or session checkpointing. *)
+  val is_streaming : t -> bool
+
+  (** Drain the buffered prefix through the sink (no-op otherwise). *)
+  val flush : t -> unit
 
   val push : t -> int -> unit
 
@@ -41,8 +66,10 @@ module Tape : sig
 
   val read_opt : t -> int option
 
+  (** Unread elements, including those a refill has not yet loaded. *)
   val remaining : t -> int
 
+  (** Total elements ever pushed (including flushed ones). *)
   val length : t -> int
 
   val to_array : t -> int array
@@ -81,15 +108,25 @@ type sizes = {
   total_bytes : int;  (** size of the serialized form *)
 }
 
-(** Zigzag-varint primitives (exposed for the property tests). *)
+(** Zigzag-varint primitives (exposed for the property tests and the
+    server's wire protocol). *)
 val put_varint : Buffer.t -> int -> unit
 
 val get_varint : string -> int -> int * int
+
+(** Encoded byte size of one value, without producing the bytes. *)
+val varint_size : int -> int
 
 val to_bytes : t -> string
 
 val of_bytes : string -> t
 
+(** Byte size of the serialized form, computed arithmetically (no buffer is
+    materialized). Always equals [String.length (to_bytes t)]. *)
+val encoded_size : t -> int
+
+(** Atomic write: temp file + rename, so a crash mid-write never leaves a
+    truncated trace under the final name. *)
 val save : string -> t -> unit
 
 val load : string -> t
@@ -97,3 +134,65 @@ val load : string -> t
 val sizes : t -> sizes
 
 val pp_sizes : Format.formatter -> sizes -> unit
+
+(** Incremental trace encoder: spills each tape's varint-encoded elements to
+    a scratch file as its bounded buffer fills, then {!Writer.finish}
+    stitches the DJVU2 header and sections into the destination via temp
+    file + atomic rename. Output is byte-identical to {!to_bytes} of the
+    materialized trace; recorder-side memory stays constant in the event
+    count. *)
+module Writer : sig
+  type t
+
+  val default_buf_words : int
+
+  (** [create ?buf_words path] opens a writer targeting [path]; scratch
+      files live next to it (same filesystem, so the final rename is
+      atomic). *)
+  val create : ?buf_words:int -> string -> t
+
+  (** The four sink-wired tapes, in section order:
+      switches, clocks, inputs, natives. *)
+  val tapes : t -> Tape.t array
+
+  (** High-water mark of words buffered in memory across all tapes. *)
+  val peak_buffered_words : t -> int
+
+  (** Words currently buffered (bounded by 4 x buf_words). *)
+  val buffered_words : t -> int
+
+  (** Flush tails, write the final file, atomic-rename it into place,
+      remove scratch files; returns the trace statistics (tracked
+      incrementally — the trace is never materialized). *)
+  val finish : t -> program_digest:string -> analysis_hash:string -> sizes
+
+  (** Discard a recording: close and remove all scratch state. Idempotent;
+      never leaves a partial trace under the destination name. *)
+  val abort : t -> unit
+end
+
+(** Bounded-memory trace reader: parses the header and locates the four
+    sections in one linear scan, then serves each tape in
+    [chunk_words]-element chunks refilled on demand. Resident memory is
+    O(chunk), constant in trace length. Raises {!Format_error} on a
+    truncated or corrupted file. *)
+module Reader : sig
+  type t
+
+  val default_chunk_words : int
+
+  val open_file : ?chunk_words:int -> string -> t
+
+  val program_digest : t -> string
+
+  val analysis_hash : t -> string
+
+  (** The four refill-wired tapes, in section order:
+      switches, clocks, inputs, natives. *)
+  val tapes : t -> Tape.t array
+
+  (** Per-section element counts from the header scan. *)
+  val counts : t -> int array
+
+  val close : t -> unit
+end

@@ -1,0 +1,50 @@
+(** Batch mode: run a set of jobs across N shards, report per-job rows in
+    submission order plus an order-stable aggregate digest (shard-count
+    invariant: the N-shard aggregate equals the 1-shard one). *)
+
+type row = {
+  b_name : string;
+  b_op : string;
+  b_outcome : string;  (** done / failed: msg / timeout / cancelled *)
+  b_status : string;
+  b_digest : string;
+  b_attempts : int;
+  b_latency : float;  (** seconds, submission to completion *)
+  b_shard : int;
+}
+
+type report = {
+  rows : row list;  (** submission order *)
+  aggregate : string;
+      (** hex digest folding each job's name/outcome/status/digest, in
+          submission order *)
+  ok : bool;
+  wall_s : float;
+  jobs_per_s : float;
+  shards : int;
+  stats : Stats.view;
+}
+
+val run_specs :
+  ?shards:int ->
+  ?deadline_s:float ->
+  ?max_retries:int ->
+  ?slice:int ->
+  Job.spec list ->
+  report
+
+(** Record every registry workload into [out_dir]/NAME.trace. Creates
+    [out_dir] if missing. *)
+val run_registry :
+  ?shards:int ->
+  ?seed:int ->
+  ?deadline_s:float ->
+  ?max_retries:int ->
+  ?slice:int ->
+  out_dir:string ->
+  unit ->
+  report
+
+val pp_row : Format.formatter -> row -> unit
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,205 @@
+(* The shard pool. One VM per OCaml 5 domain: the interpreter is
+   single-domain-safe by construction and shards share nothing but the work
+   queue, the stats block, and the results buffer — each a small
+   mutex-guarded structure touched once per job, never per instruction.
+
+   Responsibilities:
+   - pull entries off the queue and run them through the caller's [run]
+     function, handing it a [ctx] whose [should_stop] raises on
+     cancellation or an elapsed deadline (polled between VM slices);
+   - bounded retry with exponential backoff on failure;
+   - emit exactly one result per submission, delivered to the consumer in
+     submission order through a reorder buffer (workers complete out of
+     order; [next] blocks until the next sequence number lands). *)
+
+exception Cancelled
+
+exception Deadline_exceeded
+
+type ctx = { shard : int; seq : int; should_stop : unit -> unit }
+
+type 'r outcome =
+  | Done of 'r
+  | Failed of string (* after the retry budget is spent *)
+  | Timed_out
+  | Cancelled_
+
+type ('a, 'r) result = {
+  r_seq : int;
+  r_payload : 'a;
+  r_outcome : 'r outcome;
+  r_attempts : int; (* executions performed (0 if never started) *)
+  r_latency : float; (* submission -> completion, seconds *)
+  r_shard : int;
+}
+
+type ('a, 'r) t = {
+  queue : 'a Jobq.t;
+  run : ctx -> 'a -> 'r;
+  shards : int;
+  stats : Stats.t;
+  m : Mutex.t;
+  ready : Condition.t;
+  buf : (int, ('a, 'r) result) Hashtbl.t; (* completed, not yet emitted *)
+  mutable next_out : int;
+  mutable domains : unit Domain.t list;
+  mutable joined : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Backoff nap that abandons early on cancellation, so cancelling a job
+   stuck in retry loops takes effect promptly. *)
+let backoff_nap (e : 'a Jobq.entry) delay =
+  let until = now () +. delay in
+  let rec nap () =
+    if (not e.cancelled) && now () < until then begin
+      Unix.sleepf (min 0.01 (until -. now ()));
+      nap ()
+    end
+  in
+  nap ()
+
+let execute t shard (e : 'a Jobq.entry) : ('a, 'r) result =
+  let should_stop () =
+    if e.cancelled then raise Cancelled;
+    match e.deadline with
+    | Some d when now () > d -> raise Deadline_exceeded
+    | _ -> ()
+  in
+  let ctx = { shard; seq = e.seq; should_stop } in
+  let rec attempt () =
+    e.attempts <- e.attempts + 1;
+    match t.run ctx e.payload with
+    | r -> Done r
+    | exception Cancelled -> Cancelled_
+    | exception Deadline_exceeded -> Timed_out
+    | exception exn ->
+      if e.attempts > e.max_retries then Failed (Printexc.to_string exn)
+      else begin
+        Stats.on_retry t.stats;
+        backoff_nap e (e.backoff *. (2. ** float_of_int (e.attempts - 1)));
+        match should_stop () with
+        | () -> attempt ()
+        | exception Cancelled -> Cancelled_
+        | exception Deadline_exceeded -> Timed_out
+      end
+  in
+  let outcome =
+    (* a queued entry may have been cancelled or expired while waiting *)
+    match should_stop () with
+    | () -> attempt ()
+    | exception Cancelled -> Cancelled_
+    | exception Deadline_exceeded -> Timed_out
+  in
+  {
+    r_seq = e.seq;
+    r_payload = e.payload;
+    r_outcome = outcome;
+    r_attempts = e.attempts;
+    r_latency = now () -. e.submitted_at;
+    r_shard = shard;
+  }
+
+let post t (r : ('a, 'r) result) =
+  Stats.on_complete t.stats
+    (match r.r_outcome with
+    | Done _ -> Stats.Succeeded
+    | Failed _ -> Stats.Failed_
+    | Timed_out -> Stats.Timed_out_
+    | Cancelled_ -> Stats.Cancelled_)
+    ~latency:r.r_latency;
+  Mutex.protect t.m (fun () ->
+      Hashtbl.replace t.buf r.r_seq r;
+      Condition.broadcast t.ready)
+
+let worker t shard () =
+  let rec loop () =
+    match Jobq.pop t.queue with
+    | None -> ()
+    | Some e ->
+      post t (execute t shard e);
+      loop ()
+  in
+  loop ()
+
+let create ?(shards = 4) ~run () =
+  if shards < 1 then invalid_arg "Dispatcher.create: shards < 1";
+  let t =
+    {
+      queue = Jobq.create ();
+      run;
+      shards;
+      stats = Stats.create ();
+      m = Mutex.create ();
+      ready = Condition.create ();
+      buf = Hashtbl.create 64;
+      next_out = 0;
+      domains = [];
+      joined = false;
+    }
+  in
+  t.domains <- List.init shards (fun i -> Domain.spawn (worker t i));
+  t
+
+let shards t = t.shards
+
+let stats t = t.stats
+
+let queue_depth t = Jobq.depth t.queue
+
+let submit t ?deadline ?max_retries ?backoff payload =
+  let e = Jobq.submit t.queue ?deadline ?max_retries ?backoff payload in
+  Stats.on_submit t.stats;
+  e
+
+let cancel = Jobq.cancel
+
+let close t =
+  Jobq.close t.queue;
+  (* wake consumers blocked in [next]: with the queue closed, the drained
+     check can now succeed *)
+  Mutex.protect t.m (fun () -> Condition.broadcast t.ready)
+
+(* Next result in submission order; None once the queue is closed and every
+   submitted entry's slot has been emitted. Waits on [ready], which [post]
+   broadcasts, and which [close] must also wake — see the re-broadcast in
+   [close] below.
+
+   Only a closed queue guarantees no later submission can fill the slot, so
+   an open, empty queue still blocks here. *)
+let rec next t : ('a, 'r) result option =
+  let r =
+    Mutex.protect t.m (fun () ->
+        match Hashtbl.find_opt t.buf t.next_out with
+        | Some r ->
+          Hashtbl.remove t.buf t.next_out;
+          t.next_out <- t.next_out + 1;
+          `Got r
+        | None ->
+          if Jobq.is_closed t.queue && t.next_out >= Jobq.submitted t.queue
+          then `Drained
+          else begin
+            Condition.wait t.ready t.m;
+            `Retry
+          end)
+  in
+  match r with `Got r -> Some r | `Drained -> None | `Retry -> next t
+
+let join t =
+  if not t.joined then begin
+    t.joined <- true;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+(* Close, collect every remaining result in submission order, and join the
+   shard domains. *)
+let drain t : ('a, 'r) result list =
+  close t;
+  let rec collect acc =
+    match next t with None -> List.rev acc | Some r -> collect (r :: acc)
+  in
+  let rs = collect [] in
+  join t;
+  rs

@@ -1,0 +1,81 @@
+(** The shard pool at the heart of the replay farm: a fixed set of OCaml 5
+    domains, each running one VM at a time, fed from a shared {!Jobq} and
+    reporting through an in-order results channel.
+
+    Shard isolation invariant: a job's VM, trace writer/reader, and
+    temporary files live entirely on the shard that runs it. Shards share
+    only the work queue, the stats block, and the reorder buffer — each a
+    small mutex-guarded structure touched once per job. *)
+
+(** Raised by [ctx.should_stop] (and catchable by job code for cleanup)
+    when the entry was cancelled. *)
+exception Cancelled
+
+(** Raised by [ctx.should_stop] when the entry's deadline has passed. *)
+exception Deadline_exceeded
+
+type ctx = {
+  shard : int;  (** index of the domain running the job *)
+  seq : int;  (** the entry's submission sequence number *)
+  should_stop : unit -> unit;
+      (** poll point: raises {!Cancelled} or {!Deadline_exceeded}; job code
+          calls this between VM slices *)
+}
+
+type 'r outcome =
+  | Done of 'r
+  | Failed of string  (** after the retry budget is spent *)
+  | Timed_out
+  | Cancelled_
+
+type ('a, 'r) result = {
+  r_seq : int;
+  r_payload : 'a;
+  r_outcome : 'r outcome;
+  r_attempts : int;  (** executions performed (0 if never started) *)
+  r_latency : float;  (** submission to completion, seconds *)
+  r_shard : int;
+}
+
+type ('a, 'r) t
+
+(** Spawn [shards] worker domains (default 4) running [run]. [run] may
+    raise: generic exceptions consume the retry budget (exponential
+    backoff), {!Cancelled}/{!Deadline_exceeded} terminate the job with the
+    matching outcome. *)
+val create : ?shards:int -> run:(ctx -> 'a -> 'r) -> unit -> ('a, 'r) t
+
+val shards : ('a, 'r) t -> int
+
+val stats : ('a, 'r) t -> Stats.t
+
+val queue_depth : ('a, 'r) t -> int
+
+(** Enqueue a job. [deadline] is absolute Unix time; [max_retries] extra
+    attempts after the first failure (default 0); [backoff] base seconds,
+    doubled per failed attempt (default 0.05). Returns the entry, usable
+    with {!cancel}. *)
+val submit :
+  ('a, 'r) t ->
+  ?deadline:float ->
+  ?max_retries:int ->
+  ?backoff:float ->
+  'a ->
+  'a Jobq.entry
+
+val cancel : 'a Jobq.entry -> unit
+
+(** Stop accepting submissions; queued entries still run. *)
+val close : ('a, 'r) t -> unit
+
+(** Next result in submission order. Blocks until seq [next_out] lands;
+    [None] once the queue is closed and every submission's slot has been
+    emitted. Single-consumer. *)
+val next : ('a, 'r) t -> ('a, 'r) result option
+
+(** Join the worker domains (idempotent; call after {!close}). *)
+val join : ('a, 'r) t -> unit
+
+(** {!close}, collect every remaining result in submission order, then
+    {!join}. *)
+val drain : ('a, 'r) t -> ('a, 'r) result list

@@ -1,0 +1,158 @@
+(* The jobs a farm shard knows how to run. Each runs one VM to completion
+   in fuel-bounded slices, polling [ctx.should_stop] between slices so
+   cancellation and deadlines take effect mid-program, and never leaves a
+   partial trace file behind (streaming writer: spill files + atomic
+   rename, aborted on any exception). *)
+
+module Trace = Dejavu.Trace
+module Session = Dejavu.Session
+module Recorder = Dejavu.Recorder
+module Replayer = Dejavu.Replayer
+
+type spec =
+  | Record of { workload : string; seed : int; out : string }
+  | Replay of { workload : string; trace : string }
+  | Roundtrip of { workload : string; seed : int }
+  | Lint of { workload : string }
+
+type output = {
+  o_status : string; (* final VM status ("ok" for lint) *)
+  o_digest : string; (* hex: trace file / VM state / analysis summary *)
+  o_words : int; (* trace words written / leftovers / racy findings *)
+}
+
+let describe = function
+  | Record { workload; _ } -> "record:" ^ workload
+  | Replay { workload; _ } -> "replay:" ^ workload
+  | Roundtrip { workload; _ } -> "roundtrip:" ^ workload
+  | Lint { workload } -> "lint:" ^ workload
+
+let workload_of = function
+  | Record { workload; _ }
+  | Replay { workload; _ }
+  | Roundtrip { workload; _ }
+  | Lint { workload } ->
+    workload
+
+(* Force every lazily-built structure a job touches BEFORE spawning shard
+   domains: [Registry.all] is a plain [Lazy.t], and two domains forcing it
+   concurrently would race. Called once by batch/serve setup. *)
+let preload () = ignore (Lazy.force Workloads.Registry.all)
+
+let find workload =
+  match Workloads.Registry.find workload with
+  | Some e -> e
+  | None -> failwith ("unknown workload " ^ workload)
+
+let with_seed seed (config : Vm.Rt.config) =
+  { config with Vm.Rt.env_cfg = { config.Vm.Rt.env_cfg with Vm.Env.seed } }
+
+(* Run the VM to completion in [slice]-instruction hops, checking for
+   cancellation/deadline between hops and enforcing the config's overall
+   instruction limit (run_slice itself never goes Fatal on budget). *)
+let drive ~slice (ctx : Dispatcher.ctx) (vm : Vm.t) =
+  let limit = vm.Vm.Rt.cfg.Vm.Rt.instr_limit in
+  let rec go () =
+    ctx.Dispatcher.should_stop ();
+    let fuel = min slice (limit - vm.Vm.Rt.stats.Vm.Rt.n_instr) in
+    match Vm.run_slice ~fuel vm with
+    | Vm.Rt.Running_ ->
+      if vm.Vm.Rt.stats.Vm.Rt.n_instr >= limit then
+        vm.Vm.Rt.status <-
+          Vm.Rt.Fatal (Fmt.str "instruction limit (%d) exceeded" limit)
+      else go ()
+    | _ -> ()
+  in
+  go ()
+
+let state_digest_hex vm = Fmt.str "%016x" (Vm.digest vm land max_int)
+
+(* Streamed record; returns the finished VM too so roundtrip can compare
+   states without recording twice. *)
+let record_impl ~slice ctx (e : Workloads.Registry.entry) ~seed ~out =
+  let config = with_seed seed Vm.Rt.default_config in
+  let vm = Vm.create ~config ~natives:e.natives e.program in
+  let writer = Trace.Writer.create out in
+  match
+    let session = Recorder.attach_stream vm writer in
+    drive ~slice ctx vm;
+    let sizes = Recorder.finish_stream session writer in
+    (Vm.string_of_status (Vm.status vm), sizes)
+  with
+  | status, sizes ->
+    ( {
+        o_status = status;
+        o_digest = Digest.to_hex (Digest.file out);
+        o_words = sizes.Trace.total_words;
+      },
+      vm )
+  | exception exn ->
+    Trace.Writer.abort writer;
+    raise exn
+
+let run_record ~slice ctx e ~seed ~out =
+  fst (record_impl ~slice ctx e ~seed ~out)
+
+let run_replay ~slice ctx (e : Workloads.Registry.entry) ~trace =
+  let config = with_seed 424242 Vm.Rt.default_config in
+  let vm = Vm.create ~config ~natives:e.natives e.program in
+  let reader = Trace.Reader.open_file trace in
+  Fun.protect
+    ~finally:(fun () -> Trace.Reader.close reader)
+    (fun () ->
+      match Replayer.attach_stream vm reader with
+      | exception Session.Divergence msg ->
+        { o_status = "fatal: replay divergence: " ^ msg;
+          o_digest = "";
+          o_words = 0 }
+      | session ->
+        (try drive ~slice ctx vm
+         with Session.Divergence msg ->
+           vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));
+        let leftovers = Replayer.check_complete session in
+        {
+          o_status = Vm.string_of_status (Vm.status vm);
+          o_digest = state_digest_hex vm;
+          o_words = List.length leftovers;
+        })
+
+(* Record to a shard-private temp file, replay it back, compare states.
+   The temp file never outlives the job. *)
+let run_roundtrip ~slice ctx (e : Workloads.Registry.entry) ~seed =
+  let tmp = Filename.temp_file "dvfarm" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let recorded, rec_vm = record_impl ~slice ctx e ~seed ~out:tmp in
+      let replayed = run_replay ~slice ctx e ~trace:tmp in
+      let rec_vm_digest = state_digest_hex rec_vm in
+      let ok =
+        replayed.o_words = 0
+        && String.equal rec_vm_digest replayed.o_digest
+        && not (String.length replayed.o_status >= 5
+                && String.sub replayed.o_status 0 5 = "fatal")
+      in
+      {
+        o_status = (if ok then "ok" else "mismatch");
+        o_digest = recorded.o_digest;
+        o_words = recorded.o_words;
+      })
+
+let run_lint (e : Workloads.Registry.entry) =
+  let r = Analysis.run ~name:e.name e.program in
+  {
+    o_status = "ok";
+    o_digest = r.Analysis.Report.summary_hash;
+    o_words = List.length (Analysis.Report.racy_keys r);
+  }
+
+(* Entry point the dispatcher's [run] closes over. [slice] is the poll
+   granularity in instructions. *)
+let run ?(slice = 50_000) (ctx : Dispatcher.ctx) (spec : spec) : output =
+  match spec with
+  | Record { workload; seed; out } ->
+    run_record ~slice ctx (find workload) ~seed ~out
+  | Replay { workload; trace } -> run_replay ~slice ctx (find workload) ~trace
+  | Roundtrip { workload; seed } ->
+    run_roundtrip ~slice ctx (find workload) ~seed
+  | Lint { workload } -> run_lint (find workload)

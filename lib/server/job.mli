@@ -1,0 +1,32 @@
+(** The jobs a farm shard runs. Each job drives one VM in fuel-bounded
+    slices, polling the dispatcher's [should_stop] between slices so
+    cancellation and deadlines take effect mid-program, and leaves no
+    partial trace file behind on any exit path. *)
+
+type spec =
+  | Record of { workload : string; seed : int; out : string }
+  | Replay of { workload : string; trace : string }
+  | Roundtrip of { workload : string; seed : int }
+  | Lint of { workload : string }
+
+type output = {
+  o_status : string;  (** final VM status ("ok" for lint) *)
+  o_digest : string;  (** hex: trace file / VM state / analysis summary *)
+  o_words : int;  (** trace words written / leftovers / racy findings *)
+}
+
+(** "record:NAME" etc., for labels and wire replies. *)
+val describe : spec -> string
+
+val workload_of : spec -> string
+
+(** Force lazily-built shared structures (the workload registry) before
+    spawning shard domains; forcing a [Lazy.t] from two domains at once is
+    a race. Call once from batch/serve setup. *)
+val preload : unit -> unit
+
+(** Run one job. [slice] is the cancellation-poll granularity in
+    instructions (default 50_000). Raises [Failure] on unknown workloads,
+    [Trace.Format_error] on malformed trace files, and lets
+    {!Dispatcher.Cancelled}/{!Dispatcher.Deadline_exceeded} propagate. *)
+val run : ?slice:int -> Dispatcher.ctx -> spec -> output

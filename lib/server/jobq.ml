@@ -1,0 +1,86 @@
+(* The farm's work queue: a mutex-guarded FIFO shared by all shard domains.
+   Entries carry the scheduling metadata (absolute deadline, retry budget,
+   backoff base, cancellation flag); policy — skipping expired entries,
+   sleeping out a backoff, honouring cancellation mid-run — lives in the
+   dispatcher, which observes the flags cooperatively. Cancelled entries
+   are still popped and handed back so a result slot is emitted for every
+   submission (the in-order results channel depends on it). *)
+
+type 'a entry = {
+  seq : int; (* submission order; also the results-channel position *)
+  payload : 'a;
+  deadline : float option; (* absolute Unix time *)
+  max_retries : int; (* extra attempts after the first failure *)
+  backoff : float; (* base seconds, doubled per failed attempt *)
+  submitted_at : float;
+  mutable attempts : int;
+  mutable cancelled : bool;
+}
+
+type 'a t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a entry Queue.t;
+  mutable next_seq : int;
+  mutable closed : bool;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    next_seq = 0;
+    closed = false;
+  }
+
+let submit t ?deadline ?(max_retries = 0) ?(backoff = 0.05) payload =
+  Mutex.protect t.m (fun () ->
+      if t.closed then invalid_arg "Jobq.submit: closed queue";
+      let e =
+        {
+          seq = t.next_seq;
+          payload;
+          deadline;
+          max_retries;
+          backoff;
+          submitted_at = Unix.gettimeofday ();
+          attempts = 0;
+          cancelled = false;
+        }
+      in
+      t.next_seq <- t.next_seq + 1;
+      Queue.push e t.q;
+      Condition.signal t.nonempty;
+      e)
+
+(* Cooperative: a queued entry is reported Cancelled when popped; a running
+   one is stopped at its next should_stop poll. *)
+let cancel (e : 'a entry) = e.cancelled <- true
+
+let pop t =
+  Mutex.protect t.m (fun () ->
+      let rec wait () =
+        match Queue.take_opt t.q with
+        | Some e -> Some e
+        | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.nonempty t.m;
+            wait ()
+          end
+      in
+      wait ())
+
+let close t =
+  Mutex.protect t.m (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = Mutex.protect t.m (fun () -> Queue.length t.q)
+
+let is_closed t = Mutex.protect t.m (fun () -> t.closed)
+
+(* Total entries ever submitted — the results channel drains exactly this
+   many slots. *)
+let submitted t = Mutex.protect t.m (fun () -> t.next_seq)

@@ -1,0 +1,42 @@
+(** The farm's work queue: a mutex-guarded FIFO shared by all shard
+    domains. Entries carry scheduling metadata (absolute deadline, retry
+    budget, backoff base, cancellation flag); the dispatcher enforces the
+    policy. *)
+
+type 'a entry = {
+  seq : int;  (** submission order; also the results-channel position *)
+  payload : 'a;
+  deadline : float option;  (** absolute Unix time *)
+  max_retries : int;  (** extra attempts after the first failure *)
+  backoff : float;  (** base seconds, doubled per failed attempt *)
+  submitted_at : float;
+  mutable attempts : int;
+  mutable cancelled : bool;
+}
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Enqueue; raises [Invalid_argument] on a closed queue. *)
+val submit :
+  'a t -> ?deadline:float -> ?max_retries:int -> ?backoff:float -> 'a ->
+  'a entry
+
+(** Cooperative cancellation: a queued entry is reported cancelled when
+    popped; a running one stops at its next poll. *)
+val cancel : 'a entry -> unit
+
+(** Block until an entry is available; [None] once the queue is closed and
+    drained. Cancelled entries are returned too (the dispatcher emits their
+    result slot). *)
+val pop : 'a t -> 'a entry option
+
+val close : 'a t -> unit
+
+val depth : 'a t -> int
+
+val is_closed : 'a t -> bool
+
+(** Total entries ever submitted. *)
+val submitted : 'a t -> int

@@ -1,0 +1,37 @@
+(** Observability for the replay farm: counters, a queue-depth gauge, and a
+    log2-bucketed latency histogram (p50/p99 report a bucket upper bound).
+    All operations are thread/domain-safe. *)
+
+type t
+
+(** A consistent read-only copy for reporting. *)
+type view = {
+  v_submitted : int;
+  v_succeeded : int;
+  v_failed : int;
+  v_retried : int;  (** retry attempts performed, not jobs *)
+  v_cancelled : int;
+  v_timed_out : int;
+  v_depth : int;  (** jobs submitted but not yet completed *)
+  v_peak_depth : int;
+  v_mean : float;  (** seconds *)
+  v_max : float;
+  v_p50 : float;  (** bucket upper bound, seconds *)
+  v_p99 : float;
+}
+
+type terminal = Succeeded | Failed_ | Cancelled_ | Timed_out_
+
+val create : unit -> t
+
+val on_submit : t -> unit
+
+val on_retry : t -> unit
+
+(** Count a terminal outcome and fold [latency] (submission to completion,
+    seconds) into the histogram. *)
+val on_complete : t -> terminal -> latency:float -> unit
+
+val view : t -> view
+
+val pp_view : Format.formatter -> view -> unit

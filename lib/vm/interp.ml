@@ -1048,3 +1048,13 @@ let run ?limit (vm : Rt.t) =
   done;
   if vm.status = Rt.Running_ then
     vm.status <- Rt.Fatal (Fmt.str "instruction limit (%d) exceeded" limit)
+
+(* Run at most [fuel] more instructions, leaving the status Running_ when
+   the budget elapses mid-program: the job server's cooperative
+   deadline/cancellation checks slot between slices. The caller enforces
+   any overall instruction limit. *)
+let run_slice (vm : Rt.t) ~fuel =
+  let stop = vm.stats.n_instr + fuel in
+  while vm.status = Rt.Running_ && vm.stats.n_instr < stop do
+    exec_batch vm ~fuel:(stop - vm.stats.n_instr)
+  done

@@ -56,3 +56,9 @@ val boot : Rt.t -> unit
 (** Run until the machine stops or [limit] instructions retire; drives
     [exec_batch]. *)
 val run : ?limit:int -> Rt.t -> unit
+
+(** Run at most [fuel] more instructions, leaving the status [Running_]
+    when the budget elapses mid-program — cooperative slicing for the job
+    server's deadline/cancellation checks. Unlike {!run}, hitting the
+    budget is not an error; the caller enforces any overall limit. *)
+val run_slice : Rt.t -> fuel:int -> unit

@@ -156,6 +156,14 @@ let run ?limit (vm : t) =
   Interp.run ?limit vm;
   vm.Rt.status
 
+(* Cooperative slice: run at most [fuel] more instructions, returning
+   Running_ if the program has not finished — the replay farm interleaves
+   deadline and cancellation checks between slices. *)
+let run_slice ?(fuel = 100_000) (vm : t) =
+  if vm.Rt.n_threads = 0 then boot vm;
+  Interp.run_slice vm ~fuel;
+  vm.Rt.status
+
 let output (vm : t) = Buffer.contents vm.Rt.output
 
 let status (vm : t) = vm.Rt.status

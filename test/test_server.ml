@@ -1,0 +1,431 @@
+(* The replay farm: work queue, dispatcher (ordering / retry / deadline /
+   cancellation), wire protocol, streamed-vs-materialized equivalence over
+   the whole registry, shard-count-invariant batch digests, and an
+   end-to-end serve/submit conversation over a Unix socket. *)
+
+module T = Dejavu.Trace
+module D = Server.Dispatcher
+module P = Server.Protocol
+
+let quick name f = Alcotest.test_case name `Quick f
+
+(* --- Jobq --------------------------------------------------------------- *)
+
+let test_jobq_fifo () =
+  let q = Server.Jobq.create () in
+  List.iter (fun v -> ignore (Server.Jobq.submit q v)) [ 10; 11; 12 ];
+  Alcotest.(check int) "depth" 3 (Server.Jobq.depth q);
+  Alcotest.(check int) "submitted" 3 (Server.Jobq.submitted q);
+  let pop () =
+    match Server.Jobq.pop q with
+    | Some e -> (e.Server.Jobq.seq, e.Server.Jobq.payload)
+    | None -> Alcotest.fail "queue empty"
+  in
+  Alcotest.(check (pair int int)) "first" (0, 10) (pop ());
+  Alcotest.(check (pair int int)) "second" (1, 11) (pop ());
+  Alcotest.(check (pair int int)) "third" (2, 12) (pop ());
+  Server.Jobq.close q;
+  Alcotest.(check bool) "drained" true (Server.Jobq.pop q = None);
+  match Server.Jobq.submit q 13 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "submit on closed queue"
+
+let test_jobq_cancel () =
+  let q = Server.Jobq.create () in
+  let e = Server.Jobq.submit q 1 in
+  Server.Jobq.cancel e;
+  (* cancelled entries still pop: every submission gets a result slot *)
+  match Server.Jobq.pop q with
+  | Some e' -> Alcotest.(check bool) "flagged" true e'.Server.Jobq.cancelled
+  | None -> Alcotest.fail "cancelled entry vanished"
+
+(* --- Dispatcher --------------------------------------------------------- *)
+
+(* jobs finishing out of order must still emit results in submission
+   order: later submissions sleep less *)
+let test_dispatcher_order () =
+  let d =
+    D.create ~shards:3
+      ~run:(fun _ctx ms ->
+        Unix.sleepf (float_of_int ms /. 1e3);
+        ms * 2)
+      ()
+  in
+  let payloads = [ 50; 30; 20; 10; 1 ] in
+  List.iter (fun p -> ignore (D.submit d p)) payloads;
+  let rs = D.drain d in
+  Alcotest.(check (list int))
+    "payloads in submission order" payloads
+    (List.map (fun r -> r.D.r_payload) rs);
+  Alcotest.(check (list int)) "seqs" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun r -> r.D.r_seq) rs);
+  List.iter
+    (fun r ->
+      match r.D.r_outcome with
+      | D.Done v -> Alcotest.(check int) "result" (r.D.r_payload * 2) v
+      | _ -> Alcotest.fail "job did not complete")
+    rs
+
+let test_dispatcher_retry () =
+  let m = Mutex.create () in
+  let tries = Hashtbl.create 8 in
+  let d =
+    D.create ~shards:2
+      ~run:(fun ctx fail_first ->
+        let n =
+          Mutex.protect m (fun () ->
+              let n = 1 + Option.value ~default:0 (Hashtbl.find_opt tries ctx.D.seq) in
+              Hashtbl.replace tries ctx.D.seq n;
+              n)
+        in
+        if n <= fail_first then failwith "flaky" else n)
+      ()
+  in
+  (* succeeds on attempt 3 with budget 3; exhausts budget 1 *)
+  ignore (D.submit d ~max_retries:3 ~backoff:0.001 2);
+  ignore (D.submit d ~max_retries:1 ~backoff:0.001 5);
+  match D.drain d with
+  | [ a; b ] ->
+    (match a.D.r_outcome with
+    | D.Done 3 -> ()
+    | _ -> Alcotest.fail "retried job should succeed on 3rd attempt");
+    Alcotest.(check int) "attempts counted" 3 a.D.r_attempts;
+    (match b.D.r_outcome with
+    | D.Failed msg ->
+      Alcotest.(check bool) "failure message" true
+        (String.length msg > 0)
+    | _ -> Alcotest.fail "budget-exhausted job should fail");
+    Alcotest.(check int) "budget spent" 2 b.D.r_attempts
+  | rs -> Alcotest.fail (Fmt.str "expected 2 results, got %d" (List.length rs))
+
+let test_dispatcher_deadline () =
+  let d =
+    D.create ~shards:1
+      ~run:(fun ctx () ->
+        while true do
+          ctx.D.should_stop ();
+          Unix.sleepf 0.002
+        done)
+      ()
+  in
+  ignore (D.submit d ~deadline:(Unix.gettimeofday () +. 0.03) ());
+  match D.drain d with
+  | [ r ] -> (
+    match r.D.r_outcome with
+    | D.Timed_out -> ()
+    | _ -> Alcotest.fail "expected Timed_out")
+  | _ -> Alcotest.fail "expected 1 result"
+
+let test_dispatcher_cancel () =
+  let d =
+    D.create ~shards:1
+      ~run:(fun ctx ms ->
+        let until = Unix.gettimeofday () +. (float_of_int ms /. 1e3) in
+        while Unix.gettimeofday () < until do
+          ctx.D.should_stop ();
+          Unix.sleepf 0.002
+        done)
+      ()
+  in
+  let a = D.submit d 500 in
+  let b = D.submit d 1 in
+  (* b is still queued behind a: cancelling it must not run it at all;
+     cancelling a stops it mid-run at the next poll *)
+  D.cancel b;
+  Unix.sleepf 0.02;
+  D.cancel a;
+  match D.drain d with
+  | [ ra; rb ] ->
+    (match ra.D.r_outcome with
+    | D.Cancelled_ -> ()
+    | _ -> Alcotest.fail "running job not cancelled");
+    Alcotest.(check int) "a started" 1 ra.D.r_attempts;
+    (match rb.D.r_outcome with
+    | D.Cancelled_ -> ()
+    | _ -> Alcotest.fail "queued job not cancelled");
+    Alcotest.(check int) "b never started" 0 rb.D.r_attempts;
+    let v = Server.Stats.view (D.stats d) in
+    Alcotest.(check int) "stats cancelled" 2 v.Server.Stats.v_cancelled;
+    Alcotest.(check int) "stats depth drained" 0 v.Server.Stats.v_depth
+  | _ -> Alcotest.fail "expected 2 results"
+
+let test_stats_counters () =
+  let d = D.create ~shards:2 ~run:(fun _ n -> if n < 0 then failwith "neg" else n) () in
+  List.iter (fun n -> ignore (D.submit d n)) [ 1; -1; 2; 3 ];
+  ignore (D.drain d);
+  let v = Server.Stats.view (D.stats d) in
+  Alcotest.(check int) "submitted" 4 v.Server.Stats.v_submitted;
+  Alcotest.(check int) "ok" 3 v.Server.Stats.v_succeeded;
+  Alcotest.(check int) "failed" 1 v.Server.Stats.v_failed;
+  Alcotest.(check int) "peak depth" 4 v.Server.Stats.v_peak_depth;
+  Alcotest.(check bool) "p99 >= p50" true
+    (v.Server.Stats.v_p99 >= v.Server.Stats.v_p50)
+
+(* --- Protocol ----------------------------------------------------------- *)
+
+let sample_submit =
+  P.Submit
+    {
+      q_op = P.Op_replay;
+      q_workload = "fig1ab";
+      q_seed = 7;
+      q_trace = "/tmp/x.trace";
+      q_deadline_ms = 1500;
+      q_max_retries = 2;
+    }
+
+let sample_reply =
+  {
+    P.p_seq = 3;
+    p_op = P.Op_record;
+    p_workload = "bank";
+    p_outcome = 0;
+    p_status = "finished";
+    p_digest = "deadbeef";
+    p_attempts = 1;
+    p_latency_us = 12345;
+    p_words = 99;
+  }
+
+let test_protocol_roundtrip () =
+  (match P.decode_request (P.encode_request sample_submit) with
+  | P.Submit { q_workload; q_seed; q_trace; q_deadline_ms; q_max_retries; _ }
+    ->
+    Alcotest.(check string) "workload" "fig1ab" q_workload;
+    Alcotest.(check int) "seed" 7 q_seed;
+    Alcotest.(check string) "trace" "/tmp/x.trace" q_trace;
+    Alcotest.(check int) "deadline" 1500 q_deadline_ms;
+    Alcotest.(check int) "retries" 2 q_max_retries
+  | P.Finish -> Alcotest.fail "decoded as Finish");
+  (match P.decode_request (P.encode_request P.Finish) with
+  | P.Finish -> ()
+  | _ -> Alcotest.fail "Finish roundtrip");
+  let r = P.decode_reply (P.encode_reply sample_reply) in
+  Alcotest.(check bool) "reply roundtrip" true (r = sample_reply)
+
+let test_protocol_malformed () =
+  (* truncated payload, corrupt tag, trailing garbage: Format_error, no crash *)
+  let enc = P.encode_request sample_submit in
+  for cut = 0 to String.length enc - 1 do
+    match P.decode_request (String.sub enc 0 cut) with
+    | exception T.Format_error _ -> ()
+    | exception T.End_of_tape _ -> Alcotest.fail "leaked End_of_tape"
+    | _ -> Alcotest.fail (Fmt.str "decoded a %d-byte prefix" cut)
+  done;
+  (match P.decode_request (enc ^ "zz") with
+  | exception T.Format_error _ -> ()
+  | _ -> Alcotest.fail "accepted trailing bytes");
+  match P.decode_request "\xff\xff\xff" with
+  | exception T.Format_error _ -> ()
+  | _ -> Alcotest.fail "accepted garbage"
+
+let test_frame_truncation () =
+  let path = Filename.temp_file "dvframe" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      (* length says 100, only 3 bytes follow *)
+      output_binary_int oc 100;
+      output_string oc "abc";
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match P.read_frame ic with
+          | exception T.Format_error _ -> ()
+          | _ -> Alcotest.fail "accepted truncated frame"))
+
+(* --- streamed record/replay vs materialized ----------------------------- *)
+
+(* for every registry workload: recording through the streaming writer must
+   produce a byte-identical file to serializing the materialized trace *)
+let test_stream_byte_identity_registry () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let path = Filename.temp_file "dvstream" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let _, trace = Dejavu.record ~natives:e.natives e.program in
+          let _, _ =
+            Dejavu.record_to ~natives:e.natives ~path e.program
+          in
+          let ic = open_in_bin path in
+          let streamed = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Alcotest.(check bool)
+            (e.name ^ ": streamed = materialized")
+            true
+            (String.equal (T.to_bytes trace) streamed)))
+    (Lazy.force Workloads.Registry.all)
+
+(* streaming replay must reach the same final state as materialized replay *)
+let test_stream_replay_equivalence () =
+  List.iter
+    (fun name ->
+      let e = Option.get (Workloads.Registry.find name) in
+      let path = Filename.temp_file "dvrep" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let _, _ = Dejavu.record_to ~natives:e.natives ~path e.program in
+          let mat, mleft =
+            Dejavu.replay ~natives:e.natives e.program (T.load path)
+          in
+          let str, sleft =
+            Dejavu.replay_from ~natives:e.natives ~path e.program
+          in
+          Alcotest.(check bool) (name ^ ": both complete") true
+            (mleft = [] && sleft = []);
+          Alcotest.(check string)
+            (name ^ ": same output")
+            mat.Dejavu.output str.Dejavu.output;
+          Alcotest.(check bool)
+            (name ^ ": same state digest")
+            true
+            (mat.Dejavu.state_digest = str.Dejavu.state_digest)))
+    [ "fig1ab"; "producer-consumer"; "native"; "webserver" ]
+
+(* truncated trace file through the full streaming replay path *)
+let test_stream_replay_truncated () =
+  let e = Option.get (Workloads.Registry.find "fig1ab") in
+  let path = Filename.temp_file "dvtrunc" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let _, _ = Dejavu.record_to ~natives:e.natives ~path e.program in
+      let ic = open_in_bin path in
+      let whole = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc (String.sub whole 0 (String.length whole / 2));
+      close_out oc;
+      match Dejavu.replay_from ~natives:e.natives ~path e.program with
+      | exception T.Format_error _ -> ()
+      | run, _ -> (
+        (* a cut landing on a section boundary can parse; replay must then
+           either diverge or finish — never crash *)
+        match run.Dejavu.status with
+        | Vm.Rt.Fatal _ | Vm.Rt.Finished | Vm.Rt.Halted _ | Vm.Rt.Deadlocked
+          ->
+          ()
+        | Vm.Rt.Running_ -> Alcotest.fail "replay left running"))
+
+(* --- batch -------------------------------------------------------------- *)
+
+let batch_specs out_dir =
+  List.map
+    (fun name ->
+      Server.Job.Record
+        {
+          workload = name;
+          seed = 1;
+          out = Filename.concat out_dir (name ^ ".trace");
+        })
+    [ "fig1ab"; "racy-counter"; "producer-consumer"; "bank"; "primes"; "native" ]
+  @ [
+      Server.Job.Lint { workload = "fig1ab" };
+      Server.Job.Roundtrip { workload = "synced-counter"; seed = 3 };
+    ]
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "dvbatch-%d-%.0f" (Unix.getpid ()) (Unix.gettimeofday () *. 1e6))
+  in
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let test_batch_shard_invariance () =
+  with_tmp_dir (fun d1 ->
+      with_tmp_dir (fun d4 ->
+          let r1 = Server.Batch.run_specs ~shards:1 (batch_specs d1) in
+          let r4 = Server.Batch.run_specs ~shards:4 (batch_specs d4) in
+          Alcotest.(check bool) "sequential ok" true r1.Server.Batch.ok;
+          Alcotest.(check bool) "sharded ok" true r4.Server.Batch.ok;
+          Alcotest.(check string)
+            "aggregate digest is shard-count invariant"
+            r1.Server.Batch.aggregate r4.Server.Batch.aggregate;
+          Alcotest.(check int) "row count" (List.length r1.Server.Batch.rows)
+            (List.length r4.Server.Batch.rows)))
+
+(* --- serve over a Unix socket ------------------------------------------- *)
+
+let test_serve_end_to_end () =
+  with_tmp_dir (fun out_dir ->
+      let socket_path = Filename.concat out_dir "dv.sock" in
+      let srv =
+        Server.Serve.create ~shards:2 ~socket_path ~out_dir ()
+      in
+      let server_domain =
+        Domain.spawn (fun () -> Server.Serve.serve ~max_conns:1 srv)
+      in
+      let reqs =
+        List.map
+          (fun (op, w) ->
+            P.Submit
+              {
+                q_op = op;
+                q_workload = w;
+                q_seed = 1;
+                q_trace = "";
+                q_deadline_ms = 0;
+                q_max_retries = 0;
+              })
+          [
+            (P.Op_record, "fig1ab");
+            (P.Op_lint, "bank");
+            (P.Op_record, "nonexistent-workload");
+          ]
+      in
+      let replies = Server.Serve.client_submit ~socket_path reqs in
+      Domain.join server_domain;
+      Server.Serve.shutdown srv;
+      Alcotest.(check int) "3 replies" 3 (List.length replies);
+      (match replies with
+      | [ a; b; c ] ->
+        Alcotest.(check string) "in order" "fig1ab" a.P.p_workload;
+        Alcotest.(check int) "record done" 0 a.P.p_outcome;
+        Alcotest.(check bool) "trace digest" true (String.length a.P.p_digest > 0);
+        Alcotest.(check int) "lint done" 0 b.P.p_outcome;
+        Alcotest.(check string) "lint status" "ok" b.P.p_status;
+        Alcotest.(check int) "unknown workload fails" 1 c.P.p_outcome
+      | _ -> Alcotest.fail "reply shape");
+      Alcotest.(check bool) "trace file written" true
+        (Sys.file_exists (Filename.concat out_dir "fig1ab-0.trace")))
+
+let () =
+  Alcotest.run "server"
+    [
+      ("jobq", [ quick "fifo" test_jobq_fifo; quick "cancel" test_jobq_cancel ]);
+      ( "dispatcher",
+        [
+          quick "in-order results" test_dispatcher_order;
+          quick "retry with backoff" test_dispatcher_retry;
+          quick "deadline" test_dispatcher_deadline;
+          quick "cancellation" test_dispatcher_cancel;
+          quick "stats counters" test_stats_counters;
+        ] );
+      ( "protocol",
+        [
+          quick "roundtrip" test_protocol_roundtrip;
+          quick "malformed payloads" test_protocol_malformed;
+          quick "truncated frame" test_frame_truncation;
+        ] );
+      ( "streaming",
+        [
+          quick "byte identity across registry" test_stream_byte_identity_registry;
+          quick "replay equivalence" test_stream_replay_equivalence;
+          quick "truncated trace" test_stream_replay_truncated;
+        ] );
+      ("batch", [ quick "shard-count invariance" test_batch_shard_invariance ]);
+      ("serve", [ quick "end to end" test_serve_end_to_end ]);
+    ]

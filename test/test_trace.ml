@@ -148,6 +148,169 @@ let test_reason_tags () =
   Alcotest.(check int) "idle" 2 (T.tag_of_reason (Vm.Rt.Cidle 7));
   Alcotest.(check string) "name" "sched" (T.reason_name 1)
 
+(* --- streaming writer / reader ----------------------------------------- *)
+
+let with_tmp f =
+  let path = Filename.temp_file "dvtest" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let sample_trace () =
+  mk ~digest:"prog" ~analysis_hash:"audit"
+    ~switches:[| 3; 0; 150; 4096; 1 |]
+    ~clocks:[| 0; 5; 1; 70000; 2; 123456789 |]
+    ~inputs:[| 42; -17; 0 |]
+    ~natives:[| 1; 0; 0; 2; 1; 99 |]
+    ()
+
+(* satellite: sizes must not re-serialize — encoded_size is arithmetic and
+   must agree byte-for-byte with the real serialization *)
+let test_encoded_size () =
+  List.iter
+    (fun t ->
+      Alcotest.(check int)
+        "encoded_size = |to_bytes|"
+        (String.length (T.to_bytes t))
+        (T.encoded_size t);
+      Alcotest.(check int)
+        "sizes.total_bytes agrees"
+        (String.length (T.to_bytes t))
+        (T.sizes t).T.total_bytes)
+    [ mk (); sample_trace () ]
+
+(* feed a materialized trace through the streaming writer and check the
+   file is byte-identical to the batch serialization *)
+let stream_out path (t : T.t) ~buf_words =
+  let w = T.Writer.create ~buf_words path in
+  let tp = T.Writer.tapes w in
+  Array.iter (fun v -> T.Tape.push tp.(0) v) t.T.switches;
+  Array.iter (fun v -> T.Tape.push tp.(1) v) t.T.clocks;
+  Array.iter (fun v -> T.Tape.push tp.(2) v) t.T.inputs;
+  Array.iter (fun v -> T.Tape.push tp.(3) v) t.T.natives;
+  T.Writer.finish w ~program_digest:t.T.program_digest
+    ~analysis_hash:t.T.analysis_hash
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_writer_byte_identity () =
+  let t = sample_trace () in
+  with_tmp (fun path ->
+      (* tiny buffer: force many sink flushes mid-stream *)
+      let sizes = stream_out path t ~buf_words:2 in
+      Alcotest.(check string)
+        "streamed file = to_bytes" (T.to_bytes t) (read_file path);
+      Alcotest.(check int)
+        "incremental total_bytes"
+        (String.length (T.to_bytes t))
+        sizes.T.total_bytes)
+
+let test_writer_bounded_buffer () =
+  let t = sample_trace () in
+  with_tmp (fun path ->
+      (* with_tmp pre-creates an empty file; remove it so "no partial trace
+         after abort" is observable as absence *)
+      Sys.remove path;
+      let w = T.Writer.create ~buf_words:2 path in
+      let tp = T.Writer.tapes w in
+      Array.iter (fun v -> T.Tape.push tp.(0) v) t.T.switches;
+      Array.iter (fun v -> T.Tape.push tp.(3) v) t.T.natives;
+      let peak = T.Writer.peak_buffered_words w in
+      Alcotest.(check bool)
+        (Fmt.str "peak %d bounded by 4 x cap" peak)
+        true
+        (peak <= 4 * 2);
+      T.Writer.abort w;
+      Alcotest.(check bool) "abort leaves no file" false (Sys.file_exists path))
+
+let test_reader_roundtrip () =
+  let t = sample_trace () in
+  with_tmp (fun path ->
+      ignore (stream_out path t ~buf_words:3);
+      (* chunk of 2: every tape refills repeatedly *)
+      let r = T.Reader.open_file ~chunk_words:2 path in
+      Fun.protect
+        ~finally:(fun () -> T.Reader.close r)
+        (fun () ->
+          Alcotest.(check string)
+            "digest" t.T.program_digest (T.Reader.program_digest r);
+          Alcotest.(check string)
+            "audit" t.T.analysis_hash (T.Reader.analysis_hash r);
+          let tp = T.Reader.tapes r in
+          let drain k =
+            Array.init (T.Tape.remaining tp.(k)) (fun _ -> T.Tape.read tp.(k))
+          in
+          Alcotest.(check bool) "switches" true (drain 0 = t.T.switches);
+          Alcotest.(check bool) "clocks" true (drain 1 = t.T.clocks);
+          Alcotest.(check bool) "inputs" true (drain 2 = t.T.inputs);
+          Alcotest.(check bool) "natives" true (drain 3 = t.T.natives)))
+
+(* a loadable file, then truncated at every prefix length: the reader must
+   raise Format_error (or report end-of-tape mid-read), never crash *)
+let test_reader_truncation () =
+  let t = sample_trace () in
+  with_tmp (fun path ->
+      ignore (stream_out path t ~buf_words:64);
+      let whole = read_file path in
+      for cut = 0 to String.length whole - 1 do
+        let part = String.sub whole 0 cut in
+        let oc = open_out_bin path in
+        output_string oc part;
+        close_out oc;
+        match T.Reader.open_file ~chunk_words:2 path with
+        | exception T.Format_error _ -> ()
+        | r ->
+          (* header + counts parsed: reading past the cut must fail
+             cleanly, not crash *)
+          Fun.protect
+            ~finally:(fun () -> T.Reader.close r)
+            (fun () ->
+              match
+                Array.iter
+                  (fun tp ->
+                    while T.Tape.remaining tp > 0 do
+                      ignore (T.Tape.read tp)
+                    done)
+                  (T.Reader.tapes r)
+              with
+              | () -> Alcotest.fail (Fmt.str "cut %d read fully" cut)
+              | exception T.Format_error _ -> ()
+              | exception T.End_of_tape _ -> ())
+      done)
+
+let test_reader_corrupt () =
+  let t = sample_trace () in
+  with_tmp (fun path ->
+      ignore (stream_out path t ~buf_words:64);
+      let whole = Bytes.of_string (read_file path) in
+      (* smash a byte in the middle of the sections *)
+      let mid = Bytes.length whole / 2 in
+      Bytes.set whole mid '\xff';
+      let oc = open_out_bin path in
+      output_bytes oc whole;
+      close_out oc;
+      match T.Reader.open_file ~chunk_words:2 path with
+      | exception T.Format_error _ -> ()
+      | r ->
+        Fun.protect
+          ~finally:(fun () -> T.Reader.close r)
+          (fun () ->
+            match
+              Array.iter
+                (fun tp ->
+                  while T.Tape.remaining tp > 0 do
+                    ignore (T.Tape.read tp)
+                  done)
+                (T.Reader.tapes r)
+            with
+            | () -> () (* a flipped bit can still decode; fine *)
+            | exception T.Format_error _ -> ()
+            | exception T.End_of_tape _ -> ()))
+
 let () =
   Alcotest.run "trace"
     [
@@ -170,5 +333,14 @@ let () =
           quick "native outcomes" test_native_outcome_codec;
           quick "sizes" test_sizes;
           quick "reason tags" test_reason_tags;
+        ] );
+      ( "streaming",
+        [
+          quick "encoded size" test_encoded_size;
+          quick "writer byte identity" test_writer_byte_identity;
+          quick "writer bounded buffer" test_writer_bounded_buffer;
+          quick "reader roundtrip" test_reader_roundtrip;
+          quick "reader truncation" test_reader_truncation;
+          quick "reader corrupt" test_reader_corrupt;
         ] );
     ]
