@@ -389,18 +389,36 @@ module Writer = struct
   let default_buf_words = 4096
 
   let create ?(buf_words = default_buf_words) path =
+    (* If a later open fails (unwritable dir, ENOSPC), the writer is never
+       returned, so no [abort] can clean up — close and remove whatever was
+       already created before re-raising. *)
+    let opened = ref [] in
     let streams =
-      Array.map
-        (fun name ->
-          let spill = Fmt.str "%s.%s.spill" path name in
-          {
-            w_spill = spill;
-            w_oc = Some (open_out_bin spill);
-            w_buf = Buffer.create (buf_words * 2);
-            w_count = 0;
-            w_bytes = 0;
-          })
-        stream_names
+      try
+        Array.map
+          (fun name ->
+            let spill = Fmt.str "%s.%s.spill" path name in
+            let s =
+              {
+                w_spill = spill;
+                w_oc = Some (open_out_bin spill);
+                w_buf = Buffer.create (buf_words * 2);
+                w_count = 0;
+                w_bytes = 0;
+              }
+            in
+            opened := s :: !opened;
+            s)
+          stream_names
+      with exn ->
+        List.iter
+          (fun s ->
+            (match s.w_oc with
+            | Some oc -> close_out_noerr oc
+            | None -> ());
+            try Sys.remove s.w_spill with Sys_error _ -> ())
+          !opened;
+        raise exn
     in
     let w = { path; streams; w_tapes = [||]; peak_words = 0; closed = false } in
     let tapes =

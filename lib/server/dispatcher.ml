@@ -53,7 +53,7 @@ let now () = Unix.gettimeofday ()
 let backoff_nap (e : 'a Jobq.entry) delay =
   let until = now () +. delay in
   let rec nap () =
-    if (not e.cancelled) && now () < until then begin
+    if (not (Jobq.is_cancelled e)) && now () < until then begin
       Unix.sleepf (min 0.01 (until -. now ()));
       nap ()
     end
@@ -62,7 +62,7 @@ let backoff_nap (e : 'a Jobq.entry) delay =
 
 let execute t shard (e : 'a Jobq.entry) : ('a, 'r) result =
   let should_stop () =
-    if e.cancelled then raise Cancelled;
+    if Jobq.is_cancelled e then raise Cancelled;
     match e.deadline with
     | Some d when now () > d -> raise Deadline_exceeded
     | _ -> ()
@@ -148,10 +148,17 @@ let stats t = t.stats
 
 let queue_depth t = Jobq.depth t.queue
 
+(* Count the submission before enqueueing: a fast worker can pop and
+   complete the entry before this domain runs another instruction, and
+   [on_complete] decrementing depth below zero would corrupt the
+   depth/peak_depth gauges. The closed-queue error path undoes the count. *)
 let submit t ?deadline ?max_retries ?backoff payload =
-  let e = Jobq.submit t.queue ?deadline ?max_retries ?backoff payload in
   Stats.on_submit t.stats;
-  e
+  match Jobq.submit t.queue ?deadline ?max_retries ?backoff payload with
+  | e -> e
+  | exception exn ->
+    Stats.on_submit_rejected t.stats;
+    raise exn
 
 let cancel = Jobq.cancel
 

@@ -14,7 +14,10 @@ type 'a entry = {
   backoff : float; (* base seconds, doubled per failed attempt *)
   submitted_at : float;
   mutable attempts : int;
-  mutable cancelled : bool;
+  cancelled : bool Atomic.t;
+      (* written by the submitter's domain, polled by the worker running the
+         entry — atomic so the flag is visible across domains without any
+         other synchronizing operation between VM slices *)
 }
 
 type 'a t = {
@@ -46,7 +49,7 @@ let submit t ?deadline ?(max_retries = 0) ?(backoff = 0.05) payload =
           backoff;
           submitted_at = Unix.gettimeofday ();
           attempts = 0;
-          cancelled = false;
+          cancelled = Atomic.make false;
         }
       in
       t.next_seq <- t.next_seq + 1;
@@ -56,7 +59,9 @@ let submit t ?deadline ?(max_retries = 0) ?(backoff = 0.05) payload =
 
 (* Cooperative: a queued entry is reported Cancelled when popped; a running
    one is stopped at its next should_stop poll. *)
-let cancel (e : 'a entry) = e.cancelled <- true
+let cancel (e : 'a entry) = Atomic.set e.cancelled true
+
+let is_cancelled (e : 'a entry) = Atomic.get e.cancelled
 
 let pop t =
   Mutex.protect t.m (fun () ->

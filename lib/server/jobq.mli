@@ -11,7 +11,9 @@ type 'a entry = {
   backoff : float;  (** base seconds, doubled per failed attempt *)
   submitted_at : float;
   mutable attempts : int;
-  mutable cancelled : bool;
+  cancelled : bool Atomic.t;
+      (** set by the submitter, polled by the worker domain running the
+          entry *)
 }
 
 type 'a t
@@ -26,6 +28,8 @@ val submit :
 (** Cooperative cancellation: a queued entry is reported cancelled when
     popped; a running one stops at its next poll. *)
 val cancel : 'a entry -> unit
+
+val is_cancelled : 'a entry -> bool
 
 (** Block until an entry is available; [None] once the queue is closed and
     drained. Cancelled entries are returned too (the dispatcher emits their

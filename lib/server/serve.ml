@@ -94,41 +94,60 @@ let create ?(shards = 4) ?slice ~socket_path ~out_dir () : t =
   }
 
 (* One conversation: Submits until Finish (or EOF), then replies in
-   submission order. Protocol errors poison only the connection. *)
+   submission order. For a protocol error to poison only its own
+   connection, every result slot this conversation submitted must be
+   consumed before the next connection is served — a malformed frame or a
+   client disconnect mid-reply would otherwise leave orphaned results in
+   the dispatcher's reorder buffer, and the next connection's reply loop
+   would pull them as its own, desynchronizing every later conversation.
+   The [finally] below discards whatever the reply loop never reached. *)
 let handle_conn t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let submitted = ref 0 in
-  (try
-     let rec read_loop () =
-       match Protocol.read_request ic with
-       | None | Some Protocol.Finish -> ()
-       | Some (Protocol.Submit q as req) ->
-         let deadline =
-           if q.q_deadline_ms > 0 then
-             Some (Unix.gettimeofday () +. (float_of_int q.q_deadline_ms /. 1e3))
-           else None
-         in
-         let seq = t.next_name in
-         t.next_name <- seq + 1;
-         let spec = spec_of_submit t ~seq req in
-         ignore
-           (Dispatcher.submit t.dispatcher ?deadline
-              ~max_retries:q.q_max_retries spec);
-         incr submitted;
-         read_loop ()
-     in
-     read_loop ();
-     for _ = 1 to !submitted do
-       match Dispatcher.next t.dispatcher with
-       | None -> ()
-       | Some r -> Protocol.write_reply oc (reply_of_result r)
-     done
-   with
-  | Trace.Format_error msg ->
-    (try Fmt.epr "serve: protocol error: %s@." msg with _ -> ())
-  | Sys_error _ | Unix.Unix_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  let consumed = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      while !consumed < !submitted do
+        match Dispatcher.next t.dispatcher with
+        | Some _ -> incr consumed
+        | None -> consumed := !submitted (* closed: no more slots coming *)
+      done;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        let rec read_loop () =
+          match Protocol.read_request ic with
+          | None | Some Protocol.Finish -> ()
+          | Some (Protocol.Submit q as req) ->
+            let deadline =
+              if q.q_deadline_ms > 0 then
+                Some
+                  (Unix.gettimeofday ()
+                  +. (float_of_int q.q_deadline_ms /. 1e3))
+              else None
+            in
+            let seq = t.next_name in
+            t.next_name <- seq + 1;
+            let spec = spec_of_submit t ~seq req in
+            ignore
+              (Dispatcher.submit t.dispatcher ?deadline
+                 ~max_retries:q.q_max_retries spec);
+            incr submitted;
+            read_loop ()
+        in
+        read_loop ();
+        for _ = 1 to !submitted do
+          let r = Dispatcher.next t.dispatcher in
+          incr consumed;
+          match r with
+          | None -> ()
+          | Some r -> Protocol.write_reply oc (reply_of_result r)
+        done
+      with
+      | Trace.Format_error msg ->
+        (try Fmt.epr "serve: protocol error: %s@." msg with _ -> ())
+      | Sys_error _ | Unix.Unix_error _ -> ())
 
 (* Accept loop; [max_conns] bounds how many connections to serve (tests),
    [None] serves forever. *)

@@ -74,6 +74,14 @@ let on_submit t =
       t.depth <- t.depth + 1;
       if t.depth > t.peak_depth then t.peak_depth <- t.depth)
 
+(* Undo an [on_submit] whose enqueue was refused (closed queue): the entry
+   never existed, so neither count should reflect it. peak_depth may keep a
+   transient +1 — it is a high-water mark, not an exact gauge. *)
+let on_submit_rejected t =
+  locked t (fun () ->
+      t.submitted <- t.submitted - 1;
+      t.depth <- t.depth - 1)
+
 let on_retry t = locked t (fun () -> t.retried <- t.retried + 1)
 
 type terminal = Succeeded | Failed_ | Cancelled_ | Timed_out_

@@ -26,6 +26,9 @@ val create : unit -> t
 
 val on_submit : t -> unit
 
+(** Undo an [on_submit] whose enqueue was refused (e.g. closed queue). *)
+val on_submit_rejected : t -> unit
+
 val on_retry : t -> unit
 
 (** Count a terminal outcome and fold [latency] (submission to completion,

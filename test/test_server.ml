@@ -36,7 +36,8 @@ let test_jobq_cancel () =
   Server.Jobq.cancel e;
   (* cancelled entries still pop: every submission gets a result slot *)
   match Server.Jobq.pop q with
-  | Some e' -> Alcotest.(check bool) "flagged" true e'.Server.Jobq.cancelled
+  | Some e' ->
+    Alcotest.(check bool) "flagged" true (Server.Jobq.is_cancelled e')
   | None -> Alcotest.fail "cancelled entry vanished"
 
 (* --- Dispatcher --------------------------------------------------------- *)
@@ -402,6 +403,55 @@ let test_serve_end_to_end () =
       Alcotest.(check bool) "trace file written" true
         (Sys.file_exists (Filename.concat out_dir "fig1ab-0.trace")))
 
+(* A conversation that dies on a malformed frame must not leave its results
+   in the dispatcher's reorder buffer: the next connection's reply loop
+   would otherwise pull the orphaned results as its own and every later
+   conversation would be desynchronized. *)
+let test_serve_poisoned_conn_isolated () =
+  with_tmp_dir (fun out_dir ->
+      let socket_path = Filename.concat out_dir "dv.sock" in
+      let srv = Server.Serve.create ~shards:2 ~socket_path ~out_dir () in
+      let server_domain =
+        Domain.spawn (fun () -> Server.Serve.serve ~max_conns:2 srv)
+      in
+      let submit op w =
+        P.Submit
+          {
+            q_op = op;
+            q_workload = w;
+            q_seed = 1;
+            q_trace = "";
+            q_deadline_ms = 0;
+            q_max_retries = 0;
+          }
+      in
+      (* connection 1: two real submissions, then a frame with an unknown
+         request tag — the server errors out before streaming any reply *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      let oc = Unix.out_channel_of_descr fd in
+      P.write_request oc (submit P.Op_lint "fig1ab");
+      P.write_request oc (submit P.Op_lint "primes");
+      let b = Buffer.create 4 in
+      T.put_varint b 7;
+      output_binary_int oc (Buffer.length b);
+      Buffer.output_buffer oc b;
+      flush oc;
+      Unix.close fd;
+      (* connection 2 must see exactly its own reply, not an orphan of
+         connection 1 *)
+      let replies =
+        Server.Serve.client_submit ~socket_path [ submit P.Op_lint "bank" ]
+      in
+      Domain.join server_domain;
+      Server.Serve.shutdown srv;
+      Alcotest.(check int) "one reply" 1 (List.length replies);
+      match replies with
+      | [ r ] ->
+        Alcotest.(check string) "own workload" "bank" r.P.p_workload;
+        Alcotest.(check int) "own job done" 0 r.P.p_outcome
+      | _ -> Alcotest.fail "reply shape")
+
 let () =
   Alcotest.run "server"
     [
@@ -427,5 +477,9 @@ let () =
           quick "truncated trace" test_stream_replay_truncated;
         ] );
       ("batch", [ quick "shard-count invariance" test_batch_shard_invariance ]);
-      ("serve", [ quick "end to end" test_serve_end_to_end ]);
+      ( "serve",
+        [
+          quick "end to end" test_serve_end_to_end;
+          quick "poisoned conn isolated" test_serve_poisoned_conn_isolated;
+        ] );
     ]
