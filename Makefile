@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune.
 
-.PHONY: all build test smoke batch-smoke bench lint clean
+.PHONY: all build test smoke batch-smoke bench-farm bench lint clean
 
 all: build
 
@@ -20,6 +20,12 @@ smoke:
 # a sequential run by test_server and bench E12).
 batch-smoke:
 	dune exec bin/dvrun.exe -- batch --shards 4 --out _batch
+
+# Warm-reuse gate: record the registry twice over on warm shard pools at
+# 1 and 2 shards and fail unless the aggregate digests are identical —
+# recycling VMs must change scheduling, never results.
+bench-farm:
+	dune exec bench/main.exe -- farm-smoke
 
 bench:
 	dune exec bench/main.exe

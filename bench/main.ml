@@ -436,37 +436,217 @@ let micro () =
 
 (* ------------------------------------------------------------------ E12 *)
 
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
 (* Replay-farm throughput: record the whole registry under increasing shard
    counts and compare wall clock. The aggregate digest must not change with
-   the shard count — sharding alters scheduling, never results. *)
-let batch_under shards =
+   the shard count OR with warm reuse — sharding and VM recycling alter
+   scheduling, never results. *)
+let batch_under ?(warm = false) ?(rounds = 1) shards =
   let out_dir =
     Filename.concat (Filename.get_temp_dir_name ())
-      (Fmt.str "dv-bench-batch-%d-%d" (Unix.getpid ()) shards)
+      (Fmt.str "dv-bench-batch-%d-%d-%b" (Unix.getpid ()) shards warm)
   in
-  let rep = Server.Batch.run_registry ~shards ~out_dir () in
-  List.iter
-    (fun r -> try Sys.remove (Filename.concat out_dir (r ^ ".trace")) with Sys_error _ -> ())
-    (Workloads.Registry.names ());
-  (try Sys.rmdir out_dir with Sys_error _ -> ());
+  let rep = Server.Batch.run_registry ~shards ~warm ~rounds ~out_dir () in
+  rm_rf out_dir;
   rep
 
+(* Steady-state warm throughput: one untimed warm-up round boots every
+   pool VM, then [rounds] timed rounds run entirely on baseline resets.
+   Quantiles are exact (sorted per-job latencies), not histogram bounds. *)
+let warm_sustained ~shards ~rounds =
+  Server.Job.preload ();
+  let out_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "dv-bench-sus-%d-%d" (Unix.getpid ()) shards)
+  in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let stats = Server.Stats.create () in
+  let runner = Server.Job.runner ~stats ~shards () in
+  let d =
+    Server.Dispatcher.create ~shards ~place:runner.Server.Job.place ~stats
+      ~run:runner.Server.Job.run ()
+  in
+  let names = Workloads.Registry.names () in
+  let submit_round r =
+    List.iter
+      (fun n ->
+        ignore
+          (Server.Dispatcher.submit d
+             (Server.Job.Record
+                {
+                  workload = n;
+                  seed = 1;
+                  out = Filename.concat out_dir (Fmt.str "%s-%d.trace" n r);
+                })))
+      names
+  in
+  submit_round 0;
+  for _ = 1 to List.length names do
+    ignore (Server.Dispatcher.next d)
+  done;
+  let t0 = Unix.gettimeofday () in
+  let lats = ref [] in
+  for r = 1 to rounds do
+    submit_round r
+  done;
+  for _ = 1 to rounds * List.length names do
+    match Server.Dispatcher.next d with
+    | Some r -> lats := r.Server.Dispatcher.r_latency :: !lats
+    | None -> ()
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  ignore (Server.Dispatcher.drain d);
+  rm_rf out_dir;
+  let sorted = Array.of_list (List.sort compare !lats) in
+  let q p =
+    if Array.length sorted = 0 then 0.
+    else
+      sorted.(min
+                (Array.length sorted - 1)
+                (int_of_float (p *. float_of_int (Array.length sorted))))
+  in
+  let jobs = rounds * List.length names in
+  ( (if wall > 0. then float_of_int jobs /. wall else 0.),
+    q 0.50 *. 1e3,
+    q 0.99 *. 1e3,
+    wall,
+    runner.Server.Job.warm_stats () )
+
 let e12 () =
-  section "E12" "Replay farm: batch record throughput vs shard count";
-  let base = batch_under 1 in
-  Fmt.pr "%-8s %10s %10s %10s %10s@." "shards" "wall s" "jobs/s" "p50 ms"
-    "p99 ms";
+  section "E12"
+    "Replay farm: batch record throughput vs shard count, cold vs warm";
+  let base = batch_under ~warm:false 1 in
+  Fmt.pr "%-8s %12s %12s %12s %10s %10s@." "shards" "cold jobs/s"
+    "warm jobs/s" "sustained" "p50 ms" "p99 ms";
+  let sus1 = ref 0. and sus4 = ref 0. in
   List.iter
     (fun shards ->
-      let rep = if shards = 1 then base else batch_under shards in
-      Fmt.pr "%-8d %10.2f %10.1f %10.1f %10.1f%s@." shards
-        rep.Server.Batch.wall_s rep.Server.Batch.jobs_per_s
-        (rep.Server.Batch.stats.Server.Stats.v_p50 *. 1e3)
-        (rep.Server.Batch.stats.Server.Stats.v_p99 *. 1e3)
-        (if rep.Server.Batch.aggregate = base.Server.Batch.aggregate then
-           "  (digest = sequential)"
+      let cold = if shards = 1 then base else batch_under ~warm:false shards in
+      let w = batch_under ~warm:true shards in
+      let sus_jps, p50, p99, _, _ = warm_sustained ~shards ~rounds:3 in
+      if shards = 1 then sus1 := sus_jps;
+      if shards = 4 then sus4 := sus_jps;
+      Fmt.pr "%-8d %12.1f %12.1f %12.1f %10.1f %10.1f%s@." shards
+        cold.Server.Batch.jobs_per_s w.Server.Batch.jobs_per_s sus_jps p50 p99
+        (if
+           w.Server.Batch.aggregate = base.Server.Batch.aggregate
+           && cold.Server.Batch.aggregate = base.Server.Batch.aggregate
+         then "  (digest = sequential)"
          else "  AGGREGATE MISMATCH"))
-    [ 1; 2; 4 ]
+    [ 1; 2; 4 ];
+  Fmt.pr "warm sustained speedup 4v1: %.2f@."
+    (if !sus1 > 0. then !sus4 /. !sus1 else 0.)
+
+(* Sustained-load serving: an open-loop multi-client driver against a live
+   [dvrun serve] farm. Each client domain paces its submissions at a fixed
+   arrival rate — independent of completions, so queueing delay shows up in
+   the latency tail instead of throttling the offered load — and the
+   reported p50/p99 are exact quantiles over server-side job latencies. *)
+let serve_load ~shards ~clients ~per_client ~rate_hz =
+  Server.Job.preload ();
+  let tmp = Filename.get_temp_dir_name () in
+  let sock = Filename.concat tmp (Fmt.str "dv-bench-%d.sock" (Unix.getpid ())) in
+  let out_dir = Filename.concat tmp (Fmt.str "dv-bench-serve-%d" (Unix.getpid ())) in
+  let srv = Server.Serve.create ~shards ~socket_path:sock ~out_dir () in
+  let server = Domain.spawn (fun () -> Server.Serve.serve ~max_conns:clients srv) in
+  let names = Array.of_list (Workloads.Registry.names ()) in
+  let gap = 1. /. rate_hz in
+  let t0 = Unix.gettimeofday () in
+  let client i =
+    Domain.spawn (fun () ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            for k = 0 to per_client - 1 do
+              Server.Protocol.write_request oc
+                (Server.Protocol.Submit
+                   {
+                     q_op = Server.Protocol.Op_record;
+                     q_workload = names.(((i * 7) + k) mod Array.length names);
+                     q_seed = 1;
+                     q_trace = "";
+                     q_deadline_ms = 0;
+                     q_max_retries = 0;
+                   });
+              flush oc;
+              Unix.sleepf gap
+            done;
+            Server.Protocol.write_request oc Server.Protocol.Finish;
+            let rec collect acc =
+              match Server.Protocol.read_reply ic with
+              | None -> List.rev acc
+              | Some r -> collect (r :: acc)
+            in
+            collect []))
+  in
+  let doms = List.init clients client in
+  let replies = List.concat_map Domain.join doms in
+  let wall = Unix.gettimeofday () -. t0 in
+  Server.Serve.shutdown srv;
+  Domain.join server;
+  rm_rf out_dir;
+  let lats =
+    List.map (fun (r : Server.Protocol.reply) -> r.p_latency_us) replies
+  in
+  let sorted = Array.of_list (List.sort compare lats) in
+  let q p =
+    if Array.length sorted = 0 then 0.
+    else
+      float_of_int
+        sorted.(min
+                  (Array.length sorted - 1)
+                  (int_of_float (p *. float_of_int (Array.length sorted))))
+      /. 1e3
+  in
+  let done_ =
+    List.length
+      (List.filter (fun (r : Server.Protocol.reply) -> r.p_outcome = 0) replies)
+  in
+  ( (if wall > 0. then float_of_int (List.length replies) /. wall else 0.),
+    q 0.50,
+    q 0.99,
+    done_,
+    List.length replies )
+
+let e13 () =
+  section "E13" "Sustained-load serving: open-loop multi-client driver";
+  let jps, p50, p99, done_, total =
+    serve_load ~shards:4 ~clients:3 ~per_client:21 ~rate_hz:400.
+  in
+  Fmt.pr
+    "3 clients x 21 record jobs at 400 Hz offered, 4 shards:@\n\
+     %d/%d done, %.1f jobs/s, p50 %.1f ms, p99 %.1f ms@."
+    done_ total jps p50 p99
+
+(* CI gate: the 2-shard warm aggregate must equal the 1-shard one (and
+   every job must succeed) — the cheap end-to-end proof that sharding plus
+   warm reuse never changes results. *)
+let farm_smoke () =
+  section "farm-smoke" "2-shard vs 1-shard aggregate digest (warm, 2 rounds)";
+  let b1 = batch_under ~warm:true ~rounds:2 1 in
+  let b2 = batch_under ~warm:true ~rounds:2 2 in
+  let ok =
+    b1.Server.Batch.ok && b2.Server.Batch.ok
+    && b1.Server.Batch.aggregate = b2.Server.Batch.aggregate
+  in
+  Fmt.pr "1 shard : %s (%s)@\n2 shards: %s (%s)@\n%s@." b1.Server.Batch.aggregate
+    (if b1.Server.Batch.ok then "all done" else "FAILURES")
+    b2.Server.Batch.aggregate
+    (if b2.Server.Batch.ok then "all done" else "FAILURES")
+    (if ok then "farm-smoke PASS" else "farm-smoke FAIL");
+  if not ok then exit 1
 
 (* ---------------------------------------------------------------- json *)
 
@@ -587,18 +767,34 @@ let json () =
     (json_workloads ());
   Buffer.add_string buf "  },\n";
   (* replay-farm batch throughput: whole registry recorded under 1 and 4
-     shards (streamed traces); jobs/sec and latency quantiles come from the
-     farm's own histogram *)
-  let batch_json shards =
-    let rep = batch_under shards in
-    Fmt.pr "batch %d shard(s): %.1f jobs/s (p50 <= %.1f ms, p99 <= %.1f ms)@."
-      shards rep.Server.Batch.jobs_per_s
+     shards, cold (a VM per job — comparable with the PR-4/5 trajectory)
+     and warm (shard pools of baseline-reset VMs). The headline
+     speedup_4v1 is the warm steady-state ratio (untimed warm-up round,
+     then timed rounds on resets only, exact quantiles); the cold ratio is
+     kept alongside it. *)
+  let batch_json ?(warm = false) shards =
+    let rep = batch_under ~warm shards in
+    Fmt.pr
+      "batch %d shard(s)%s: %.1f jobs/s (p50 <= %.1f ms, p99 <= %.1f ms)@."
+      shards
+      (if warm then " warm" else "")
+      rep.Server.Batch.jobs_per_s
       (rep.Server.Batch.stats.Server.Stats.v_p50 *. 1e3)
       (rep.Server.Batch.stats.Server.Stats.v_p99 *. 1e3);
     rep
   in
   let b1 = batch_json 1 in
   let b4 = batch_json 4 in
+  let w1 = batch_json ~warm:true 1 in
+  let w4 = batch_json ~warm:true 4 in
+  let s1_jps, s1_p50, s1_p99, _, _ = warm_sustained ~shards:1 ~rounds:6 in
+  let s4_jps, s4_p50, s4_p99, _, _ = warm_sustained ~shards:4 ~rounds:6 in
+  Fmt.pr "warm sustained: 1 shard %.1f jobs/s, 4 shards %.1f jobs/s@." s1_jps
+    s4_jps;
+  let sv_jps, sv_p50, sv_p99, sv_done, sv_total =
+    serve_load ~shards:4 ~clients:3 ~per_client:21 ~rate_hz:400.
+  in
+  Fmt.pr "serve load: %d/%d done, %.1f jobs/s@." sv_done sv_total sv_jps;
   let batch_field key (rep : Server.Batch.report) last =
     Buffer.add_string buf
       (Fmt.str
@@ -615,16 +811,52 @@ let json () =
          (rep.Server.Batch.stats.Server.Stats.v_p99 *. 1e3)
          (if last then "" else ","))
   in
+  let sustained_field key (jps, p50, p99) last =
+    Buffer.add_string buf
+      (Fmt.str
+         "    %S: { \"jobs_per_s\": %.2f, \"p50_ms\": %.2f, \"p99_ms\": \
+          %.2f }%s\n"
+         key jps p50 p99
+         (if last then "" else ","))
+  in
   Buffer.add_string buf "  \"batch\": {\n";
   batch_field "shards_1" b1 false;
   batch_field "shards_4" b4 false;
+  batch_field "warm_shards_1" w1 false;
+  batch_field "warm_shards_4" w4 false;
+  sustained_field "warm_sustained_1" (s1_jps, s1_p50, s1_p99) false;
+  sustained_field "warm_sustained_4" (s4_jps, s4_p50, s4_p99) false;
   Buffer.add_string buf
-    (Fmt.str "    \"speedup_4v1\": %.2f,\n    \"digests_equal\": %b\n"
+    (Fmt.str
+       "    \"speedup_4v1\": %.2f,\n\
+       \    \"speedup_4v1_cold\": %.2f,\n\
+       \    \"warm_vs_cold_1shard\": %.2f,\n\
+       \    \"digests_equal\": %b\n"
+       (if s1_jps > 0. then s4_jps /. s1_jps else 0.)
        (if b4.Server.Batch.wall_s > 0. then
           b1.Server.Batch.wall_s /. b4.Server.Batch.wall_s
         else 0.)
-       (b1.Server.Batch.aggregate = b4.Server.Batch.aggregate));
-  Buffer.add_string buf "  }\n}";
+       (if b1.Server.Batch.jobs_per_s > 0. then
+          w1.Server.Batch.jobs_per_s /. b1.Server.Batch.jobs_per_s
+        else 0.)
+       (b1.Server.Batch.aggregate = b4.Server.Batch.aggregate
+       && b1.Server.Batch.aggregate = w1.Server.Batch.aggregate
+       && b1.Server.Batch.aggregate = w4.Server.Batch.aggregate));
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf
+    (Fmt.str
+       "  \"serve_load\": {\n\
+       \    \"shards\": 4,\n\
+       \    \"clients\": 3,\n\
+       \    \"offered_hz\": 400,\n\
+       \    \"jobs\": %d,\n\
+       \    \"done\": %d,\n\
+       \    \"jobs_per_s\": %.2f,\n\
+       \    \"p50_ms\": %.2f,\n\
+       \    \"p99_ms\": %.2f\n\
+       \  }\n\
+        }"
+       sv_total sv_done sv_jps sv_p50 sv_p99);
   let point = Buffer.contents buf in
   let oc = open_out json_out in
   (match prior with
@@ -650,8 +882,10 @@ let all : (string * string * (unit -> unit)) list =
     ("E9", "ablations", e9);
     ("E10", "time travel", e10);
     ("E11", "symmetry ablation", e11);
-    ("E12", "replay farm batch throughput", e12);
+    ("E12", "replay farm batch throughput, cold vs warm", e12);
+    ("E13", "sustained-load serving (open-loop clients)", e13);
     ("micro", "bechamel microbenches", micro);
+    ("farm-smoke", "CI: sharded+warm aggregate digest equality", farm_smoke);
     ("--json", "write the BENCH_interp.json perf trajectory", json);
   ]
 
@@ -659,7 +893,10 @@ let () =
   let want = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   let selected =
     if want = [] then
-      List.filter (fun (id, _, _) -> id <> "micro" && id <> "--json") all
+      List.filter
+        (fun (id, _, _) ->
+          id <> "micro" && id <> "--json" && id <> "farm-smoke")
+        all
     else List.filter (fun (id, _, _) -> List.mem id want) all
   in
   if selected = [] then begin

@@ -426,16 +426,29 @@ let batch_cmd =
       value & opt int 0
       & info [ "retries" ] ~docv:"N" ~doc:"retry budget per job")
   in
+  let rounds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"record the registry N times over (rounds > 1 reuse warm VMs)")
+  in
+  let cold_arg =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:"boot a fresh VM per job instead of resetting warm shard pools")
+  in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const (fun shards seed out_dir deadline_s max_retries ->
+      const (fun shards seed out_dir deadline_s max_retries rounds cold ->
           let rep =
             Server.Batch.run_registry ~shards ~seed ?deadline_s ~max_retries
-              ~out_dir ()
+              ~warm:(not cold) ~rounds ~out_dir ()
           in
           Fmt.pr "%a@." Server.Batch.pp_report rep;
           if not rep.Server.Batch.ok then Stdlib.exit 1)
-      $ shards_arg $ seed_arg $ out_dir_arg $ deadline_arg $ retries_arg)
+      $ shards_arg $ seed_arg $ out_dir_arg $ deadline_arg $ retries_arg
+      $ rounds_arg $ cold_arg)
 
 let socket_arg =
   Arg.(

@@ -1,7 +1,10 @@
 (* Batch mode: run a list of jobs (typically "record every registry
    workload") across N shards and fold the per-job digests — in submission
    order, so the aggregate is shard-count-invariant — into one digest the
-   tests compare against a sequential run. *)
+   tests compare against a sequential run. Jobs run warm by default (shard
+   pools of baseline-reset VMs, size-aware placement); [~warm:false] keeps
+   the original cold boot per job, which the warm path must match
+   byte-for-byte. *)
 
 type row = {
   b_name : string; (* workload *)
@@ -22,6 +25,7 @@ type report = {
   jobs_per_s : float;
   shards : int;
   stats : Stats.view;
+  warm : Warm.stats; (* all shard pools folded; zero on a cold run *)
 }
 
 let row_of_result (r : (Job.spec, Job.output) Dispatcher.result) : row =
@@ -68,10 +72,20 @@ let aggregate_of rows =
     rows;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
-let run_specs ?(shards = 4) ?deadline_s ?max_retries ?slice specs : report =
+let run_specs ?(shards = 4) ?deadline_s ?max_retries ?slice ?(warm = true)
+    specs : report =
   Job.preload ();
   let t0 = Unix.gettimeofday () in
-  let d = Dispatcher.create ~shards ~run:(Job.run ?slice) () in
+  let stats = Stats.create () in
+  let runner =
+    if warm then Some (Job.runner ?slice ~stats ~shards ()) else None
+  in
+  let d =
+    match runner with
+    | Some r ->
+      Dispatcher.create ~shards ~place:r.Job.place ~stats ~run:r.Job.run ()
+    | None -> Dispatcher.create ~shards ~stats ~run:(Job.run ?slice) ()
+  in
   let deadline = Option.map (fun s -> t0 +. s) deadline_s in
   List.iter (fun spec -> ignore (Dispatcher.submit d ?deadline ?max_retries spec)) specs;
   let results = Dispatcher.drain d in
@@ -85,21 +99,38 @@ let run_specs ?(shards = 4) ?deadline_s ?max_retries ?slice specs : report =
     jobs_per_s =
       (if wall_s > 0. then float_of_int (List.length rows) /. wall_s else 0.);
     shards;
-    stats = Stats.view (Dispatcher.stats d);
+    stats = Stats.view stats;
+    warm =
+      (match runner with
+      (* safe to read: Dispatcher.drain joined the shard domains *)
+      | Some r -> r.Job.warm_stats ()
+      | None -> Warm.zero);
   }
 
-(* Record every registry workload into [out_dir]/NAME.trace. *)
-let run_registry ?shards ?(seed = 1) ?deadline_s ?max_retries ?slice ~out_dir
-    () : report =
+(* Record every registry workload into [out_dir]/NAME.trace, [rounds]
+   times over (rounds > 1 exercise warm reuse: every job after a
+   workload's first resets a pooled VM instead of booting; later rounds'
+   traces land in NAME-rK.trace so rounds never overwrite each other
+   mid-digest). *)
+let run_registry ?shards ?(seed = 1) ?deadline_s ?max_retries ?slice ?warm
+    ?(rounds = 1) ~out_dir () : report =
   if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let names = Workloads.Registry.names () in
   let specs =
-    List.map
-      (fun name ->
-        Job.Record
-          { workload = name; seed; out = Filename.concat out_dir (name ^ ".trace") })
-      (Workloads.Registry.names ())
+    List.concat_map
+      (fun round ->
+        List.map
+          (fun name ->
+            let file =
+              if round = 0 then name ^ ".trace"
+              else Fmt.str "%s-r%d.trace" name (round + 1)
+            in
+            Job.Record
+              { workload = name; seed; out = Filename.concat out_dir file })
+          names)
+      (List.init rounds Fun.id)
   in
-  run_specs ?shards ?deadline_s ?max_retries ?slice specs
+  run_specs ?shards ?deadline_s ?max_retries ?slice ?warm specs
 
 let pp_row ppf r =
   Fmt.pf ppf "%-24s %-9s shard %d  %2d att  %7.1f ms  %-10s %s" r.b_name r.b_op
@@ -109,8 +140,9 @@ let pp_row ppf r =
 
 let pp_report ppf rep =
   List.iter (fun r -> Fmt.pf ppf "%a@\n" pp_row r) rep.rows;
-  Fmt.pf ppf "aggregate %s (%s)@\n%d jobs / %d shards in %.2fs = %.1f jobs/s@\n%a@\n"
+  Fmt.pf ppf
+    "aggregate %s (%s)@\n%d jobs / %d shards in %.2fs = %.1f jobs/s@\n%a@\n%a@\n"
     rep.aggregate
     (if rep.ok then "all done" else "FAILURES")
     (List.length rep.rows) rep.shards rep.wall_s rep.jobs_per_s Stats.pp_view
-    rep.stats
+    rep.stats Warm.pp_stats rep.warm

@@ -1,6 +1,7 @@
 (** Batch mode: run a set of jobs across N shards, report per-job rows in
     submission order plus an order-stable aggregate digest (shard-count
-    invariant: the N-shard aggregate equals the 1-shard one). *)
+    invariant: the N-shard aggregate equals the 1-shard one; warm-vs-cold
+    invariant: the warm aggregate equals the cold one). *)
 
 type row = {
   b_name : string;
@@ -23,24 +24,32 @@ type report = {
   jobs_per_s : float;
   shards : int;
   stats : Stats.view;
+  warm : Warm.stats;  (** all shard pools folded; zero on a cold run *)
 }
 
+(** [warm] (default true) runs jobs on shard pools of baseline-reset VMs
+    with size-aware placement; [~warm:false] cold-boots a VM per job (the
+    reference the warm path must match byte-for-byte). *)
 val run_specs :
   ?shards:int ->
   ?deadline_s:float ->
   ?max_retries:int ->
   ?slice:int ->
+  ?warm:bool ->
   Job.spec list ->
   report
 
-(** Record every registry workload into [out_dir]/NAME.trace. Creates
-    [out_dir] if missing. *)
+(** Record every registry workload into [out_dir]/NAME.trace, [rounds]
+    times over (default 1; later rounds write NAME-rK.trace and exercise
+    warm reuse). Creates [out_dir] if missing. *)
 val run_registry :
   ?shards:int ->
   ?seed:int ->
   ?deadline_s:float ->
   ?max_retries:int ->
   ?slice:int ->
+  ?warm:bool ->
+  ?rounds:int ->
   out_dir:string ->
   unit ->
   report

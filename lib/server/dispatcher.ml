@@ -1,13 +1,18 @@
 (* The shard pool. One VM per OCaml 5 domain: the interpreter is
    single-domain-safe by construction and shards share nothing but the work
-   queue, the stats block, and the results buffer — each a small
+   queues, the stats block, and the results buffer — each a small
    mutex-guarded structure touched once per job, never per instruction.
 
    Responsibilities:
-   - pull entries off the queue and run them through the caller's [run]
+   - place each submission (via the caller's [place] policy) on a shard's
+     local queue — warm-VM affinity — or on the shared queue, which idle
+     shards steal from;
+   - pull entries off the queues and run them through the caller's [run]
      function, handing it a [ctx] whose [should_stop] raises on
      cancellation or an elapsed deadline (polled between VM slices);
-   - bounded retry with exponential backoff on failure;
+   - bounded retry with exponential backoff on failure — by re-enqueueing
+     the entry with a [not_before] timestamp, never by sleeping on the
+     worker domain, so a failing job's backoff stalls nobody behind it;
    - emit exactly one result per submission, delivered to the consumer in
      submission order through a reorder buffer (workers complete out of
      order; [next] blocks until the next sequence number lands). *)
@@ -17,6 +22,14 @@ exception Cancelled
 exception Deadline_exceeded
 
 type ctx = { shard : int; seq : int; should_stop : unit -> unit }
+
+(* Placement decision for one submission. [Shared]: any idle shard takes
+   it — the right lane for jobs with no size estimate (their first run is
+   the measurement) and for extra-large jobs, which would otherwise make
+   every small job queued behind them on a local queue wait out the whole
+   trace. [Shard i]: pinned to one shard's local queue, the warm-VM
+   affinity lane. *)
+type place = Shared | Shard of int
 
 type 'r outcome =
   | Done of 'r
@@ -36,6 +49,7 @@ type ('a, 'r) result = {
 type ('a, 'r) t = {
   queue : 'a Jobq.t;
   run : ctx -> 'a -> 'r;
+  place : 'a -> place;
   shards : int;
   stats : Stats.t;
   m : Mutex.t;
@@ -48,19 +62,9 @@ type ('a, 'r) t = {
 
 let now () = Unix.gettimeofday ()
 
-(* Backoff nap that abandons early on cancellation, so cancelling a job
-   stuck in retry loops takes effect promptly. *)
-let backoff_nap (e : 'a Jobq.entry) delay =
-  let until = now () +. delay in
-  let rec nap () =
-    if (not (Jobq.is_cancelled e)) && now () < until then begin
-      Unix.sleepf (min 0.01 (until -. now ()));
-      nap ()
-    end
-  in
-  nap ()
-
-let execute t shard (e : 'a Jobq.entry) : ('a, 'r) result =
+(* Run one attempt. [None] means the entry was re-enqueued for a backed-off
+   retry and owes no result yet; [Some r] is the entry's terminal result. *)
+let execute t shard (e : 'a Jobq.entry) : ('a, 'r) result option =
   let should_stop () =
     if Jobq.is_cancelled e then raise Cancelled;
     match e.deadline with
@@ -68,38 +72,39 @@ let execute t shard (e : 'a Jobq.entry) : ('a, 'r) result =
     | _ -> ()
   in
   let ctx = { shard; seq = e.seq; should_stop } in
-  let rec attempt () =
+  let finish outcome =
+    Some
+      {
+        r_seq = e.seq;
+        r_payload = e.payload;
+        r_outcome = outcome;
+        r_attempts = e.attempts;
+        r_latency = now () -. e.submitted_at;
+        r_shard = shard;
+      }
+  in
+  (* Deadline/cancellation check BEFORE touching any VM: an entry that
+     expired or was cancelled while queued completes right here with
+     [attempts] untouched (0 unless a previous attempt ran). *)
+  match should_stop () with
+  | exception Cancelled -> finish Cancelled_
+  | exception Deadline_exceeded -> finish Timed_out
+  | () -> (
     e.attempts <- e.attempts + 1;
     match t.run ctx e.payload with
-    | r -> Done r
-    | exception Cancelled -> Cancelled_
-    | exception Deadline_exceeded -> Timed_out
+    | r -> finish (Done r)
+    | exception Cancelled -> finish Cancelled_
+    | exception Deadline_exceeded -> finish Timed_out
     | exception exn ->
-      if e.attempts > e.max_retries then Failed (Printexc.to_string exn)
+      if e.attempts > e.max_retries then finish (Failed (Printexc.to_string exn))
       else begin
+        (* hand the entry back to its home queue with the backoff encoded
+           as an earliest-start time; this shard takes other work *)
         Stats.on_retry t.stats;
-        backoff_nap e (e.backoff *. (2. ** float_of_int (e.attempts - 1)));
-        match should_stop () with
-        | () -> attempt ()
-        | exception Cancelled -> Cancelled_
-        | exception Deadline_exceeded -> Timed_out
-      end
-  in
-  let outcome =
-    (* a queued entry may have been cancelled or expired while waiting *)
-    match should_stop () with
-    | () -> attempt ()
-    | exception Cancelled -> Cancelled_
-    | exception Deadline_exceeded -> Timed_out
-  in
-  {
-    r_seq = e.seq;
-    r_payload = e.payload;
-    r_outcome = outcome;
-    r_attempts = e.attempts;
-    r_latency = now () -. e.submitted_at;
-    r_shard = shard;
-  }
+        let delay = e.backoff *. (2. ** float_of_int (e.attempts - 1)) in
+        Jobq.requeue t.queue e ~not_before:(now () +. delay);
+        None
+      end)
 
 let post t (r : ('a, 'r) result) =
   Stats.on_complete t.stats
@@ -115,22 +120,23 @@ let post t (r : ('a, 'r) result) =
 
 let worker t shard () =
   let rec loop () =
-    match Jobq.pop t.queue with
+    match Jobq.pop_shard t.queue ~shard with
     | None -> ()
     | Some e ->
-      post t (execute t shard e);
+      (match execute t shard e with Some r -> post t r | None -> ());
       loop ()
   in
   loop ()
 
-let create ?(shards = 4) ~run () =
+let create ?(shards = 4) ?(place = fun _ -> Shared) ?stats ~run () =
   if shards < 1 then invalid_arg "Dispatcher.create: shards < 1";
   let t =
     {
-      queue = Jobq.create ();
+      queue = Jobq.create ~shards ();
       run;
+      place;
       shards;
-      stats = Stats.create ();
+      stats = (match stats with Some s -> s | None -> Stats.create ());
       m = Mutex.create ();
       ready = Condition.create ();
       buf = Hashtbl.create 64;
@@ -154,7 +160,12 @@ let queue_depth t = Jobq.depth t.queue
    depth/peak_depth gauges. The closed-queue error path undoes the count. *)
 let submit t ?deadline ?max_retries ?backoff payload =
   Stats.on_submit t.stats;
-  match Jobq.submit t.queue ?deadline ?max_retries ?backoff payload with
+  let shard =
+    match t.place payload with
+    | Shared -> -1
+    | Shard i -> ((i mod t.shards) + t.shards) mod t.shards
+  in
+  match Jobq.submit t.queue ?deadline ?max_retries ?backoff ~shard payload with
   | e -> e
   | exception exn ->
     Stats.on_submit_rejected t.stats;

@@ -1,11 +1,13 @@
 (** The shard pool at the heart of the replay farm: a fixed set of OCaml 5
-    domains, each running one VM at a time, fed from a shared {!Jobq} and
-    reporting through an in-order results channel.
+    domains, each running one VM at a time, fed from per-shard local
+    queues plus a shared {!Jobq} idle shards steal from, and reporting
+    through an in-order results channel.
 
-    Shard isolation invariant: a job's VM, trace writer/reader, and
-    temporary files live entirely on the shard that runs it. Shards share
-    only the work queue, the stats block, and the reorder buffer — each a
-    small mutex-guarded structure touched once per job. *)
+    Shard isolation invariant: a job's VM (warm or cold), trace
+    writer/reader, and temporary files live entirely on the shard that
+    runs it — local-queue entries never migrate. Shards share only the
+    work queues, the stats block, and the reorder buffer — each a small
+    mutex-guarded structure touched once per job. *)
 
 (** Raised by [ctx.should_stop] (and catchable by job code for cleanup)
     when the entry was cancelled. *)
@@ -21,6 +23,12 @@ type ctx = {
       (** poll point: raises {!Cancelled} or {!Deadline_exceeded}; job code
           calls this between VM slices *)
 }
+
+(** Placement decision for one submission: [Shared] — any idle shard
+    steals it (the lane for unestimated and extra-large jobs); [Shard i] —
+    pinned to shard [i]'s local queue (the warm-VM affinity lane;
+    reduced mod the shard count). *)
+type place = Shared | Shard of int
 
 type 'r outcome =
   | Done of 'r
@@ -41,9 +49,20 @@ type ('a, 'r) t
 
 (** Spawn [shards] worker domains (default 4) running [run]. [run] may
     raise: generic exceptions consume the retry budget (exponential
-    backoff), {!Cancelled}/{!Deadline_exceeded} terminate the job with the
-    matching outcome. *)
-val create : ?shards:int -> run:(ctx -> 'a -> 'r) -> unit -> ('a, 'r) t
+    backoff via re-enqueue with an earliest-start time — the worker domain
+    never sleeps), {!Cancelled}/{!Deadline_exceeded} terminate the job
+    with the matching outcome. An entry whose deadline has already passed
+    when dequeued completes as [Timed_out] without [run] being called
+    (its [r_attempts] stays 0). [place] routes each submission (default:
+    everything Shared); [stats] lets the caller share a stats block with
+    other layers (default: fresh). *)
+val create :
+  ?shards:int ->
+  ?place:('a -> place) ->
+  ?stats:Stats.t ->
+  run:(ctx -> 'a -> 'r) ->
+  unit ->
+  ('a, 'r) t
 
 val shards : ('a, 'r) t -> int
 

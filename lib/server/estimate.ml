@@ -1,0 +1,28 @@
+(* Size estimates for dispatch placement: how many instructions a workload
+   retires, measured the first time a job for it completes anywhere on the
+   farm. There is no registry metadata to consult — the honest source is
+   the VM's own instruction counter — so the first job of each workload
+   runs un-estimated (and is therefore placed on the shared queue, which
+   doubles as the measurement lane), and every later job is routed by the
+   recorded figure.
+
+   Shared across shard domains, so reads and writes go through one mutex;
+   traffic is two touches per job, never per instruction. Estimates are
+   hints for placement only — a stale or missing entry can cost latency,
+   never correctness. *)
+
+type t = {
+  m : Mutex.t;
+  tbl : (string, int) Hashtbl.t; (* workload name -> n_instr last measured *)
+}
+
+let create () = { m = Mutex.create (); tbl = Hashtbl.create 32 }
+
+(* Record a completed job's measured size (last writer wins: sizes are
+   seed-dependent only marginally, and any recent figure is a fine hint). *)
+let note t name n_instr =
+  Mutex.protect t.m (fun () -> Hashtbl.replace t.tbl name n_instr)
+
+let find t name = Mutex.protect t.m (fun () -> Hashtbl.find_opt t.tbl name)
+
+let known t = Mutex.protect t.m (fun () -> Hashtbl.length t.tbl)

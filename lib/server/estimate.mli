@@ -1,0 +1,18 @@
+(** Measured per-workload size estimates (instructions retired), feeding
+    the dispatcher's size-aware placement. Unestimated workloads run from
+    the shared queue, which doubles as the measurement lane; completed jobs
+    report their VM's instruction count here. Thread/domain-safe; hints
+    only — staleness can cost latency, never correctness. *)
+
+type t
+
+val create : unit -> t
+
+(** Record a completed job's measured instruction count (last writer
+    wins). *)
+val note : t -> string -> int -> unit
+
+val find : t -> string -> int option
+
+(** Number of workloads with a recorded estimate. *)
+val known : t -> int

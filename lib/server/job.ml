@@ -2,7 +2,15 @@
    in fuel-bounded slices, polling [ctx.should_stop] between slices so
    cancellation and deadlines take effect mid-program, and never leaves a
    partial trace file behind (streaming writer: spill files + atomic
-   rename, aborted on any exception). *)
+   rename, aborted on any exception).
+
+   Two ways to get the VM: cold — [Vm.create] per job, the original farm
+   behaviour and still the reference the warm path is tested against — or
+   warm, from a shard's {!Warm} pool, which resets a persistent VM to its
+   baseline snapshot instead of re-booting. [runner] packages the warm
+   path: per-shard pools (never shared across domains), a farm-wide
+   {!Estimate} table measured from completed jobs, and the size-aware
+   placement policy the dispatcher routes submissions with. *)
 
 module Trace = Dejavu.Trace
 module Session = Dejavu.Session
@@ -47,6 +55,21 @@ let find workload =
 let with_seed seed (config : Vm.Rt.config) =
   { config with Vm.Rt.env_cfg = { config.Vm.Rt.env_cfg with Vm.Env.seed } }
 
+(* The replay side always runs under one fixed seed: every environment
+   reading comes from the trace, so the seed is inert — but keeping it
+   constant makes warm replay VMs trivially baseline-compatible. *)
+let replay_seed = 424242
+
+(* A VM for the job: reset from the shard pool's baseline when one is
+   supplied, booted from scratch otherwise. The two are state-identical by
+   the warm-reset parity contract (tested registry-wide). *)
+let boot_vm ?pool (e : Workloads.Registry.entry) ~seed =
+  match pool with
+  | Some p -> Warm.acquire p e ~seed
+  | None ->
+    let config = with_seed seed Vm.Rt.default_config in
+    Vm.create ~config ~natives:e.natives e.program
+
 (* Run the VM to completion in [slice]-instruction hops, checking for
    cancellation/deadline between hops and enforcing the config's overall
    instruction limit (run_slice itself never goes Fatal on budget). *)
@@ -65,13 +88,19 @@ let drive ~slice (ctx : Dispatcher.ctx) (vm : Vm.t) =
   in
   go ()
 
+(* A completed run's measured size feeds the placement policy. *)
+let note_size ?est (e : Workloads.Registry.entry) (vm : Vm.t) =
+  match est with
+  | None -> ()
+  | Some est -> Estimate.note est e.name vm.Vm.Rt.stats.Vm.Rt.n_instr
+
 let state_digest_hex vm = Fmt.str "%016x" (Vm.digest vm land max_int)
 
 (* Streamed record; returns the finished VM too so roundtrip can compare
    states without recording twice. *)
-let record_impl ~slice ctx (e : Workloads.Registry.entry) ~seed ~out =
-  let config = with_seed seed Vm.Rt.default_config in
-  let vm = Vm.create ~config ~natives:e.natives e.program in
+let record_impl ~slice ?pool ?est ctx (e : Workloads.Registry.entry) ~seed
+    ~out =
+  let vm = boot_vm ?pool e ~seed in
   let writer = Trace.Writer.create out in
   match
     let session = Recorder.attach_stream vm writer in
@@ -80,6 +109,7 @@ let record_impl ~slice ctx (e : Workloads.Registry.entry) ~seed ~out =
     (Vm.string_of_status (Vm.status vm), sizes)
   with
   | status, sizes ->
+    note_size ?est e vm;
     ( {
         o_status = status;
         o_digest = Digest.to_hex (Digest.file out);
@@ -90,12 +120,11 @@ let record_impl ~slice ctx (e : Workloads.Registry.entry) ~seed ~out =
     Trace.Writer.abort writer;
     raise exn
 
-let run_record ~slice ctx e ~seed ~out =
-  fst (record_impl ~slice ctx e ~seed ~out)
+let run_record ~slice ?pool ?est ctx e ~seed ~out =
+  fst (record_impl ~slice ?pool ?est ctx e ~seed ~out)
 
-let run_replay ~slice ctx (e : Workloads.Registry.entry) ~trace =
-  let config = with_seed 424242 Vm.Rt.default_config in
-  let vm = Vm.create ~config ~natives:e.natives e.program in
+let run_replay ~slice ?pool ?est ctx (e : Workloads.Registry.entry) ~trace =
+  let vm = boot_vm ?pool e ~seed:replay_seed in
   let reader = Trace.Reader.open_file trace in
   Fun.protect
     ~finally:(fun () -> Trace.Reader.close reader)
@@ -110,6 +139,7 @@ let run_replay ~slice ctx (e : Workloads.Registry.entry) ~trace =
          with Session.Divergence msg ->
            vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));
         let leftovers = Replayer.check_complete session in
+        note_size ?est e vm;
         {
           o_status = Vm.string_of_status (Vm.status vm);
           o_digest = state_digest_hex vm;
@@ -117,15 +147,17 @@ let run_replay ~slice ctx (e : Workloads.Registry.entry) ~trace =
         })
 
 (* Record to a shard-private temp file, replay it back, compare states.
-   The temp file never outlives the job. *)
-let run_roundtrip ~slice ctx (e : Workloads.Registry.entry) ~seed =
+   The temp file never outlives the job. The recorded VM's digest is taken
+   BEFORE the replay runs: under warm reuse both halves draw from the same
+   pool slot, so starting the replay resets the recorded VM. *)
+let run_roundtrip ~slice ?pool ?est ctx (e : Workloads.Registry.entry) ~seed =
   let tmp = Filename.temp_file "dvfarm" ".trace" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
     (fun () ->
-      let recorded, rec_vm = record_impl ~slice ctx e ~seed ~out:tmp in
-      let replayed = run_replay ~slice ctx e ~trace:tmp in
+      let recorded, rec_vm = record_impl ~slice ?pool ?est ctx e ~seed ~out:tmp in
       let rec_vm_digest = state_digest_hex rec_vm in
+      let replayed = run_replay ~slice ?pool ctx e ~trace:tmp in
       let ok =
         replayed.o_words = 0
         && String.equal rec_vm_digest replayed.o_digest
@@ -146,13 +178,80 @@ let run_lint (e : Workloads.Registry.entry) =
     o_words = List.length (Analysis.Report.racy_keys r);
   }
 
-(* Entry point the dispatcher's [run] closes over. [slice] is the poll
-   granularity in instructions. *)
-let run ?(slice = 50_000) (ctx : Dispatcher.ctx) (spec : spec) : output =
+let dispatch ~slice ?pool ?est (ctx : Dispatcher.ctx) (spec : spec) : output =
   match spec with
   | Record { workload; seed; out } ->
-    run_record ~slice ctx (find workload) ~seed ~out
-  | Replay { workload; trace } -> run_replay ~slice ctx (find workload) ~trace
+    run_record ~slice ?pool ?est ctx (find workload) ~seed ~out
+  | Replay { workload; trace } ->
+    run_replay ~slice ?pool ?est ctx (find workload) ~trace
   | Roundtrip { workload; seed } ->
-    run_roundtrip ~slice ctx (find workload) ~seed
+    run_roundtrip ~slice ?pool ?est ctx (find workload) ~seed
   | Lint { workload } -> run_lint (find workload)
+
+(* Cold entry point: one fresh VM per job. Still the reference semantics —
+   the warm runner below must be indistinguishable from it. *)
+let run ?(slice = 50_000) (ctx : Dispatcher.ctx) (spec : spec) : output =
+  dispatch ~slice ctx spec
+
+(* --- the warm runner: pools + estimates + placement --- *)
+
+type runner = {
+  run : Dispatcher.ctx -> spec -> output;
+  place : spec -> Dispatcher.place;
+  estimates : Estimate.t;
+  warm_stats : unit -> Warm.stats; (* all shards folded; call after join *)
+}
+
+(* Jobs at or above this many instructions count as extra-large for
+   placement (the registry's -XL workloads sit far above, the rest far
+   below). *)
+let default_xl_cutoff = 2_000_000
+
+(* Placement. Extra-large jobs go to the shared queue, where any idle
+   shard picks them up: pinned to a local queue they would make every
+   small job queued behind them wait out the whole trace, which is
+   precisely the p99 failure mode size-aware dispatch exists to prevent.
+   "Extra-large" comes from the measured estimate when one exists, else
+   from the registry's naming convention (the "-XL" suffix is the only
+   size metadata the catalogue carries). Lint jobs run no VM, so warm
+   affinity buys them nothing — shared as well. Everything else is pinned
+   to its workload's affinity shard from the very first (unestimated) run,
+   so the VM booted for a workload's first job is the VM every repeat job
+   finds warm; that first run doubles as the size measurement. *)
+let place_policy ~estimates ~shards ~xl_cutoff (spec : spec) :
+    Dispatcher.place =
+  match spec with
+  | Lint _ -> Dispatcher.Shared
+  | Record _ | Replay _ | Roundtrip _ -> (
+    let name = workload_of spec in
+    let xl_by_name () =
+      String.length name >= 3
+      && String.sub name (String.length name - 3) 3 = "-XL"
+    in
+    match Estimate.find estimates name with
+    | Some n when n >= xl_cutoff -> Dispatcher.Shared
+    | None when xl_by_name () -> Dispatcher.Shared
+    | Some _ | None -> Dispatcher.Shard (Hashtbl.hash name mod shards))
+
+let runner ?(slice = 50_000) ?(warm_cap = 32) ?(xl_cutoff = default_xl_cutoff)
+    ?stats ~shards () : runner =
+  if shards < 1 then invalid_arg "Job.runner: shards < 1";
+  let note ~hit =
+    match stats with None -> () | Some s -> Stats.on_warm s ~hit
+  in
+  let pools = Array.init shards (fun _ -> Warm.create ~cap:warm_cap ~note ()) in
+  let estimates = Estimate.create () in
+  let run (ctx : Dispatcher.ctx) spec =
+    let pool = pools.(ctx.Dispatcher.shard) in
+    dispatch ~slice ~pool ~est:estimates ctx spec
+  in
+  {
+    run;
+    place = place_policy ~estimates ~shards ~xl_cutoff;
+    estimates;
+    warm_stats =
+      (fun () ->
+        Array.fold_left
+          (fun acc p -> Warm.merge acc (Warm.stats p))
+          Warm.zero pools);
+  }

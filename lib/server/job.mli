@@ -1,7 +1,12 @@
 (** The jobs a farm shard runs. Each job drives one VM in fuel-bounded
     slices, polling the dispatcher's [should_stop] between slices so
     cancellation and deadlines take effect mid-program, and leaves no
-    partial trace file behind on any exit path. *)
+    partial trace file behind on any exit path.
+
+    {!run} is the cold path (one fresh VM per job); {!runner} is the warm
+    path — per-shard {!Warm} pools, a measured {!Estimate} table, and the
+    size-aware placement policy — whose results are byte-identical to the
+    cold path's (tested registry-wide). *)
 
 type spec =
   | Record of { workload : string; seed : int; out : string }
@@ -25,8 +30,36 @@ val workload_of : spec -> string
     a race. Call once from batch/serve setup. *)
 val preload : unit -> unit
 
-(** Run one job. [slice] is the cancellation-poll granularity in
-    instructions (default 50_000). Raises [Failure] on unknown workloads,
-    [Trace.Format_error] on malformed trace files, and lets
-    {!Dispatcher.Cancelled}/{!Dispatcher.Deadline_exceeded} propagate. *)
+(** Run one job cold (fresh VM). [slice] is the cancellation-poll
+    granularity in instructions (default 50_000). Raises [Failure] on
+    unknown workloads, [Trace.Format_error] on malformed trace files, and
+    lets {!Dispatcher.Cancelled}/{!Dispatcher.Deadline_exceeded}
+    propagate. *)
 val run : ?slice:int -> Dispatcher.ctx -> spec -> output
+
+(** The warm execution package for one dispatcher: [run] to pass as the
+    dispatcher's run function (routes each job through its shard's warm
+    pool — [ctx.shard] must be < [shards]), [place] as its placement
+    policy, the live [estimates] table, and [warm_stats] to fold every
+    shard pool's counters (call only after the shard domains are
+    joined). *)
+type runner = {
+  run : Dispatcher.ctx -> spec -> output;
+  place : spec -> Dispatcher.place;
+  estimates : Estimate.t;
+  warm_stats : unit -> Warm.stats;
+}
+
+(** Build a warm runner for [shards] shard domains. [warm_cap] bounds
+    resident VMs per shard (default 32); jobs measuring at least
+    [xl_cutoff] instructions (default 2M) are placed on the shared queue
+    instead of a warm-affinity local queue; [stats] receives warm
+    hit/boot counts when supplied. *)
+val runner :
+  ?slice:int ->
+  ?warm_cap:int ->
+  ?xl_cutoff:int ->
+  ?stats:Stats.t ->
+  shards:int ->
+  unit ->
+  runner

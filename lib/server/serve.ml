@@ -84,8 +84,15 @@ let create ?(shards = 4) ?slice ~socket_path ~out_dir () : t =
   Unix.listen listen_fd 8;
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
    with Invalid_argument _ -> ());
+  (* warm shards: each serve worker keeps its pool of baseline-reset VMs
+     across connections — exactly the long-lived process the warm path is
+     for — with the runner's size-aware placement routing submissions *)
+  let stats = Stats.create () in
+  let runner = Job.runner ?slice ~stats ~shards () in
   {
-    dispatcher = Dispatcher.create ~shards ~run:(Job.run ?slice) ();
+    dispatcher =
+      Dispatcher.create ~shards ~place:runner.Job.place ~stats
+        ~run:runner.Job.run ();
     out_dir;
     socket_path;
     listen_fd;

@@ -15,6 +15,8 @@ type t = {
   mutable timed_out : int;
   mutable depth : int; (* jobs submitted but not yet completed *)
   mutable peak_depth : int;
+  mutable warm_hits : int; (* jobs served by a warm-VM reset *)
+  mutable warm_misses : int; (* jobs that booted a VM *)
   buckets : int array;
   mutable lat_n : int;
   mutable lat_sum : float; (* seconds *)
@@ -31,6 +33,8 @@ type view = {
   v_timed_out : int;
   v_depth : int;
   v_peak_depth : int;
+  v_warm_hits : int;
+  v_warm_misses : int;
   v_mean : float;
   v_max : float;
   v_p50 : float;
@@ -48,6 +52,8 @@ let create () =
     timed_out = 0;
     depth = 0;
     peak_depth = 0;
+    warm_hits = 0;
+    warm_misses = 0;
     buckets = Array.make n_buckets 0;
     lat_n = 0;
     lat_sum = 0.;
@@ -83,6 +89,12 @@ let on_submit_rejected t =
       t.depth <- t.depth - 1)
 
 let on_retry t = locked t (fun () -> t.retried <- t.retried + 1)
+
+(* A job acquired its VM: [hit] = reset from a warm baseline, not booted. *)
+let on_warm t ~hit =
+  locked t (fun () ->
+      if hit then t.warm_hits <- t.warm_hits + 1
+      else t.warm_misses <- t.warm_misses + 1)
 
 type terminal = Succeeded | Failed_ | Cancelled_ | Timed_out_
 
@@ -131,6 +143,8 @@ let view t : view =
         v_timed_out = t.timed_out;
         v_depth = t.depth;
         v_peak_depth = t.peak_depth;
+        v_warm_hits = t.warm_hits;
+        v_warm_misses = t.warm_misses;
         v_mean = (if t.lat_n = 0 then 0. else t.lat_sum /. float_of_int t.lat_n);
         v_max = t.lat_max;
         v_p50 = quantile_locked t 0.50;
@@ -141,8 +155,8 @@ let pp_view ppf v =
   Fmt.pf ppf
     "jobs: %d submitted, %d ok, %d failed, %d timed out, %d cancelled (%d \
      retries)@\n\
-     queue depth: %d now, %d peak@\n\
+     queue depth: %d now, %d peak; warm VMs: %d resets, %d boots@\n\
      latency: mean %.1f ms, p50 <= %.1f ms, p99 <= %.1f ms, max %.1f ms"
     v.v_submitted v.v_succeeded v.v_failed v.v_timed_out v.v_cancelled
-    v.v_retried v.v_depth v.v_peak_depth (v.v_mean *. 1e3) (v.v_p50 *. 1e3)
-    (v.v_p99 *. 1e3) (v.v_max *. 1e3)
+    v.v_retried v.v_depth v.v_peak_depth v.v_warm_hits v.v_warm_misses
+    (v.v_mean *. 1e3) (v.v_p50 *. 1e3) (v.v_p99 *. 1e3) (v.v_max *. 1e3)

@@ -14,6 +14,8 @@ type view = {
   v_timed_out : int;
   v_depth : int;  (** jobs submitted but not yet completed *)
   v_peak_depth : int;
+  v_warm_hits : int;  (** jobs served by a warm-VM reset *)
+  v_warm_misses : int;  (** jobs that booted a VM *)
   v_mean : float;  (** seconds *)
   v_max : float;
   v_p50 : float;  (** bucket upper bound, seconds *)
@@ -30,6 +32,10 @@ val on_submit : t -> unit
 val on_submit_rejected : t -> unit
 
 val on_retry : t -> unit
+
+(** A job acquired its VM: [hit] = reset from a warm baseline rather than
+    booted. *)
+val on_warm : t -> hit:bool -> unit
 
 (** Count a terminal outcome and fold [latency] (submission to completion,
     seconds) into the histogram. *)

@@ -71,6 +71,16 @@ let create ?(inputs = []) cfg =
     batch_buf;
   }
 
+(* Re-seed both generators in place, as if the environment had been created
+   with [seed]. [cfg.seed] keeps its creation-time value — it is only ever
+   read by [create] — so a warm-reused environment whose counters have been
+   restored to their creation values and whose streams are reseeded here is
+   indistinguishable from a fresh [create]. The [lxor] mirrors [create]'s
+   derivation of the independent input stream. *)
+let reseed t seed =
+  Prng.reseed t.rng seed;
+  Prng.reseed t.input_rng (seed lxor 0x5eed)
+
 (* Advance the clock for one executed instruction; returns true when the
    timer interrupt fired during this instruction. *)
 let tick t =

@@ -34,6 +34,12 @@ type t = {
 
 val create : ?inputs:int list -> config -> t
 
+(** Re-seed both streams in place as if the environment had been created
+    with this seed (the input stream gets the same derived seed [create]
+    uses). Counters ([now], [ticks], …) are untouched: callers reusing an
+    environment restore those from a snapshot first. *)
+val reseed : t -> int -> unit
+
 (** Advance the clock for one executed instruction; [true] when the timer
     interrupt fired during it. *)
 val tick : t -> bool

@@ -23,6 +23,11 @@ let create seed =
 
 let copy t = { state = Bytes.copy t.state }
 
+(* Re-point [t] at the start of [seed]'s stream, in place. The farm's warm
+   VM reset uses this: a reused environment must draw exactly the stream a
+   freshly created one would. *)
+let reseed t seed = Bytes.set_int64_ne t.state 0 (Int64.of_int seed)
+
 (* Overwrite [t]'s state with [from]'s (snapshot restore). *)
 let restore t ~from = Bytes.blit from.state 0 t.state 0 8
 

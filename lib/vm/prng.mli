@@ -10,6 +10,10 @@ val create : int -> t
 
 val copy : t -> t
 
+(** Re-point [t] at the start of [seed]'s stream, in place — a reused
+    generator becomes indistinguishable from [create seed]. *)
+val reseed : t -> int -> unit
+
 (** Overwrite [t]'s state in place with [from]'s (snapshot restore). *)
 val restore : t -> from:t -> unit
 

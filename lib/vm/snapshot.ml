@@ -8,6 +8,11 @@
    Boothe): instead of forking processes, a deterministic replayer only
    needs periodic snapshots plus re-execution from the nearest one.
 
+   It is also the reset mechanism behind the farm's warm shards: a baseline
+   saved immediately after Vm.create is restored between jobs (plus a hook
+   reinstall and an Env reseed — see Vm.reset), which replaces the per-job
+   cold boot with a blit of the 4-word creation heap prefix.
+
    Compiled code is split by the checkpoint line. Methods compiled BEFORE
    the save stay compiled across a restore — keeping the code cache warm
    (with its superinstruction streams and inline caches) is the point of a

@@ -3,7 +3,8 @@
     installed hook closures stay valid). The mechanism behind
     checkpoint-accelerated time travel in the debugger — the replay-
     platform rendition of the checkpoint/re-execute reverse debuggers the
-    paper discusses in section 5 (Igor, Recap, PPD, Boothe).
+    paper discusses in section 5 (Igor, Recap, PPD, Boothe) — and the
+    reset mechanism behind the farm's warm shards (see [Vm.reset]).
 
     Lazily compiled method bodies are deliberately not rolled back:
     compilation has no VM-visible effect beyond charging the (recorded)

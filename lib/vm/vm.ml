@@ -70,6 +70,28 @@ let live_hooks () : Rt.hooks =
     h_hb = None;
   }
 
+(* Put the hooks record back in live mode, field by field: [Rt.t.hooks] is
+   an immutable field holding a record of mutable closures, and sessions
+   (recorder, replayer, baselines, observers) mutate those fields in place.
+   Snapshots deliberately do not cover hooks, so a VM being reset for reuse
+   must have them reinstalled explicitly. *)
+let install_live_hooks (vm : Rt.t) =
+  let h = live_hooks () in
+  let hk = vm.Rt.hooks in
+  hk.Rt.h_yieldpoint <- h.Rt.h_yieldpoint;
+  hk.h_clock <- h.h_clock;
+  hk.h_input <- h.h_input;
+  hk.h_native <- h.h_native;
+  hk.h_observe <- None;
+  hk.h_heap_read <- None;
+  hk.h_heap_write <- None;
+  hk.h_switch <- None;
+  hk.h_instr <- None;
+  hk.h_pick <- None;
+  hk.h_spawn <- None;
+  hk.h_lock <- None;
+  hk.h_hb <- None
+
 let create ?(config = Rt.default_config) ?(natives = []) ?(inputs = [])
     (program : Bytecode.Decl.program) : t =
   let image = Link.build program in
@@ -146,6 +168,25 @@ let create ?(config = Rt.default_config) ?(natives = []) ?(inputs = [])
     }
   in
   vm
+
+(* Reset a VM to a baseline snapshot for reuse (the farm's warm shards).
+   [Snapshot.restore] brings back every snapshotted piece of mutable state
+   — including the PRNG positions and counters captured at save time — but
+   not the hooks, so those are reinstalled in live mode; a [seed] re-points
+   both environment streams as if the VM had been created under that seed.
+
+   For a baseline saved immediately after [create] (nothing run, nothing
+   drawn), restore + reseed is state-identical to a fresh [create] under
+   the new seed: the heap prefix up to [hp], roots, globals, class states,
+   monitors, threads, scheduler queues, environment counters, and stats all
+   revert to creation values; stale heap words beyond [hp] are invisible
+   (the bump allocator zero-fills every allocation and the state digest
+   stops at [hp]); methods compiled meanwhile roll back to uncompiled so a
+   reused VM re-pays the same compile-time clock charges a cold boot pays. *)
+let reset ?seed (vm : t) (baseline : Snapshot.t) =
+  Snapshot.restore vm baseline;
+  install_live_hooks vm;
+  match seed with None -> () | Some s -> Env.reseed vm.Rt.env s
 
 let boot = Interp.boot
 

@@ -1,0 +1,384 @@
+(* Warm-VM reuse: the parity contract (a baseline-reset VM is
+   indistinguishable from a cold boot — traces and digests byte-identical,
+   registry-wide), the pool's LRU accounting, the size-aware placement
+   policy, and the two dispatcher fixes that ride along: retry backoff
+   re-enqueues instead of sleeping on the shard domain, and an entry whose
+   deadline has passed at dequeue completes as Timed_out without ever
+   touching a VM. *)
+
+module D = Server.Dispatcher
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let all () = Lazy.force Workloads.Registry.all
+
+let find name =
+  match Workloads.Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.fail ("workload missing: " ^ name)
+
+let seeded seed =
+  {
+    Vm.Rt.default_config with
+    Vm.Rt.env_cfg = { Vm.Rt.default_config.Vm.Rt.env_cfg with Vm.Env.seed };
+  }
+
+let noctx = { D.shard = 0; seq = 0; should_stop = (fun () -> ()) }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "dvwarm-%d-%.0f" (Unix.getpid ()) (Unix.gettimeofday () *. 1e6))
+  in
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+(* --- Vm.reset parity ----------------------------------------------------- *)
+
+(* Boot, snapshot, dirty the VM by running it to completion, then reset
+   under a different seed: the reset VM must be indistinguishable from a
+   fresh boot under that seed, both at rest (state digest, stats) and
+   through a full run (status, output, digest, instruction count). This
+   pins every per-job mutation the reset must undo: heap, threads, PRNG
+   position, compiled methods, stats, observer hooks. *)
+let test_reset_equals_cold () =
+  List.iter
+    (fun name ->
+      let e = find name in
+      let vm = Vm.create ~config:(seeded 1) ~natives:e.natives e.program in
+      let baseline = Vm.Snapshot.save vm in
+      ignore (Vm.run vm);
+      Vm.reset ~seed:5 vm baseline;
+      let cold = Vm.create ~config:(seeded 5) ~natives:e.natives e.program in
+      let ctx = name ^ ": " in
+      Alcotest.(check int)
+        (ctx ^ "digest at rest")
+        (Vm.digest cold) (Vm.digest vm);
+      Alcotest.(check int)
+        (ctx ^ "stats reset")
+        (Vm.stats cold).Vm.Rt.n_instr (Vm.stats vm).Vm.Rt.n_instr;
+      ignore (Vm.run vm);
+      ignore (Vm.run cold);
+      Alcotest.(check string)
+        (ctx ^ "status")
+        (Vm.string_of_status (Vm.status cold))
+        (Vm.string_of_status (Vm.status vm));
+      Alcotest.(check string) (ctx ^ "output") (Vm.output cold) (Vm.output vm);
+      Alcotest.(check int) (ctx ^ "digest") (Vm.digest cold) (Vm.digest vm);
+      Alcotest.(check int)
+        (ctx ^ "instructions")
+        (Vm.stats cold).Vm.Rt.n_instr (Vm.stats vm).Vm.Rt.n_instr)
+    [ "fig1ab"; "producer-consumer"; "native"; "webserver" ]
+
+(* --- Warm pool accounting ------------------------------------------------ *)
+
+let test_pool_counters_and_lru () =
+  let pool = Server.Warm.create ~cap:2 () in
+  let acquire name = ignore (Server.Warm.acquire pool (find name) ~seed:1) in
+  acquire "fig1ab"; (* miss: boot *)
+  acquire "fig1ab"; (* hit: reset *)
+  acquire "bank"; (* miss *)
+  acquire "primes"; (* miss; cap 2 -> evicts fig1ab (LRU) *)
+  acquire "fig1ab" (* miss again: it was evicted *);
+  let s = Server.Warm.stats pool in
+  Alcotest.(check int) "hits" 1 s.Server.Warm.w_hits;
+  Alcotest.(check int) "misses" 4 s.Server.Warm.w_misses;
+  Alcotest.(check int) "evictions" 2 s.Server.Warm.w_evictions;
+  Alcotest.(check int) "resident" 2 s.Server.Warm.w_resident
+
+(* --- warm vs cold identity, registry-wide (the parity contract) ---------- *)
+
+(* For every catalogued workload: a cold record, two back-to-back warm
+   records (the second is a baseline reset), and a warm record under a
+   different seed after the pool slot ran other seeds — trace bytes and
+   digests all equal their cold twins. This is the contract that makes
+   warm reuse admissible at all. *)
+let test_warm_cold_identity_registry () =
+  with_tmp_dir (fun dir ->
+      let r = Server.Job.runner ~shards:1 () in
+      let record run name seed out =
+        match
+          run noctx
+            (Server.Job.Record
+               { workload = name; seed; out = Filename.concat dir out })
+        with
+        | (o : Server.Job.output) -> o
+      in
+      List.iter
+        (fun (e : Workloads.Registry.entry) ->
+          let cold = record (Server.Job.run ?slice:None) e.name 1 "cold.trace" in
+          let warm1 = record r.Server.Job.run e.name 1 "warm1.trace" in
+          let warm2 = record r.Server.Job.run e.name 1 "warm2.trace" in
+          let ctx = e.name ^ ": " in
+          Alcotest.(check string)
+            (ctx ^ "warm trace digest") cold.Server.Job.o_digest
+            warm1.Server.Job.o_digest;
+          Alcotest.(check string)
+            (ctx ^ "reset trace digest") cold.Server.Job.o_digest
+            warm2.Server.Job.o_digest;
+          Alcotest.(check string)
+            (ctx ^ "status") cold.Server.Job.o_status warm2.Server.Job.o_status;
+          Alcotest.(check int)
+            (ctx ^ "words") cold.Server.Job.o_words warm2.Server.Job.o_words;
+          let bytes = read_file (Filename.concat dir "cold.trace") in
+          Alcotest.(check bool)
+            (ctx ^ "trace bytes equal")
+            true
+            (String.equal bytes (read_file (Filename.concat dir "warm1.trace"))
+            && String.equal bytes (read_file (Filename.concat dir "warm2.trace")));
+          (* a different seed through the now-well-used pool slot *)
+          let cold9 = record (Server.Job.run ?slice:None) e.name 9 "cold9.trace" in
+          let warm9 = record r.Server.Job.run e.name 9 "warm9.trace" in
+          Alcotest.(check string)
+            (ctx ^ "seed-9 digest") cold9.Server.Job.o_digest
+            warm9.Server.Job.o_digest;
+          Alcotest.(check bool)
+            (ctx ^ "seed-9 bytes")
+            true
+            (String.equal
+               (read_file (Filename.concat dir "cold9.trace"))
+               (read_file (Filename.concat dir "warm9.trace"))))
+        (all ());
+      let s = r.Server.Job.warm_stats () in
+      Alcotest.(check int)
+        "every workload booted once"
+        (List.length (all ()))
+        s.Server.Warm.w_misses;
+      Alcotest.(check int)
+        "every later record was a reset"
+        (2 * List.length (all ()))
+        s.Server.Warm.w_hits)
+
+(* A job abandoned mid-run (cancelled at a poll point) leaves its pool VM
+   mid-program; the next acquire must still produce a cold-identical
+   record. *)
+let test_warm_after_cancelled_job () =
+  with_tmp_dir (fun dir ->
+      let e = find "producer-consumer" in
+      let slice = 50 in
+      let r = Server.Job.runner ~slice ~shards:1 () in
+      let polls = ref 0 in
+      let cancel_ctx =
+        {
+          D.shard = 0;
+          seq = 0;
+          should_stop =
+            (fun () ->
+              incr polls;
+              if !polls > 2 then raise D.Cancelled);
+        }
+      in
+      let spec out =
+        Server.Job.Record
+          { workload = e.name; seed = 1; out = Filename.concat dir out }
+      in
+      (match r.Server.Job.run cancel_ctx (spec "aborted.trace") with
+      | exception D.Cancelled -> ()
+      | _ -> Alcotest.fail "job was not cancelled");
+      Alcotest.(check bool)
+        "aborted job left no trace file" false
+        (Sys.file_exists (Filename.concat dir "aborted.trace"));
+      let warm = r.Server.Job.run noctx (spec "after.trace") in
+      let cold = Server.Job.run ~slice noctx (spec "cold.trace") in
+      Alcotest.(check string) "digest after abandoned predecessor"
+        cold.Server.Job.o_digest warm.Server.Job.o_digest;
+      Alcotest.(check bool) "bytes equal" true
+        (String.equal
+           (read_file (Filename.concat dir "cold.trace"))
+           (read_file (Filename.concat dir "after.trace"))))
+
+(* --- placement policy ---------------------------------------------------- *)
+
+let place_testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | D.Shared -> Fmt.pf ppf "Shared"
+      | D.Shard i -> Fmt.pf ppf "Shard %d" i)
+    ( = )
+
+let test_placement_policy () =
+  let r = Server.Job.runner ~shards:4 () in
+  let record w = Server.Job.Record { workload = w; seed = 1; out = "/dev/null" } in
+  Alcotest.check place_testable "lint is shared" D.Shared
+    (r.Server.Job.place (Server.Job.Lint { workload = "fig1ab" }));
+  Alcotest.check place_testable "unmeasured -XL is shared by name" D.Shared
+    (r.Server.Job.place (record "primes-XL"));
+  let affinity = D.Shard (Hashtbl.hash "fig1ab" mod 4) in
+  Alcotest.check place_testable "unmeasured small job pins to affinity"
+    affinity
+    (r.Server.Job.place (record "fig1ab"));
+  Alcotest.check place_testable "same affinity across ops" affinity
+    (r.Server.Job.place
+       (Server.Job.Replay { workload = "fig1ab"; trace = "x" }));
+  (* measurement overrides both defaults *)
+  Server.Estimate.note r.Server.Job.estimates "fig1ab" 5_000_000;
+  Alcotest.check place_testable "measured XL moves to shared" D.Shared
+    (r.Server.Job.place (record "fig1ab"));
+  Server.Estimate.note r.Server.Job.estimates "primes-XL" 100;
+  Alcotest.check place_testable "measured small -XL pins to affinity"
+    (D.Shard (Hashtbl.hash "primes-XL" mod 4))
+    (r.Server.Job.place (record "primes-XL"))
+
+(* --- dispatcher: the two scheduling bugfixes ----------------------------- *)
+
+(* Retry backoff must not block the shard: with ONE shard, a failing job
+   with a long backoff is re-enqueued with an earliest-start time, and the
+   small jobs queued behind it run during the backoff window instead of
+   waiting it out. *)
+let test_backoff_does_not_block_shard () =
+  let d =
+    D.create ~shards:1
+      ~run:(fun _ctx fail -> if fail then failwith "boom" else ())
+      ()
+  in
+  ignore (D.submit d ~max_retries:2 ~backoff:0.15 true);
+  for _ = 1 to 5 do
+    ignore (D.submit d false)
+  done;
+  match D.drain d with
+  | flaky :: fast ->
+    (match flaky.D.r_outcome with
+    | D.Failed _ -> ()
+    | _ -> Alcotest.fail "flaky job should exhaust its budget");
+    Alcotest.(check int) "budget spent" 3 flaky.D.r_attempts;
+    Alcotest.(check bool)
+      (Fmt.str "flaky waited out both backoffs (%.3fs)" flaky.D.r_latency)
+      true
+      (flaky.D.r_latency >= 0.4);
+    List.iter
+      (fun r ->
+        Alcotest.(check bool)
+          (Fmt.str "small job ran during the backoff (%.3fs)" r.D.r_latency)
+          true
+          (r.D.r_latency < 0.1))
+      fast
+  | [] -> Alcotest.fail "no results"
+
+(* An entry whose deadline passed while it sat in the queue completes as
+   Timed_out with zero attempts — the run function (and so any VM) is
+   never touched. *)
+let test_deadline_expired_at_dequeue () =
+  let ran = ref false in
+  let d = D.create ~shards:1 ~run:(fun _ctx () -> ran := true) () in
+  ignore (D.submit d ~deadline:(Unix.gettimeofday () -. 1.) ());
+  (match D.drain d with
+  | [ r ] ->
+    (match r.D.r_outcome with
+    | D.Timed_out -> ()
+    | _ -> Alcotest.fail "expected Timed_out");
+    Alcotest.(check int) "never attempted" 0 r.D.r_attempts
+  | _ -> Alcotest.fail "expected 1 result");
+  Alcotest.(check bool) "run fn never invoked" false !ran
+
+(* --- jobq: not_before scheduling ----------------------------------------- *)
+
+let test_jobq_requeue_not_before () =
+  let q = Server.Jobq.create ~shards:1 () in
+  let a = Server.Jobq.submit q ~shard:0 "a" in
+  ignore (Server.Jobq.submit q "b");
+  (match Server.Jobq.pop_shard q ~shard:0 with
+  | Some e when e.Server.Jobq.payload = "a" -> ()
+  | _ -> Alcotest.fail "local queue should pop first");
+  let due_at = Unix.gettimeofday () +. 0.08 in
+  Server.Jobq.requeue q a ~not_before:due_at;
+  (* the backing-off entry is skipped; the shared entry pops instead *)
+  (match Server.Jobq.pop_shard q ~shard:0 with
+  | Some e -> Alcotest.(check string) "steals past it" "b" e.Server.Jobq.payload
+  | None -> Alcotest.fail "shared entry vanished");
+  (* then pop blocks until the entry is due *)
+  (match Server.Jobq.pop_shard q ~shard:0 with
+  | Some e ->
+    Alcotest.(check string) "requeued entry" "a" e.Server.Jobq.payload;
+    Alcotest.(check bool) "not early" true
+      (Unix.gettimeofday () >= due_at -. 0.01)
+  | None -> Alcotest.fail "requeued entry vanished");
+  Server.Jobq.close q;
+  Alcotest.(check bool) "drained" true (Server.Jobq.pop_shard q ~shard:0 = None)
+
+(* Cancellation makes a backing-off entry immediately poppable: its result
+   slot must not wait out the backoff. *)
+let test_jobq_cancel_overrides_not_before () =
+  let q = Server.Jobq.create ~shards:1 () in
+  let a = Server.Jobq.submit q ~shard:0 "a" in
+  (match Server.Jobq.pop_shard q ~shard:0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "pop");
+  Server.Jobq.requeue q a ~not_before:(Unix.gettimeofday () +. 30.);
+  Server.Jobq.cancel a;
+  let t0 = Unix.gettimeofday () in
+  (match Server.Jobq.pop_shard q ~shard:0 with
+  | Some e ->
+    Alcotest.(check bool) "flagged" true (Server.Jobq.is_cancelled e);
+    Alcotest.(check bool) "immediate" true (Unix.gettimeofday () -. t0 < 1.)
+  | None -> Alcotest.fail "cancelled entry vanished");
+  Server.Jobq.close q
+
+(* --- batch: warm vs cold aggregate --------------------------------------- *)
+
+let batch_specs out_dir =
+  List.concat_map
+    (fun name ->
+      List.map
+        (fun i ->
+          Server.Job.Record
+            {
+              workload = name;
+              seed = 1;
+              out = Filename.concat out_dir (Fmt.str "%s-%d.trace" name i);
+            })
+        [ 0; 1 ])
+    [ "fig1ab"; "racy-counter"; "bank"; "primes"; "native" ]
+  @ [ Server.Job.Roundtrip { workload = "synced-counter"; seed = 3 } ]
+
+let test_batch_warm_equals_cold () =
+  with_tmp_dir (fun dc ->
+      with_tmp_dir (fun dw ->
+          let cold = Server.Batch.run_specs ~warm:false (batch_specs dc) in
+          let warm = Server.Batch.run_specs ~shards:4 (batch_specs dw) in
+          Alcotest.(check bool) "cold ok" true cold.Server.Batch.ok;
+          Alcotest.(check bool) "warm ok" true warm.Server.Batch.ok;
+          Alcotest.(check string) "aggregate digest warm = cold"
+            cold.Server.Batch.aggregate warm.Server.Batch.aggregate;
+          Alcotest.(check bool) "cold ran no pools" true
+            (cold.Server.Batch.warm = Server.Warm.zero);
+          let w = warm.Server.Batch.warm in
+          Alcotest.(check bool)
+            (Fmt.str "warm run reset VMs (%d hits)" w.Server.Warm.w_hits)
+            true
+            (w.Server.Warm.w_hits >= 1)))
+
+let () =
+  Alcotest.run "warm"
+    [
+      ("vm", [ quick "reset equals cold boot" test_reset_equals_cold ]);
+      ("pool", [ quick "counters and LRU" test_pool_counters_and_lru ]);
+      ( "identity",
+        [
+          quick "registry-wide warm = cold" test_warm_cold_identity_registry;
+          quick "after a cancelled job" test_warm_after_cancelled_job;
+        ] );
+      ("placement", [ quick "policy" test_placement_policy ]);
+      ( "dispatcher",
+        [
+          quick "backoff frees the shard" test_backoff_does_not_block_shard;
+          quick "deadline expired at dequeue" test_deadline_expired_at_dequeue;
+        ] );
+      ( "jobq",
+        [
+          quick "requeue honours not_before" test_jobq_requeue_not_before;
+          quick "cancel overrides not_before" test_jobq_cancel_overrides_not_before;
+        ] );
+      ("batch", [ quick "warm aggregate = cold" test_batch_warm_equals_cold ]);
+    ]
