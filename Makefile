@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune.
 
-.PHONY: all build test smoke batch-smoke bench-farm bench lint clean
+.PHONY: all build test smoke batch-smoke bench-farm regir-smoke bench lint clean
 
 all: build
 
@@ -26,6 +26,13 @@ batch-smoke:
 # recycling VMs must change scheduling, never results.
 bench-farm:
 	dune exec bench/main.exe -- farm-smoke
+
+# Register-tier gate: record every registry workload with the register-IR
+# compile tier on and off and fail unless trace bytes, state digests,
+# event digests, and observer counts are identical — the tier is a pure
+# perf optimisation and must be invisible to replay.
+regir-smoke:
+	dune exec bench/main.exe -- regir-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -648,6 +648,41 @@ let farm_smoke () =
     (if ok then "farm-smoke PASS" else "farm-smoke FAIL");
   if not ok then exit 1
 
+(* CI gate: the register tier must be invisible — byte-identical traces,
+   identical state digests, and identical event sequences vs the stack
+   tier, across the whole registry. *)
+let regir_smoke () =
+  section "regir-smoke" "register vs stack tier: trace/digest identity";
+  let noregir = { Vm.Rt.default_config with Vm.Rt.regir = false } in
+  let failures = ref 0 in
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let r_on, t_on = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+      let r_off, t_off =
+        Dejavu.record ~config:noregir ~natives:e.natives ~seed:1 e.program
+      in
+      let traces_eq =
+        String.equal (Dejavu.Trace.to_bytes t_on) (Dejavu.Trace.to_bytes t_off)
+      in
+      let ok =
+        traces_eq
+        && r_on.Dejavu.state_digest = r_off.Dejavu.state_digest
+        && r_on.Dejavu.obs_digest = r_off.Dejavu.obs_digest
+        && r_on.Dejavu.obs_count = r_off.Dejavu.obs_count
+      in
+      if not ok then incr failures;
+      Fmt.pr "%-24s %s@." e.name
+        (if ok then "identical"
+         else
+           Fmt.str "DIFFER (trace %b, state %b, events %b, %d vs %d)" traces_eq
+             (r_on.Dejavu.state_digest = r_off.Dejavu.state_digest)
+             (r_on.Dejavu.obs_digest = r_off.Dejavu.obs_digest)
+             r_on.Dejavu.obs_count r_off.Dejavu.obs_count))
+    (Lazy.force Workloads.Registry.all);
+  Fmt.pr "%s@."
+    (if !failures = 0 then "regir-smoke PASS" else "regir-smoke FAIL");
+  if !failures > 0 then exit 1
+
 (* ---------------------------------------------------------------- json *)
 
 (* Machine-readable perf trajectory: per-workload instrs/sec for live,
@@ -843,6 +878,65 @@ let json () =
        && b1.Server.Batch.aggregate = w1.Server.Batch.aggregate
        && b1.Server.Batch.aggregate = w4.Server.Batch.aggregate));
   Buffer.add_string buf "  },\n";
+  (* register-tier differential: live throughput with the tier off (the
+     on-numbers are the workloads block above) and the fraction of
+     instructions the register tier executed when on *)
+  let noregir = { Vm.Rt.default_config with Vm.Rt.regir = false } in
+  (* on/off reps are interleaved so slow phases of the (long-running)
+     bench process hit both tiers alike instead of biasing one *)
+  let live_pair ~natives program =
+    let one ?config () =
+      time (fun () ->
+          let vm, _ = Vm.execute ?config ~natives ~seed:1 program in
+          (Vm.stats vm).n_instr)
+    in
+    let best_on = ref infinity and best_off = ref infinity and n = ref 0 in
+    for _ = 1 to 5 do
+      let (i : int), t_on = one () in
+      let _, t_off = one ~config:noregir () in
+      n := i;
+      if t_on < !best_on then best_on := t_on;
+      if t_off < !best_off then best_off := t_off
+    done;
+    (rate !n !best_on, rate !n !best_off)
+  in
+  let regir_rows =
+    List.map
+      (fun (name, (e : Workloads.Registry.entry)) ->
+        let on, off = live_pair ~natives:e.natives e.program in
+        let vm, _ = Vm.execute ~natives:e.natives ~seed:1 e.program in
+        let s = Vm.stats vm in
+        let frac =
+          float_of_int s.Vm.Rt.n_regir_instr /. float_of_int (max 1 s.n_instr)
+        in
+        Fmt.pr "regir %-20s on %.2f off %.2f Mi/s (%.2fx, %.0f%% covered)@."
+          name (on /. 1e6) (off /. 1e6)
+          (if on > 0. then on /. off else 0.)
+          (frac *. 100.);
+        (name, on, off, frac))
+      overhead_workloads
+  in
+  let geo f =
+    exp
+      (List.fold_left (fun acc r -> acc +. log (f r)) 0. regir_rows
+      /. float_of_int (List.length regir_rows))
+  in
+  Buffer.add_string buf "  \"regir\": {\n";
+  List.iter
+    (fun (name, on, off, frac) ->
+      Buffer.add_string buf
+        (Fmt.str
+           "    %S: { \"live_ips_off\": %.0f, \"speedup\": %.3f, \
+            \"coverage\": %.3f },\n"
+           name off
+           (if off > 0. then on /. off else 0.)
+           frac))
+    regir_rows;
+  Buffer.add_string buf
+    (Fmt.str
+       "    \"geomean_speedup\": %.3f,\n    \"geomean_coverage\": %.3f\n  },\n"
+       (geo (fun (_, on, off, _) -> if off > 0. then on /. off else 1.))
+       (geo (fun (_, _, _, frac) -> Float.max frac 1e-9)));
   Buffer.add_string buf
     (Fmt.str
        "  \"serve_load\": {\n\
@@ -886,6 +980,7 @@ let all : (string * string * (unit -> unit)) list =
     ("E13", "sustained-load serving (open-loop clients)", e13);
     ("micro", "bechamel microbenches", micro);
     ("farm-smoke", "CI: sharded+warm aggregate digest equality", farm_smoke);
+    ("regir-smoke", "CI: register vs stack tier trace/digest identity", regir_smoke);
     ("--json", "write the BENCH_interp.json perf trajectory", json);
   ]
 
@@ -895,7 +990,8 @@ let () =
     if want = [] then
       List.filter
         (fun (id, _, _) ->
-          id <> "micro" && id <> "--json" && id <> "farm-smoke")
+          id <> "micro" && id <> "--json" && id <> "farm-smoke"
+          && id <> "regir-smoke")
         all
     else List.filter (fun (id, _, _) -> List.mem id want) all
   in

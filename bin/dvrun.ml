@@ -57,10 +57,16 @@ let pp_stats ppf (s : Vm.Rt.stats) =
     s.n_stack_grows s.n_clock_reads s.n_input_reads s.n_native_calls
     s.n_monitor_ops s.n_exceptions
 
-let run_live name seed verbose =
+(* The config a subcommand's flags select; only --no-regir so far. *)
+let config_of_flags no_regir =
+  if no_regir then { Vm.Rt.default_config with Vm.Rt.regir = false }
+  else Vm.Rt.default_config
+
+let run_live name seed no_regir verbose =
   let e = find_workload name in
+  let config = config_of_flags no_regir in
   let t0 = Sys.time () in
-  let vm, st = Vm.execute ~natives:e.natives ~seed e.program in
+  let vm, st = Vm.execute ~config ~natives:e.natives ~seed e.program in
   let dt = Sys.time () -. t0 in
   Fmt.pr "--- output ---@.%s--- status: %s ---@." (Vm.output vm)
     (Vm.string_of_status st);
@@ -76,6 +82,14 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"environment seed")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print stats")
+
+let no_regir_arg =
+  Arg.(
+    value & flag
+    & info [ "no-regir" ]
+        ~doc:
+          "disable the register-IR compile tier (stack-bytecode dispatch \
+           only); traces and digests are identical either way")
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
@@ -94,7 +108,7 @@ let list_cmd =
 let run_cmd =
   let doc = "run a workload live" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_live $ name_arg $ seed_arg $ verbose_arg)
+    Term.(const run_live $ name_arg $ seed_arg $ no_regir_arg $ verbose_arg)
 
 (* With --compiled, every method is force-compiled (charging the same
    virtual-clock cost a run's first visit would) and its post-fusion kinstr
@@ -168,18 +182,20 @@ let record_cmd =
   in
   Cmd.v (Cmd.info "record" ~doc)
     Term.(
-      const (fun name seed out verbose ->
+      const (fun name seed no_regir out verbose ->
           let e = find_workload name in
+          let config = config_of_flags no_regir in
           (* streamed: the recorder never holds the whole trace in memory,
              and a failed run leaves no partial file *)
           let run, sizes =
-            Dejavu.record_to ~natives:e.natives ~seed ~path:out e.program
+            Dejavu.record_to ~config ~natives:e.natives ~seed ~path:out
+              e.program
           in
           Fmt.pr "--- output ---@.%s--- status: %s ---@." run.Dejavu.output
             (Vm.string_of_status run.status);
           Fmt.pr "trace -> %s (%a)@." out Dejavu.Trace.pp_sizes sizes;
           if verbose then Fmt.pr "%a@." pp_stats (Vm.stats run.vm))
-      $ name_arg $ seed_arg $ out_arg $ verbose_arg)
+      $ name_arg $ seed_arg $ no_regir_arg $ out_arg $ verbose_arg)
 
 let replay_cmd =
   let doc = "replay a recorded trace" in
@@ -191,11 +207,14 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(
-      const (fun name inp verbose ->
+      const (fun name inp no_regir verbose ->
           let e = find_workload name in
+          let config = config_of_flags no_regir in
           (* streamed: O(chunk) trace memory during replay *)
           let run, leftovers =
-            match Dejavu.replay_from ~natives:e.natives ~path:inp e.program with
+            match
+              Dejavu.replay_from ~config ~natives:e.natives ~path:inp e.program
+            with
             | r -> r
             | exception Dejavu.Trace.Format_error msg ->
               Fmt.epr "%s: malformed trace (%s)@." inp msg;
@@ -209,7 +228,7 @@ let replay_cmd =
           if leftovers <> [] then
             Fmt.pr "warning: %s@." (String.concat "; " leftovers);
           if verbose then Fmt.pr "%a@." pp_stats (Vm.stats run.vm))
-      $ name_arg $ in_arg $ verbose_arg)
+      $ name_arg $ in_arg $ no_regir_arg $ verbose_arg)
 
 let verify_cmd =
   let doc = "record then replay, checking the accuracy criterion" in
@@ -440,15 +459,17 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const (fun shards seed out_dir deadline_s max_retries rounds cold ->
+      const (fun shards seed no_regir out_dir deadline_s max_retries rounds
+                cold ->
+          let config = config_of_flags no_regir in
           let rep =
-            Server.Batch.run_registry ~shards ~seed ?deadline_s ~max_retries
-              ~warm:(not cold) ~rounds ~out_dir ()
+            Server.Batch.run_registry ~shards ~config ~seed ?deadline_s
+              ~max_retries ~warm:(not cold) ~rounds ~out_dir ()
           in
           Fmt.pr "%a@." Server.Batch.pp_report rep;
           if not rep.Server.Batch.ok then Stdlib.exit 1)
-      $ shards_arg $ seed_arg $ out_dir_arg $ deadline_arg $ retries_arg
-      $ rounds_arg $ cold_arg)
+      $ shards_arg $ seed_arg $ no_regir_arg $ out_dir_arg $ deadline_arg
+      $ retries_arg $ rounds_arg $ cold_arg)
 
 let socket_arg =
   Arg.(

@@ -112,7 +112,7 @@ let line_of_pc m pc =
 
 (* A stable structural hash of a program, used to stamp traces so that a
    trace recorded for one program is not replayed against another. *)
-let digest (p : program) : string =
+let digest_uncached (p : program) : string =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf p.main_class;
   List.iter
@@ -148,6 +148,23 @@ let digest (p : program) : string =
         c.cd_methods)
     p.classes;
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Serializing every instruction per call is milliseconds on larger
+   programs, and sessions stamp the digest on every record finish and
+   replay attach. Programs are immutable decl values that callers reuse,
+   so a small physical-equality cache removes the rescan. Shards race on
+   the cache from different domains; a lost update just recomputes. *)
+let digest_cache : (program * string) list Atomic.t = Atomic.make []
+
+let digest (p : program) : string =
+  match List.find_opt (fun (q, _) -> q == p) (Atomic.get digest_cache) with
+  | Some (_, d) -> d
+  | None ->
+    let d = digest_uncached p in
+    let cur = Atomic.get digest_cache in
+    let cur = if List.length cur >= 16 then List.filteri (fun i _ -> i < 8) cur else cur in
+    Atomic.set digest_cache ((p, d) :: cur);
+    d
 
 (* Name of the class-initializer method, run at class initialization. *)
 let clinit_name = "<clinit>"

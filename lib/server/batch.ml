@@ -72,19 +72,20 @@ let aggregate_of rows =
     rows;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
-let run_specs ?(shards = 4) ?deadline_s ?max_retries ?slice ?(warm = true)
-    specs : report =
+let run_specs ?(shards = 4) ?config ?deadline_s ?max_retries ?slice
+    ?(warm = true) specs : report =
   Job.preload ();
   let t0 = Unix.gettimeofday () in
   let stats = Stats.create () in
   let runner =
-    if warm then Some (Job.runner ?slice ~stats ~shards ()) else None
+    if warm then Some (Job.runner ?slice ?config ~stats ~shards ()) else None
   in
   let d =
     match runner with
     | Some r ->
       Dispatcher.create ~shards ~place:r.Job.place ~stats ~run:r.Job.run ()
-    | None -> Dispatcher.create ~shards ~stats ~run:(Job.run ?slice) ()
+    | None ->
+      Dispatcher.create ~shards ~stats ~run:(Job.run ?slice ?config) ()
   in
   let deadline = Option.map (fun s -> t0 +. s) deadline_s in
   List.iter (fun spec -> ignore (Dispatcher.submit d ?deadline ?max_retries spec)) specs;
@@ -112,8 +113,8 @@ let run_specs ?(shards = 4) ?deadline_s ?max_retries ?slice ?(warm = true)
    workload's first resets a pooled VM instead of booting; later rounds'
    traces land in NAME-rK.trace so rounds never overwrite each other
    mid-digest). *)
-let run_registry ?shards ?(seed = 1) ?deadline_s ?max_retries ?slice ?warm
-    ?(rounds = 1) ~out_dir () : report =
+let run_registry ?shards ?config ?(seed = 1) ?deadline_s ?max_retries ?slice
+    ?warm ?(rounds = 1) ~out_dir () : report =
   if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
   let names = Workloads.Registry.names () in
   let specs =
@@ -130,7 +131,7 @@ let run_registry ?shards ?(seed = 1) ?deadline_s ?max_retries ?slice ?warm
           names)
       (List.init rounds Fun.id)
   in
-  run_specs ?shards ?deadline_s ?max_retries ?slice ?warm specs
+  run_specs ?shards ?config ?deadline_s ?max_retries ?slice ?warm specs
 
 let pp_row ppf r =
   Fmt.pf ppf "%-24s %-9s shard %d  %2d att  %7.1f ms  %-10s %s" r.b_name r.b_op

@@ -29,9 +29,12 @@ type report = {
 
 (** [warm] (default true) runs jobs on shard pools of baseline-reset VMs
     with size-aware placement; [~warm:false] cold-boots a VM per job (the
-    reference the warm path must match byte-for-byte). *)
+    reference the warm path must match byte-for-byte). [config] is the
+    base VM config for every job's VM (per-job seeds override its
+    environment seed; default [Vm.Rt.default_config]). *)
 val run_specs :
   ?shards:int ->
+  ?config:Vm.Rt.config ->
   ?deadline_s:float ->
   ?max_retries:int ->
   ?slice:int ->
@@ -44,6 +47,7 @@ val run_specs :
     warm reuse). Creates [out_dir] if missing. *)
 val run_registry :
   ?shards:int ->
+  ?config:Vm.Rt.config ->
   ?seed:int ->
   ?deadline_s:float ->
   ?max_retries:int ->

@@ -63,11 +63,11 @@ let replay_seed = 424242
 (* A VM for the job: reset from the shard pool's baseline when one is
    supplied, booted from scratch otherwise. The two are state-identical by
    the warm-reset parity contract (tested registry-wide). *)
-let boot_vm ?pool (e : Workloads.Registry.entry) ~seed =
+let boot_vm ?pool ~config (e : Workloads.Registry.entry) ~seed =
   match pool with
   | Some p -> Warm.acquire p e ~seed
   | None ->
-    let config = with_seed seed Vm.Rt.default_config in
+    let config = with_seed seed config in
     Vm.create ~config ~natives:e.natives e.program
 
 (* Run the VM to completion in [slice]-instruction hops, checking for
@@ -98,9 +98,9 @@ let state_digest_hex vm = Fmt.str "%016x" (Vm.digest vm land max_int)
 
 (* Streamed record; returns the finished VM too so roundtrip can compare
    states without recording twice. *)
-let record_impl ~slice ?pool ?est ctx (e : Workloads.Registry.entry) ~seed
-    ~out =
-  let vm = boot_vm ?pool e ~seed in
+let record_impl ~slice ~config ?pool ?est ctx (e : Workloads.Registry.entry)
+    ~seed ~out =
+  let vm = boot_vm ?pool ~config e ~seed in
   let writer = Trace.Writer.create out in
   match
     let session = Recorder.attach_stream vm writer in
@@ -120,11 +120,12 @@ let record_impl ~slice ?pool ?est ctx (e : Workloads.Registry.entry) ~seed
     Trace.Writer.abort writer;
     raise exn
 
-let run_record ~slice ?pool ?est ctx e ~seed ~out =
-  fst (record_impl ~slice ?pool ?est ctx e ~seed ~out)
+let run_record ~slice ~config ?pool ?est ctx e ~seed ~out =
+  fst (record_impl ~slice ~config ?pool ?est ctx e ~seed ~out)
 
-let run_replay ~slice ?pool ?est ctx (e : Workloads.Registry.entry) ~trace =
-  let vm = boot_vm ?pool e ~seed:replay_seed in
+let run_replay ~slice ~config ?pool ?est ctx (e : Workloads.Registry.entry)
+    ~trace =
+  let vm = boot_vm ?pool ~config e ~seed:replay_seed in
   let reader = Trace.Reader.open_file trace in
   Fun.protect
     ~finally:(fun () -> Trace.Reader.close reader)
@@ -150,14 +151,17 @@ let run_replay ~slice ?pool ?est ctx (e : Workloads.Registry.entry) ~trace =
    The temp file never outlives the job. The recorded VM's digest is taken
    BEFORE the replay runs: under warm reuse both halves draw from the same
    pool slot, so starting the replay resets the recorded VM. *)
-let run_roundtrip ~slice ?pool ?est ctx (e : Workloads.Registry.entry) ~seed =
+let run_roundtrip ~slice ~config ?pool ?est ctx (e : Workloads.Registry.entry)
+    ~seed =
   let tmp = Filename.temp_file "dvfarm" ".trace" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
     (fun () ->
-      let recorded, rec_vm = record_impl ~slice ?pool ?est ctx e ~seed ~out:tmp in
+      let recorded, rec_vm =
+        record_impl ~slice ~config ?pool ?est ctx e ~seed ~out:tmp
+      in
       let rec_vm_digest = state_digest_hex rec_vm in
-      let replayed = run_replay ~slice ?pool ctx e ~trace:tmp in
+      let replayed = run_replay ~slice ~config ?pool ctx e ~trace:tmp in
       let ok =
         replayed.o_words = 0
         && String.equal rec_vm_digest replayed.o_digest
@@ -178,20 +182,22 @@ let run_lint (e : Workloads.Registry.entry) =
     o_words = List.length (Analysis.Report.racy_keys r);
   }
 
-let dispatch ~slice ?pool ?est (ctx : Dispatcher.ctx) (spec : spec) : output =
+let dispatch ~slice ~config ?pool ?est (ctx : Dispatcher.ctx) (spec : spec) :
+    output =
   match spec with
   | Record { workload; seed; out } ->
-    run_record ~slice ?pool ?est ctx (find workload) ~seed ~out
+    run_record ~slice ~config ?pool ?est ctx (find workload) ~seed ~out
   | Replay { workload; trace } ->
-    run_replay ~slice ?pool ?est ctx (find workload) ~trace
+    run_replay ~slice ~config ?pool ?est ctx (find workload) ~trace
   | Roundtrip { workload; seed } ->
-    run_roundtrip ~slice ?pool ?est ctx (find workload) ~seed
+    run_roundtrip ~slice ~config ?pool ?est ctx (find workload) ~seed
   | Lint { workload } -> run_lint (find workload)
 
 (* Cold entry point: one fresh VM per job. Still the reference semantics —
    the warm runner below must be indistinguishable from it. *)
-let run ?(slice = 50_000) (ctx : Dispatcher.ctx) (spec : spec) : output =
-  dispatch ~slice ctx spec
+let run ?(slice = 50_000) ?(config = Vm.Rt.default_config)
+    (ctx : Dispatcher.ctx) (spec : spec) : output =
+  dispatch ~slice ~config ctx spec
 
 (* --- the warm runner: pools + estimates + placement --- *)
 
@@ -233,17 +239,20 @@ let place_policy ~estimates ~shards ~xl_cutoff (spec : spec) :
     | None when xl_by_name () -> Dispatcher.Shared
     | Some _ | None -> Dispatcher.Shard (Hashtbl.hash name mod shards))
 
-let runner ?(slice = 50_000) ?(warm_cap = 32) ?(xl_cutoff = default_xl_cutoff)
-    ?stats ~shards () : runner =
+let runner ?(slice = 50_000) ?(config = Vm.Rt.default_config)
+    ?(warm_cap = 32) ?(xl_cutoff = default_xl_cutoff) ?stats ~shards () :
+    runner =
   if shards < 1 then invalid_arg "Job.runner: shards < 1";
   let note ~hit =
     match stats with None -> () | Some s -> Stats.on_warm s ~hit
   in
-  let pools = Array.init shards (fun _ -> Warm.create ~cap:warm_cap ~note ()) in
+  let pools =
+    Array.init shards (fun _ -> Warm.create ~cap:warm_cap ~config ~note ())
+  in
   let estimates = Estimate.create () in
   let run (ctx : Dispatcher.ctx) spec =
     let pool = pools.(ctx.Dispatcher.shard) in
-    dispatch ~slice ~pool ~est:estimates ctx spec
+    dispatch ~slice ~config ~pool ~est:estimates ctx spec
   in
   {
     run;

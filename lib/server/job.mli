@@ -31,11 +31,12 @@ val workload_of : spec -> string
 val preload : unit -> unit
 
 (** Run one job cold (fresh VM). [slice] is the cancellation-poll
-    granularity in instructions (default 50_000). Raises [Failure] on
-    unknown workloads, [Trace.Format_error] on malformed trace files, and
-    lets {!Dispatcher.Cancelled}/{!Dispatcher.Deadline_exceeded}
-    propagate. *)
-val run : ?slice:int -> Dispatcher.ctx -> spec -> output
+    granularity in instructions (default 50_000); [config] is the base VM
+    config (per-job seeds override its environment seed; default
+    [Vm.Rt.default_config]). Raises [Failure] on unknown workloads,
+    [Trace.Format_error] on malformed trace files, and lets
+    {!Dispatcher.Cancelled}/{!Dispatcher.Deadline_exceeded} propagate. *)
+val run : ?slice:int -> ?config:Vm.Rt.config -> Dispatcher.ctx -> spec -> output
 
 (** The warm execution package for one dispatcher: [run] to pass as the
     dispatcher's run function (routes each job through its shard's warm
@@ -50,13 +51,15 @@ type runner = {
   warm_stats : unit -> Warm.stats;
 }
 
-(** Build a warm runner for [shards] shard domains. [warm_cap] bounds
-    resident VMs per shard (default 32); jobs measuring at least
-    [xl_cutoff] instructions (default 2M) are placed on the shared queue
-    instead of a warm-affinity local queue; [stats] receives warm
-    hit/boot counts when supplied. *)
+(** Build a warm runner for [shards] shard domains. [config] is the base
+    VM config every pool boot uses (default [Vm.Rt.default_config]);
+    [warm_cap] bounds resident VMs per shard (default 32); jobs measuring
+    at least [xl_cutoff] instructions (default 2M) are placed on the
+    shared queue instead of a warm-affinity local queue; [stats] receives
+    warm hit/boot counts when supplied. *)
 val runner :
   ?slice:int ->
+  ?config:Vm.Rt.config ->
   ?warm_cap:int ->
   ?xl_cutoff:int ->
   ?stats:Stats.t ->

@@ -39,6 +39,7 @@ type stats = {
 
 type t = {
   cap : int;
+  config : Vm.Rt.config; (* base config (seed overridden per acquire) *)
   table : (string, slot) Hashtbl.t; (* workload name -> warm slot *)
   note : hit:bool -> unit; (* per-acquire observer (farm-wide stats) *)
   mutable tick : int;
@@ -47,10 +48,12 @@ type t = {
   mutable evictions : int;
 }
 
-let create ?(cap = 32) ?(note = fun ~hit:_ -> ()) () =
+let create ?(cap = 32) ?(config = Vm.Rt.default_config)
+    ?(note = fun ~hit:_ -> ()) () =
   if cap < 1 then invalid_arg "Warm.create: cap < 1";
   {
     cap;
+    config;
     table = Hashtbl.create 16;
     note;
     tick = 0;
@@ -95,7 +98,7 @@ let acquire t (e : Workloads.Registry.entry) ~seed : Vm.t =
     t.misses <- t.misses + 1;
     t.note ~hit:false;
     if Hashtbl.length t.table >= t.cap then evict_lru t;
-    let config = with_seed seed Vm.Rt.default_config in
+    let config = with_seed seed t.config in
     let vm = Vm.create ~config ~natives:e.natives e.program in
     (* snapshot before anything runs or draws: this baseline, restored and
        reseeded, must equal a fresh create under any seed *)

@@ -17,15 +17,17 @@ type stats = {
 }
 
 (** [cap] bounds resident VMs (LRU eviction, default 32 — the whole
-    registry fits one shard's pool); [note] observes
-    every acquire (hit = reset, not boot), e.g. to fold into farm-wide
-    {!Stats}. *)
-val create : ?cap:int -> ?note:(hit:bool -> unit) -> unit -> t
+    registry fits one shard's pool); [config] is the base VM config every
+    boot uses (the per-acquire seed overrides its environment seed;
+    default [Vm.Rt.default_config]); [note] observes every acquire
+    (hit = reset, not boot), e.g. to fold into farm-wide {!Stats}. *)
+val create :
+  ?cap:int -> ?config:Vm.Rt.config -> ?note:(hit:bool -> unit) -> unit -> t
 
 (** A VM for the entry under [seed], indistinguishable from
-    [Vm.create ~config:(seed-adjusted default)]. The returned VM is owned
-    by the pool: it may be left in any state (the next acquire resets
-    it). *)
+    [Vm.create ~config:(seed-adjusted pool config)]. The returned VM is
+    owned by the pool: it may be left in any state (the next acquire
+    resets it). *)
 val acquire : t -> Workloads.Registry.entry -> seed:int -> Vm.t
 
 val stats : t -> stats

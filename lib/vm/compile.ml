@@ -162,7 +162,14 @@ let resolve_call (vm : Rt.t) cname mname =
    field needs a placeholder, so it holds the static resolution through the
    declaring class — validity is decided by the cid match alone. *)
 let fresh_ic (vm : Rt.t) cid slot : Rt.ic =
-  { Rt.ic_cid = -1; ic_meth = vm.methods.((Rt.the_class vm cid).rc_vtable.(slot)) }
+  {
+    Rt.ic_cid = -1;
+    ic_meth = vm.methods.((Rt.the_class vm cid).rc_vtable.(slot));
+    ic_cids = [||];
+    ic_meths = [||];
+    ic_n = 0;
+    ic_mega = [||];
+  }
 
 (* Pass 3: 1:1 lowering to resolved instructions. *)
 let lower (vm : Rt.t) (owner : Rt.rclass) (ins : I.t) : Rt.cinstr =
@@ -414,10 +421,26 @@ let compile (vm : Rt.t) (m : Rt.rmethod) : Rt.compiled =
       end
       else code
     in
+    (* register-IR lowering also runs on the verified canonical stream;
+       the region table is a sidecar indexed by entry pc, so with regir
+       off every pc simply stays on the stack tier *)
+    let regions =
+      if vm.cfg.regir then begin
+        try
+          let r =
+            Regir.lower ~nlocals:m.rm_nlocals ~max_stack code handlers maps
+          in
+          Regir.check m code handlers maps ~nlocals:m.rm_nlocals ~max_stack r;
+          r
+        with Regir.Error msg -> error "regir: %s" msg
+      end
+      else Array.make (Array.length code) None
+    in
     let compiled =
       {
         Rt.k_code = code;
         k_fused = fused;
+        k_regions = regions;
         k_handlers = handlers;
         k_maps = maps;
         k_max_stack = max_stack;

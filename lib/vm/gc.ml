@@ -22,8 +22,12 @@ let collect (vm : Rt.t) =
   let to_ =
     (* lazily materialized: Vm.create defers the second semispace to the
        first collection (fresh zeros here, stale bytes after later swaps —
-       exactly what an eagerly allocated to-space would hold too) *)
-    if Array.length vm.heap_alt = 0 then Array.make vm.cfg.heap_words 0
+       exactly what an eagerly allocated to-space would hold too). The
+       from-space may have grown since the last swap (Heap sizes the
+       backing arrays on demand), so an undersized alt is replaced: live
+       data is at most [vm.hp], which fits in anything from-space-sized. *)
+    if Array.length vm.heap_alt < Array.length from_ then
+      Array.make (Array.length from_) 0
     else vm.heap_alt
   in
   (* swap immediately so Layout reads go to to-space *)

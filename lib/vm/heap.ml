@@ -35,6 +35,22 @@ let pinned (vm : Rt.t) i = vm.pinned_roots.(i)
 
 (* Allocate an object with [len] zeroed slots. May trigger a collection;
    raises Out_of_memory if the heap is exhausted even after collecting. *)
+(* The backing array tracks the semantic semispace lazily: it starts small
+   (see [Vm.create]) and doubles up to [heap_words] as the bump pointer
+   advances. Purely physical — the exhaustion check, the GC trigger, and
+   every address are in semantic words, so traces and digests are identical
+   to an eagerly sized heap. *)
+let grow_to (vm : Rt.t) limit =
+  let cur = Array.length vm.heap in
+  let n = ref (max 1 cur) in
+  while !n < limit do
+    n := !n * 2
+  done;
+  let size = min vm.cfg.heap_words !n in
+  let bigger = Array.make (max size limit) 0 in
+  Array.blit vm.heap 0 bigger 0 vm.hp;
+  vm.heap <- bigger
+
 let alloc (vm : Rt.t) ~cid ~len =
   let nwords = Layout.object_words len in
   let semi = vm.cfg.heap_words in
@@ -42,6 +58,7 @@ let alloc (vm : Rt.t) ~cid ~len =
     Gc.collect vm;
     if vm.hp + nwords > semi then raise Out_of_memory
   end;
+  if vm.hp + nwords > Array.length vm.heap then grow_to vm (vm.hp + nwords);
   let addr = vm.hp in
   vm.hp <- vm.hp + nwords;
   Array.fill vm.heap addr nwords 0;

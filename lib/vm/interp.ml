@@ -299,6 +299,66 @@ let check_bounds vm arr idx =
   if idx < 0 || idx >= Layout.len_of vm arr then
     raise (Rt.Vm_exception "ArrayIndexOutOfBoundsException")
 
+(* --- inline caches ------------------------------------------------------ *)
+
+(* Call-site inline caches graduate mono -> poly(4) -> megamorphic. Every
+   state memoizes the same deterministic vtable walk, so transitions are
+   invisible to record/replay: the cells live outside the guest heap and
+   are never digested or snapshotted. The megamorphic table maps every
+   class id straight to its resolved target (classes whose vtables are too
+   short keep the placeholder; such receivers cannot occur at this site). *)
+let ic_fill_mega (vm : Rt.t) (ic : Rt.ic) vslot =
+  let n = Array.length vm.classes in
+  let table = Array.make n ic.Rt.ic_meth in
+  for cid = 0 to n - 1 do
+    let vt = vm.classes.(cid).rc_vtable in
+    if vslot < Array.length vt then table.(cid) <- vm.methods.(vt.(vslot))
+  done;
+  ic.Rt.ic_mega <- table;
+  ic.Rt.ic_n <- -1
+
+let ic_miss (vm : Rt.t) (ic : Rt.ic) vslot rcid =
+  let callee =
+    if ic.Rt.ic_n < 0 then ic.Rt.ic_mega.(rcid)
+    else begin
+      let hit = ref None in
+      for k = 0 to ic.Rt.ic_n - 1 do
+        if ic.Rt.ic_cids.(k) = rcid then hit := Some ic.Rt.ic_meths.(k)
+      done;
+      match !hit with
+      | Some m -> m
+      | None ->
+        let m = vm.methods.(vm.classes.(rcid).rc_vtable.(vslot)) in
+        (if ic.Rt.ic_cid < 0 then () (* cold: become monomorphic below *)
+         else if ic.Rt.ic_n = 0 then begin
+           (* mono -> poly: seed with the previous receiver plus this one *)
+           let cids = Array.make Rt.poly_limit (-1) in
+           let meths = Array.make Rt.poly_limit m in
+           cids.(0) <- ic.Rt.ic_cid;
+           meths.(0) <- ic.Rt.ic_meth;
+           cids.(1) <- rcid;
+           meths.(1) <- m;
+           ic.Rt.ic_cids <- cids;
+           ic.Rt.ic_meths <- meths;
+           ic.Rt.ic_n <- 2
+         end
+         else if ic.Rt.ic_n < Rt.poly_limit then begin
+           ic.Rt.ic_cids.(ic.Rt.ic_n) <- rcid;
+           ic.Rt.ic_meths.(ic.Rt.ic_n) <- m;
+           ic.Rt.ic_n <- ic.Rt.ic_n + 1
+         end
+         else ic_fill_mega vm ic vslot);
+        m
+    end
+  in
+  (* the mono fields double as a last-receiver fast path in every state *)
+  ic.Rt.ic_cid <- rcid;
+  ic.Rt.ic_meth <- callee;
+  callee
+
+let ic_lookup (vm : Rt.t) (ic : Rt.ic) vslot rcid =
+  if ic.Rt.ic_cid = rcid then ic.Rt.ic_meth else ic_miss vm ic vslot rcid
+
 (* Execute [ins], fetched from [pc] of thread [t]. Stat accounting and the
    per-instruction hooks/clock are the caller's job: [exec] pays them one
    instruction at a time (debugger single-stepping), [exec_batch] amortizes
@@ -442,18 +502,7 @@ let dispatch (vm : Rt.t) (t : Rt.thread) pc ins =
     let receiver = peek vm t (nargs - 1) in
     check_null receiver;
     let rcid = Layout.class_of vm receiver in
-    (* monomorphic inline cache: skip the vtable walk when the receiver
-       class repeats. The cell memoizes a deterministic lookup, so hits and
-       misses are indistinguishable to record/replay. *)
-    let callee =
-      if ic.Rt.ic_cid = rcid then ic.Rt.ic_meth
-      else begin
-        let callee = vm.methods.(vm.classes.(rcid).rc_vtable.(vslot)) in
-        ic.Rt.ic_cid <- rcid;
-        ic.Rt.ic_meth <- callee;
-        callee
-      end
-    in
+    let callee = ic_lookup vm ic vslot rcid in
     push_frame vm callee ~resume_pc:(pc + 1) ()
   | KRet -> do_return vm ~result:None
   | KRetv ->
@@ -520,15 +569,7 @@ let dispatch (vm : Rt.t) (t : Rt.thread) pc ins =
     let receiver = peek vm t (nargs - 1) in
     check_null receiver;
     let rcid = Layout.class_of vm receiver in
-    let callee =
-      if ic.Rt.ic_cid = rcid then ic.Rt.ic_meth
-      else begin
-        let callee = vm.methods.(vm.classes.(rcid).rc_vtable.(vslot)) in
-        ic.Rt.ic_cid <- rcid;
-        ic.Rt.ic_meth <- callee;
-        callee
-      end
-    in
+    let callee = ic_lookup vm ic vslot rcid in
     let cc = Compile.compile vm callee in
     let stack_addr =
       Heap.alloc_stack_array vm ~len:(thread_stack_size vm callee cc)
@@ -606,6 +647,283 @@ let clock_batch (vm : Rt.t) n =
     vm.stats.n_preempt_req <- vm.stats.n_preempt_req + fires
   end
 
+(* --- the register tier -------------------------------------------------- *)
+
+(* Execute one lowered region on thread [t], then *chain*: when the region
+   ends in a same-frame control transfer (branch, goto, fall-through) whose
+   target opens another region that still fits in the remaining fuel, keep
+   executing there without a round trip through the outer dispatch loop.
+   Chains terminate because every region pays at least two ticks into
+   [executed] before its terminal runs, so the fuel guard in [chain] is
+   strictly decreasing. Regions that end in a call or return never chain —
+   those change the method, and [regions] indexes the current method only.
+   Only the fast loop dispatches regions (no per-instruction hooks can be
+   attached), and it has already checked that the first region's full
+   instruction count fits in the remaining fuel.
+
+   Frame slots are addressed through a cached absolute base into the heap
+   array; both caches are refreshed after anything that can allocate (GC
+   may move the stack array or replace the heap in a semispace flip).
+   Within a fault-free segment [t_pc]/[t_sp] are deliberately stale —
+   nothing can observe them — and every op that can fault, allocate, or
+   run a hook stores its canonical pc and fault-time sp first, so
+   unwinding, GC stack scans, and heap hooks see exactly the frame the
+   stack tier would have shown them. [RTick n] pays the clock for the
+   next [n] canonical instructions in one stub call *before* their
+   effects; that reordering is unobservable because ticks never read
+   guest memory and the covered instructions cannot fault before their
+   own (already-paid) tick. An [ensure_initialized] bail leaves pc at the
+   faulting instruction with its tick and [executed] slot already paid —
+   the same accounting as the stack tier's failed attempt — and the next
+   outer iteration re-enters through clinit frames.
+
+   [RYield] runs the yield-point hook in-region. Its canonical pc/sp are
+   stored first (the preceding flush materialized every slot), so a hook
+   that switches threads leaves this thread exactly where the stack tier
+   would: execution bails out and the outer loop picks up the new thread.
+   When the hook returns with the same thread still current, the region
+   continues — but the hook may have grown this thread's stack or run a
+   collection even without switching (a same-thread re-pick still runs
+   the instrumentation's eager stack growth), so the heap/base caches are
+   recomputed unconditionally. *)
+let exec_region (vm : Rt.t) (t : Rt.thread) (r0 : Rt.region)
+    (regions : Rt.region option array) ~fuel executed =
+  let rec run_region (r : Rt.region) =
+    let ops = r.Rt.r_ops in
+    let nops = Array.length ops in
+    (* sp value for a slot index; constant across the region (no frame
+       push/pop until a terminal ends it) *)
+    let fbase = t.t_fp + Rt.frame_header_words in
+    (* Tail-recursive so the heap array and absolute slot base stay in
+       registers — no refs or closures on this path (no flambda). The two
+       allocating ops re-enter with fresh [heap]/[base] parameters; heap
+       hooks never allocate in the guest heap, so they keep the cache. *)
+    let rec go i (heap : int array) base =
+    if i < nops then
+      match Array.unsafe_get ops i with
+      | Rt.RTick n ->
+        executed := !executed + n;
+        clock_batch vm n;
+        go (i + 1) heap base
+      | Rt.RConst (d, v) ->
+        Array.unsafe_set heap (base + d) v;
+        go (i + 1) heap base
+      | Rt.RMove (d, s) ->
+        Array.unsafe_set heap (base + d) (Array.unsafe_get heap (base + s));
+        go (i + 1) heap base
+      | Rt.RStr (d, owner, idx) ->
+        Array.unsafe_set heap (base + d) owner.Rt.rc_strings.(idx);
+        go (i + 1) heap base
+      | Rt.RBin (op, d, a, b) ->
+        Array.unsafe_set heap (base + d)
+          (binop op
+             (Array.unsafe_get heap (base + a))
+             (Array.unsafe_get heap (base + b)));
+        go (i + 1) heap base
+      | Rt.RBinC (op, d, a, c) ->
+        Array.unsafe_set heap (base + d)
+          (binop op (Array.unsafe_get heap (base + a)) c);
+        go (i + 1) heap base
+      | Rt.RBinCL (op, d, c, b) ->
+        Array.unsafe_set heap (base + d)
+          (binop op c (Array.unsafe_get heap (base + b)));
+        go (i + 1) heap base
+      | Rt.RNeg (d, s) ->
+        Array.unsafe_set heap (base + d) (-Array.unsafe_get heap (base + s));
+        go (i + 1) heap base
+      | Rt.RSwapMem (a, b) ->
+        let x = Array.unsafe_get heap (base + a) in
+        Array.unsafe_set heap (base + a) (Array.unsafe_get heap (base + b));
+        Array.unsafe_set heap (base + b) x;
+        go (i + 1) heap base
+      | Rt.RInstanceof (d, cid, s) ->
+        let obj = Array.unsafe_get heap (base + s) in
+        Array.unsafe_set heap (base + d)
+          (if
+             obj <> 0
+             && Rt.is_subclass vm ~sub:(Layout.class_of vm obj) ~sup:cid
+           then 1
+           else 0);
+        go (i + 1) heap base
+      | Rt.RPrint s ->
+        Buffer.add_string vm.output
+          (string_of_int (Array.unsafe_get heap (base + s)));
+        Buffer.add_char vm.output '\n';
+        go (i + 1) heap base
+      | Rt.RDivRem (op, pc, d) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + d;
+        let b = Array.unsafe_get heap (base + d + 1) in
+        Array.unsafe_set heap (base + d)
+          (binop op (Array.unsafe_get heap (base + d)) b);
+        go (i + 1) heap base
+      | Rt.RGetfield (slot, pc, os) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + os;
+        let obj = Array.unsafe_get heap (base + os) in
+        check_null obj;
+        (match vm.hooks.h_heap_read with Some f -> f vm obj slot | None -> ());
+        Array.unsafe_set heap (base + os) vm.heap.(obj + slot);
+        go (i + 1) heap base
+      | Rt.RPutfield (slot, pc, os) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + os;
+        let v = Array.unsafe_get heap (base + os + 1) in
+        let obj = Array.unsafe_get heap (base + os) in
+        check_null obj;
+        (match vm.hooks.h_heap_write with Some f -> f vm obj slot | None -> ());
+        vm.heap.(obj + slot) <- v;
+        go (i + 1) heap base
+      | Rt.RGetstatic (cid, g, pc, d) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + d;
+        (* true means already initialized: nothing allocated, caches hold *)
+        if ensure_initialized vm cid then begin
+          (match vm.hooks.h_heap_read with Some f -> f vm (-1) g | None -> ());
+          Array.unsafe_set heap (base + d) vm.globals.(g);
+          go (i + 1) heap base
+        end
+      | Rt.RPutstatic (cid, g, pc, vs) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + vs + 1;
+        if ensure_initialized vm cid then begin
+          let v = Array.unsafe_get heap (base + vs) in
+          t.t_sp <- fbase + vs;
+          (match vm.hooks.h_heap_write with
+          | Some f -> f vm (-1) g
+          | None -> ());
+          vm.globals.(g) <- v;
+          go (i + 1) heap base
+        end
+      | Rt.RNewobj (cid, pc, d) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + d;
+        if ensure_initialized vm cid then begin
+          let addr = Heap.alloc_object vm cid in
+          let heap = vm.heap in
+          let base = t.t_stack + Layout.header_words + fbase in
+          Array.unsafe_set heap (base + d) addr;
+          go (i + 1) heap base
+        end
+      | Rt.RNewarray (elem_ref, pc, ls) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + ls;
+        let len = Array.unsafe_get heap (base + ls) in
+        if len < 0 then raise (Rt.Vm_exception "NegativeArraySizeException");
+        let addr = Heap.alloc_array vm ~elem_ref ~len in
+        let heap = vm.heap in
+        let base = t.t_stack + Layout.header_words + fbase in
+        Array.unsafe_set heap (base + ls) addr;
+        go (i + 1) heap base
+      | Rt.RAload (pc, a) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + a;
+        let idx = Array.unsafe_get heap (base + a + 1) in
+        let arr = Array.unsafe_get heap (base + a) in
+        check_null arr;
+        check_bounds vm arr idx;
+        (match vm.hooks.h_heap_read with
+        | Some f -> f vm arr (Layout.header_words + idx)
+        | None -> ());
+        Array.unsafe_set heap (base + a) (Layout.get vm arr idx);
+        go (i + 1) heap base
+      | Rt.RAstore (pc, a) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + a;
+        let v = Array.unsafe_get heap (base + a + 2) in
+        let idx = Array.unsafe_get heap (base + a + 1) in
+        let arr = Array.unsafe_get heap (base + a) in
+        check_null arr;
+        check_bounds vm arr idx;
+        (match vm.hooks.h_heap_write with
+        | Some f -> f vm arr (Layout.header_words + idx)
+        | None -> ());
+        Layout.set vm arr idx v;
+        go (i + 1) heap base
+      | Rt.RArraylength (pc, a) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + a;
+        let arr = Array.unsafe_get heap (base + a) in
+        check_null arr;
+        Array.unsafe_set heap (base + a) (Layout.len_of vm arr);
+        go (i + 1) heap base
+      | Rt.RCheckcast (cid, pc, o) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + o + 1;
+        let obj = Array.unsafe_get heap (base + o) in
+        if
+          obj <> 0
+          && not (Rt.is_subclass vm ~sub:(Layout.class_of vm obj) ~sup:cid)
+        then raise (Rt.Vm_exception "ClassCastException");
+        go (i + 1) heap base
+      | Rt.RPrints (pc, s) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + s;
+        let v = Array.unsafe_get heap (base + s) in
+        check_null v;
+        Buffer.add_string vm.output (Layout.string_value vm v);
+        go (i + 1) heap base
+      | Rt.RYield (npc, ss) ->
+        vm.stats.n_yield <- vm.stats.n_yield + 1;
+        t.t_pc <- npc;
+        t.t_sp <- fbase + ss;
+        vm.hooks.h_yieldpoint vm;
+        (match vm.status with
+        | Rt.Running_ when vm.current = t.tid ->
+          go (i + 1) vm.heap (t.t_stack + Layout.header_words + fbase)
+        | _ -> ())
+      | Rt.RIf (cmp, target, fall, a) ->
+        let b = Array.unsafe_get heap (base + a + 1) in
+        let x = Array.unsafe_get heap (base + a) in
+        t.t_sp <- fbase + a;
+        let pc' = if Bytecode.Instr.eval_cmp cmp x b then target else fall in
+        t.t_pc <- pc';
+        chain pc'
+      | Rt.RIfz (cmp, target, fall, a) ->
+        let x = Array.unsafe_get heap (base + a) in
+        t.t_sp <- fbase + a;
+        let pc' = if Bytecode.Instr.eval_cmp cmp x 0 then target else fall in
+        t.t_pc <- pc';
+        chain pc'
+      | Rt.RGoto (target, ss) ->
+        t.t_sp <- fbase + ss;
+        t.t_pc <- target;
+        chain target
+      | Rt.RRet (pc, ss) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + ss;
+        do_return vm ~result:None
+      | Rt.RRetv (pc, vs) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + vs;
+        let v = Array.unsafe_get heap (base + vs) in
+        do_return vm ~result:(Some v)
+      | Rt.RCallStatic (callee, pc, ss) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + ss;
+        if ensure_initialized vm callee.Rt.rm_cid then
+          push_frame vm callee ~resume_pc:(pc + 1) ()
+      | Rt.RCallVirtual (vslot, nargs, ic, pc, ss) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + ss;
+        let receiver = Array.unsafe_get heap (base + ss - nargs) in
+        check_null receiver;
+        let rcid = Layout.class_of vm receiver in
+        let callee = ic_lookup vm ic vslot rcid in
+        push_frame vm callee ~resume_pc:(pc + 1) ()
+      | Rt.REnd (next_pc, ss) ->
+        t.t_pc <- next_pc;
+        t.t_sp <- fbase + ss;
+        chain next_pc
+    in
+    go 0 vm.heap (t.t_stack + Layout.header_words + fbase)
+  and chain pc =
+    match Array.unsafe_get regions pc with
+    | Some r when fuel - !executed >= r.Rt.r_n -> run_region r
+    | _ -> ()
+  in
+  run_region r0
+
 (* Execute exactly one instruction of the current thread. *)
 let exec (vm : Rt.t) =
   let t = Rt.cur vm in
@@ -681,12 +999,25 @@ let exec_batch (vm : Rt.t) ~fuel =
            Near the fuel limit a region that no longer fits falls back to
            dispatching the head constituent from the canonical stream —
            the shadow slots behind it are the originals, so execution
-           degrades to one-at-a-time without overshooting the limit. *)
+           degrades to one-at-a-time without overshooting the limit.
+
+           Register regions are checked first: they subsume fusion over
+           straight-line runs (the fused stream still covers pcs the
+           lowering skipped, and mid-region pcs — reachable only through
+           the fuel fallback — execute canonically or fused). *)
         let fused = comp.k_fused in
+        let regions = comp.k_regions in
         let live = ref true in
         while !live do
           let pc = t.t_pc in
-          (match fused.(pc) with
+          (match Array.unsafe_get regions pc with
+          | Some r when fuel - !executed >= r.Rt.r_n ->
+            let before = !executed in
+            exec_region vm t r regions ~fuel executed;
+            vm.stats.n_regir_instr <-
+              vm.stats.n_regir_instr + (!executed - before)
+          | _ ->
+            match fused.(pc) with
           | Rt.KLdLdBin (i, j, op) ->
             if fuel - !executed >= 3 then begin
               executed := !executed + 3;

@@ -118,10 +118,94 @@ let pp_cinstr (vm : Rt.t) ppf (ins : Rt.cinstr) =
     Fmt.pf ppf "ld.const.bin.st l%d %d %s l%d" i n (string_of_bin op) j
   | KBinSt (op, j) -> Fmt.pf ppf "bin.st %s l%d" (string_of_bin op) j
 
+(* Inline-cache state, readable off the listing: cold (never executed),
+   mono <class>, poly(n){classes}, or mega. The cache is runtime state, so
+   the same method disassembles differently before and after a run. *)
+let string_of_ic (vm : Rt.t) (ic : Rt.ic) =
+  let cname cid = (Rt.the_class vm cid).Rt.rc_name in
+  if ic.Rt.ic_n < 0 then "mega"
+  else if ic.Rt.ic_cid < 0 then "cold"
+  else if ic.Rt.ic_n = 0 then "mono " ^ cname ic.Rt.ic_cid
+  else
+    Fmt.str "poly(%d){%s}" ic.Rt.ic_n
+      (String.concat ","
+         (List.init ic.Rt.ic_n (fun i -> cname ic.Rt.ic_cids.(i))))
+
+(* One register op. Slots print as [r<i>] (locals first, then operand
+   stack); risky/terminal ops show their canonical fault pc as [@<pc>]. *)
+let pp_rop (vm : Rt.t) ppf (op : Rt.rop) =
+  let cname cid = (Rt.the_class vm cid).Rt.rc_name in
+  let vmeth cid vslot =
+    vm.Rt.methods.((Rt.the_class vm cid).Rt.rc_vtable.(vslot))
+  in
+  let qual (m : Rt.rmethod) = cname m.rm_cid ^ "." ^ m.rm_name in
+  match op with
+  | Rt.RTick n -> Fmt.pf ppf "tick %d" n
+  | Rt.RConst (d, v) -> Fmt.pf ppf "r%d := %d" d v
+  | Rt.RMove (d, s) -> Fmt.pf ppf "r%d := r%d" d s
+  | Rt.RStr (d, owner, idx) ->
+    Fmt.pf ppf "r%d := str %s[%d]" d owner.Rt.rc_name idx
+  | Rt.RBin (op, d, a, b) ->
+    Fmt.pf ppf "r%d := %s r%d r%d" d (string_of_bin op) a b
+  | Rt.RBinC (op, d, a, c) ->
+    Fmt.pf ppf "r%d := %s r%d #%d" d (string_of_bin op) a c
+  | Rt.RBinCL (op, d, c, b) ->
+    Fmt.pf ppf "r%d := %s #%d r%d" d (string_of_bin op) c b
+  | Rt.RNeg (d, s) -> Fmt.pf ppf "r%d := neg r%d" d s
+  | Rt.RSwapMem (a, b) -> Fmt.pf ppf "swap r%d r%d" a b
+  | Rt.RInstanceof (d, cid, s) ->
+    Fmt.pf ppf "r%d := instanceof %s r%d" d (cname cid) s
+  | Rt.RPrint s -> Fmt.pf ppf "print r%d" s
+  | Rt.RDivRem (op, pc, d) ->
+    Fmt.pf ppf "r%d := %s r%d r%d  @%d" d (string_of_bin op) d (d + 1) pc
+  | Rt.RGetfield (slot, pc, os) ->
+    Fmt.pf ppf "r%d := getfield r%d +%d  @%d" os os slot pc
+  | Rt.RPutfield (slot, pc, os) ->
+    Fmt.pf ppf "putfield r%d +%d := r%d  @%d" os slot (os + 1) pc
+  | Rt.RGetstatic (cid, g, pc, d) ->
+    Fmt.pf ppf "r%d := getstatic %s g%d  @%d" d (cname cid) g pc
+  | Rt.RPutstatic (cid, g, pc, vs) ->
+    Fmt.pf ppf "putstatic %s g%d := r%d  @%d" (cname cid) g vs pc
+  | Rt.RNewobj (cid, pc, d) ->
+    Fmt.pf ppf "r%d := new %s  @%d" d (cname cid) pc
+  | Rt.RNewarray (elem_ref, pc, ls) ->
+    Fmt.pf ppf "r%d := newarray%s len=r%d  @%d" ls
+      (if elem_ref then " ref" else "")
+      ls pc
+  | Rt.RAload (pc, a) -> Fmt.pf ppf "r%d := aload r%d[r%d]  @%d" a a (a + 1) pc
+  | Rt.RAstore (pc, a) ->
+    Fmt.pf ppf "astore r%d[r%d] := r%d  @%d" a (a + 1) (a + 2) pc
+  | Rt.RArraylength (pc, a) ->
+    Fmt.pf ppf "r%d := arraylength r%d  @%d" a a pc
+  | Rt.RCheckcast (cid, pc, o) ->
+    Fmt.pf ppf "checkcast %s r%d  @%d" (cname cid) o pc
+  | Rt.RPrints (pc, s) -> Fmt.pf ppf "prints r%d  @%d" s pc
+  | Rt.RYield (npc, ss) -> Fmt.pf ppf "yield -> %d sp=r%d" npc ss
+  | Rt.RIf (c, target, fall, a) ->
+    Fmt.pf ppf "if r%d %s r%d -> %d else %d" a (cmp c) (a + 1) target fall
+  | Rt.RIfz (c, target, fall, a) ->
+    Fmt.pf ppf "ifz r%d %s -> %d else %d" a (cmp c) target fall
+  | Rt.RGoto (target, ss) -> Fmt.pf ppf "goto %d sp=r%d" target ss
+  | Rt.RRet (pc, ss) -> Fmt.pf ppf "ret sp=r%d  @%d" ss pc
+  | Rt.RRetv (pc, vs) -> Fmt.pf ppf "retv r%d  @%d" vs pc
+  | Rt.RCallStatic (callee, pc, ss) ->
+    Fmt.pf ppf "call %s sp=r%d  @%d" (qual callee) ss pc
+  | Rt.RCallVirtual (vslot, nargs, ic, pc, ss) ->
+    let decl =
+      match ic.Rt.ic_cid with
+      | cid when cid >= 0 -> qual (vmeth cid vslot)
+      | _ -> Fmt.str "vslot %d" vslot
+    in
+    Fmt.pf ppf "callv %s/%d [ic %s] sp=r%d  @%d" decl nargs
+      (string_of_ic vm ic) ss pc
+  | Rt.REnd (next_pc, ss) -> Fmt.pf ppf "end -> %d sp=r%d" next_pc ss
+
 (* One compiled method: the post-fusion stream, pc by pc. A fused region's
    head line is marked [*] and its shadow slots print the canonical
    originals behind a [|]; [; yp] tags injected yield points; the src
-   column maps each compiled pc back to the source-bytecode pc. *)
+   column maps each compiled pc back to the source-bytecode pc. Register
+   regions follow the instruction stream: each prints its entry pc, the
+   canonical instruction count it covers, and its register ops. *)
 let pp_compiled (vm : Rt.t) ppf (m : Rt.rmethod) =
   let c = Rt.compiled m in
   let n = Array.length c.k_code in
@@ -134,9 +218,16 @@ let pp_compiled (vm : Rt.t) ppf (m : Rt.rmethod) =
       | Rt.KYield -> incr n_yp
       | _ -> ())
     c.k_fused;
-  Fmt.pf ppf "@[<v 2>compiled %s.%s (uid %d): %d instrs, %d fused, %d ic, %d yp@,"
+  let n_regions =
+    Array.fold_left
+      (fun acc r -> match r with Some _ -> acc + 1 | None -> acc)
+      0 c.k_regions
+  in
+  Fmt.pf ppf
+    "@[<v 2>compiled %s.%s (uid %d): %d instrs, %d fused, %d ic, %d yp, %d \
+     regions@,"
     (Rt.the_class vm m.rm_cid).rc_name
-    m.rm_name m.uid n !n_fused !n_ic !n_yp;
+    m.rm_name m.uid n !n_fused !n_ic !n_yp n_regions;
   let shadow_until = ref 0 in
   for pc = 0 to n - 1 do
     let ins = c.k_fused.(pc) in
@@ -158,4 +249,14 @@ let pp_compiled (vm : Rt.t) ppf (m : Rt.rmethod) =
          else " " ^ (Rt.the_class vm h.k_catch).rc_name)
         h.k_from h.k_upto h.k_target)
     c.k_handlers;
+  Array.iteri
+    (fun pc r ->
+      match r with
+      | None -> ()
+      | Some (r : Rt.region) ->
+        Fmt.pf ppf "@[<v 2>region @%d (%d instrs, %d ops):@," pc r.Rt.r_n
+          (Array.length r.Rt.r_ops);
+        Array.iter (fun op -> Fmt.pf ppf "%a@," (pp_rop vm) op) r.Rt.r_ops;
+        Fmt.pf ppf "@]@,")
+    c.k_regions;
   Fmt.pf ppf "@]"

@@ -102,17 +102,100 @@ type cinstr =
       (* load i; const n; bin op; store j *)
   | KBinSt of bin * int (* bin op; store j *)
 
-(* Monomorphic inline cache: one mutable cell per virtual call/spawn site,
-   holding the receiver class and resolved callee of the previous dispatch.
-   The cells live in OCaml-side compiled code — outside the heap, the state
-   digest, and snapshots — so cache state is invisible to record/replay:
-   warm or cold caches yield bit-identical traces and digests, because the
-   cache only memoizes the deterministic [rc_vtable] walk. *)
-and ic = { mutable ic_cid : int; mutable ic_meth : rmethod }
+(* Inline cache: one mutable cell per virtual call/spawn site. [ic_cid] /
+   [ic_meth] hold the most-recent receiver class and resolved callee (the
+   monomorphic fast path); on a second receiver class the site transitions
+   to polymorphic and tracks up to [poly_limit] (class, callee) pairs in
+   [ic_cids] / [ic_meths]; past that it goes megamorphic with a cid-indexed
+   dispatch table in [ic_mega] ([ic_n = -1]). The cells live in OCaml-side
+   compiled code — outside the heap, the state digest, and snapshots — so
+   cache state is invisible to record/replay: warm or cold caches yield
+   bit-identical traces and digests, because every state only memoizes the
+   deterministic [rc_vtable] walk. *)
+and ic = {
+  mutable ic_cid : int; (* -1 while cold *)
+  mutable ic_meth : rmethod;
+  mutable ic_cids : int array; (* poly entries; [||] while monomorphic *)
+  mutable ic_meths : rmethod array;
+  mutable ic_n : int; (* valid poly entries; -1 once megamorphic *)
+  mutable ic_mega : rmethod array; (* cid-indexed; [||] until megamorphic *)
+}
 
 (* Reference map: which local slots / operand-stack slots hold references at
    a given pc. [map_stack] covers the prefix up to [map_depth]. *)
 and refmap = { map_locals : bool array; map_stack : bool array; map_depth : int }
+
+(* Register IR, produced by the post-verify lowering pass in [Vm.Regir] and
+   executed by [Interp.exec_region]. Operands are explicit frame slots:
+   slot [i] is local [i] for i < nlocals and operand-stack depth
+   [i - nlocals] otherwise, addressed as one flat window at
+   [t_fp + frame_header_words]. The stack tier's push/pop traffic becomes
+   direct slot reads/writes; [t_sp]/[t_pc] are stored only at the points
+   where canonical execution could observe them (faults, allocations,
+   hooks, region exits), with the canonical fault-time values carried in
+   the instruction ([pc], [fsp] = sp as a slot index).
+
+   A region covers a maximal straight-line run of canonical instructions
+   (no barrier — branch target, handler boundary, yield point — past the
+   entry) and is segmented at every instruction that can fault, allocate,
+   or run a hook: each segment pays its logical-clock ticks in one
+   [RTick]/[Env.tick_batch] call (same PRNG draws as that many single
+   ticks), then performs the canonical operand-stack WRITES of the segment
+   — elided only when a later write in the same fault-free run overwrites
+   the slot before any possible observation — and ends with the faulting /
+   terminal operation. Pure ops read through the lowering's copy
+   propagation; risky and terminal ops read their canonical stack slots,
+   which the all-slots-live barrier before them guarantees are
+   materialized. *)
+and rop =
+  | RTick of int (* batched logical-clock ticks for the next segment *)
+  (* pure segment body: cannot fault, allocate, or run hooks *)
+  | RConst of int * int (* dst, value *)
+  | RMove of int * int (* dst, src *)
+  | RStr of int * rclass * int (* dst, owning class, interned index *)
+  | RBin of bin * int * int * int (* op, dst, src a, src b; never div/rem *)
+  | RBinC of bin * int * int * int (* op, dst, src a, constant b *)
+  | RBinCL of bin * int * int * int (* op, dst, constant a, src b *)
+  | RNeg of int * int (* dst, src *)
+  | RSwapMem of int * int (* exchange two materialized slots *)
+  | RInstanceof of int * int * int (* dst, class id, src *)
+  | RPrint of int (* src *)
+  (* risky segment finals: [pc] is the canonical pc, [fsp]-style operands
+     are slot indices (abs sp = fp + header + slot), stored before the
+     effect so faults, GC scans, and hooks see the canonical frame *)
+  | RDivRem of bin * int * int (* op (div/rem), pc, dst slot (b at dst+1) *)
+  | RGetfield of int * int * int (* field slot, pc, obj/dst slot *)
+  | RPutfield of int * int * int (* field slot, pc, obj slot (v at obj+1) *)
+  | RGetstatic of int * int * int * int (* cid, globals index, pc, dst slot *)
+  | RPutstatic of int * int * int * int (* cid, globals index, pc, v slot *)
+  | RNewobj of int * int * int (* cid, pc, dst slot *)
+  | RNewarray of bool * int * int (* elem_ref, pc, len/dst slot *)
+  | RAload of int * int (* pc, arr/dst slot (idx at arr+1) *)
+  | RAstore of int * int (* pc, arr slot (idx at arr+1, v at arr+2) *)
+  | RArraylength of int * int (* pc, arr/dst slot *)
+  | RCheckcast of int * int * int (* cid, pc, obj slot (sp stays above) *)
+  | RPrints of int * int (* pc, string slot *)
+  | RYield of int * int
+    (* yield point: next pc, sp slot. Segment-final like a risky op — its
+       tick is paid by the preceding [RTick], so the preemption bit the
+       yieldpoint hook reads reflects exactly the ticks a canonical
+       execution would have latched by this yield. The region continues
+       past it unless the hook switches threads or ends the run. *)
+  (* terminals: exit the region, storing the canonical pc/sp *)
+  | RIf of cmp * int * int * int (* cmp, target, fall pc, a slot (b at a+1) *)
+  | RIfz of cmp * int * int * int (* cmp, target, fall pc, a slot *)
+  | RGoto of int * int (* target, exit sp slot *)
+  | RRet of int * int (* pc, exit sp slot *)
+  | RRetv of int * int (* pc, result slot *)
+  | RCallStatic of rmethod * int * int (* callee, pc, entry sp slot *)
+  | RCallVirtual of int * int * ic * int * int
+    (* vtable slot, nargs, cache, pc, entry sp slot *)
+  | REnd of int * int (* fall-through exit: next pc, exit sp slot *)
+
+and region = {
+  r_n : int; (* canonical instructions covered (fuel / tick budget) *)
+  r_ops : rop array;
+}
 
 and rhandler = {
   k_from : int; (* compiled pcs *)
@@ -128,6 +211,11 @@ and compiled = {
          with original instructions in the shadow slots. Physically equal
          to [k_code] when fusion is disabled. Only the fast dispatch loop
          executes it. *)
+  k_regions : region option array;
+      (* register-IR tier, indexed by entry pc ([None] mid-region or when
+         the tier is disabled). Lives inside [compiled] so snapshot
+         rollback of [rm_compiled] un-compiles the register tier with the
+         method, re-paying the compile clock charge on re-execution. *)
   k_handlers : rhandler array;
   k_maps : refmap array; (* one per compiled pc *)
   k_max_stack : int;
@@ -266,6 +354,7 @@ type stats = {
   mutable n_native_calls : int;
   mutable n_monitor_ops : int;
   mutable n_exceptions : int;
+  mutable n_regir_instr : int; (* canonical instrs retired via register regions *)
 }
 
 let fresh_stats () =
@@ -285,6 +374,7 @@ let fresh_stats () =
     n_native_calls = 0;
     n_monitor_ops = 0;
     n_exceptions = 0;
+    n_regir_instr = 0;
   }
 
 type native = {
@@ -335,6 +425,7 @@ and config = {
   stack_slack : int; (* eager-growth threshold, see DejaVu symmetry *)
   instr_limit : int; (* safety valve; Fatal when exceeded *)
   fuse : bool; (* superinstruction fusion in the compiler (k_fused) *)
+  regir : bool; (* register-IR tier in the compiler (k_regions) *)
   env_cfg : Env.config;
 }
 
@@ -427,8 +518,13 @@ let default_config =
     stack_slack = 48;
     instr_limit = 200_000_000;
     fuse = true;
+    regir = true;
     env_cfg = Env.default_config;
   }
+
+(* Distinct receiver classes a call site tracks before megamorphic
+   fallback (the classic mono -> poly(4) -> table progression). *)
+let poly_limit = 4
 
 (* Small instruction tag used by observers to digest the event stream. *)
 let tag_of_cinstr = function

@@ -119,6 +119,7 @@ let copy_stats (s : Rt.stats) : Rt.stats =
     n_native_calls = s.n_native_calls;
     n_monitor_ops = s.n_monitor_ops;
     n_exceptions = s.n_exceptions;
+    n_regir_instr = s.n_regir_instr;
   }
 
 let save (vm : Rt.t) : t =
@@ -265,6 +266,7 @@ let restore (vm : Rt.t) (c : t) =
   d.n_input_reads <- s.n_input_reads;
   d.n_native_calls <- s.n_native_calls;
   d.n_monitor_ops <- s.n_monitor_ops;
-  d.n_exceptions <- s.n_exceptions
+  d.n_exceptions <- s.n_exceptions;
+  d.n_regir_instr <- s.n_regir_instr
 
 let words (c : t) = c.c_words

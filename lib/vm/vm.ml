@@ -125,7 +125,11 @@ let create ?(config = Rt.default_config) ?(natives = []) ?(inputs = [])
       cfg = config;
       program;
       env;
-      heap = Array.make config.heap_words 0;
+      (* the semispace is a semantic size (the allocator's exhaustion check
+         and GC trigger use [config.heap_words]); the backing array starts
+         small and [Heap] doubles it on demand, so VM start-up does not pay
+         for zeroing megabytes most runs never touch *)
+      heap = Array.make (min config.heap_words 16384) 0;
       (* the GC to-space materializes at the first collection — most short
          runs never collect, and eagerly zeroing a second semispace here
          would dominate VM start-up *)

@@ -151,6 +151,175 @@ let test_fused_vs_unfused_traces () =
         rep_u.Dejavu.state_digest rep_f.Dejavu.state_digest)
     (all ())
 
+(* Register tier vs stack tier: [cfg.regir] only decides whether verified
+   methods additionally carry register-IR regions and whether the fast
+   loop dispatches into them; every observable — status, output, state
+   digest, instruction count, trace bytes, event digests — must be
+   identical across the whole catalogue, and traces recorded under one
+   tier must replay under the other. *)
+let noregir = { Vm.Rt.default_config with Vm.Rt.regir = false }
+
+let test_regir_vs_stack_live () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      List.iter
+        (fun seed ->
+          let r, r_st = run ~natives:e.natives ~seed e.program in
+          let s, s_st = run ~config:noregir ~natives:e.natives ~seed e.program in
+          let ctx = Fmt.str "%s/%d" e.name seed in
+          Alcotest.check status_testable (ctx ^ " status") s_st r_st;
+          Alcotest.(check string) (ctx ^ " output") (Vm.output s) (Vm.output r);
+          Alcotest.(check int) (ctx ^ " state digest") (Vm.digest s)
+            (Vm.digest r);
+          Alcotest.(check int)
+            (ctx ^ " instruction count")
+            (Vm.stats s).n_instr (Vm.stats r).n_instr;
+          Alcotest.(check int)
+            (ctx ^ " stack tier ran no regir")
+            0
+            (Vm.stats s).n_regir_instr)
+        [ 1; 3 ])
+    (all ())
+
+let test_regir_vs_stack_traces () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let rr, rt = Dejavu.record ~natives:e.natives ~seed:1 e.program in
+      let sr, st =
+        Dejavu.record ~config:noregir ~natives:e.natives ~seed:1 e.program
+      in
+      Alcotest.(check string)
+        (e.name ^ " trace bytes")
+        (Dejavu.Trace.to_bytes st) (Dejavu.Trace.to_bytes rt);
+      Alcotest.(check int) (e.name ^ " event digest") sr.Dejavu.obs_digest
+        rr.Dejavu.obs_digest;
+      Alcotest.(check int) (e.name ^ " event count") sr.Dejavu.obs_count
+        rr.Dejavu.obs_count;
+      (* cross-replay: a trace recorded on the register tier replays on the
+         stack tier, and back *)
+      let rep_s, left_s =
+        Dejavu.replay ~config:noregir ~natives:e.natives e.program rt
+      in
+      Alcotest.(check (list string))
+        (e.name ^ " regir->stack consumed")
+        [] left_s;
+      Alcotest.(check int)
+        (e.name ^ " regir->stack events")
+        rr.Dejavu.obs_digest rep_s.Dejavu.obs_digest;
+      let rep_r, left_r = Dejavu.replay ~natives:e.natives e.program st in
+      Alcotest.(check (list string))
+        (e.name ^ " stack->regir consumed")
+        [] left_r;
+      Alcotest.(check int)
+        (e.name ^ " stack->regir events")
+        sr.Dejavu.obs_digest rep_r.Dejavu.obs_digest;
+      Alcotest.(check int)
+        (e.name ^ " replay state digest")
+        rep_s.Dejavu.state_digest rep_r.Dejavu.state_digest)
+    (all ())
+
+(* One virtual call site in a loop over receivers cycling through [k]
+   classes: the site's inline cache transitions mono -> poly (k = 3) or
+   mono -> poly -> megamorphic (k = 6) mid-run, and the transitions must
+   be invisible to recording — the IC lives outside the heap, digest, and
+   trace. *)
+let poly_prog k iters =
+  let shape n =
+    A.method_ ~static:false ~args:[ I.Tobj "Shape" ] ~ret:I.Tint ~nlocals:1
+      "id"
+      [ i (I.Const n); i I.Retv ]
+  in
+  let cname j = if j = 0 then "Shape" else Fmt.str "Shape%d" j in
+  let extra =
+    D.cdecl "Shape" [ shape 0 ]
+    :: List.init (k - 1) (fun j ->
+           D.cdecl ~super:"Shape" (cname (j + 1)) [ shape (j + 1) ])
+  in
+  let fills =
+    List.concat
+      (List.init k (fun j ->
+           [
+             i (I.Load 0); i (I.Const j); i (I.New (cname j)); i I.Astore;
+           ]))
+  in
+  main_prog ~nlocals:3 ~extra_classes:extra
+    ([ i (I.Const k); i (I.Newarray (I.Tobj "Shape")); i (I.Store 0) ]
+    @ fills
+    @ [
+        i (I.Const 0); i (I.Store 1); i (I.Const 0); i (I.Store 2);
+        l "loop";
+        i (I.Load 1); i (I.Const iters); i (I.If (I.Ge, "end"));
+        i (I.Load 2);
+        i (I.Load 0); i (I.Load 1); i (I.Const k); i I.Rem; i I.Aload;
+        i (I.Invoke ("Shape", "id"));
+        i I.Add; i (I.Store 2);
+        i (I.Load 1); i (I.Const 1); i I.Add; i (I.Store 1);
+        i (I.Goto "loop");
+        l "end";
+        i (I.Load 2); i I.Print; i I.Ret;
+      ])
+
+(* The IC cell of main's one virtual call site (shared between the
+   canonical stream and the register-IR region that ends at the call). *)
+let main_ic (vm : Vm.t) =
+  let found = ref None in
+  Array.iter
+    (fun (m : Vm.Rt.rmethod) ->
+      if m.Vm.Rt.rm_name = "main" then
+        match m.Vm.Rt.rm_compiled with
+        | Some c ->
+          Array.iter
+            (fun ci ->
+              match ci with
+              | Vm.Rt.KInvokevirtual (_, _, _, ic) -> found := Some ic
+              | _ -> ())
+            c.Vm.Rt.k_code
+        | None -> ())
+    vm.Vm.Rt.methods;
+  match !found with
+  | Some ic -> ic
+  | None -> Alcotest.fail "no virtual call site in main"
+
+let test_poly_ic_transition () =
+  let iters = 600 in
+  (* k = 3: the site ends polymorphic (2..poly_limit entries) *)
+  let p3 = poly_prog 3 iters in
+  let vm3, st3 = run ~seed:1 p3 in
+  Alcotest.check status_testable "k=3 finished" Vm.Rt.Finished st3;
+  Alcotest.(check string)
+    "k=3 output"
+    (Fmt.str "%d\n" (iters / 3 * 3))
+    (Vm.output vm3);
+  let ic3 = main_ic vm3 in
+  Alcotest.(check bool)
+    "k=3 site is polymorphic" true
+    (ic3.Vm.Rt.ic_n >= 2 && ic3.Vm.Rt.ic_n <= Vm.Rt.poly_limit);
+  (* k = 6: past poly_limit, the site goes megamorphic *)
+  let p6 = poly_prog 6 iters in
+  let vm6, st6 = run ~seed:1 p6 in
+  Alcotest.check status_testable "k=6 finished" Vm.Rt.Finished st6;
+  Alcotest.(check string)
+    "k=6 output"
+    (Fmt.str "%d\n" (iters / 6 * 15))
+    (Vm.output vm6);
+  let ic6 = main_ic vm6 in
+  Alcotest.(check int) "k=6 site is megamorphic" (-1) ic6.Vm.Rt.ic_n;
+  (* the transitions happen mid-trace; recording must not see them *)
+  List.iter
+    (fun (name, p) ->
+      let rr, rt = Dejavu.record ~seed:1 p in
+      let sr, st = Dejavu.record ~config:noregir ~seed:1 p in
+      Alcotest.(check string)
+        (name ^ " trace bytes")
+        (Dejavu.Trace.to_bytes st) (Dejavu.Trace.to_bytes rt);
+      Alcotest.(check int)
+        (name ^ " event digest")
+        sr.Dejavu.obs_digest rr.Dejavu.obs_digest;
+      Alcotest.(check int)
+        (name ^ " state digest")
+        sr.Dejavu.state_digest rr.Dejavu.state_digest)
+    [ ("poly", p3); ("mega", p6) ]
+
 (* Collecting and digesting observers fold the same hash; the collection
    cap bounds retention only, never the digest or the true count. *)
 let test_collect_matches_digest () =
@@ -200,6 +369,12 @@ let () =
         [
           quick "fused vs unfused live" test_fused_vs_unfused_live;
           quick "fused vs unfused traces" test_fused_vs_unfused_traces;
+        ] );
+      ( "regir",
+        [
+          quick "register vs stack live" test_regir_vs_stack_live;
+          quick "register vs stack traces" test_regir_vs_stack_traces;
+          quick "poly-IC transition mid-trace" test_poly_ic_transition;
         ] );
       ( "observer",
         [

@@ -534,6 +534,56 @@ let prop_fuzzed_fusion_agrees =
         && Vm.output vm_f = Vm.output vm_u
         && Vm.digest vm_f = Vm.digest vm_u)
 
+(* --- the register-IR tier is invisible ------------------------------------- *)
+
+let noregir_config = { Vm.Rt.default_config with Vm.Rt.regir = false }
+
+(* Random multithreaded programs: recording on the register tier and on
+   the stack tier must produce the same output, final state, event
+   sequence, and byte-identical traces — preemptions land on the same
+   instructions because RTick batches pay the same logical-clock charges
+   at the same points. *)
+let prop_regir_transparent_mt =
+  qtest ~count:30 "register tier invisible on random multithreaded programs"
+    racy_arb (fun (nt, iters, bodies) ->
+      let p = program_of_tacts nt iters bodies in
+      let seed = (7 * nt) + iters in
+      let rr, rt = Dejavu.record ~seed p in
+      let sr, st = Dejavu.record ~config:noregir_config ~seed p in
+      rr.Dejavu.output = sr.Dejavu.output
+      && rr.Dejavu.state_digest = sr.Dejavu.state_digest
+      && rr.Dejavu.obs_digest = sr.Dejavu.obs_digest
+      && rr.Dejavu.obs_count = sr.Dejavu.obs_count
+      && Dejavu.Trace.to_bytes rt = Dejavu.Trace.to_bytes st)
+
+(* Fuzzed programs reach what the structured generator cannot: faults
+   mid-region (the stored pc/sp must match the canonical fault point),
+   branches into region interiors, and instruction-limit cutoffs between
+   segments. The digest covers dead stack slots, so the write-elision in
+   the lowering must never skip a slot the canonical tier would have
+   written last. *)
+let prop_fuzzed_regir_agrees =
+  qtest ~count:250 "accepted random programs: register tier transparent"
+    fuzz_arb (fun instrs ->
+      let code = instrs @ [ I.Ret ] in
+      let aux = D.mdecl ~nlocals:0 "aux" [ I.Ret ] in
+      let main = D.mdecl ~nlocals:5 "main" code in
+      let p =
+        D.program ~main_class:"T"
+          [
+            D.cdecl "T"
+              ~statics:[ D.field "s0"; D.field ~ty:I.Tref "r0" ]
+              [ aux; main ];
+          ]
+      in
+      match run ~limit:100_000 p with
+      | exception _ -> true (* rejected before dispatch: nothing to compare *)
+      | vm_r, st_r ->
+        let vm_s, st_s = run ~limit:100_000 ~config:noregir_config p in
+        st_r = st_s
+        && Vm.output vm_r = Vm.output vm_s
+        && Vm.digest vm_r = Vm.digest vm_s)
+
 (* --- monomorphic inline caches are invisible -------------------------------- *)
 
 (* The catalogue workloads that compile virtual call/spawn sites. *)
@@ -698,6 +748,10 @@ let () =
       ( "fusion",
         [
           prop_fusion_transparent_mt; prop_fuzzed_fusion_agrees;
+        ] );
+      ( "regir",
+        [
+          prop_regir_transparent_mt; prop_fuzzed_regir_agrees;
         ] );
       ( "inline-caches",
         [

@@ -151,8 +151,20 @@ let test_dispatcher_cancel () =
   | _ -> Alcotest.fail "expected 2 results"
 
 let test_stats_counters () =
-  let d = D.create ~shards:2 ~run:(fun _ n -> if n < 0 then failwith "neg" else n) () in
+  (* hold every job inside [run] until all four are submitted: depth only
+     drops at completion, so the peak is deterministically 4 *)
+  let gate = Atomic.make false in
+  let d =
+    D.create ~shards:2
+      ~run:(fun _ n ->
+        while not (Atomic.get gate) do
+          Unix.sleepf 0.001
+        done;
+        if n < 0 then failwith "neg" else n)
+      ()
+  in
   List.iter (fun n -> ignore (D.submit d n)) [ 1; -1; 2; 3 ];
+  Atomic.set gate true;
   ignore (D.drain d);
   let v = Server.Stats.view (D.stats d) in
   Alcotest.(check int) "submitted" 4 v.Server.Stats.v_submitted;

@@ -82,6 +82,82 @@ let test_reset_equals_cold () =
         (Vm.stats cold).Vm.Rt.n_instr (Vm.stats vm).Vm.Rt.n_instr)
     [ "fig1ab"; "producer-consumer"; "native"; "webserver" ]
 
+(* --- register-tier rollback ---------------------------------------------- *)
+
+let compiled_methods (vm : Vm.t) =
+  Array.fold_left
+    (fun n (m : Vm.Rt.rmethod) ->
+      if m.Vm.Rt.rm_compiled <> None then n + 1 else n)
+    0 vm.Vm.Rt.methods
+
+let region_count (vm : Vm.t) =
+  Array.fold_left
+    (fun n (m : Vm.Rt.rmethod) ->
+      match m.Vm.Rt.rm_compiled with
+      | Some c ->
+        Array.fold_left
+          (fun n r -> if r <> None then n + 1 else n)
+          n c.Vm.Rt.k_regions
+      | None -> n)
+    0 vm.Vm.Rt.methods
+
+(* Snapshot rollback un-compiles the register tier with the method:
+   [k_regions] lives inside [compiled], so restoring [rm_compiled] drops
+   the regions and the reset VM re-lowers (re-paying the compile clock
+   charge) on the next run — which must reproduce the first run exactly,
+   register coverage included. *)
+let test_reset_rolls_back_register_tier () =
+  let e = find "primes" in
+  let vm = Vm.create ~config:(seeded 1) ~natives:e.natives e.program in
+  let baseline = Vm.Snapshot.save vm in
+  let base_compiled = compiled_methods vm in
+  ignore (Vm.run vm);
+  let out1 = Vm.output vm in
+  let dig1 = Vm.digest vm in
+  let n1 = (Vm.stats vm).Vm.Rt.n_instr in
+  let ri1 = (Vm.stats vm).Vm.Rt.n_regir_instr in
+  Alcotest.(check bool) "run tiered up" true (region_count vm > 0 && ri1 > 0);
+  Vm.reset ~seed:1 vm baseline;
+  Alcotest.(check int) "rollback un-compiled the methods" base_compiled
+    (compiled_methods vm);
+  Alcotest.(check int) "no regions survive the rollback" 0 (region_count vm);
+  Alcotest.(check int) "regir counter reset" 0
+    (Vm.stats vm).Vm.Rt.n_regir_instr;
+  let cold = Vm.create ~config:(seeded 1) ~natives:e.natives e.program in
+  Alcotest.(check int) "digest at rest = cold boot" (Vm.digest cold)
+    (Vm.digest vm);
+  ignore (Vm.run vm);
+  Alcotest.(check string) "re-run output" out1 (Vm.output vm);
+  Alcotest.(check int) "re-run digest" dig1 (Vm.digest vm);
+  Alcotest.(check int) "re-run instructions" n1 (Vm.stats vm).Vm.Rt.n_instr;
+  Alcotest.(check int) "re-run register coverage" ri1
+    (Vm.stats vm).Vm.Rt.n_regir_instr
+
+(* The same contract through the pool: back-to-back acquires of a
+   workload reuse one VM across tier-up (second acquire is a baseline
+   reset, not a boot) and both runs are identical. *)
+let test_warm_reuse_across_tierup () =
+  let pool = Server.Warm.create () in
+  let e = find "primes" in
+  let vm1 = Server.Warm.acquire pool e ~seed:1 in
+  ignore (Vm.run vm1);
+  let out1 = Vm.output vm1 in
+  let dig1 = Vm.digest vm1 in
+  let ri1 = (Vm.stats vm1).Vm.Rt.n_regir_instr in
+  Alcotest.(check bool) "first run tiered up" true (ri1 > 0);
+  let vm2 = Server.Warm.acquire pool e ~seed:1 in
+  Alcotest.(check int) "reset regir counter" 0
+    (Vm.stats vm2).Vm.Rt.n_regir_instr;
+  Alcotest.(check int) "reset dropped the regions" 0 (region_count vm2);
+  ignore (Vm.run vm2);
+  Alcotest.(check string) "warm output" out1 (Vm.output vm2);
+  Alcotest.(check int) "warm digest" dig1 (Vm.digest vm2);
+  Alcotest.(check int) "warm register coverage" ri1
+    (Vm.stats vm2).Vm.Rt.n_regir_instr;
+  let s = Server.Warm.stats pool in
+  Alcotest.(check int) "one boot" 1 s.Server.Warm.w_misses;
+  Alcotest.(check int) "one reset" 1 s.Server.Warm.w_hits
+
 (* --- Warm pool accounting ------------------------------------------------ *)
 
 let test_pool_counters_and_lru () =
@@ -363,6 +439,12 @@ let () =
   Alcotest.run "warm"
     [
       ("vm", [ quick "reset equals cold boot" test_reset_equals_cold ]);
+      ( "regir",
+        [
+          quick "reset rolls back the register tier"
+            test_reset_rolls_back_register_tier;
+          quick "warm reuse across tier-up" test_warm_reuse_across_tierup;
+        ] );
       ("pool", [ quick "counters and LRU" test_pool_counters_and_lru ]);
       ( "identity",
         [
