@@ -778,12 +778,17 @@ let json () =
       in
       (* static race-audit cost, from scratch (the recorder itself hits the
          memoized Dejavu.Audit cache, so recording pays this only once) *)
-      let _, lint_t = time (fun () -> Analysis.run ~name program) in
-      Fmt.pr "%-14s live %.2f record %.2f replay %.2f Mi/s lint %.1f ms@." name
+      let report, lint_t = time (fun () -> Analysis.run ~name program) in
+      Fmt.pr
+        "%-14s live %.2f record %.2f replay %.2f Mi/s lint %.1f ms (mhp %.1f \
+         dl %.1f) conflicts %d@."
+        name
         (rate live_n live_t /. 1e6)
         (rate rec_n rec_t /. 1e6)
         (rate rep_n rep_t /. 1e6)
-        (lint_t *. 1e3);
+        (lint_t *. 1e3) report.Analysis.Report.mhp_ms
+        report.Analysis.Report.deadlock_ms
+        report.Analysis.Report.n_conflict_pairs;
       Buffer.add_string buf
         (Fmt.str
            "    %S: {\n\
@@ -792,12 +797,19 @@ let json () =
            \      \"record_ips\": %.0f,\n\
            \      \"replay_ips\": %.0f,\n\
            \      \"lint_ms\": %.2f,\n\
+           \      \"mhp_ms\": %.2f,\n\
+           \      \"deadlock_ms\": %.2f,\n\
+           \      \"conflict_pairs\": %d,\n\
+           \      \"deadlock_cycles\": %d,\n\
            \      \"trace_words\": %d,\n\
            \      \"trace_bytes\": %d\n\
            \    }%s\n"
            name live_n (rate live_n live_t) (rate rec_n rec_t)
-           (rate rep_n rep_t) (lint_t *. 1e3) sizes.Dejavu.Trace.total_words
-           sizes.Dejavu.Trace.total_bytes
+           (rate rep_n rep_t) (lint_t *. 1e3) report.Analysis.Report.mhp_ms
+           report.Analysis.Report.deadlock_ms
+           report.Analysis.Report.n_conflict_pairs
+           (List.length report.Analysis.Report.deadlocks)
+           sizes.Dejavu.Trace.total_words sizes.Dejavu.Trace.total_bytes
            (if i = n_total - 1 then "" else ",")))
     (json_workloads ());
   Buffer.add_string buf "  },\n";

@@ -325,17 +325,19 @@ let read_file path =
     Stdlib.exit 2
 
 (* Allow-entries for one workload from the committed baseline:
-   { "workloads": [ { "name", "summary_hash", "allow":
-     [ { "key", "why" } ] } ] }. Keys may use '*' globs. *)
-let baseline_allows baseline wl_name =
+   { "workloads": [ { "name", "summary_hash", "allow": [ { "key", "why" } ],
+     "allow_monitors": [...], "allow_deadlocks": [...] } ] }. [field] names
+   which allow array to read; keys may use '*' globs. *)
+let baseline_allows ~field baseline wl_name =
   let open Analysis.Json in
   member "workloads" baseline |> to_list
   |> List.filter (fun w -> to_string_opt (member "name" w) = Some wl_name)
   |> List.concat_map (fun w ->
-         member "allow" w |> to_list
+         member field w |> to_list
          |> List.filter_map (fun a -> to_string_opt (member "key" a)))
 
-let lint name_opt all json allows baseline_path =
+let lint name_opt all json allows allow_monitors allow_deadlocks baseline_path
+    =
   let entries =
     if all then Lazy.force Workloads.Registry.all
     else
@@ -371,24 +373,35 @@ let lint name_opt all json allows baseline_path =
               (List.map (fun (_, r) -> Analysis.Report.to_json r) results)))
   end
   else List.iter (fun (_, r) -> Fmt.pr "%a" Analysis.Report.pp r) results;
-  (* Racy findings fail the run unless matched by --allow or the baseline. *)
-  let failures =
+  (* Racy, monitor-depth, and deadlock findings each fail the run unless
+     matched by their own --allow-* flags or baseline allow array. *)
+  let gate ~field ~flags keys_of =
     List.concat_map
       (fun (name, r) ->
         let allowed =
-          allows
+          flags
           @ (match baseline with
-            | Some b -> baseline_allows b name
+            | Some b -> baseline_allows ~field b name
             | None -> [])
         in
-        Analysis.Report.racy_keys r
+        keys_of r
         |> List.filter (fun k -> not (List.exists (fun p -> glob_match p k) allowed))
         |> List.map (fun k -> (name, k)))
       results
   in
+  let failures =
+    List.map (fun (n, k) -> ("racy", n, k))
+      (gate ~field:"allow" ~flags:allows Analysis.Report.racy_keys)
+    @ List.map (fun (n, k) -> ("monitor", n, k))
+        (gate ~field:"allow_monitors" ~flags:allow_monitors
+           Analysis.Report.monitor_keys)
+    @ List.map (fun (n, k) -> ("deadlock", n, k))
+        (gate ~field:"allow_deadlocks" ~flags:allow_deadlocks
+           Analysis.Report.deadlock_keys)
+  in
   if failures <> [] then begin
-    Fmt.epr "lint: %d unallowed racy finding(s):@." (List.length failures);
-    List.iter (fun (n, k) -> Fmt.epr "  %s: %s@." n k) failures;
+    Fmt.epr "lint: %d unallowed finding(s):@." (List.length failures);
+    List.iter (fun (kind, n, k) -> Fmt.epr "  %s: [%s] %s@." n kind k) failures;
     Stdlib.exit 1
   end
 
@@ -409,16 +422,35 @@ let lint_cmd =
       & info [ "allow" ] ~docv:"GLOB"
           ~doc:"accept racy findings whose key matches GLOB (repeatable)")
   in
+  let allow_monitor_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "allow-monitor" ] ~docv:"GLOB"
+          ~doc:
+            "accept monitor-depth issues whose 'where: what' matches GLOB \
+             (repeatable)")
+  in
+  let allow_deadlock_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "allow-deadlock" ] ~docv:"GLOB"
+          ~doc:
+            "accept deadlock cycles whose 'lock -> lock' key matches GLOB \
+             (repeatable)")
+  in
   let baseline_arg =
     Arg.(
       value
       & opt (some string) None
       & info [ "baseline" ] ~docv:"FILE"
-          ~doc:"accept racy findings allow-listed in this baseline JSON")
+          ~doc:
+            "accept racy/monitor/deadlock findings allow-listed in this \
+             baseline JSON (arrays: allow, allow_monitors, allow_deadlocks)")
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
-      const lint $ name_opt_arg $ all_arg $ json_arg $ allow_arg $ baseline_arg)
+      const lint $ name_opt_arg $ all_arg $ json_arg $ allow_arg
+      $ allow_monitor_arg $ allow_deadlock_arg $ baseline_arg)
 
 (* --- the replay farm: batch / serve / submit --- *)
 

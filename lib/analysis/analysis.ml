@@ -9,6 +9,8 @@ module Dataflow = Dataflow
 module Prog = Prog
 module Callgraph = Callgraph
 module Lockset = Lockset
+module Mhp = Mhp
+module Lockorder = Lockorder
 module Escape = Escape
 module Report = Report
 

@@ -20,7 +20,7 @@ let solve (res : Lockset.result) : bool array =
     end
   in
   let sites_of v =
-    List.filter_map (function Lockset.NSite i -> Some i | _ -> None) v
+    List.filter_map (function Lockset.NSite (i, _) -> Some i | _ -> None) v
   in
   List.iter
     (fun { Lockset.st_value; st_sink } ->
@@ -39,7 +39,7 @@ let solve (res : Lockset.result) : bool array =
           else
             List.iter
               (function
-                | Lockset.NSite b -> edges.(b) <- vs @ edges.(b)
+                | Lockset.NSite (b, _) -> edges.(b) <- vs @ edges.(b)
                 | _ -> ())
               base)
     res.Lockset.stores;

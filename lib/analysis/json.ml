@@ -14,6 +14,8 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+let strings l = List (List.map (fun s -> Str s) l)
+
 let escape b s =
   String.iter
     (fun c ->

@@ -1,0 +1,122 @@
+(* Static lock-order graph and deadlock-cycle detection.
+
+   Nodes are provably-unique lock names ({!Lockset.valid_lock}); an edge
+   [h -> l] exists for every harvested acquisition of [l] while [h] is in
+   the must-held set. A directed cycle is a *potential* deadlock only if
+   one acquisition per edge can be selected so that every selected pair may
+   happen in parallel ({!Mhp.may_overlap}) — a single Once thread taking
+   A->B and later B->A is sequential and never reported, while two
+   overlapping threads (or two instances of a Many root) disagreeing on
+   order are.
+
+   Cycles are enumerated Johnson-style: simple cycles only, each started
+   from its minimal node with the search restricted to nodes >= start so
+   every cycle is found exactly once, with small depth/count caps — lock
+   graphs here are tiny and a runaway graph means the analysis diverged
+   upstream anyway. *)
+
+type finding = {
+  dl_cycle : string list;  (* lock names in cycle order *)
+  dl_sites : string list;  (* one "Class.method:pc" acquisition per edge *)
+  dl_why : string;
+}
+
+let max_depth = 8
+let max_cycles = 64
+
+let name_str n = Fmt.str "%a" Lockset.pp_name n
+
+let detect (mhp : Mhp.t) (r : Lockset.result) : finding list =
+  if not r.Lockset.converged then []
+  else begin
+    let succs : (Lockset.name, (Lockset.name * Lockset.acq list) list) Hashtbl.t
+        =
+      Hashtbl.create 16
+    in
+    let nodes = ref [] in
+    let add_node n = if not (List.mem n !nodes) then nodes := n :: !nodes in
+    List.iter
+      (fun (a : Lockset.acq) ->
+        List.iter
+          (fun h ->
+            if h <> a.Lockset.aq_lock then begin
+              add_node h;
+              add_node a.Lockset.aq_lock;
+              let cur =
+                match Hashtbl.find_opt succs h with Some l -> l | None -> []
+              in
+              let cur =
+                match List.assoc_opt a.Lockset.aq_lock cur with
+                | Some acqs ->
+                  (a.Lockset.aq_lock, acqs @ [ a ])
+                  :: List.remove_assoc a.Lockset.aq_lock cur
+                | None -> (a.Lockset.aq_lock, [ a ]) :: cur
+              in
+              Hashtbl.replace succs h cur
+            end)
+          a.Lockset.aq_held)
+      r.Lockset.acquires;
+    let nodes = List.sort compare !nodes in
+    let succs_of n =
+      match Hashtbl.find_opt succs n with
+      | Some l -> List.sort compare l
+      | None -> []
+    in
+    (* One acquisition per edge such that all selected pairs may overlap. *)
+    let select edge_acqs =
+      let rec go chosen = function
+        | [] -> Some (List.rev chosen)
+        | acqs :: rest ->
+          List.find_map
+            (fun (a : Lockset.acq) ->
+              if
+                List.for_all
+                  (fun c ->
+                    Mhp.may_overlap mhp (Mhp.of_acq a) (Mhp.of_acq c))
+                  chosen
+              then go (a :: chosen) rest
+              else None)
+            acqs
+      in
+      go [] edge_acqs
+    in
+    let findings = ref [] in
+    let n_found = ref 0 in
+    let record edges =
+      match select (List.map (fun (_, _, acqs) -> acqs) edges) with
+      | None -> ()
+      | Some chosen ->
+        incr n_found;
+        let cycle = List.map (fun (src, _, _) -> name_str src) edges in
+        let sites =
+          List.map (fun (a : Lockset.acq) -> a.Lockset.aq_where) chosen
+        in
+        let why =
+          String.concat "; "
+            (List.map2
+               (fun (src, tgt, _) (a : Lockset.acq) ->
+                 Fmt.str "holds %s, acquires %s at %s" (name_str src)
+                   (name_str tgt) a.Lockset.aq_where)
+               edges chosen)
+        in
+        findings := { dl_cycle = cycle; dl_sites = sites; dl_why = why }
+                    :: !findings
+    in
+    List.iter
+      (fun start ->
+        let rec dfs node visited path depth =
+          if !n_found < max_cycles && depth < max_depth then
+            List.iter
+              (fun (tgt, acqs) ->
+                if tgt = start then
+                  record (List.rev ((node, tgt, acqs) :: path))
+                else if compare tgt start > 0 && not (List.mem tgt visited)
+                then
+                  dfs tgt (tgt :: visited) ((node, tgt, acqs) :: path)
+                    (depth + 1))
+              (succs_of node)
+        in
+        dfs start [ start ] [] 0)
+      nodes;
+    List.rev !findings
+  end

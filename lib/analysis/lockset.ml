@@ -2,10 +2,15 @@
 
    Abstract values are small *name sets*. A name denotes a runtime object
    conservatively:
-     - [NStatic key]  the object currently stored in the static field [key]
-     - [NSite id]     an object allocated at allocation site [id]
-     - [NTid root]    a thread id returned by the spawn site behind [root]
-     - [NOpaque]      anything (absorbing top)
+     - [NStatic key]      the object currently stored in the static field [key]
+     - [NSite (id, root)] an object allocated at allocation site [id] by a
+                          thread of root [root] (the context's root at the
+                          New/Newarray; the tag travels with the value, so
+                          names with different sites or different allocating
+                          roots are provably distinct objects — the may-alias
+                          refutation behind the MHP-refined conflict pairs)
+     - [NTid root]        a thread id returned by the spawn site behind [root]
+     - [NOpaque]          anything (absorbing top)
    A name is usable as a *lock name* only when it provably denotes a single
    runtime object for the whole execution: a static written by exactly one
    [Putstatic] at a non-loop pc of a once-executed method, or an allocation
@@ -34,7 +39,7 @@
 module Instr = Bytecode.Instr
 module Decl = Bytecode.Decl
 
-type name = NStatic of string | NSite of int | NTid of int | NOpaque
+type name = NStatic of string | NSite of int * int | NTid of int | NOpaque
 
 type aval = name list (* sorted, distinct; [NOpaque] = top, [] = bottom *)
 
@@ -45,6 +50,27 @@ let vnorm ns : aval =
   if List.mem NOpaque ns || List.length ns > name_cap then [ NOpaque ] else ns
 
 let vjoin a b = vnorm (a @ b)
+
+(* May two names denote the same runtime object? Only two refutations are
+   sound: distinct allocation sites never produce the same object, and the
+   same site run by threads of different roots produces distinct objects
+   (the root tag is attached at allocation and travels with the value, so a
+   name's root is always the allocator, wherever the name flows). Anything
+   opaque or read out of a static conservatively aliases everything. *)
+let name_alias n1 n2 =
+  match (n1, n2) with
+  | NOpaque, _ | _, NOpaque -> true
+  | NStatic _, _ | _, NStatic _ -> true
+  | NSite (s1, r1), NSite (s2, r2) -> s1 = s2 && r1 = r2
+  | NTid r1, NTid r2 -> r1 = r2
+  | NSite _, NTid _ | NTid _, NSite _ -> false
+
+(* Base-set may-alias for access pairing. [] appears for static accesses
+   (same field key = same global slot: alias) and for dead paths; both are
+   safe to treat as aliasing. *)
+let aval_alias b1 b2 =
+  b1 = [] || b2 = []
+  || List.exists (fun n1 -> List.exists (fun n2 -> name_alias n1 n2) b2) b1
 
 type site = {
   site_id : int;
@@ -66,6 +92,19 @@ type access = {
   acc_where : string;
 }
 
+(* A monitorenter of a provably-unique lock name (or a sync-method entry),
+   with the must-set held just before it — the edges of the static
+   lock-order graph. Re-entrant re-acquisitions are not recorded (they
+   cannot contribute to a deadlock cycle). *)
+type acq = {
+  aq_lock : name;
+  aq_held : name list;  (* must-held before acquiring, valid names only *)
+  aq_root : int;
+  aq_spawned : int list;
+  aq_joined : int list;
+  aq_where : string;  (* "Class.method:pc" *)
+}
+
 type sink = Into of aval | Global
 (* value stored through a base object / value made globally reachable
    (static store, spawn argument, native-call operand) *)
@@ -83,9 +122,31 @@ type st = {
   joined : int list;
 }
 
-let inter_sorted a b = List.filter (fun x -> List.mem x b) a
+(* Root sets ([spawned]/[joined]) are sorted ascending and duplicate-free
+   everywhere: they originate as [], singletons, or [List.init] ranges and
+   only flow through these two merges, which rely on (and preserve) the
+   invariant. [norm_sorted] is the entry point for lists built any other
+   way. *)
 
-let union_sorted a b = List.sort_uniq compare (a @ b)
+let norm_sorted l = List.sort_uniq compare l
+
+let rec inter_sorted a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c = 0 then x :: inter_sorted xs ys
+    else if c < 0 then inter_sorted xs b
+    else inter_sorted a ys
+
+let rec union_sorted a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c = 0 then x :: union_sorted xs ys
+    else if c < 0 then x :: union_sorted xs b
+    else y :: union_sorted a ys
 
 let locked_join la lb =
   List.filter_map
@@ -145,12 +206,13 @@ type result = {
   sites : site array;
   accesses : access list;
   stores : store list;
+  acquires : acq list;
   converged : bool;
 }
 
 let pp_name ppf = function
   | NStatic key -> Fmt.pf ppf "static %s" key
-  | NSite id -> Fmt.pf ppf "site#%d" id
+  | NSite (id, r) -> Fmt.pf ppf "site#%d(r%d)" id r
   | NTid r -> Fmt.pf ppf "tid(root %d)" r
   | NOpaque -> Fmt.string ppf "?"
 
@@ -206,8 +268,46 @@ let analyze_program (cg : Callgraph.t) : result =
   in
   let valid_lock = function
     | NStatic key -> valid_static key
-    | NSite id -> sites.(id).site_once
+    | NSite (id, _) -> sites.(id).site_once
     | NTid _ | NOpaque -> false
+  in
+  (* Field-content summaries: for every instance-field / array key, the
+     join of all values observed stored through each *base-name partition*.
+     A read through base [b] joins every partition that may alias a name of
+     [b]; a write through [b] contributes to each of [b]'s partitions (the
+     NOpaque partition when [b] is top). This keeps per-root allocations
+     disjoint across a Getfield: a list built from [NSite (s, r)] nodes
+     reads back [NSite (s, r)], not top. Natives can mutate reachable
+     objects invisibly, so any reachable Nativecall degrades every read to
+     top (the pre-heap behaviour). Partition values only grow under vjoin,
+     so the extra fixpoint terminates with the main worklist. *)
+  let natives_present =
+    List.exists
+      (fun key ->
+        match Callgraph.find_method cg key with
+        | Some { Callgraph.mr_decl = m; _ } ->
+          Array.exists
+            (function Instr.Nativecall _ -> true | _ -> false)
+            m.Decl.m_code
+        | None -> false)
+      cg.Callgraph.method_order
+  in
+  let heap : (string, (name * aval) list ref) Hashtbl.t = Hashtbl.create 32 in
+  let heap_readers : (string, (string, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let heap_read key base =
+    if natives_present then [ NOpaque ]
+    else if base = [] then []
+    else
+      match Hashtbl.find_opt heap key with
+      | None -> []
+      | Some parts ->
+        List.fold_left
+          (fun acc (p, v) ->
+            if List.exists (fun b -> name_alias p b) base then vjoin acc v
+            else acc)
+          [] !parts
   in
   (* Contexts. *)
   let ctxs : (string, centry) Hashtbl.t = Hashtbl.create 64 in
@@ -218,6 +318,31 @@ let analyze_program (cg : Callgraph.t) : result =
       | None -> ()
       | Some mref ->
         let n = Decl.nargs mref.Callgraph.mr_decl in
+        (* registration is purely syntactic, so readers are known before
+           the fixpoint starts: a heap-summary change re-enqueues exactly
+           the contexts whose transfer consumed it *)
+        Array.iter
+          (fun ins ->
+            let fkey =
+              match (ins : Instr.t) with
+              | Instr.Getfield (c, f) ->
+                Some (Prog.field_key prog ~static:false c f)
+              | Instr.Aload -> Some Prog.array_key
+              | _ -> None
+            in
+            match fkey with
+            | None -> ()
+            | Some fk ->
+              let tbl =
+                match Hashtbl.find_opt heap_readers fk with
+                | Some t -> t
+                | None ->
+                  let t = Hashtbl.create 4 in
+                  Hashtbl.replace heap_readers fk t;
+                  t
+              in
+              Hashtbl.replace tbl (Callgraph.ckey r key) ())
+          mref.Callgraph.mr_decl.Decl.m_code;
         Hashtbl.replace ctxs (Callgraph.ckey r key)
           {
             c_root = r;
@@ -348,6 +473,28 @@ let analyze_program (cg : Callgraph.t) : result =
   let push v st = { st with stack = v :: st.stack } in
   let callee ce_root tkey = Hashtbl.find_opt ctxs (Callgraph.ckey ce_root tkey) in
   let resolved_static c f = Prog.field_key prog ~static:true c f in
+  let heap_write ~dirty key base value =
+    if base <> [] && value <> [] then begin
+      let parts =
+        match Hashtbl.find_opt heap key with
+        | Some p -> p
+        | None ->
+          let p = ref [] in
+          Hashtbl.replace heap key p;
+          p
+      in
+      let targets = if List.mem NOpaque base then [ NOpaque ] else base in
+      List.iter
+        (fun p ->
+          let cur = try List.assoc p !parts with Not_found -> [] in
+          let j = vjoin cur value in
+          if j <> cur then begin
+            parts := (p, j) :: List.remove_assoc p !parts;
+            Hashtbl.replace dirty key ()
+          end)
+        targets
+    end
+  in
   (* The pure transfer; interprocedural propagation happens in a separate
      post-solve pass so the engine's internal iteration stays effect-free. *)
   let transfer (ce : centry) ~pc (ins : Instr.t) st =
@@ -408,11 +555,13 @@ let analyze_program (cg : Callgraph.t) : result =
         | _ -> st
       in
       push
-        (match site_at key pc with Some id -> [ NSite id ] | None -> [ NOpaque ])
+        (match site_at key pc with
+        | Some id -> [ NSite (id, ce.c_root) ]
+        | None -> [ NOpaque ])
         st
-    | Instr.Getfield _ ->
-      let _, st = pop st in
-      push [ NOpaque ] st
+    | Instr.Getfield (c, f) ->
+      let base, st = pop st in
+      push (heap_read (Prog.field_key prog ~static:false c f) base) st
     | Instr.Putfield _ ->
       let _, st = pop st in
       let _, st = pop st in
@@ -420,8 +569,8 @@ let analyze_program (cg : Callgraph.t) : result =
     | Instr.Getstatic (c, f) -> push [ NStatic (resolved_static c f) ] st
     | Instr.Aload ->
       let _, st = pop st in
-      let _, st = pop st in
-      push [ NOpaque ] st
+      let base, st = pop st in
+      push (heap_read Prog.array_key base) st
     | Instr.Astore ->
       let _, st = pop st in
       let _, st = pop st in
@@ -592,6 +741,7 @@ let analyze_program (cg : Callgraph.t) : result =
       ce.c_states <- states;
       (* Inter-procedural propagation from the solved states. *)
       let my_ck = Callgraph.ckey ce.c_root ce.c_key in
+      let dirty = Hashtbl.create 4 in
       Array.iteri
         (fun pc stopt ->
           match stopt with
@@ -642,8 +792,25 @@ let analyze_program (cg : Callgraph.t) : result =
                           ~joined:st.joined
                       then enqueue (Callgraph.ckey rid tkey))
                   targets)
+            | Instr.Putfield (c, f) ->
+              let value, st1 = pop st in
+              let base, _ = pop st1 in
+              heap_write ~dirty (Prog.field_key prog ~static:false c f) base
+                value
+            | Instr.Astore ->
+              let value, st1 = pop st in
+              let _, st2 = pop st1 in
+              let base, _ = pop st2 in
+              heap_write ~dirty Prog.array_key base value
             | _ -> ()))
         states;
+      (* A grown field summary re-runs every context that reads the field. *)
+      Hashtbl.iter
+        (fun fk () ->
+          match Hashtbl.find_opt heap_readers fk with
+          | None -> ()
+          | Some tbl -> Hashtbl.iter (fun ck () -> enqueue ck) tbl)
+        dirty;
       (* Summaries. *)
       let ret = ref ce.s_ret in
       let exit_spawned = ref ce.s_exit_spawned in
@@ -697,12 +864,35 @@ let analyze_program (cg : Callgraph.t) : result =
     | _ -> ()
   done;
   let converged = Queue.is_empty queue in
-  (* Harvest accesses and escape stores from the final states. *)
+  (* Harvest accesses, escape stores, and lock acquisitions from the final
+     states. On divergence every refutable fact degrades: no locks, no
+     ordering, opaque bases, no acquisition edges. *)
   let accesses = ref [] in
   let stores = ref [] in
+  let acquires = ref [] in
   let harvest (ce : centry) =
     let m = ce.c_mref.Callgraph.mr_decl in
     let key = ce.c_key in
+    (* a synchronized method acquires its receiver at entry *)
+    (if converged && m.Decl.m_sync && Array.length ce.e_args > 0 && ce.seen then
+       match ce.e_args.(0) with
+       | [ n ] when valid_lock n ->
+         let held =
+           match ce.e_locked with
+           | Some l -> List.filter (fun h -> h <> n) (List.map fst l)
+           | None -> []
+         in
+         acquires :=
+           {
+             aq_lock = n;
+             aq_held = List.filter valid_lock held;
+             aq_root = ce.c_root;
+             aq_spawned = ce.e_spawned;
+             aq_joined = (match ce.e_joined with Some j -> j | None -> []);
+             aq_where = key ^ ":0";
+           }
+           :: !acquires
+       | _ -> ());
     Array.iteri
       (fun pc stopt ->
         match stopt with
@@ -714,7 +904,26 @@ let analyze_program (cg : Callgraph.t) : result =
           in
           let spawned = if converged then st.spawned else all_roots in
           let joined = if converged then st.joined else [] in
+          (if converged then
+             match m.Decl.m_code.(pc) with
+             | Instr.Monitorenter -> (
+               match st.stack with
+               | [ n ] :: _ when valid_lock n && not (List.mem_assoc n st.locked)
+                 ->
+                 acquires :=
+                   {
+                     aq_lock = n;
+                     aq_held = List.filter valid_lock locks;
+                     aq_root = ce.c_root;
+                     aq_spawned = spawned;
+                     aq_joined = joined;
+                     aq_where = where;
+                   }
+                   :: !acquires
+               | _ -> ())
+             | _ -> ());
           let acc field write base =
+            let base = if converged then base else [ NOpaque ] in
             accesses :=
               {
                 acc_field = field;
@@ -776,5 +985,6 @@ let analyze_program (cg : Callgraph.t) : result =
     sites;
     accesses = List.rev !accesses;
     stores = List.rev !stores;
+    acquires = List.rev !acquires;
     converged;
   }

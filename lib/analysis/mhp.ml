@@ -1,0 +1,116 @@
+(* May-happen-in-parallel over the thread structure.
+
+   A program point is abstracted as a {!point}: the root (thread-creation
+   site) it executes under, the may-set of roots spawned so far on some
+   path to it, and the must-set of Once roots already joined on every path.
+   Both sets are inherited across spawn edges by the lockset pass (the
+   child's entry state unions/intersects the parent's sets at the spawn
+   site), so ordering established in an ancestor is visible here without a
+   transitive closure.
+
+   Two points are ordered — cannot overlap — when one of three facts holds:
+
+   - same Once root: both execute in the one thread of a once-spawned root,
+     so they are sequential in its program order;
+   - before-spawn-of: [a]'s root is an ancestor of [b]'s root via the
+     parent chain, [a]'s root is Once (a unique thread executes the hop's
+     spawn site), and the hop — the ancestor of [b] whose parent is [a]'s
+     root — is absent from [a]'s spawned may-set, i.e. no path reaches [a]
+     after that spawn, so [a] precedes the spawn and hence all of [b];
+   - joined-before: [b]'s root is Once and sits in [a]'s joined must-set,
+     so [b]'s whole thread terminated before [a] on every path.
+
+   [may_overlap] is the negation; everything unknown (ambiguous parents,
+   Many roots, unmerged sets) errs toward overlap. The point join (used on
+   control-flow merges upstream, pinned monotone by QCheck downstream)
+   unions spawned and intersects joined, which only ever grows
+   [may_overlap]: each ordering fact is antitone in spawned and monotone
+   in joined. *)
+
+type point = {
+  p_root : int;
+  p_spawned : int list;  (* may-set, sorted *)
+  p_joined : int list;  (* must-set of Once roots, sorted *)
+}
+
+type t = {
+  n_roots : int;
+  once : bool array;  (* root id -> spawned at most once *)
+  parent : int array;  (* root id -> spawning root; -1 main, -2 ambiguous *)
+}
+
+let build (cg : Callgraph.t) : t =
+  let roots = cg.Callgraph.roots in
+  {
+    n_roots = Array.length roots;
+    once = Array.map (fun r -> r.Callgraph.r_mult = Callgraph.Once) roots;
+    parent = Array.map (fun r -> r.Callgraph.r_parent) roots;
+  }
+
+(* Test constructor: a synthetic thread structure. *)
+let make ~once ~parent : t =
+  if Array.length once <> Array.length parent then
+    invalid_arg "Mhp.make: array length mismatch";
+  { n_roots = Array.length once; once; parent }
+
+let point ~root ~spawned ~joined =
+  {
+    p_root = root;
+    p_spawned = Lockset.norm_sorted spawned;
+    p_joined = Lockset.norm_sorted joined;
+  }
+
+let of_access (a : Lockset.access) =
+  {
+    p_root = a.Lockset.acc_root;
+    p_spawned = a.Lockset.acc_spawned;
+    p_joined = a.Lockset.acc_joined;
+  }
+
+let of_acq (q : Lockset.acq) =
+  {
+    p_root = q.Lockset.aq_root;
+    p_spawned = q.Lockset.aq_spawned;
+    p_joined = q.Lockset.aq_joined;
+  }
+
+(* Control-flow merge of two points of the same thread. *)
+let join a b =
+  {
+    p_root = a.p_root;
+    p_spawned = Lockset.union_sorted a.p_spawned b.p_spawned;
+    p_joined = Lockset.inter_sorted a.p_joined b.p_joined;
+  }
+
+let valid_root t r = r >= 0 && r < t.n_roots
+
+let once t r = valid_root t r && t.once.(r)
+
+(* [a] executes before the spawn that creates [b]'s thread. *)
+let before_spawn_of t a b =
+  valid_root t a.p_root && valid_root t b.p_root && a.p_root <> b.p_root
+  && once t a.p_root
+  &&
+  (* walk b's ancestor chain looking for the hop whose parent is a.p_root *)
+  let rec walk hop fuel =
+    fuel > 0
+    && valid_root t hop
+    &&
+    let p = t.parent.(hop) in
+    if p = a.p_root then not (List.mem hop a.p_spawned)
+    else walk p (fuel - 1)
+  in
+  walk b.p_root t.n_roots
+
+(* [b]'s whole thread terminated before [a]. *)
+let joined_before t a b =
+  once t b.p_root && a.p_root <> b.p_root && List.mem b.p_root a.p_joined
+
+let may_overlap t a b =
+  not
+    ((a.p_root = b.p_root && once t a.p_root)
+    || before_spawn_of t a b || before_spawn_of t b a || joined_before t a b
+    || joined_before t b a)
+
+(* Base-name may-alias, re-exported for the conflict-pair classifier. *)
+let may_alias = Lockset.aval_alias

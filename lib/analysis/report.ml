@@ -1,20 +1,28 @@
 (* Race-audit report: pair-based classification of every field and
    allocation site as thread-local / lock-consistent / racy, with method:pc
-   provenance, plus the advisory monitor-depth issues. This is the output
-   of `dvrun lint`, and its summary hash is what the recorder stamps into
-   the trace header (the replayer refuses a trace recorded under a
-   different audit).
+   provenance, plus the conflict-pair set, static deadlock findings, and
+   the monitor-depth issues. This is the output of `dvrun lint`, and its
+   summary hash is what the recorder stamps into the trace header (the
+   replayer refuses a trace recorded under a different audit).
 
    Classification: for a field key, consider all pairs of non-confined
-   accesses with at least one write. A pair is *concurrent* unless both
-   accesses belong to the same once-spawned root, one access provably runs
-   before the other root's thread is spawned (the spawn hop is absent from
-   the access's may-spawned set and the accessing root is Once), or the
-   other root was definitely joined before the access. Racy = some
-   concurrent pair has an empty must-lockset intersection; lock-consistent
-   = concurrent pairs exist but all share a lock; thread-local = no
-   concurrent conflicting pair at all (covers genuinely private state,
-   read-only sharing, and safe publication ordered by spawn/join). *)
+   accesses with at least one write. A pair *conflicts* when its bases may
+   alias ({!Mhp.may_alias} — per-root allocation tags refute cross-thread
+   aliasing of thread-private structures) and the two program points may
+   happen in parallel ({!Mhp.may_overlap} over spawn/join/once structure).
+   Racy = some conflicting pair has an empty must-lockset intersection;
+   lock-consistent = conflicting pairs exist but every one shares a lock;
+   thread-local = no conflicting pair at all (genuinely private state,
+   read-only sharing, spawn/join-ordered publication, or provably disjoint
+   per-thread objects).
+
+   The conflict-pair set — every (access site, field) in some conflicting
+   pair — is deliberately *not* refuted by locks: lock-ordered accesses
+   still contend for order, which makes them exactly the branch points a
+   DPOR-style explorer must enumerate (and the sites the dynamic Sharing
+   tracker may observe as spawn/join-unordered). Both the conflict set and
+   the deadlock findings fold into the summary hash, so traces are stamped
+   against them. *)
 
 module Decl = Bytecode.Decl
 module Check = Bytecode.Check
@@ -44,10 +52,15 @@ type finding = {
 type t = {
   name : string;
   findings : finding list;
+  conflicts : (string * string list) list;  (* field key -> conflict sites *)
+  n_conflict_pairs : int;
+  deadlocks : Lockorder.finding list;
   monitor_issues : Check.issue list;
   converged : bool;
   n_roots : int;
   summary_hash : string;
+  mhp_ms : float;  (* classification incl. MHP/alias pair tests *)
+  deadlock_ms : float;  (* lock-order graph + cycle search *)
 }
 
 (* --- summary hash: FNV-1a over the sorted classification lines --- *)
@@ -70,10 +83,9 @@ let build ?(name = "program") (p : Decl.program) : t =
   let cg = Callgraph.build prog in
   let res = Lockset.analyze_program cg in
   let escaping = Escape.solve res in
+  let mhp = Mhp.build cg in
   let roots = cg.Callgraph.roots in
   let n_roots = Array.length roots in
-  let mult r = if r >= 0 && r < n_roots then roots.(r).Callgraph.r_mult else Callgraph.Many in
-  let parent r = if r >= 0 && r < n_roots then roots.(r).Callgraph.r_parent else -2 in
   let root_label r =
     if r >= 0 && r < n_roots then roots.(r).Callgraph.r_label else "?"
   in
@@ -81,38 +93,11 @@ let build ?(name = "program") (p : Decl.program) : t =
     a.Lockset.acc_base <> []
     && List.for_all
          (function
-           | Lockset.NSite i -> not escaping.(i)
+           | Lockset.NSite (i, _) -> not escaping.(i)
            | _ -> false)
          a.Lockset.acc_base
   in
-  (* a's thread finishes its access before b's thread is even spawned? *)
-  let before_spawn_of (a : Lockset.access) (b : Lockset.access) =
-    mult a.Lockset.acc_root = Callgraph.Once
-    &&
-    (* walk b's ancestor chain looking for the hop out of a's root *)
-    let rec walk c guard =
-      if guard > n_roots then None
-      else
-        let pa = parent c in
-        if pa = a.Lockset.acc_root then Some c
-        else if pa < 0 then None
-        else walk pa (guard + 1)
-    in
-    match walk b.Lockset.acc_root 0 with
-    | Some hop -> not (List.mem hop a.Lockset.acc_spawned)
-    | None -> false
-  in
-  let joined_before (x : Lockset.access) (y : Lockset.access) =
-    (* x's whole thread terminated before y executes *)
-    List.mem x.Lockset.acc_root y.Lockset.acc_joined
-  in
-  let concurrent (a : Lockset.access) (b : Lockset.access) =
-    let same_root = a.Lockset.acc_root = b.Lockset.acc_root in
-    if same_root && mult a.Lockset.acc_root = Callgraph.Once then false
-    else if before_spawn_of a b || before_spawn_of b a then false
-    else if joined_before a b || joined_before b a then false
-    else true
-  in
+  let t_mhp = Sys.time () in
   (* group accesses by field key, preserving harvest order *)
   let by_field : (string, Lockset.access list) Hashtbl.t = Hashtbl.create 32 in
   let field_order = ref [] in
@@ -135,21 +120,50 @@ let build ?(name = "program") (p : Decl.program) : t =
     }
   in
   let inter l1 l2 = List.filter (fun x -> List.mem x l2) l1 in
+  let conflict_sites : (string, (string, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let n_conflict_pairs = ref 0 in
+  let add_conflict field (a : Lockset.access) (b : Lockset.access) =
+    incr n_conflict_pairs;
+    let tbl =
+      match Hashtbl.find_opt conflict_sites field with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.replace conflict_sites field t;
+        t
+    in
+    Hashtbl.replace tbl a.Lockset.acc_where ();
+    Hashtbl.replace tbl b.Lockset.acc_where ()
+  in
   let field_findings =
     List.map
       (fun key ->
         let accs = List.rev (Hashtbl.find by_field key) in
         let shared = List.filter (fun a -> not (confined a)) accs in
+        (* candidate pairs: both shared, at least one write *)
+        let alias_refuted = ref false in
         let rec pairs acc = function
           | [] -> acc
           | a :: rest ->
             pairs
               (List.fold_left
                  (fun acc b ->
-                   if
-                     (a.Lockset.acc_write || b.Lockset.acc_write)
-                     && concurrent a b
-                   then (a, b) :: acc
+                   if a.Lockset.acc_write || b.Lockset.acc_write then begin
+                     let overlap =
+                       Mhp.may_overlap mhp (Mhp.of_access a) (Mhp.of_access b)
+                     in
+                     let alias =
+                       Mhp.may_alias a.Lockset.acc_base b.Lockset.acc_base
+                     in
+                     if overlap && not alias then alias_refuted := true;
+                     if overlap && alias then begin
+                       add_conflict key a b;
+                       (a, b) :: acc
+                     end
+                     else acc
+                   end
                    else acc)
                  acc rest)
               rest
@@ -171,8 +185,11 @@ let build ?(name = "program") (p : Decl.program) : t =
             let why =
               if accs <> [] && List.for_all confined accs then
                 "all bases are thread-confined allocations"
-              else if not (List.exists (fun a -> a.Lockset.acc_write) accs) then
-                "never written"
+              else if not (List.exists (fun a -> a.Lockset.acc_write) accs)
+              then "never written"
+              else if !alias_refuted then
+                "accesses touch provably distinct objects (per-thread \
+                 allocation)"
               else "no concurrent conflicting accesses (spawn/join ordered)"
             in
             (Thread_local, why)
@@ -200,6 +217,17 @@ let build ?(name = "program") (p : Decl.program) : t =
         })
       field_order
   in
+  let conflicts =
+    List.filter_map
+      (fun key ->
+        match Hashtbl.find_opt conflict_sites key with
+        | None -> None
+        | Some tbl ->
+          let sites = Hashtbl.fold (fun s () acc -> s :: acc) tbl [] in
+          Some (key, List.sort compare sites))
+      field_order
+  in
+  let mhp_ms = (Sys.time () -. t_mhp) *. 1000. in
   (* allocation sites *)
   let racy_fields =
     List.filter_map
@@ -214,7 +242,11 @@ let build ?(name = "program") (p : Decl.program) : t =
              List.exists
                (fun (a : Lockset.access) ->
                  List.mem a.Lockset.acc_field racy_fields
-                 && List.mem (Lockset.NSite s.Lockset.site_id) a.Lockset.acc_base)
+                 && List.exists
+                      (function
+                        | Lockset.NSite (i, _) -> i = s.Lockset.site_id
+                        | _ -> false)
+                      a.Lockset.acc_base)
                res.Lockset.accesses
            in
            let status, why =
@@ -232,6 +264,9 @@ let build ?(name = "program") (p : Decl.program) : t =
              f_accesses = [];
            })
   in
+  let t_dl = Sys.time () in
+  let deadlocks = Lockorder.detect mhp res in
+  let deadlock_ms = (Sys.time () -. t_dl) *. 1000. in
   let monitor_issues = Check.check_monitors p in
   let findings = field_findings @ site_findings in
   let summary_hash =
@@ -241,6 +276,14 @@ let build ?(name = "program") (p : Decl.program) : t =
            (match f.f_kind with `Field -> "field " | `Site -> "site ")
            ^ f.f_key ^ " " ^ status_name f.f_status)
          findings
+      @ List.concat_map
+          (fun (field, sites) ->
+            List.map (fun s -> "conflict " ^ field ^ " @ " ^ s) sites)
+          conflicts
+      @ List.map
+          (fun (d : Lockorder.finding) ->
+            "deadlock " ^ String.concat " -> " d.Lockorder.dl_cycle)
+          deadlocks
       @ List.map (fun (i : Check.issue) -> "monitor " ^ i.Check.where ^ ": " ^ i.Check.what)
           monitor_issues
       @ [ (if res.Lockset.converged then "converged" else "diverged") ])
@@ -248,10 +291,15 @@ let build ?(name = "program") (p : Decl.program) : t =
   {
     name;
     findings;
+    conflicts;
+    n_conflict_pairs = !n_conflict_pairs;
+    deadlocks;
     monitor_issues;
     converged = res.Lockset.converged;
     n_roots;
     summary_hash;
+    mhp_ms;
+    deadlock_ms;
   }
 
 (* Just the audit fingerprint, for the trace header. *)
@@ -263,13 +311,34 @@ let racy_keys t =
     t.findings
 
 (* Field keys (including "[]" and "(static)" keys) the dynamic Observer may
-   skip bookkeeping for. *)
+   skip bookkeeping for. MHP/alias refinement only grows this set: a field
+   whose every access pair is spawn/join-ordered or provably disjoint is
+   Thread_local here even when its objects escape. *)
 let thread_local_fields t =
   List.filter_map
     (fun f ->
       if f.f_kind = `Field && f.f_status = Thread_local then Some f.f_key
       else None)
     t.findings
+
+(* Field keys with at least one conflicting access pair — the superset the
+   dynamic conflict tracker may report, and the DPOR pruning domain. *)
+let conflict_fields t = List.map fst t.conflicts
+
+(* (site, field) branch points for a systematic explorer. *)
+let branch_points t =
+  List.concat_map (fun (f, sites) -> List.map (fun s -> (s, f)) sites)
+    t.conflicts
+
+let deadlock_keys t =
+  List.map
+    (fun (d : Lockorder.finding) -> String.concat " -> " d.Lockorder.dl_cycle)
+    t.deadlocks
+
+let monitor_keys t =
+  List.map
+    (fun (i : Check.issue) -> i.Check.where ^ ": " ^ i.Check.what)
+    t.monitor_issues
 
 (* --- rendering --- *)
 
@@ -279,9 +348,12 @@ let pp ppf t =
   let count s =
     List.length (List.filter (fun f -> f.f_status = s) t.findings)
   in
-  Fmt.pf ppf "lint %s: %d findings (%d racy, %d lock-consistent, %d thread-local), %d roots, hash %s%s@."
+  Fmt.pf ppf
+    "lint %s: %d findings (%d racy, %d lock-consistent, %d thread-local), %d \
+     conflict pairs, %d deadlocks, %d roots, hash %s%s@."
     t.name (List.length t.findings) (count Racy) (count Lock_consistent)
-    (count Thread_local) t.n_roots t.summary_hash
+    (count Thread_local) t.n_conflict_pairs (List.length t.deadlocks)
+    t.n_roots t.summary_hash
     (if t.converged then "" else " [NOT CONVERGED]");
   List.iter
     (fun f ->
@@ -299,6 +371,22 @@ let pp ppf t =
         f.f_accesses;
       if n > 8 then Fmt.pf ppf "      … %d more accesses@." (n - 8))
     t.findings;
+  if t.conflicts <> [] then begin
+    Fmt.pf ppf "  conflict pairs (DPOR branch points):@.";
+    List.iter
+      (fun (field, sites) ->
+        Fmt.pf ppf "      %s: %s@." field (String.concat ", " sites))
+      t.conflicts
+  end;
+  if t.deadlocks <> [] then begin
+    Fmt.pf ppf "  deadlock cycles:@.";
+    List.iter
+      (fun (d : Lockorder.finding) ->
+        Fmt.pf ppf "      %s — %s@."
+          (String.concat " -> " d.Lockorder.dl_cycle)
+          d.Lockorder.dl_why)
+      t.deadlocks
+  end;
   if t.monitor_issues <> [] then begin
     Fmt.pf ppf "  monitor-depth issues:@.";
     List.iter
@@ -339,7 +427,32 @@ let to_json t : Json.t =
       ("summary_hash", Json.Str t.summary_hash);
       ("converged", Json.Bool t.converged);
       ("roots", Json.Int t.n_roots);
+      ("n_conflict_pairs", Json.Int t.n_conflict_pairs);
       ("findings", Json.List (List.map finding t.findings));
+      ( "conflicts",
+        Json.List
+          (List.map
+             (fun (field, sites) ->
+               Json.Obj
+                 [ ("field", Json.Str field); ("sites", Json.strings sites) ])
+             t.conflicts) );
+      ( "branch_points",
+        Json.List
+          (List.map
+             (fun (site, field) ->
+               Json.Obj [ ("site", Json.Str site); ("field", Json.Str field) ])
+             (branch_points t)) );
+      ( "deadlocks",
+        Json.List
+          (List.map
+             (fun (d : Lockorder.finding) ->
+               Json.Obj
+                 [
+                   ("cycle", Json.strings d.Lockorder.dl_cycle);
+                   ("sites", Json.strings d.Lockorder.dl_sites);
+                   ("why", Json.Str d.Lockorder.dl_why);
+                 ])
+             t.deadlocks) );
       ( "monitor_issues",
         Json.List
           (List.map

@@ -29,7 +29,12 @@ let report_for (p : Bytecode.Decl.program) : Analysis.Report.t =
 let hash_for p = (report_for p).Analysis.Report.summary_hash
 
 (* Skip predicate for the Observer's sharing tracker: true exactly for the
-   field keys the audit proved thread-local. *)
+   field keys the audit proved thread-local. MHP + allocation-root alias
+   refinement widen that set (spawn/join-ordered or provably disjoint
+   per-thread structures classify Thread_local even when they escape), so
+   the fast path extends to every MHP-refuted field with no change here —
+   those fields have no conflicting pair, hence nothing the dynamic
+   tracker could ever report. *)
 let skip_for p : string -> bool =
   let tbl = Hashtbl.create 16 in
   List.iter

@@ -46,9 +46,19 @@ let warmup_once () =
   let rt = Trace.of_bytes s in
   assert (rt.Trace.program_digest = "warmup")
 
-let warmup_memo = lazy (warmup_once ())
+(* Not a [Lazy.t]: shard domains attach sessions concurrently, and forcing
+   a shared suspension from two domains raises (RacyLazy/Undefined). A
+   mutex-guarded run-once flag gives the same memoization domain-safely. *)
+let warmup_done = ref false
 
-let warmup_io () = Lazy.force warmup_memo
+let warmup_mutex = Mutex.create ()
+
+let warmup_io () =
+  Mutex.protect warmup_mutex (fun () ->
+      if not !warmup_done then begin
+        warmup_once ();
+        warmup_done := true
+      end)
 
 (* Eager stack growth before instrumentation-driven work on the current
    thread (paper: "eagerly growing the runtime activation stack ... when

@@ -102,19 +102,38 @@ let pp_obs ppf (o : Rt.obs) =
    per-access fast path is two array loads. *)
 
 module Sharing = struct
-  type loc = {
-    l_key : string;
+  (* Per-word detector state under one happens-before family. *)
+  type hbloc = {
     mutable l_w_tid : int; (* last writer, -1 when never written *)
     mutable l_w_clk : int;
     mutable l_reads : (int * int) list; (* (tid, clk), newest per tid *)
   }
 
+  type loc = {
+    l_key : string;
+    l_full : hbloc; (* full HB: program order + lock + spawn/join edges *)
+    l_weak : hbloc; (* spawn/join-only HB: the conflict-pair order *)
+  }
+
+  (* One vector-clock family. The tracker runs two: the *full* family sees
+     every synchronization edge and detects races (FastTrack); the *weak*
+     family sees only spawn/join/interrupt edges — cross-thread same-word
+     pairs with a write left unordered by it are *conflicts*, the dynamic
+     analogue of the static MHP conflict-pair set (which likewise refuses
+     to let locks refute overlap). Static ordering facts are built from
+     spawn/join/once structure only, so every dynamic conflict's key must
+     sit in the static conflict set — the containment the tests pin. *)
+  type fam = { mutable f_vcs : int array array }
+  (* tid -> vector clock, [||] = unborn *)
+
   type t = {
     sh_vm : Rt.t;
-    mutable sh_vcs : int array array; (* tid -> vector clock, [||] = unborn *)
+    sh_full : fam;
+    sh_weak : fam;
     sh_locks : (int, int array) Hashtbl.t; (* monitor id -> release clock *)
     sh_locs : (int, loc) Hashtbl.t; (* heap word (or -1-gidx) -> state *)
     sh_racy : (string, string) Hashtbl.t; (* key -> witness description *)
+    sh_conflicts : (string, string) Hashtbl.t; (* key -> witness *)
     sh_touched : (string, int list) Hashtbl.t; (* key -> touching tids *)
     sh_static_keys : string array; (* globals index -> key *)
     sh_static_skip : bool array;
@@ -146,18 +165,20 @@ module Sharing = struct
       d
     end
 
-  let thread_vc t tid =
-    if tid >= Array.length t.sh_vcs then begin
-      let bigger = Array.make (max (tid + 1) (2 * Array.length t.sh_vcs)) [||] in
-      Array.blit t.sh_vcs 0 bigger 0 (Array.length t.sh_vcs);
-      t.sh_vcs <- bigger
+  let thread_vc fam tid =
+    if tid >= Array.length fam.f_vcs then begin
+      let bigger =
+        Array.make (max (tid + 1) (2 * Array.length fam.f_vcs)) [||]
+      in
+      Array.blit fam.f_vcs 0 bigger 0 (Array.length fam.f_vcs);
+      fam.f_vcs <- bigger
     end;
-    if t.sh_vcs.(tid) = [||] then begin
+    if fam.f_vcs.(tid) = [||] then begin
       let c = Array.make (tid + 1) 0 in
       c.(tid) <- 1;
-      t.sh_vcs.(tid) <- c
+      fam.f_vcs.(tid) <- c
     end;
-    t.sh_vcs.(tid)
+    fam.f_vcs.(tid)
 
   (* dst := dst ⊔ src, returning the (possibly regrown) dst *)
   let vc_join dst src =
@@ -165,24 +186,30 @@ module Sharing = struct
     Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src;
     dst
 
-  let tick t tid =
-    let c = thread_vc t tid in
+  let tick fam tid =
+    let c = thread_vc fam tid in
     c.(tid) <- c.(tid) + 1
 
+  (* lock edges feed the full family only *)
   let on_acquire t mid tid =
     match Hashtbl.find_opt t.sh_locks mid with
     | None -> ()
-    | Some l -> t.sh_vcs.(tid) <- vc_join (thread_vc t tid) l
+    | Some l -> t.sh_full.f_vcs.(tid) <- vc_join (thread_vc t.sh_full tid) l
 
   let on_release t mid tid =
-    Hashtbl.replace t.sh_locks mid (Array.copy (thread_vc t tid));
-    tick t tid
+    Hashtbl.replace t.sh_locks mid (Array.copy (thread_vc t.sh_full tid));
+    tick t.sh_full tid
 
+  let fam_hb fam from_tid to_tid =
+    let src = thread_vc fam from_tid in
+    fam.f_vcs.(to_tid) <- vc_join (thread_vc fam to_tid) src;
+    tick fam from_tid
+
+  (* spawn/join/interrupt edges feed both families *)
   let on_hb t from_tid to_tid =
     if from_tid <> to_tid then begin
-      let src = thread_vc t from_tid in
-      t.sh_vcs.(to_tid) <- vc_join (thread_vc t to_tid) src;
-      tick t from_tid
+      fam_hb t.sh_full from_tid to_tid;
+      fam_hb t.sh_weak from_tid to_tid
     end
 
   (* --- location keys, per-class caches ------------------------------ *)
@@ -236,6 +263,30 @@ module Sharing = struct
            (if writer_side then "write" else "read")
            other)
 
+  let conflict t key tid other =
+    if not (Hashtbl.mem t.sh_conflicts key) then
+      Hashtbl.replace t.sh_conflicts key
+        (Fmt.str "t%d and t%d unordered by spawn/join" tid other)
+
+  (* The FastTrack-lite step for one access under one family. *)
+  let hb_access fam (h : hbloc) write tid ~on_unordered =
+    let c = thread_vc fam tid in
+    (* write-before-me check applies to reads and writes alike *)
+    if h.l_w_tid >= 0 && h.l_w_tid <> tid && h.l_w_clk > vc_get c h.l_w_tid
+    then on_unordered h.l_w_tid;
+    if write then begin
+      List.iter
+        (fun (r_tid, r_clk) ->
+          if r_tid <> tid && r_clk > vc_get c r_tid then on_unordered r_tid)
+        h.l_reads;
+      h.l_w_tid <- tid;
+      h.l_w_clk <- vc_get c tid;
+      h.l_reads <- []
+    end
+    else
+      h.l_reads <-
+        (tid, vc_get c tid) :: List.filter (fun (r, _) -> r <> tid) h.l_reads
+
   let access t write addr slot =
     if t.sh_valid && t.sh_vm.Rt.stats.Rt.n_gc <> t.sh_gc0 then
       t.sh_valid <- false;
@@ -261,30 +312,16 @@ module Sharing = struct
           match Hashtbl.find_opt t.sh_locs word with
           | Some l -> l
           | None ->
-            let l = { l_key = key; l_w_tid = -1; l_w_clk = 0; l_reads = [] } in
+            let fresh () = { l_w_tid = -1; l_w_clk = 0; l_reads = [] } in
+            let l = { l_key = key; l_full = fresh (); l_weak = fresh () } in
             Hashtbl.replace t.sh_locs word l;
             l
         in
         note_touch t key tid;
-        let c = thread_vc t tid in
-        (* write-before-me check applies to reads and writes alike *)
-        if loc.l_w_tid >= 0 && loc.l_w_tid <> tid
-           && loc.l_w_clk > vc_get c loc.l_w_tid
-        then race t key ~writer_side:write tid loc.l_w_tid;
-        if write then begin
-          List.iter
-            (fun (r_tid, r_clk) ->
-              if r_tid <> tid && r_clk > vc_get c r_tid then
-                race t key ~writer_side:true tid r_tid)
-            loc.l_reads;
-          loc.l_w_tid <- tid;
-          loc.l_w_clk <- vc_get c tid;
-          loc.l_reads <- []
-        end
-        else
-          loc.l_reads <-
-            (tid, vc_get c tid)
-            :: List.filter (fun (r, _) -> r <> tid) loc.l_reads
+        hb_access t.sh_full loc.l_full write tid ~on_unordered:(fun other ->
+            race t loc.l_key ~writer_side:write tid other);
+        hb_access t.sh_weak loc.l_weak write tid ~on_unordered:(fun other ->
+            conflict t loc.l_key tid other)
       end
     end
 
@@ -304,10 +341,12 @@ module Sharing = struct
     let t =
       {
         sh_vm = vm;
-        sh_vcs = Array.make 8 [||];
+        sh_full = { f_vcs = Array.make 8 [||] };
+        sh_weak = { f_vcs = Array.make 8 [||] };
         sh_locks = Hashtbl.create 16;
         sh_locs = Hashtbl.create 4096;
         sh_racy = Hashtbl.create 8;
+        sh_conflicts = Hashtbl.create 8;
         sh_touched = Hashtbl.create 64;
         sh_static_keys = static_keys;
         sh_static_skip = Array.map skip static_keys;
@@ -375,6 +414,14 @@ module Sharing = struct
     List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.sh_racy [])
 
   let racy_witness t key = Hashtbl.find_opt t.sh_racy key
+
+  (* keys with a cross-thread write-involving pair left unordered by
+     spawn/join alone — always a superset of [racy_keys] *)
+  let conflict_keys t =
+    List.sort compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) t.sh_conflicts [])
+
+  let conflict_witness t key = Hashtbl.find_opt t.sh_conflicts key
 
   (* keys dynamically touched by >= 2 distinct threads *)
   let shared_keys t =

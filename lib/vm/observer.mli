@@ -65,6 +65,15 @@ module Sharing : sig
 
   val racy_witness : t -> string -> string option
 
+  (** Field keys with a cross-thread, write-involving access pair left
+      unordered by spawn/join/interrupt edges alone (locks deliberately
+      not consulted) — the dynamic analogue of the static conflict-pair
+      set, and always a superset of [racy_keys]. The property tests pin
+      these keys ⊆ [Analysis.Report.conflict_fields]. *)
+  val conflict_keys : t -> string list
+
+  val conflict_witness : t -> string -> string option
+
   (** Field keys touched by two or more distinct threads, sorted. *)
   val shared_keys : t -> string list
 end

@@ -1,0 +1,60 @@
+(* Seeded lock-order inversion: two threads take the same two static locks
+   in opposite orders (A then B vs B then A) with a busy spin between the
+   acquisitions. The static lock-order pass must flag the A->B->A cycle;
+   at runtime the scheduler may or may not actually trip the deadlock, and
+   either outcome records and replays deterministically (the registry
+   already tolerates Deadlocked runs — see philosophers-deadlock). *)
+
+open Util
+
+let program ?(work = 2000) () : D.program =
+  let c = "Cycle" in
+  let locked_bump first second =
+    [ i (I.Getstatic (c, first)); i I.Monitorenter ]
+    @ spin c work
+    @ [
+        i (I.Getstatic (c, second));
+        i I.Monitorenter;
+        i (I.Getstatic (c, "count"));
+        i (I.Const 1);
+        i I.Add;
+        i (I.Putstatic (c, "count"));
+        i (I.Getstatic (c, second));
+        i I.Monitorexit;
+        i (I.Getstatic (c, first));
+        i I.Monitorexit;
+        i I.Ret;
+      ]
+  in
+  let ab = A.method_ ~nlocals:0 "ab" (locked_bump "lockA" "lockB") in
+  let ba = A.method_ ~nlocals:0 "ba" (locked_bump "lockB" "lockA") in
+  let main =
+    A.method_ ~nlocals:2 "main"
+      ([
+         i (I.New "Object");
+         i (I.Putstatic (c, "lockA"));
+         i (I.New "Object");
+         i (I.Putstatic (c, "lockB"));
+         i (I.Spawn (c, "ab"));
+         i (I.Store 0);
+         i (I.Spawn (c, "ba"));
+         i (I.Store 1);
+         i (I.Load 0);
+         i I.Join;
+         i (I.Load 1);
+         i I.Join;
+       ]
+      @ print_str "count="
+      @ [ i (I.Getstatic (c, "count")); i I.Print; i I.Ret ])
+  in
+  D.program ~main_class:c
+    [
+      D.cdecl c
+        ~statics:
+          [
+            D.field "count";
+            D.field ~ty:(I.Tobj "Object") "lockA";
+            D.field ~ty:(I.Tobj "Object") "lockB";
+          ]
+        [ spin_method; ab; ba; main ];
+    ]

@@ -62,6 +62,9 @@ let all : entry list Lazy.t =
         entry "webserver"
           "acceptor + worker pool + keyed store: the paper's server shape"
           (Webserver.program ());
+        entry "lock-cycle"
+          "two threads taking two locks in opposite orders (can deadlock)"
+          (Lock_cycle.program ());
       ])
 
 let find name = List.find_opt (fun e -> e.name = name) (Lazy.force all)

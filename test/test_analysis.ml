@@ -448,6 +448,287 @@ let test_replay_rejects_other_audit () =
   Alcotest.(check bool) "names the audit" true
     (List.exists (fun m -> contains m "different race audit") leftovers)
 
+(* --- sorted-set primitives ---------------------------------------------- *)
+
+let test_sorted_set_semantics () =
+  let module L = Analysis.Lockset in
+  Alcotest.(check (list int)) "norm sorts and dedups" [ 1; 2; 3 ]
+    (L.norm_sorted [ 3; 1; 2; 1; 3 ]);
+  Alcotest.(check (list int)) "inter empty left" [] (L.inter_sorted [] [ 1 ]);
+  Alcotest.(check (list int)) "inter disjoint" []
+    (L.inter_sorted [ 1; 3 ] [ 2; 4 ]);
+  Alcotest.(check (list int)) "inter overlap" [ 2; 4 ]
+    (L.inter_sorted [ 1; 2; 4 ] [ 2; 3; 4 ]);
+  Alcotest.(check (list int)) "union empty" [ 1 ] (L.union_sorted [ 1 ] []);
+  Alcotest.(check (list int)) "union interleaved" [ 1; 2; 3; 4 ]
+    (L.union_sorted [ 1; 3 ] [ 2; 3; 4 ])
+
+let prop_sorted_sets =
+  QCheck.Test.make ~count:300 ~name:"inter/union_sorted are set operations"
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (xs, ys) ->
+      let module L = Analysis.Lockset in
+      let a = L.norm_sorted xs and b = L.norm_sorted ys in
+      L.inter_sorted a b = List.filter (fun x -> List.mem x b) a
+      && L.union_sorted a b = List.sort_uniq compare (xs @ ys))
+
+(* --- MHP refinement + conflict pairs + deadlock cycles ------------------- *)
+
+let registry_program name =
+  match Workloads.Registry.find name with
+  | Some e -> e.Workloads.Registry.program
+  | None -> Alcotest.failf "no registry workload %S" name
+
+let test_gc_churn_refined () =
+  (* per-root allocation tags prove each worker's nodes disjoint: the PR-3
+     imprecision entries (escape coarsening via Churn.survivor) retire *)
+  let r = Dejavu.Audit.report_for (registry_program "gc-churn") in
+  check_status r "Node.value" Report.Thread_local;
+  check_status r "Node.next" Report.Thread_local;
+  (match find_key r "Node.value" with
+  | Some f ->
+    Alcotest.(check bool) "why names disjointness" true
+      (contains f.Report.f_why "distinct objects")
+  | None -> Alcotest.fail "no Node.value finding");
+  (* the intentional race and the guarded counter are untouched *)
+  check_status r "Churn.survivor (static)" Report.Racy;
+  check_status r "Churn.total (static)" Report.Lock_consistent;
+  (* the Node allocation site no longer backs a racy field *)
+  match
+    List.find_opt
+      (fun (f : Report.finding) ->
+        f.Report.f_kind = `Site && contains f.Report.f_key "new Node")
+      r.Report.findings
+  with
+  | Some f ->
+    Alcotest.(check bool) "Node site not racy" true
+      (f.Report.f_status <> Report.Racy)
+  | None -> Alcotest.fail "no Node site finding"
+
+let test_lock_cycle_flagged () =
+  let r = Dejavu.Audit.report_for (registry_program "lock-cycle") in
+  Alcotest.(check (list string))
+    "cycle key"
+    [ "static Cycle.lockA -> static Cycle.lockB" ]
+    (Report.deadlock_keys r);
+  (match r.Report.deadlocks with
+  | [ d ] ->
+    Alcotest.(check bool) "ab acquisition site" true
+      (List.exists
+         (fun s -> contains s "Cycle.ab:")
+         d.Analysis.Lockorder.dl_sites);
+    Alcotest.(check bool) "ba acquisition site" true
+      (List.exists
+         (fun s -> contains s "Cycle.ba:")
+         d.Analysis.Lockorder.dl_sites)
+  | ds -> Alcotest.failf "expected exactly one deadlock, got %d" (List.length ds));
+  (* lock-protocol-ordered accesses remain DPOR branch points, the lock
+     words themselves do not *)
+  let cf = Report.conflict_fields r in
+  Alcotest.(check bool) "count is a branch point" true
+    (List.mem "Cycle.count (static)" cf);
+  Alcotest.(check bool) "lockA is not" false
+    (List.mem "Cycle.lockA (static)" cf)
+
+let test_registry_no_false_deadlocks () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let r = Dejavu.Audit.report_for e.Workloads.Registry.program in
+      let expected =
+        if e.Workloads.Registry.name = "lock-cycle" then 1 else 0
+      in
+      Alcotest.(check int)
+        (e.Workloads.Registry.name ^ " deadlocks")
+        expected
+        (List.length r.Report.deadlocks))
+    (Lazy.force Workloads.Registry.all)
+
+(* helper: a method taking [first] then [second], releasing in LIFO order *)
+let lock_pair_method c name first second =
+  A.method_ ~nlocals:0 name
+    [
+      i (I.Getstatic (c, first));
+      i I.Monitorenter;
+      i (I.Getstatic (c, second));
+      i I.Monitorenter;
+      i (I.Getstatic (c, second));
+      i I.Monitorexit;
+      i (I.Getstatic (c, first));
+      i I.Monitorexit;
+      i I.Ret;
+    ]
+
+let lock_statics =
+  [ D.field ~ty:(I.Tobj "Object") "a"; D.field ~ty:(I.Tobj "Object") "b" ]
+
+(* One thread takes a->b then b->a sequentially: a graph cycle with no
+   MHP-overlapping selection, so no deadlock finding. *)
+let test_sequential_inversion_not_flagged () =
+  let c = "Seq" in
+  let body first second =
+    [
+      i (I.Getstatic (c, first));
+      i I.Monitorenter;
+      i (I.Getstatic (c, second));
+      i I.Monitorenter;
+      i (I.Getstatic (c, second));
+      i I.Monitorexit;
+      i (I.Getstatic (c, first));
+      i I.Monitorexit;
+    ]
+  in
+  let main =
+    A.method_ ~nlocals:0 "main"
+      ([
+         i (I.New "Object");
+         i (I.Putstatic (c, "a"));
+         i (I.New "Object");
+         i (I.Putstatic (c, "b"));
+       ]
+      @ body "a" "b" @ body "b" "a" @ [ i I.Ret ])
+  in
+  let p = D.program ~main_class:c [ D.cdecl c ~statics:lock_statics [ main ] ] in
+  let r = Analysis.run p in
+  Alcotest.(check int) "no deadlocks" 0 (List.length r.Report.deadlocks)
+
+(* The inverted takers never overlap: the second is spawned only after the
+   first is joined, so the cycle has no MHP-consistent selection either. *)
+let test_joined_inversion_not_flagged () =
+  let c = "J" in
+  let main =
+    A.method_ ~nlocals:1 "main"
+      [
+        i (I.New "Object");
+        i (I.Putstatic (c, "a"));
+        i (I.New "Object");
+        i (I.Putstatic (c, "b"));
+        i (I.Spawn (c, "ab"));
+        i (I.Store 0);
+        i (I.Load 0);
+        i I.Join;
+        i (I.Spawn (c, "ba"));
+        i (I.Store 0);
+        i (I.Load 0);
+        i I.Join;
+        i I.Ret;
+      ]
+  in
+  let p =
+    D.program ~main_class:c
+      [
+        D.cdecl c ~statics:lock_statics
+          [
+            lock_pair_method c "ab" "a" "b";
+            lock_pair_method c "ba" "b" "a";
+            main;
+          ];
+      ]
+  in
+  let r = Analysis.run p in
+  Alcotest.(check int) "no deadlocks" 0 (List.length r.Report.deadlocks);
+  (* and the overlapping variant of the same shape IS flagged: drop the
+     first join so both takers run concurrently *)
+  let main2 =
+    A.method_ ~nlocals:2 "main"
+      [
+        i (I.New "Object");
+        i (I.Putstatic (c, "a"));
+        i (I.New "Object");
+        i (I.Putstatic (c, "b"));
+        i (I.Spawn (c, "ab"));
+        i (I.Store 0);
+        i (I.Spawn (c, "ba"));
+        i (I.Store 1);
+        i (I.Load 0);
+        i I.Join;
+        i (I.Load 1);
+        i I.Join;
+        i I.Ret;
+      ]
+  in
+  let p2 =
+    D.program ~main_class:c
+      [
+        D.cdecl c ~statics:lock_statics
+          [
+            lock_pair_method c "ab" "a" "b";
+            lock_pair_method c "ba" "b" "a";
+            main2;
+          ];
+      ]
+  in
+  let r2 = Analysis.run p2 in
+  Alcotest.(check int) "overlapping variant flagged" 1
+    (List.length r2.Report.deadlocks)
+
+(* MHP join monotonicity: merging control-flow information can only grow
+   may_overlap, never refute it. *)
+let prop_mhp_join_monotone =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 5 >>= fun n ->
+      let subset = list_size (int_range 0 n) (int_range 0 (n - 1)) in
+      list_repeat n bool >>= fun once ->
+      (if n = 1 then return [ -1 ]
+       else
+         list_repeat (n - 1) (int_range (-2) (n - 2)) >>= fun ps ->
+         (* parent of root i must precede i (spawn order); clamp *)
+         return (-1 :: List.mapi (fun i p -> if p > i then i else p) ps))
+      >>= fun parents ->
+      int_range 0 (n - 1) >>= fun ra ->
+      int_range 0 (n - 1) >>= fun rc ->
+      subset >>= fun sa ->
+      subset >>= fun ja ->
+      subset >>= fun sb ->
+      subset >>= fun jb ->
+      subset >>= fun sc ->
+      subset >>= fun jc ->
+      return (once, parents, ra, rc, (sa, ja, sb, jb, sc, jc)))
+  in
+  QCheck.Test.make ~count:1000 ~name:"MHP join is monotone"
+    (QCheck.make gen)
+    (fun (once, parents, ra, rc, (sa, ja, sb, jb, sc, jc)) ->
+      let module M = Analysis.Mhp in
+      let t =
+        M.make ~once:(Array.of_list once) ~parent:(Array.of_list parents)
+      in
+      let a = M.point ~root:ra ~spawned:sa ~joined:ja in
+      let b = M.point ~root:ra ~spawned:sb ~joined:jb in
+      let c = M.point ~root:rc ~spawned:sc ~joined:jc in
+      let j = M.join a b in
+      (not (M.may_overlap t a c)) || M.may_overlap t j c)
+
+(* --- dynamic conflicts ⊆ static conflict-pair set ------------------------ *)
+
+let test_registry_conflict_containment () =
+  (* the weak (spawn/join-only) dynamic HB family mirrors exactly the
+     ordering facts the static MHP pass is allowed to use, so every
+     dynamically observed conflict key must sit in the static conflict set;
+     no skip predicate attached — the tracker sees everything *)
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let sh, _ = run_tracked ~natives:e.natives e.Workloads.Registry.program in
+      if Sharing.valid sh then begin
+        let static =
+          Report.conflict_fields
+            (Dejavu.Audit.report_for e.Workloads.Registry.program)
+        in
+        List.iter
+          (fun k ->
+            if not (List.mem k static) then
+              Alcotest.failf "%s: dynamic conflict on %S not in static set"
+                e.Workloads.Registry.name k)
+          (Sharing.conflict_keys sh);
+        (* conflicts are a superset of full-HB races by construction *)
+        List.iter
+          (fun k ->
+            if not (List.mem k (Sharing.conflict_keys sh)) then
+              Alcotest.failf "%s: race on %S missing from conflicts"
+                e.Workloads.Registry.name k)
+          (Sharing.racy_keys sh)
+      end)
+    (Lazy.force Workloads.Registry.all)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -478,5 +759,24 @@ let () =
           quick "fast path preserves trace" test_fast_path_preserves_trace;
           quick "trace carries audit hash" test_trace_carries_audit_hash;
           quick "replay rejects other audit" test_replay_rejects_other_audit;
+        ] );
+      ( "sets",
+        [
+          quick "sorted-set semantics" test_sorted_set_semantics;
+          QCheck_alcotest.to_alcotest prop_sorted_sets;
+        ] );
+      ( "mhp",
+        [
+          quick "gc-churn imprecision retired" test_gc_churn_refined;
+          quick "lock-cycle deadlock flagged" test_lock_cycle_flagged;
+          quick "registry: no false deadlocks" test_registry_no_false_deadlocks;
+          quick "sequential inversion clean" test_sequential_inversion_not_flagged;
+          quick "join-ordered inversion clean" test_joined_inversion_not_flagged;
+          QCheck_alcotest.to_alcotest prop_mhp_join_monotone;
+        ] );
+      ( "conflicts",
+        [
+          quick "registry: dynamic conflicts ⊆ static"
+            test_registry_conflict_containment;
         ] );
     ]
