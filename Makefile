@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune.
 
-.PHONY: all build test smoke batch-smoke bench-farm regir-smoke bench lint clean
+.PHONY: all build test smoke batch-smoke bench-farm regir-smoke explore-smoke bench lint clean
 
 all: build
 
@@ -33,6 +33,14 @@ bench-farm:
 # perf optimisation and must be invisible to replay.
 regir-smoke:
 	dune exec bench/main.exe -- regir-smoke
+
+# Exploration gate: the bounded DPOR search must find the seeded
+# atomicity bug, and every emitted failure trace must replay through the
+# stock replayer to the identical status/output/state digest (exit 1
+# otherwise — --expect-failure inverts the usual success criterion).
+explore-smoke:
+	rm -rf _explore && dune exec bin/dvrun.exe -- explore atomicity \
+	  --out _explore --expect-failure
 
 bench:
 	dune exec bench/main.exe

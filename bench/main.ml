@@ -683,6 +683,55 @@ let regir_smoke () =
     (if !failures = 0 then "regir-smoke PASS" else "regir-smoke FAIL");
   if !failures > 0 then exit 1
 
+(* ------------------------------------------------------------------ E14 *)
+
+(* Systematic schedule exploration (lib/explore): DFS throughput, the
+   DPOR pruning ratio against the unpruned bounded search, and time to
+   the first fault. Wall-clock, not CPU time — a search is a sequence of
+   whole-VM runs and the headline number a user waits on. *)
+let wall_time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let explore_measure (e : Workloads.Registry.entry) =
+  (* the oracle is memoized per workload; build it outside the timers *)
+  ignore (Explore.Oracle.for_entry e);
+  let on, t_on =
+    wall_time (fun () -> Explore.Driver.run ~pb:2 ~db:1 ~dpor:true e)
+  in
+  let off, t_off =
+    wall_time (fun () -> Explore.Driver.run ~pb:2 ~db:1 ~dpor:false e)
+  in
+  let _, t_first =
+    wall_time (fun () ->
+        Explore.Driver.run ~pb:2 ~db:1 ~dpor:true ~stop_on_failure:true e)
+  in
+  (on, t_on, off, t_off, t_first)
+
+let cut_ratio (on : Explore.Driver.report) (off : Explore.Driver.report) =
+  1.
+  -. float_of_int on.Explore.Driver.rp_explored
+     /. float_of_int (max 1 off.Explore.Driver.rp_explored)
+
+let e14 () =
+  section "E14" "Systematic schedule exploration: DPOR vs unpruned DFS";
+  List.iter
+    (fun name ->
+      let on, t_on, off, t_off, t_first = explore_measure (entry name) in
+      Fmt.pr
+        "%-12s dpor %4d schedules (%5d pruned) %.2fs | unpruned %4d %.2fs \
+         (%.0f%% cut) | first fault #%s in %.0f ms, outcomes %d vs %d@."
+        name on.Explore.Driver.rp_explored on.Explore.Driver.rp_pruned t_on
+        off.Explore.Driver.rp_explored t_off
+        (100. *. cut_ratio on off)
+        (match on.Explore.Driver.rp_first_failure_at with
+        | Some k -> string_of_int k
+        | None -> "-")
+        (t_first *. 1e3) on.Explore.Driver.rp_digests
+        off.Explore.Driver.rp_digests)
+    [ "atomicity"; "lock-cycle" ]
+
 (* ---------------------------------------------------------------- json *)
 
 (* Machine-readable perf trajectory: per-workload instrs/sec for live,
@@ -949,6 +998,41 @@ let json () =
        "    \"geomean_speedup\": %.3f,\n    \"geomean_coverage\": %.3f\n  },\n"
        (geo (fun (_, on, off, _) -> if off > 0. then on /. off else 1.))
        (geo (fun (_, _, _, frac) -> Float.max frac 1e-9)));
+  (* schedule-exploration trajectory: throughput and DPOR efficiency of
+     the bounded DFS on the seeded atomicity bug (pb 2, db 1) *)
+  let ex_on, ex_t_on, ex_off, _, ex_t_first =
+    explore_measure (entry "atomicity")
+  in
+  Fmt.pr
+    "explore atomicity: %d schedules (%d pruned, %.0f%% cut), first fault in \
+     %.0f ms@."
+    ex_on.Explore.Driver.rp_explored ex_on.Explore.Driver.rp_pruned
+    (100. *. cut_ratio ex_on ex_off)
+    (ex_t_first *. 1e3);
+  Buffer.add_string buf
+    (Fmt.str
+       "  \"explore\": {\n\
+       \    \"workload\": \"atomicity\",\n\
+       \    \"pb\": 2,\n\
+       \    \"db\": 1,\n\
+       \    \"schedules\": %d,\n\
+       \    \"schedules_nodpor\": %d,\n\
+       \    \"pruned\": %d,\n\
+       \    \"schedules_per_s\": %.1f,\n\
+       \    \"pruned_ratio\": %.3f,\n\
+       \    \"first_failure_at\": %d,\n\
+       \    \"time_to_first_failure_ms\": %.2f\n\
+       \  },\n"
+       ex_on.Explore.Driver.rp_explored ex_off.Explore.Driver.rp_explored
+       ex_on.Explore.Driver.rp_pruned
+       (if ex_t_on > 0. then
+          float_of_int ex_on.Explore.Driver.rp_explored /. ex_t_on
+        else 0.)
+       (cut_ratio ex_on ex_off)
+       (match ex_on.Explore.Driver.rp_first_failure_at with
+       | Some k -> k
+       | None -> -1)
+       (ex_t_first *. 1e3));
   Buffer.add_string buf
     (Fmt.str
        "  \"serve_load\": {\n\
@@ -990,6 +1074,7 @@ let all : (string * string * (unit -> unit)) list =
     ("E11", "symmetry ablation", e11);
     ("E12", "replay farm batch throughput, cold vs warm", e12);
     ("E13", "sustained-load serving (open-loop clients)", e13);
+    ("E14", "systematic schedule exploration (DPOR vs unpruned)", e14);
     ("micro", "bechamel microbenches", micro);
     ("farm-smoke", "CI: sharded+warm aggregate digest equality", farm_smoke);
     ("regir-smoke", "CI: register vs stack tier trace/digest identity", regir_smoke);

@@ -452,6 +452,97 @@ let lint_cmd =
       const lint $ name_opt_arg $ all_arg $ json_arg $ allow_arg
       $ allow_monitor_arg $ allow_deadlock_arg $ baseline_arg)
 
+(* --- explore: systematic schedule exploration --- *)
+
+let explore name seed pb db no_dpor max_schedules max_artifacts out shards
+    expect_failure no_regir =
+  let e = find_workload name in
+  let config = config_of_flags no_regir in
+  let out = if out = "" then None else Some out in
+  let dpor = not no_dpor in
+  let rep =
+    if shards <= 1 then
+      Explore.Driver.run ~config ~seed ~pb ~db ~dpor ~max_schedules
+        ~max_artifacts ?out e
+    else
+      Server.Explore_farm.run ~shards ~config ~seed ~pb ~db ~dpor
+        ~max_schedules ~max_artifacts ?out e
+  in
+  Fmt.pr "%a" Explore.Driver.pp_report rep;
+  if expect_failure then begin
+    let reproduced =
+      List.exists
+        (fun (f : Explore.Driver.failure) ->
+          f.fl_kind = Explore.Driver.Fault && f.fl_replay_ok = Some true)
+        rep.Explore.Driver.rp_failures
+    in
+    if not reproduced then begin
+      Fmt.epr
+        "explore: expected a fault with a replay-verified trace; found none \
+         (give --out DIR so traces are emitted)@.";
+      Stdlib.exit 1
+    end
+  end
+
+let explore_cmd =
+  let doc =
+    "systematically explore thread schedules (DPOR-pruned, bounded search)"
+  in
+  let pb_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "pb" ] ~docv:"N" ~doc:"preemption bound per schedule")
+  in
+  let db_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "db" ] ~docv:"N" ~doc:"delay bound (non-FIFO dispatch picks)")
+  in
+  let no_dpor_arg =
+    Arg.(
+      value & flag
+      & info [ "no-dpor" ]
+          ~doc:
+            "disable conflict-based pruning (exhaustive bounded search; \
+             same outcomes, many more schedules)")
+  in
+  let max_schedules_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-schedules" ] ~docv:"N" ~doc:"schedule budget")
+  in
+  let max_artifacts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-artifacts" ] ~docv:"N"
+          ~doc:"trace/witness pairs to emit at most")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"emit failing schedules as replayable traces + witnesses here")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"fan the frontier out across N farm shards (1 = sequential)")
+  in
+  let expect_failure_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-failure" ]
+          ~doc:
+            "exit 1 unless a fault was found AND its emitted trace replayed \
+             to the identical failure (CI smoke mode)")
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const explore $ name_arg $ seed_arg $ pb_arg $ db_arg $ no_dpor_arg
+      $ max_schedules_arg $ max_artifacts_arg $ out_arg $ shards_arg
+      $ expect_failure_arg $ no_regir_arg)
+
 (* --- the replay farm: batch / serve / submit --- *)
 
 let shards_arg =
@@ -539,12 +630,14 @@ let submit_cmd =
       [ ("record", Server.Protocol.Op_record);
         ("replay", Server.Protocol.Op_replay);
         ("roundtrip", Server.Protocol.Op_roundtrip);
-        ("lint", Server.Protocol.Op_lint) ]
+        ("lint", Server.Protocol.Op_lint);
+        ("explore", Server.Protocol.Op_explore) ]
     in
     Arg.(
       required
       & pos 0 (some (enum ops)) None
-      & info [] ~docv:"OP" ~doc:"record | replay | roundtrip | lint")
+      & info [] ~docv:"OP"
+          ~doc:"record | replay | roundtrip | lint | explore")
   in
   let workloads_arg =
     Arg.(
@@ -616,8 +709,8 @@ let main_cmd =
   Cmd.group (Cmd.info "dvrun" ~doc)
     [
       list_cmd; run_cmd; disasm_cmd; emit_cmd; compare_cmd; record_cmd;
-      replay_cmd; verify_cmd; dump_cmd; lint_cmd; batch_cmd; serve_cmd;
-      submit_cmd;
+      replay_cmd; verify_cmd; dump_cmd; lint_cmd; explore_cmd; batch_cmd;
+      serve_cmd; submit_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

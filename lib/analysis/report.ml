@@ -218,6 +218,10 @@ let build ?(name = "program") (p : Decl.program) : t =
       field_order
   in
   let conflicts =
+    (* canonical order: sorted by field key, sites sorted within each field —
+       stable across runs and independent of both hashtable iteration and
+       the source harvest order, so json output and the explorer's pruning
+       set are reproducible byte-for-byte *)
     List.filter_map
       (fun key ->
         match Hashtbl.find_opt conflict_sites key with
@@ -226,6 +230,7 @@ let build ?(name = "program") (p : Decl.program) : t =
           let sites = Hashtbl.fold (fun s () acc -> s :: acc) tbl [] in
           Some (key, List.sort compare sites))
       field_order
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   let mhp_ms = (Sys.time () -. t_mhp) *. 1000. in
   (* allocation sites *)
@@ -325,10 +330,12 @@ let thread_local_fields t =
    dynamic conflict tracker may report, and the DPOR pruning domain. *)
 let conflict_fields t = List.map fst t.conflicts
 
-(* (site, field) branch points for a systematic explorer. *)
+(* (site, field) branch points for a systematic explorer, sorted by
+   (site, field) so the pruning set enumerates identically everywhere. *)
 let branch_points t =
   List.concat_map (fun (f, sites) -> List.map (fun s -> (s, f)) sites)
     t.conflicts
+  |> List.sort compare
 
 let deadlock_keys t =
   List.map

@@ -81,9 +81,13 @@ let replay ?(config = Vm.Rt.default_config) ?(natives = []) ?(seed = 424242)
     let observer =
       if observe then Some (Vm.Observer.attach_digest vm) else None
     in
-    (try ignore (Vm.run ?limit vm)
-     with Session.Divergence msg ->
-       vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));
+    (try ignore (Vm.run ?limit vm) with
+    | Session.Divergence msg ->
+      vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg)
+    | Vm.Sched.Sched_error msg ->
+      (* a picks-bearing trace steered dispatch to a thread that is not
+         ready here — the schedule does not fit this program/state *)
+      vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));
     let run = finish_run vm session observer in
     (run, Replayer.check_complete session)
 
@@ -142,9 +146,11 @@ let replay_from ?(config = Vm.Rt.default_config) ?(natives = [])
         let observer =
           if observe then Some (Vm.Observer.attach_digest vm) else None
         in
-        (try ignore (Vm.run ?limit vm)
-         with Session.Divergence msg ->
-           vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));
+        (try ignore (Vm.run ?limit vm) with
+        | Session.Divergence msg ->
+          vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg)
+        | Vm.Sched.Sched_error msg ->
+          vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));
         let run = finish_run vm session observer in
         (run, Replayer.check_complete session))
 

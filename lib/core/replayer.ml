@@ -72,10 +72,31 @@ let check_digest (vm : Vm.Rt.t) (trace : Trace.t) =
   check_header vm ~program_digest:trace.program_digest
     ~analysis_hash:trace.analysis_hash
 
+(* Re-drive recorded dispatch overrides. A trace with a picks section was
+   recorded under a controlled scheduler whose [h_pick] steered dispatch
+   away from FIFO order; replay must install the same overrides or the
+   thread package — ordinary replayed state everywhere else — would pick
+   different threads and diverge immediately. The consultation points align
+   because dispatch consults [h_pick] at deterministic places and the
+   recorder pushed one value per consultation. Traces without picks leave
+   the hook uninstalled, preserving the record/replay hook symmetry of
+   ordinary recordings. *)
+let attach_picks (vm : Vm.Rt.t) (s : Session.t) =
+  if Trace.Tape.remaining s.picks > 0 then
+    vm.hooks.h_pick <-
+      Some
+        (fun vm _fifo ->
+          match Trace.Tape.read_opt s.picks with
+          | Some want -> want
+          | None ->
+            Session.divergence_at vm
+              "dispatch override beyond the recorded schedule")
+
 let attach (vm : Vm.Rt.t) (trace : Trace.t) : Session.t =
   check_digest vm trace;
   let s = Session.for_replay vm trace in
   attach_io vm s;
+  attach_picks vm s;
   vm.hooks.h_yieldpoint <- Figure2.replay s;
   s
 
@@ -88,6 +109,7 @@ let attach_stream (vm : Vm.Rt.t) (r : Trace.Reader.t) : Session.t =
     ~analysis_hash:(Trace.Reader.analysis_hash r);
   let s = Session.for_replay_stream vm r in
   attach_io vm s;
+  attach_picks vm s;
   vm.hooks.h_yieldpoint <- Figure2.replay s;
   s
 

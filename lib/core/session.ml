@@ -36,6 +36,8 @@ type t = {
   clocks : Trace.Tape.t;
   inputs : Trace.Tape.t;
   natives : Trace.Tape.t;
+  picks : Trace.Tape.t; (* dispatch overrides; empty unless a controlled
+                           scheduler drove the recording *)
   mutable nyp : int; (* yield points since the last thread switch *)
   mutable liveclock : bool;
   mutable switch_bit : bool; (* the software thread-switch bit *)
@@ -43,7 +45,7 @@ type t = {
   mutable switches_done : int;
 }
 
-let create vm mode ~switches ~clocks ~inputs ~natives =
+let create vm mode ~switches ~clocks ~inputs ~natives ~picks =
   (* symmetric initialization: same allocation, same warm-up, both modes *)
   Symmetry.warmup_io ();
   let ring = Ring.create vm () in
@@ -55,6 +57,7 @@ let create vm mode ~switches ~clocks ~inputs ~natives =
     clocks;
     inputs;
     natives;
+    picks;
     nyp = 0;
     liveclock = true;
     switch_bit = false;
@@ -67,6 +70,7 @@ let for_record vm =
     ~clocks:(Trace.Tape.create "clocks")
     ~inputs:(Trace.Tape.create "inputs")
     ~natives:(Trace.Tape.create "natives")
+    ~picks:(Trace.Tape.create "picks")
 
 let for_replay vm (trace : Trace.t) =
   let s =
@@ -75,6 +79,7 @@ let for_replay vm (trace : Trace.t) =
       ~clocks:(Trace.Tape.of_array "clocks" trace.clocks)
       ~inputs:(Trace.Tape.of_array "inputs" trace.inputs)
       ~natives:(Trace.Tape.of_array "natives" trace.natives)
+      ~picks:(Trace.Tape.of_array "picks" trace.picks)
   in
   (* nyp counts down to the first recorded switch *)
   s.nyp <-
@@ -90,11 +95,13 @@ let for_replay vm (trace : Trace.t) =
 let for_record_stream vm (w : Trace.Writer.t) =
   let t = Trace.Writer.tapes w in
   create vm Record ~switches:t.(0) ~clocks:t.(1) ~inputs:t.(2) ~natives:t.(3)
+    ~picks:t.(4)
 
 let for_replay_stream vm (r : Trace.Reader.t) =
   let t = Trace.Reader.tapes r in
   let s =
     create vm Replay ~switches:t.(0) ~clocks:t.(1) ~inputs:t.(2) ~natives:t.(3)
+      ~picks:t.(4)
   in
   s.nyp <-
     (match Trace.Tape.read_opt s.switches with
@@ -104,7 +111,7 @@ let for_replay_stream vm (r : Trace.Reader.t) =
 
 let streaming (s : t) =
   Array.exists Trace.Tape.is_streaming
-    [| s.switches; s.clocks; s.inputs; s.natives |]
+    [| s.switches; s.clocks; s.inputs; s.natives; s.picks |]
 
 let to_trace ?(analysis_hash = "") (s : t) program_digest : Trace.t =
   {
@@ -114,6 +121,7 @@ let to_trace ?(analysis_hash = "") (s : t) program_digest : Trace.t =
     clocks = Trace.Tape.to_array s.clocks;
     inputs = Trace.Tape.to_array s.inputs;
     natives = Trace.Tape.to_array s.natives;
+    picks = Trace.Tape.to_array s.picks;
   }
 
 (* --- session checkpoints (for checkpoint-accelerated time travel) ------ *)
@@ -133,7 +141,7 @@ type snap = {
   sn_switches_done : int;
 }
 
-let tapes s = [| s.switches; s.clocks; s.inputs; s.natives |]
+let tapes s = [| s.switches; s.clocks; s.inputs; s.natives; s.picks |]
 
 (* Checkpoints cut tape cursors/lengths backwards, which a flushed sink or a
    consumed refill chunk cannot honour — the time-travel debugger keeps to
@@ -179,4 +187,4 @@ let leftovers (s : t) : string list =
       let r = Trace.Tape.remaining tape in
       if r > 0 then Some (Fmt.str "%d unconsumed %s words" r tape.Trace.Tape.name)
       else None)
-    [ s.switches; s.clocks; s.inputs; s.natives ]
+    [ s.switches; s.clocks; s.inputs; s.natives; s.picks ]

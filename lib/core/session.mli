@@ -24,6 +24,9 @@ type t = {
   clocks : Trace.Tape.t;
   inputs : Trace.Tape.t;
   natives : Trace.Tape.t;
+  picks : Trace.Tape.t;
+      (** dispatch overrides; empty unless a controlled scheduler drove the
+          recording *)
   mutable nyp : int;  (** yield points since the last thread switch *)
   mutable liveclock : bool;
   mutable switch_bit : bool;  (** the software thread-switch bit *)

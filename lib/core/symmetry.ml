@@ -32,6 +32,7 @@ let warmup_once () =
         clocks = [| 0; 42 |];
         inputs = [| 7 |];
         natives = [||];
+        picks = [||];
       }
   in
   let path = Filename.temp_file "dejavu" ".warmup" in

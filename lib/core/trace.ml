@@ -7,6 +7,11 @@
      - clocks:   (reason, value) pairs for every wall-clock read
      - inputs:   external input values
      - natives:  native-call outcomes: result and callback parameters
+     - picks:    dispatch-override decisions (one tid per h_pick
+                 consultation), recorded only by controlled schedulers; the
+                 section is optional on disk — absent when empty, so traces
+                 from ordinary recordings are byte-identical to DJVU2 files
+                 written before the section existed
 
    Tapes are flat integer sequences; the file format is a zigzag-varint
    stream with a header carrying a structural digest of the program so a
@@ -141,6 +146,7 @@ type t = {
   clocks : int array; (* flattened (reason, value) pairs *)
   inputs : int array;
   natives : int array; (* flattened native records *)
+  picks : int array; (* dispatch overrides; [||] for ordinary recordings *)
 }
 
 (* Clock-read reason tags. *)
@@ -196,6 +202,7 @@ type sizes = {
   n_clock_reads : int;
   n_inputs : int;
   n_native_words : int;
+  n_picks : int;
   total_words : int;
   total_bytes : int; (* size of the serialized form *)
 }
@@ -278,6 +285,9 @@ let to_bytes (t : t) : string =
   put_section buf t.clocks;
   put_section buf t.inputs;
   put_section buf t.natives;
+  (* the picks section is written only when present, so every trace without
+     dispatch overrides keeps the original 4-section layout bit-for-bit *)
+  if Array.length t.picks > 0 then put_section buf t.picks;
   Buffer.contents buf
 
 let of_bytes (s : string) : t =
@@ -298,8 +308,11 @@ let of_bytes (s : string) : t =
   let clocks, pos = get_section s pos in
   let inputs, pos = get_section s pos in
   let natives, pos = get_section s pos in
+  let picks, pos =
+    if pos = String.length s then ([||], pos) else get_section s pos
+  in
   if pos <> String.length s then raise (Format_error "trailing bytes");
-  { program_digest; analysis_hash; switches; clocks; inputs; natives }
+  { program_digest; analysis_hash; switches; clocks; inputs; natives; picks }
 
 (* Byte size of the serialized form, computed arithmetically — no buffer is
    materialized, so statistics on a large trace cost no allocation spike. *)
@@ -317,6 +330,7 @@ let encoded_size (t : t) : int =
   + String.length t.analysis_hash
   + section t.switches + section t.clocks + section t.inputs
   + section t.natives
+  + (if Array.length t.picks > 0 then section t.picks else 0)
 
 (* Write via a temp file and atomic rename: a crash (or cancellation)
    mid-write never leaves a truncated trace under the final name. *)
@@ -342,13 +356,14 @@ let load path =
 let sizes (t : t) : sizes =
   let total_words =
     Array.length t.switches + Array.length t.clocks + Array.length t.inputs
-    + Array.length t.natives
+    + Array.length t.natives + Array.length t.picks
   in
   {
     n_switches = Array.length t.switches;
     n_clock_reads = Array.length t.clocks / 2;
     n_inputs = Array.length t.inputs;
     n_native_words = Array.length t.natives;
+    n_picks = Array.length t.picks;
     total_words;
     total_bytes = encoded_size t;
   }
@@ -357,7 +372,8 @@ let pp_sizes ppf s =
   Fmt.pf ppf
     "switches=%d clock-reads=%d inputs=%d native-words=%d words=%d bytes=%d"
     s.n_switches s.n_clock_reads s.n_inputs s.n_native_words s.total_words
-    s.total_bytes
+    s.total_bytes;
+  if s.n_picks > 0 then Fmt.pf ppf " picks=%d" s.n_picks
 
 (* --- streaming writer -------------------------------------------------- *)
 
@@ -368,7 +384,11 @@ let pp_sizes ppf s =
    the final file (temp file + atomic rename). The result is byte-identical
    to [to_bytes] of the materialized trace. *)
 module Writer = struct
-  let stream_names = [| "switches"; "clocks"; "inputs"; "natives" |]
+  (* The first four sections are mandatory in the file; the trailing picks
+     section is stitched in only when non-empty (mirroring [to_bytes]). *)
+  let stream_names = [| "switches"; "clocks"; "inputs"; "natives"; "picks" |]
+
+  let mandatory_streams = 4
 
   type stream = {
     w_spill : string;
@@ -525,15 +545,17 @@ module Writer = struct
            Buffer.add_string hdr analysis_hash;
            Buffer.output_buffer oc hdr;
            Buffer.clear hdr;
-           Array.iter
-             (fun s ->
-               let cnt = Buffer.create 10 in
-               put_varint cnt s.w_count;
-               Buffer.output_buffer oc cnt;
-               let ic = open_in_bin s.w_spill in
-               Fun.protect
-                 ~finally:(fun () -> close_in_noerr ic)
-                 (fun () -> copy_file ic oc))
+           Array.iteri
+             (fun i s ->
+               if i < mandatory_streams || s.w_count > 0 then begin
+                 let cnt = Buffer.create 10 in
+                 put_varint cnt s.w_count;
+                 Buffer.output_buffer oc cnt;
+                 let ic = open_in_bin s.w_spill in
+                 Fun.protect
+                   ~finally:(fun () -> close_in_noerr ic)
+                   (fun () -> copy_file ic oc)
+               end)
              w.streams);
        Sys.rename tmp w.path
      with e ->
@@ -547,9 +569,16 @@ module Writer = struct
       + String.length program_digest
       + varint_size (String.length analysis_hash)
       + String.length analysis_hash
-      + Array.fold_left
-          (fun acc s -> acc + varint_size s.w_count + s.w_bytes)
-          0 w.streams
+      + snd
+          (Array.fold_left
+             (fun (i, acc) s ->
+               let acc =
+                 if i < mandatory_streams || s.w_count > 0 then
+                   acc + varint_size s.w_count + s.w_bytes
+                 else acc
+               in
+               (i + 1, acc))
+             (0, 0) w.streams)
     in
     let sizes =
       {
@@ -557,6 +586,7 @@ module Writer = struct
         n_clock_reads = counts.(1) / 2;
         n_inputs = counts.(2);
         n_native_words = counts.(3);
+        n_picks = counts.(4);
         total_words;
         total_bytes;
       }
@@ -642,16 +672,22 @@ module Reader = struct
       in
       let r_digest = str_field "digest" in
       let r_hash = str_field "analysis-hash" in
+      let read_cursor () =
+        let count = input_varint ic in
+        if count < 0 then raise (Format_error "negative section length");
+        let start = pos_in ic in
+        skip_varints ic count;
+        (count, { offset = start; left = count })
+      in
       let cursors =
-        Array.map
-          (fun _name ->
-            let count = input_varint ic in
-            if count < 0 then
-              raise (Format_error "negative section length");
-            let start = pos_in ic in
-            skip_varints ic count;
-            (count, { offset = start; left = count }))
-          Writer.stream_names
+        Array.init (Array.length Writer.stream_names) (fun i ->
+            if i < Writer.mandatory_streams then read_cursor ()
+            else if
+              (* the trailing picks section is optional: absent entirely in
+                 traces from ordinary recordings *)
+              pos_in ic < file_len
+            then read_cursor ()
+            else (0, { offset = pos_in ic; left = 0 }))
       in
       if pos_in ic <> file_len then raise (Format_error "trailing bytes");
       let r_counts = Array.map fst cursors in

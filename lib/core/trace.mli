@@ -86,6 +86,11 @@ type t = {
   clocks : int array;  (** flattened (reason, value) pairs *)
   inputs : int array;
   natives : int array;  (** flattened native outcome records *)
+  picks : int array;
+      (** dispatch-override decisions — one tid per [h_pick] consultation —
+          recorded only under a controlled scheduler. The on-disk section
+          is optional: absent when empty, so ordinary recordings keep the
+          original 4-section DJVU2 layout byte-for-byte. *)
 }
 
 (** Encode a clock-read reason (0 app, 1 scheduler, 2 idle advance). *)
@@ -104,6 +109,7 @@ type sizes = {
   n_clock_reads : int;
   n_inputs : int;
   n_native_words : int;
+  n_picks : int;
   total_words : int;
   total_bytes : int;  (** size of the serialized form *)
 }
@@ -151,8 +157,9 @@ module Writer : sig
       atomic). *)
   val create : ?buf_words:int -> string -> t
 
-  (** The four sink-wired tapes, in section order:
-      switches, clocks, inputs, natives. *)
+  (** The five sink-wired tapes, in section order: switches, clocks,
+      inputs, natives, picks. The picks section is stitched into the file
+      only when non-empty, mirroring {!to_bytes}. *)
   val tapes : t -> Tape.t array
 
   (** High-water mark of words buffered in memory across all tapes. *)
@@ -187,8 +194,9 @@ module Reader : sig
 
   val analysis_hash : t -> string
 
-  (** The four refill-wired tapes, in section order:
-      switches, clocks, inputs, natives. *)
+  (** The five refill-wired tapes, in section order: switches, clocks,
+      inputs, natives, picks (served empty when the file predates the
+      optional picks section). *)
   val tapes : t -> Tape.t array
 
   (** Per-section element counts from the header scan. *)

@@ -22,24 +22,43 @@ type spec =
   | Replay of { workload : string; trace : string }
   | Roundtrip of { workload : string; seed : int }
   | Lint of { workload : string }
+  | Explore of {
+      workload : string;
+      seed : int;
+      prefix : int array; (* forced decision vector; [||] = root schedule *)
+      pb : int; (* preemption bound *)
+      db : int; (* delay (non-FIFO pick) bound *)
+      dpor : bool;
+    }
 
 type output = {
   o_status : string; (* final VM status ("ok" for lint) *)
   o_digest : string; (* hex: trace file / VM state / analysis summary *)
   o_words : int; (* trace words written / leftovers / racy findings *)
+  o_children : int array list;
+      (* explore only: fresh alternative prefixes this schedule exposed —
+         the first job kind that GENERATES jobs (the frontier fan-out) *)
+  o_pruned : int; (* explore only: branches DPOR suppressed *)
+  o_flags : int; (* explore only: bit 0 fault, bit 1 aborted *)
 }
+
+let explore_fault_bit = 1
+let explore_aborted_bit = 2
 
 let describe = function
   | Record { workload; _ } -> "record:" ^ workload
   | Replay { workload; _ } -> "replay:" ^ workload
   | Roundtrip { workload; _ } -> "roundtrip:" ^ workload
   | Lint { workload } -> "lint:" ^ workload
+  | Explore { workload; prefix; _ } ->
+    Fmt.str "explore:%s/%d" workload (Array.length prefix)
 
 let workload_of = function
   | Record { workload; _ }
   | Replay { workload; _ }
   | Roundtrip { workload; _ }
-  | Lint { workload } ->
+  | Lint { workload }
+  | Explore { workload; _ } ->
     workload
 
 (* Force every lazily-built structure a job touches BEFORE spawning shard
@@ -96,6 +115,17 @@ let note_size ?est (e : Workloads.Registry.entry) (vm : Vm.t) =
 
 let state_digest_hex vm = Fmt.str "%016x" (Vm.digest vm land max_int)
 
+(* Non-explore jobs never fan out. *)
+let simple ~status ~digest ~words =
+  {
+    o_status = status;
+    o_digest = digest;
+    o_words = words;
+    o_children = [];
+    o_pruned = 0;
+    o_flags = 0;
+  }
+
 (* Streamed record; returns the finished VM too so roundtrip can compare
    states without recording twice. *)
 let record_impl ~slice ~config ?pool ?est ctx (e : Workloads.Registry.entry)
@@ -110,11 +140,9 @@ let record_impl ~slice ~config ?pool ?est ctx (e : Workloads.Registry.entry)
   with
   | status, sizes ->
     note_size ?est e vm;
-    ( {
-        o_status = status;
-        o_digest = Digest.to_hex (Digest.file out);
-        o_words = sizes.Trace.total_words;
-      },
+    ( simple ~status
+        ~digest:(Digest.to_hex (Digest.file out))
+        ~words:sizes.Trace.total_words,
       vm )
   | exception exn ->
     Trace.Writer.abort writer;
@@ -132,20 +160,21 @@ let run_replay ~slice ~config ?pool ?est ctx (e : Workloads.Registry.entry)
     (fun () ->
       match Replayer.attach_stream vm reader with
       | exception Session.Divergence msg ->
-        { o_status = "fatal: replay divergence: " ^ msg;
-          o_digest = "";
-          o_words = 0 }
+        simple
+          ~status:("fatal: replay divergence: " ^ msg)
+          ~digest:"" ~words:0
       | session ->
-        (try drive ~slice ctx vm
-         with Session.Divergence msg ->
-           vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));
+        (try drive ~slice ctx vm with
+        | Session.Divergence msg ->
+          vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg)
+        | Vm.Sched.Sched_error msg ->
+          vm.Vm.Rt.status <- Vm.Rt.Fatal ("replay divergence: " ^ msg));
         let leftovers = Replayer.check_complete session in
         note_size ?est e vm;
-        {
-          o_status = Vm.string_of_status (Vm.status vm);
-          o_digest = state_digest_hex vm;
-          o_words = List.length leftovers;
-        })
+        simple
+          ~status:(Vm.string_of_status (Vm.status vm))
+          ~digest:(state_digest_hex vm)
+          ~words:(List.length leftovers))
 
 (* Record to a shard-private temp file, replay it back, compare states.
    The temp file never outlives the job. The recorded VM's digest is taken
@@ -168,18 +197,49 @@ let run_roundtrip ~slice ~config ?pool ?est ctx (e : Workloads.Registry.entry)
         && not (String.length replayed.o_status >= 5
                 && String.sub replayed.o_status 0 5 = "fatal")
       in
-      {
-        o_status = (if ok then "ok" else "mismatch");
-        o_digest = recorded.o_digest;
-        o_words = recorded.o_words;
-      })
+      simple
+        ~status:(if ok then "ok" else "mismatch")
+        ~digest:recorded.o_digest ~words:recorded.o_words)
 
 let run_lint (e : Workloads.Registry.entry) =
   let r = Analysis.run ~name:e.name e.program in
+  simple ~status:"ok" ~digest:r.Analysis.Report.summary_hash
+    ~words:(List.length (Analysis.Report.racy_keys r))
+
+(* One schedule of a systematic exploration: run the workload under the
+   controlled scheduler with the job's forced decision prefix, and return
+   the FRESH alternative prefixes it exposed as [o_children] — the farm
+   driver feeds them back as new Explore jobs (frontier fan-out). Runs on
+   the warm pool like any record job; the oracle is memoized per workload
+   across shards. *)
+let run_explore ~slice ~config ?pool ?est ctx (e : Workloads.Registry.entry)
+    ~seed ~prefix ~pb ~db ~dpor =
+  let oracle = Explore.Oracle.for_entry e in
+  let vm = boot_vm ?pool ~config e ~seed in
+  let oc =
+    Explore.Control.run ~vm
+      ~driver:(fun vm -> drive ~slice ctx vm)
+      ~pb ~db ~dpor ~oracle ~prefix e
+  in
+  note_size ?est e vm;
+  let children, pruned =
+    if oc.Explore.Control.oc_aborted then ([], 0)
+    else Explore.Driver.expand ~fresh_from:(Array.length prefix) oc
+  in
+  let fault =
+    (not oc.Explore.Control.oc_aborted)
+    && Explore.Driver.is_fault oc.Explore.Control.oc_status
+         oc.Explore.Control.oc_output
+  in
   {
-    o_status = "ok";
-    o_digest = r.Analysis.Report.summary_hash;
-    o_words = List.length (Analysis.Report.racy_keys r);
+    o_status = Vm.string_of_status oc.Explore.Control.oc_status;
+    o_digest = Fmt.str "%016x" (oc.Explore.Control.oc_digest land max_int);
+    o_words = Array.length oc.Explore.Control.oc_log;
+    o_children = children;
+    o_pruned = pruned;
+    o_flags =
+      (if fault then explore_fault_bit else 0)
+      lor if oc.Explore.Control.oc_aborted then explore_aborted_bit else 0;
   }
 
 let dispatch ~slice ~config ?pool ?est (ctx : Dispatcher.ctx) (spec : spec) :
@@ -192,6 +252,9 @@ let dispatch ~slice ~config ?pool ?est (ctx : Dispatcher.ctx) (spec : spec) :
   | Roundtrip { workload; seed } ->
     run_roundtrip ~slice ~config ?pool ?est ctx (find workload) ~seed
   | Lint { workload } -> run_lint (find workload)
+  | Explore { workload; seed; prefix; pb; db; dpor } ->
+    run_explore ~slice ~config ?pool ?est ctx (find workload) ~seed ~prefix
+      ~pb ~db ~dpor
 
 (* Cold entry point: one fresh VM per job. Still the reference semantics —
    the warm runner below must be indistinguishable from it. *)
@@ -228,6 +291,11 @@ let place_policy ~estimates ~shards ~xl_cutoff (spec : spec) :
     Dispatcher.place =
   match spec with
   | Lint _ -> Dispatcher.Shared
+  (* exploration frontiers are bursty — hundreds of small same-workload
+     jobs at once; pinning them to one affinity shard would serialize the
+     whole search, so they go shared and any idle shard's warm pool still
+     serves them *)
+  | Explore _ -> Dispatcher.Shared
   | Record _ | Replay _ | Roundtrip _ -> (
     let name = workload_of spec in
     let xl_by_name () =

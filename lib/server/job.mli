@@ -13,12 +13,30 @@ type spec =
   | Replay of { workload : string; trace : string }
   | Roundtrip of { workload : string; seed : int }
   | Lint of { workload : string }
+  | Explore of {
+      workload : string;
+      seed : int;
+      prefix : int array;
+          (** forced decision vector; [[||]] is the root schedule *)
+      pb : int;  (** preemption bound *)
+      db : int;  (** delay (non-FIFO pick) bound *)
+      dpor : bool;
+    }
 
 type output = {
   o_status : string;  (** final VM status ("ok" for lint) *)
   o_digest : string;  (** hex: trace file / VM state / analysis summary *)
   o_words : int;  (** trace words written / leftovers / racy findings *)
+  o_children : int array list;
+      (** explore only: fresh alternative schedule prefixes — the first
+          job kind that generates further jobs (the frontier fan-out) *)
+  o_pruned : int;  (** explore only: branches DPOR suppressed *)
+  o_flags : int;  (** explore only: {!explore_fault_bit} / aborted bit *)
 }
+
+val explore_fault_bit : int
+
+val explore_aborted_bit : int
 
 (** "record:NAME" etc., for labels and wire replies. *)
 val describe : spec -> string

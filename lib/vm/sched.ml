@@ -10,6 +10,12 @@
    are (a) the preemption bit sampled at yield points and (b) the wall-clock
    values read here — both captured by DejaVu as non-deterministic events. *)
 
+(* A scheduling-layer contract violation — today only: an [h_pick] hook chose
+   a thread that is not in the ready queue. Raised *before* any scheduler
+   mutation, so a caller (the schedule explorer) can treat it as a pruned
+   branch and keep the VM. *)
+exception Sched_error of string
+
 let illegal_monitor () = raise (Rt.Vm_exception "IllegalMonitorStateException")
 
 (* Instrumentation: monitor ownership edges and cross-thread happens-before
@@ -133,6 +139,23 @@ let rec dispatch (vm : Rt.t) =
       | Some pick ->
         let want = pick vm tid in
         if want = tid then tid
+        else if
+          not
+            (want >= 0
+            && want < Array.length vm.threads
+            && vm.threads.(want).t_state = Rt.Ready
+            && Queue.fold (fun acc t -> acc || t = want) false vm.readyq)
+        then begin
+          (* invalid choice: restore the FIFO head to the front of the queue
+             so the scheduler is exactly as it was when dispatch began, then
+             surface a typed error the caller can treat as a pruned branch *)
+          let rest = Queue.create () in
+          Queue.transfer vm.readyq rest;
+          Queue.add tid vm.readyq;
+          Queue.transfer rest vm.readyq;
+          raise
+            (Sched_error (Fmt.str "h_pick chose tid %d which is not ready" want))
+        end
         else begin
           (* steer: pull [want] out of the ready queue, put the FIFO choice
              back at the front — the linear cost external replay schemes pay
@@ -144,9 +167,6 @@ let rec dispatch (vm : Rt.t) =
           Queue.iter
             (fun t -> if t = want && not !found then found := true else Queue.add t vm.readyq)
             rest;
-          if not !found then
-            invalid_arg
-              (Fmt.str "h_pick chose tid %d which is not ready" want);
           want
         end
     in

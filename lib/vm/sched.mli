@@ -10,6 +10,13 @@
     preemption bit sampled at yield points and the wall-clock values read
     here — both captured as non-deterministic events. *)
 
+(** A scheduling-layer contract violation: an [h_pick] hook chose a tid that
+    is not in the ready queue. Raised before any scheduler mutation — the
+    ready queue and thread states are exactly as they were when [dispatch]
+    began — so a controlled scheduler can treat it as a pruned branch
+    instead of a crash. *)
+exception Sched_error of string
+
 (** Assign (lazily, in execution order — hence replayably) or fetch the
     monitor of an object. *)
 val monitor_of_object : Rt.t -> int -> Rt.monitor

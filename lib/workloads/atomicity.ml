@@ -1,0 +1,61 @@
+(* Check-then-act atomicity bug: two withdrawer threads each check a shared
+   balance and, if sufficient, withdraw — but the check and the act are
+   separated by a spin call whose yield points open a preemption window.
+   Under FIFO scheduling each withdrawal is effectively atomic and the
+   assertion holds; only a schedule that preempts a withdrawer between its
+   check and its act lets both threads pass the check against the same
+   balance and drive it negative, at which point main throws an uncaught
+   OverdraftError. The seeded target for the schedule explorer: one
+   preemption inside the window suffices. *)
+
+open Util
+
+let program ?(balance = 10) ?(price = 10) ?(threads = 2) ?(work = 6) () :
+    D.program =
+  let c = "Atomicity" in
+  let exc = "OverdraftError" in
+  let withdraw =
+    (* if balance >= price then { spin(work); balance = balance - price } *)
+    A.method_ ~nlocals:1 "withdraw"
+      ([
+         i (I.Getstatic (c, "balance"));
+         i (I.Const price);
+         i (I.If (I.Lt, "skip"));
+       ]
+      @ spin c work
+      @ [
+          i (I.Getstatic (c, "balance"));
+          i (I.Const price);
+          i I.Sub;
+          i (I.Putstatic (c, "balance"));
+          l "skip";
+          i I.Ret;
+        ])
+  in
+  let main =
+    A.method_ ~nlocals:threads "main"
+      ([ i (I.Const balance); i (I.Putstatic (c, "balance")) ]
+      @ List.concat_map
+          (fun k -> [ i (I.Spawn (c, "withdraw")); i (I.Store k) ])
+          (List.init threads (fun k -> k))
+      @ List.concat_map
+          (fun k -> [ i (I.Load k); i I.Join ])
+          (List.init threads (fun k -> k))
+      @ [ i (I.Getstatic (c, "balance")); i (I.Ifz (I.Ge, "ok")) ]
+      @ print_str "OVERDRAWN\n"
+      @ [
+          i (I.New exc);
+          i I.Throw;
+          l "ok";
+          i (I.Getstatic (c, "balance"));
+          i I.Print;
+          i I.Ret;
+        ])
+  in
+  D.program ~main_class:c
+    [
+      D.cdecl exc ~super:"Throwable" [];
+      D.cdecl c
+        ~statics:[ D.field "balance" ]
+        [ Util.spin_method; withdraw; main ];
+    ]

@@ -65,6 +65,10 @@ let all : entry list Lazy.t =
         entry "lock-cycle"
           "two threads taking two locks in opposite orders (can deadlock)"
           (Lock_cycle.program ());
+        entry "atomicity"
+          "check-then-act overdraft: fails only when preempted between \
+           check and act"
+          (Atomicity.program ());
       ])
 
 let find name = List.find_opt (fun e -> e.name = name) (Lazy.force all)

@@ -99,6 +99,7 @@ let prop_trace_roundtrip =
           clocks = b;
           inputs = c;
           natives = d;
+          picks = [||];
         }
       in
       let t' = Dejavu.Trace.of_bytes (Dejavu.Trace.to_bytes t) in

@@ -5,8 +5,16 @@ open Tutil
 module T = Dejavu.Trace
 
 let mk ?(digest = "d") ?(analysis_hash = "") ?(switches = [||])
-    ?(clocks = [||]) ?(inputs = [||]) ?(natives = [||]) () =
-  { T.program_digest = digest; analysis_hash; switches; clocks; inputs; natives }
+    ?(clocks = [||]) ?(inputs = [||]) ?(natives = [||]) ?(picks = [||]) () =
+  {
+    T.program_digest = digest;
+    analysis_hash;
+    switches;
+    clocks;
+    inputs;
+    natives;
+    picks;
+  }
 
 let trace_eq a b =
   a.T.program_digest = b.T.program_digest
@@ -15,6 +23,7 @@ let trace_eq a b =
   && a.T.clocks = b.T.clocks
   && a.T.inputs = b.T.inputs
   && a.T.natives = b.T.natives
+  && a.T.picks = b.T.picks
 
 (* --- Tape --------------------------------------------------------------- *)
 
@@ -86,6 +95,25 @@ let test_roundtrip_full () =
       ()
   in
   Alcotest.(check bool) "rt" true (trace_eq t (T.of_bytes (T.to_bytes t)))
+
+(* The picks stream (explorer-steered dispatch) is an OPTIONAL trailing
+   section: a picks-free trace encodes exactly as before this stream
+   existed (four sections — byte-compatibility with old trace files), and
+   a picks-bearing trace roundtrips through both codecs. *)
+let test_picks_optional_section () =
+  let plain = mk ~switches:[| 1; 2 |] () in
+  let with_picks = mk ~switches:[| 1; 2 |] ~picks:[| 1; 2; 1 |] () in
+  Alcotest.(check bool)
+    "picks add bytes" true
+    (String.length (T.to_bytes with_picks) > String.length (T.to_bytes plain));
+  (* a 4-section encoding parses with empty picks *)
+  let reparsed = T.of_bytes (T.to_bytes plain) in
+  Alcotest.(check bool) "legacy parse" true (reparsed.T.picks = [||]);
+  Alcotest.(check bool)
+    "picks roundtrip" true
+    (trace_eq with_picks (T.of_bytes (T.to_bytes with_picks)));
+  Alcotest.(check int)
+    "sizes counts picks" 3 (T.sizes with_picks).T.n_picks
 
 let test_bad_magic () =
   match T.of_bytes "NOPE\nxxxxx" with
@@ -326,6 +354,7 @@ let () =
         [
           quick "roundtrip empty" test_roundtrip_empty;
           quick "roundtrip full" test_roundtrip_full;
+          quick "picks optional section" test_picks_optional_section;
           quick "bad magic" test_bad_magic;
           quick "trailing bytes" test_trailing_bytes;
           quick "truncation" test_truncation;
