@@ -156,7 +156,14 @@ let overhead_workloads =
    artifact (a per-instruction hash fold) rather than part of the replay
    instrumentation, so including it would overstate the overhead the paper
    talks about. [reps] runs are taken and the fastest kept. *)
-let measure_modes ?(reps = 5) ~natives ~program () =
+let measure_modes ?(reps = 9) ~natives ~program () =
+  (* one untimed run first: a program's first execution in this process
+     pays page faults, allocator growth, and cold branch history — up to
+     2x on sub-millisecond workloads, a trend best-of alone can't dodge.
+     Best-of-9 after that: on this 1-CPU box single runs of the same
+     build swing several percent, and 5 samples were not enough for the
+     best-of to converge *)
+  ignore (Vm.execute ~natives ~seed:1 program);
   let best f =
     let r = ref infinity in
     let instrs = ref 0 in
@@ -650,9 +657,14 @@ let farm_smoke () =
 
 (* CI gate: the register tier must be invisible — byte-identical traces,
    identical state digests, and identical event sequences vs the stack
-   tier, across the whole registry. *)
+   tier, across the whole registry — and it must pay for itself: any
+   workload long enough to time reliably (>= 200k instructions) must run
+   at >= 0.95x of the stack tier's live throughput. The monitor-heavy
+   workloads additionally cross-replay: a trace recorded under one tier
+   must replay to the same digests under the other. *)
 let regir_smoke () =
-  section "regir-smoke" "register vs stack tier: trace/digest identity";
+  section "regir-smoke"
+    "register vs stack tier: trace/digest identity + speedup floor";
   let noregir = { Vm.Rt.default_config with Vm.Rt.regir = false } in
   let failures = ref 0 in
   List.iter
@@ -670,15 +682,70 @@ let regir_smoke () =
         && r_on.Dejavu.obs_digest = r_off.Dejavu.obs_digest
         && r_on.Dejavu.obs_count = r_off.Dejavu.obs_count
       in
-      if not ok then incr failures;
-      Fmt.pr "%-24s %s@." e.name
+      (* live on/off speedup, best of 3 interleaved reps so slow phases
+         of the bench process hit both tiers alike *)
+      let one ?config () =
+        time (fun () ->
+            let vm, _ =
+              Vm.execute ?config ~natives:e.natives ~seed:1 e.program
+            in
+            (Vm.stats vm).n_instr)
+      in
+      let best_on = ref infinity and best_off = ref infinity and n = ref 0 in
+      for _ = 1 to 3 do
+        let (i : int), on_t = one () in
+        let _, off_t = one ~config:noregir () in
+        n := i;
+        if on_t < !best_on then best_on := on_t;
+        if off_t < !best_off then best_off := off_t
+      done;
+      let speedup = if !best_on > 0. then !best_off /. !best_on else 1. in
+      let timed = !n >= 200_000 in
+      let slow = timed && speedup < 0.95 in
+      if not ok || slow then incr failures;
+      Fmt.pr "%-24s %s  %s@." e.name
         (if ok then "identical"
          else
            Fmt.str "DIFFER (trace %b, state %b, events %b, %d vs %d)" traces_eq
              (r_on.Dejavu.state_digest = r_off.Dejavu.state_digest)
              (r_on.Dejavu.obs_digest = r_off.Dejavu.obs_digest)
-             r_on.Dejavu.obs_count r_off.Dejavu.obs_count))
+             r_on.Dejavu.obs_count r_off.Dejavu.obs_count)
+        (if not timed then Fmt.str "%.2fx (untimed, %d instrs)" speedup !n
+         else if slow then Fmt.str "%.2fx SLOW (< 0.95x floor)" speedup
+         else Fmt.str "%.2fx" speedup))
     (Lazy.force Workloads.Registry.all);
+  (* cross-tier replay on the monitor-heavy workloads: monitor-spanning
+     regions must not leak into the trace in either direction *)
+  List.iter
+    (fun name ->
+      match Workloads.Registry.find name with
+      | None -> ()
+      | Some e ->
+        let check ~rec_cfg ~rep_cfg label =
+          let r, trace =
+            Dejavu.record ~config:rec_cfg ~natives:e.natives ~seed:1 e.program
+          in
+          let rp, leftovers =
+            Dejavu.replay ~config:rep_cfg ~natives:e.natives e.program trace
+          in
+          let ok =
+            leftovers = []
+            && r.Dejavu.state_digest = rp.Dejavu.state_digest
+            && r.Dejavu.obs_digest = rp.Dejavu.obs_digest
+            && r.Dejavu.obs_count = rp.Dejavu.obs_count
+          in
+          if not ok then incr failures;
+          Fmt.pr "cross-replay %-18s %-14s %s@." e.name label
+            (if ok then "ok"
+             else
+               Fmt.str "FAIL (drained %b, state %b, events %b)"
+                 (leftovers = [])
+                 (r.Dejavu.state_digest = rp.Dejavu.state_digest)
+                 (r.Dejavu.obs_digest = rp.Dejavu.obs_digest))
+        in
+        check ~rec_cfg:Vm.Rt.default_config ~rep_cfg:noregir "regir->stack";
+        check ~rec_cfg:noregir ~rep_cfg:Vm.Rt.default_config "stack->regir")
+    [ "producer-consumer"; "lock-cycle" ];
   Fmt.pr "%s@."
     (if !failures = 0 then "regir-smoke PASS" else "regir-smoke FAIL");
   if !failures > 0 then exit 1
@@ -951,8 +1018,19 @@ let json () =
           let vm, _ = Vm.execute ?config ~natives ~seed:1 program in
           (Vm.stats vm).n_instr)
     in
+    (* untimed warmup pairs first (see measure_modes), then best-of with
+       extra reps for the short monitor-heavy workloads: they run well
+       under a millisecond, so the ratio needs more samples to shake
+       phase noise *)
+    let (n0 : int), _ = one () in
+    ignore (one ~config:noregir ());
+    for _ = 1 to 2 do
+      ignore (one ());
+      ignore (one ~config:noregir ())
+    done;
+    let reps = if n0 < 50_000 then 15 else 9 in
     let best_on = ref infinity and best_off = ref infinity and n = ref 0 in
-    for _ = 1 to 5 do
+    for _ = 1 to reps do
       let (i : int), t_on = one () in
       let _, t_off = one ~config:noregir () in
       n := i;
@@ -970,11 +1048,17 @@ let json () =
         let frac =
           float_of_int s.Vm.Rt.n_regir_instr /. float_of_int (max 1 s.n_instr)
         in
-        Fmt.pr "regir %-20s on %.2f off %.2f Mi/s (%.2fx, %.0f%% covered)@."
+        let mon_frac =
+          float_of_int s.Vm.Rt.n_regir_mon
+          /. float_of_int (max 1 s.Vm.Rt.n_monitor_ops)
+        in
+        Fmt.pr
+          "regir %-20s on %.2f off %.2f Mi/s (%.2fx, %.0f%% covered, %.0f%% \
+           mon-in-region, %d inline)@."
           name (on /. 1e6) (off /. 1e6)
           (if on > 0. then on /. off else 0.)
-          (frac *. 100.);
-        (name, on, off, frac))
+          (frac *. 100.) (mon_frac *. 100.) s.Vm.Rt.n_regir_inline;
+        (name, on, off, frac, mon_frac, s.Vm.Rt.n_regir_inline))
       overhead_workloads
   in
   let geo f =
@@ -982,22 +1066,48 @@ let json () =
       (List.fold_left (fun acc r -> acc +. log (f r)) 0. regir_rows
       /. float_of_int (List.length regir_rows))
   in
+  (* isolated clock cost: a tight single-threaded loop with the virtual
+     clock compiled out vs on — (t_on - t_off) / instrs. The no-clock
+     mode is a bench-only probe; nothing observable runs under it. *)
+  let clock_ns =
+    let e = entry "primes" in
+    let noclock = { Vm.Rt.default_config with Vm.Rt.clock = false } in
+    let one ?config () =
+      time (fun () ->
+          let vm, _ = Vm.execute ?config ~natives:e.natives ~seed:1 e.program in
+          (Vm.stats vm).n_instr)
+    in
+    let b_on = ref infinity and b_off = ref infinity and n = ref 0 in
+    for _ = 1 to 5 do
+      let (i : int), t_on = one () in
+      let _, t_off = one ~config:noclock () in
+      n := i;
+      if t_on < !b_on then b_on := t_on;
+      if t_off < !b_off then b_off := t_off
+    done;
+    Float.max 0. ((!b_on -. !b_off) /. float_of_int (max 1 !n) *. 1e9)
+  in
+  Fmt.pr "regir clock cost: %.3f ns/instr (primes, clock on vs compiled out)@."
+    clock_ns;
   Buffer.add_string buf "  \"regir\": {\n";
+  Buffer.add_string buf
+    (Fmt.str "    \"clock_ns_per_instr\": %.3f,\n" clock_ns);
   List.iter
-    (fun (name, on, off, frac) ->
+    (fun (name, on, off, frac, mon_frac, inl) ->
       Buffer.add_string buf
         (Fmt.str
            "    %S: { \"live_ips_off\": %.0f, \"speedup\": %.3f, \
-            \"coverage\": %.3f },\n"
+            \"coverage\": %.3f, \"mon_region_frac\": %.3f, \
+            \"inline_splices\": %d },\n"
            name off
            (if off > 0. then on /. off else 0.)
-           frac))
+           frac mon_frac inl))
     regir_rows;
   Buffer.add_string buf
     (Fmt.str
        "    \"geomean_speedup\": %.3f,\n    \"geomean_coverage\": %.3f\n  },\n"
-       (geo (fun (_, on, off, _) -> if off > 0. then on /. off else 1.))
-       (geo (fun (_, _, _, frac) -> Float.max frac 1e-9)));
+       (geo (fun (_, on, off, _, _, _) -> if off > 0. then on /. off else 1.))
+       (geo (fun (_, _, _, frac, _, _) -> Float.max frac 1e-9)));
   (* schedule-exploration trajectory: throughput and DPOR efficiency of
      the bounded DFS on the seeded atomicity bug (pb 2, db 1) *)
   let ex_on, ex_t_on, ex_off, _, ex_t_first =

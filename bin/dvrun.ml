@@ -51,11 +51,13 @@ let pp_stats ppf (s : Vm.Rt.stats) =
   Fmt.pf ppf
     "instr=%d yields=%d switches=%d preempts=%d gcs=%d allocs=%d(%dw)@\n\
      compiled=%d classes=%d stack-grows=%d clock-reads=%d inputs=%d natives=%d \
-     monitor-ops=%d exceptions=%d"
+     monitor-ops=%d exceptions=%d@\n\
+     regir=%d mon-in-region=%d inline-splices=%d"
     s.n_instr s.n_yield s.n_switch s.n_preempt_req s.n_gc s.n_alloc_objects
     s.n_alloc_words s.n_compiled_methods s.n_classes_initialized
     s.n_stack_grows s.n_clock_reads s.n_input_reads s.n_native_calls
-    s.n_monitor_ops s.n_exceptions
+    s.n_monitor_ops s.n_exceptions s.n_regir_instr s.n_regir_mon
+    s.n_regir_inline
 
 (* The config a subcommand's flags select; only --no-regir so far. *)
 let config_of_flags no_regir =

@@ -106,7 +106,7 @@ let string_of_cmp = function
   | Gt -> "gt"
   | Ge -> "ge"
 
-let eval_cmp c a b =
+let[@inline] eval_cmp c a b =
   match c with
   | Eq -> a = b
   | Ne -> a <> b

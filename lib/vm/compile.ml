@@ -387,6 +387,49 @@ let fuse_code (code : Rt.cinstr array) (handlers : Rt.rhandler array) :
   done;
   fused
 
+(* --- tiny-callee inlining (register tier) ----------------------------- *)
+
+(* Source-instruction budget for a callee the register tier may splice
+   mid-region. Judged on the declaration, never the compiled body: forcing
+   the callee through [compile] here would charge the virtual clock at
+   caller-compile time instead of first call, a timeline the stack tier
+   does not have. *)
+let inline_limit = 12
+
+let tiny (m : Rt.rmethod) =
+  let d = m.Rt.rm_decl in
+  (not d.D.m_sync)
+  && d.D.m_handlers = []
+  && Array.length d.D.m_code <= inline_limit
+
+(* The lowering's splice predicate. Static calls inline on size alone;
+   virtual calls need a CHA-unique implementation across the declaring
+   class and every subclass — vtables are fixed at boot, so the prediction
+   is deterministic program structure, not execution state. It is only a
+   prediction: the spliced site still dispatches through the shared inline
+   cache, so an unforeseen receiver stays correct and merely bails the
+   region. *)
+let inline_target (vm : Rt.t) (ins : Rt.cinstr) : Rt.rmethod option =
+  match ins with
+  | Rt.KInvokestatic callee -> if tiny callee then Some callee else None
+  | Rt.KInvokevirtual (cid, vslot, _, _) ->
+    let target = ref (-1) and unique = ref true in
+    Array.iter
+      (fun (c : Rt.rclass) ->
+        if
+          Rt.is_subclass vm ~sub:c.Rt.cid ~sup:cid
+          && vslot < Array.length c.Rt.rc_vtable
+        then begin
+          let uid = c.Rt.rc_vtable.(vslot) in
+          if !target = -1 then target := uid
+          else if !target <> uid then unique := false
+        end)
+      vm.Rt.classes;
+    if !unique && !target >= 0 && tiny vm.Rt.methods.(!target) then
+      Some vm.Rt.methods.(!target)
+    else None
+  | _ -> None
+
 (* Compile a method: returns the compiled body and charges the clock. *)
 let compile (vm : Rt.t) (m : Rt.rmethod) : Rt.compiled =
   match m.rm_compiled with
@@ -416,7 +459,7 @@ let compile (vm : Rt.t) (m : Rt.rmethod) : Rt.compiled =
     let fused =
       if vm.cfg.fuse then begin
         let f = fuse_code code handlers in
-        Verify.check_fusion m code f handlers;
+        if vm.cfg.audit then Verify.check_fusion m code f handlers;
         f
       end
       else code
@@ -428,9 +471,12 @@ let compile (vm : Rt.t) (m : Rt.rmethod) : Rt.compiled =
       if vm.cfg.regir then begin
         try
           let r =
-            Regir.lower ~nlocals:m.rm_nlocals ~max_stack code handlers maps
+            Regir.lower ~inline:(inline_target vm) ~nlocals:m.rm_nlocals
+              ~max_stack code handlers maps
           in
-          Regir.check m code handlers maps ~nlocals:m.rm_nlocals ~max_stack r;
+          if vm.cfg.audit then
+            Regir.check m code handlers maps ~nlocals:m.rm_nlocals ~max_stack
+              r;
           r
         with Regir.Error msg -> error "regir: %s" msg
       end

@@ -33,6 +33,20 @@ let default_config =
     compile_cost = 10;
   }
 
+(* The horizon cache makes ticking O(1) between timer fires: one forward
+   scan of the draw stream finds the next firing tick and the full
+   environment state there; until an observer needs [now] (or the fire
+   point is reached), a tick is a counter increment that touches neither
+   the clock nor the PRNG. The deferred draws are materialized — same
+   draws, same order — before anything can observe their absence, so the
+   stream and every observable timestamp are bit-identical to eager
+   ticking. Invariants while [h_valid]:
+     - the live fields (now/next_timer/rng) are [h_pending] ticks behind
+       the logical clock, with 0 <= h_pending < h_count;
+     - no tick before the scan end fires the timer; the scan-end tick
+       fires iff [h_fired];
+     - [h_now]/[h_next]/[h_rng] are the exact post-tick state at scan end
+       (interval catch-up draws included). *)
 type t = {
   cfg : config;
   rng : Prng.t;
@@ -44,13 +58,21 @@ type t = {
   mutable ticks : int; (* instructions charged *)
   mutable timer_fires : int;
   batch_buf : Bytes.t;
-      (* scratch for the batched-tick stub: 8 int64 slots; slots 2..7 hold
-         the (immutable) config, written once here; slots 0..1 carry
-         now/next_timer across a call. Never holds state between calls. *)
+      (* scratch for the batched-tick/scan stubs: 9 int64 slots; slots 2..8
+         hold the (immutable) config, written once at create; slots 0..1
+         carry now/next_timer across a call. Never holds state between
+         calls. *)
+  mutable h_valid : bool;
+  mutable h_pending : int; (* ticks charged but not yet drawn/applied *)
+  mutable h_count : int; (* ticks from the live fields to the scan end *)
+  mutable h_fired : bool; (* the scan-end tick crosses the timer *)
+  mutable h_now : int;
+  mutable h_next : int;
+  h_rng : Bytes.t; (* PRNG state at scan end (8 bytes, native-endian) *)
 }
 
 let create ?(inputs = []) cfg =
-  let batch_buf = Bytes.create 64 in
+  let batch_buf = Bytes.create 72 in
   let slot i v = Bytes.set_int64_ne batch_buf (8 * i) (Int64.of_int v) in
   slot 2 cfg.base_cost;
   slot 3 (cfg.jitter + 1);
@@ -58,6 +80,14 @@ let create ?(inputs = []) cfg =
   slot 5 cfg.spike_cost;
   slot 6 cfg.quantum;
   slot 7 cfg.quantum_jitter;
+  (* per-tick draw order is always "spike (bound 1000) then jitter (bound
+     jitter+1)", each present only when its config knob is nonzero — the
+     mode bits tell the stubs which draws exist so jitter=0 and
+     spike-free configs stay on the historical stream (no draw at all for
+     an absent knob, never a wasted [mod 1]) *)
+  slot 8
+    ((if cfg.spike_per_mille > 0 then 1 else 0)
+    lor if cfg.jitter > 0 then 2 else 0);
   {
     cfg;
     rng = Prng.create cfg.seed;
@@ -69,7 +99,28 @@ let create ?(inputs = []) cfg =
     ticks = 0;
     timer_fires = 0;
     batch_buf;
+    h_valid = false;
+    h_pending = 0;
+    h_count = 0;
+    h_fired = false;
+    h_now = 0;
+    h_next = 0;
+    h_rng = Bytes.create 8;
   }
+
+external tick_batch_stub : Bytes.t -> Bytes.t -> int -> int
+  = "dv_env_tick_batch"
+[@@noalloc]
+
+external scan_stub : Bytes.t -> Bytes.t -> int -> int = "dv_env_scan"
+[@@noalloc]
+
+(* Drop the horizon without materializing: only correct when the live
+   fields are about to be (or were just) overwritten wholesale — snapshot
+   restore and reseed. Everyone else wants [sync]. *)
+let forget t =
+  t.h_pending <- 0;
+  t.h_valid <- false
 
 (* Re-seed both generators in place, as if the environment had been created
    with [seed]. [cfg.seed] keeps its creation-time value — it is only ever
@@ -78,12 +129,91 @@ let create ?(inputs = []) cfg =
    indistinguishable from a fresh [create]. The [lxor] mirrors [create]'s
    derivation of the independent input stream. *)
 let reseed t seed =
+  forget t;
   Prng.reseed t.rng seed;
   Prng.reseed t.input_rng (seed lxor 0x5eed)
 
+(* Materialize the deferred ticks: replay their draws (exactly the stream
+   [h_pending] eager ticks would consume — none of them fires, by the
+   horizon invariant) so the live fields catch up with the logical clock.
+   The horizon stays valid, just [h_pending] ticks shorter. *)
+let sync t =
+  if t.h_pending > 0 then begin
+    Bytes.set_int64_ne t.batch_buf 0 (Int64.of_int t.now);
+    Bytes.set_int64_ne t.batch_buf 8 (Int64.of_int t.next_timer);
+    ignore (tick_batch_stub (Prng.raw_state t.rng) t.batch_buf t.h_pending);
+    t.now <- Int64.to_int (Bytes.get_int64_ne t.batch_buf 0);
+    t.next_timer <- Int64.to_int (Bytes.get_int64_ne t.batch_buf 8);
+    t.h_count <- t.h_count - t.h_pending;
+    t.h_pending <- 0
+  end
+
+(* Scan the draw stream forward from the live state (on scratch copies —
+   the live rng/now are untouched) up to and including the next firing
+   tick, capped so degenerate configs (a clock that never reaches the
+   timer) still terminate. Caches (ticks-to-fire, state-at-fire). *)
+let horizon_cap = 65536
+
+let rescan t =
+  Bytes.blit (Prng.raw_state t.rng) 0 t.h_rng 0 8;
+  Bytes.set_int64_ne t.batch_buf 0 (Int64.of_int t.now);
+  Bytes.set_int64_ne t.batch_buf 8 (Int64.of_int t.next_timer);
+  let r = scan_stub t.h_rng t.batch_buf horizon_cap in
+  t.h_count <- r lsr 1;
+  t.h_fired <- r land 1 = 1;
+  t.h_now <- Int64.to_int (Bytes.get_int64_ne t.batch_buf 0);
+  t.h_next <- Int64.to_int (Bytes.get_int64_ne t.batch_buf 8);
+  t.h_pending <- 0;
+  t.h_valid <- true
+
+(* Advance the clock for [n] executed instructions. The common case — the
+   whole batch lands strictly inside the horizon — is a pair of counter
+   bumps; reaching the scan end restores the cached at-fire state (the
+   prefix draws were already consumed by the scan, so nothing is
+   recomputed) and re-scans for the remainder. Returns how many of the [n]
+   instructions crossed the timer — each would have made [tick] return
+   true. *)
+let rec tick_batch t n =
+  if n <= 0 then 0
+  else if t.h_valid && t.h_pending + n < t.h_count then begin
+    t.h_pending <- t.h_pending + n;
+    t.ticks <- t.ticks + n;
+    0
+  end
+  else if t.h_valid then begin
+    (* consume the horizon: jump to the cached scan-end state *)
+    let consumed = t.h_count - t.h_pending in
+    t.now <- t.h_now;
+    t.next_timer <- t.h_next;
+    Bytes.blit t.h_rng 0 (Prng.raw_state t.rng) 0 8;
+    t.ticks <- t.ticks + consumed;
+    t.h_valid <- false;
+    t.h_pending <- 0;
+    let f0 =
+      if t.h_fired then begin
+        t.timer_fires <- t.timer_fires + 1;
+        1
+      end
+      else 0
+    in
+    f0 + tick_batch t (n - consumed)
+  end
+  else begin
+    rescan t;
+    tick_batch t n
+  end
+
 (* Advance the clock for one executed instruction; returns true when the
    timer interrupt fired during this instruction. *)
-let tick t =
+let tick t = tick_batch t 1 > 0
+
+(* The eager reference implementation: materializes everything and steps
+   the live state directly, one draw at a time. The property tests compare
+   the lazy horizon path against this; it is also the code the stubs must
+   reproduce bit for bit. *)
+let tick_eager t =
+  sync t;
+  t.h_valid <- false;
   t.ticks <- t.ticks + 1;
   let cost =
     (* The common shape (both draws active) goes through the fused stub
@@ -125,48 +255,33 @@ let tick t =
   end
   else false
 
-external tick_batch_stub : Bytes.t -> Bytes.t -> int -> int
-  = "dv_env_tick_batch"
-[@@noalloc]
-
-(* Advance the clock for [n] executed instructions in one stub call. Draws
-   exactly the stream [n] successive [tick]s draw (the stub replicates the
-   fused-pair branch above, spike draw first), so fused and unfused
-   execution stay on the same PRNG sequence; returns how many of the [n]
-   instructions crossed the timer — each would have made [tick] return
-   true. Falls back to a [tick] loop for config shapes outside the fused
-   fast path. *)
-let tick_batch t n =
-  if t.cfg.jitter > 0 && t.cfg.jitter < 1024 && t.cfg.spike_per_mille > 0
-  then begin
-    Bytes.set_int64_ne t.batch_buf 0 (Int64.of_int t.now);
-    Bytes.set_int64_ne t.batch_buf 8 (Int64.of_int t.next_timer);
-    let fires = tick_batch_stub (Prng.raw_state t.rng) t.batch_buf n in
-    t.now <- Int64.to_int (Bytes.get_int64_ne t.batch_buf 0);
-    t.next_timer <- Int64.to_int (Bytes.get_int64_ne t.batch_buf 8);
-    t.ticks <- t.ticks + n;
-    t.timer_fires <- t.timer_fires + fires;
-    fires
-  end
-  else begin
-    let fires = ref 0 in
-    for _ = 1 to n do
-      if tick t then incr fires
-    done;
-    !fires
-  end
-
-(* Charge non-instruction work (e.g. method compilation) to the clock. *)
+(* Charge non-instruction work (e.g. method compilation) to the clock.
+   The deferred draws logically precede the charge, so they materialize
+   first; the shifted [now] moves future timer crossings, so the cached
+   horizon is stale after. *)
 let charge t cost =
-  t.now <- t.now + cost;
-  ()
+  sync t;
+  t.h_valid <- false;
+  t.now <- t.now + cost
 
-let read_clock t = t.now
+let read_clock t =
+  sync t;
+  t.now
 
 (* Advance the clock to at least [target] (idle waiting for a sleeper). *)
 let idle_until t target =
+  sync t;
+  t.h_valid <- false;
   if target > t.now then t.now <- target;
   t.now
+
+(* A draw from the environment stream by something other than the clock
+   (e.g. a native): the deferred tick draws come first, and the foreign
+   draw shifts the stream under the cached horizon. *)
+let random t bound =
+  sync t;
+  t.h_valid <- false;
+  Prng.int t.rng bound
 
 let read_input t =
   t.input_count <- t.input_count + 1;

@@ -33,7 +33,7 @@ let peek (vm : Rt.t) (t : Rt.thread) k =
 
 let npe () = raise (Rt.Vm_exception "NullPointerException")
 
-let check_null v = if v = 0 then npe ()
+let[@inline] check_null v = if v = 0 then npe ()
 
 (* --- stacks and frames ------------------------------------------------ *)
 
@@ -73,26 +73,36 @@ let push_frame (vm : Rt.t) (callee : Rt.rmethod) ~resume_pc
   let t = Rt.cur vm in
   ensure_stack vm t ~need:(frame_need callee c + vm.cfg.stack_slack);
   let nargs = callee.rm_nargs in
-  let args =
+  let fp =
     match explicit_args with
-    | Some a ->
-      if Array.length a <> nargs then
-        fatal "bad explicit arg count for %s" callee.rm_name;
-      a
-    | None ->
-      (* no allocation between here and the writes below *)
-      let a = Array.init nargs (fun i -> peek vm t (nargs - 1 - i)) in
-      t.t_sp <- t.t_sp - nargs;
-      a
+    | Some _ -> t.t_sp
+    | None -> t.t_sp - nargs
   in
-  let fp = t.t_sp in
+  (* the top [nargs] operand slots become the callee's first locals. On
+     the implicit path they are moved up in place, highest-indexed first
+     so no source slot (fp+i) is overwritten before it is read (its
+     destination fp+header+i sits exactly header words above it) — the
+     per-call transient array this replaces was the interpreter's only
+     allocation on the invoke path. Nothing here allocates, so the slots
+     stay scannable throughout. *)
+  (match explicit_args with
+  | None ->
+    for i = nargs - 1 downto 0 do
+      Layout.stack_set vm t
+        (fp + Rt.frame_header_words + i)
+        (Layout.stack_get vm t (fp + i))
+    done
+  | Some a ->
+    if Array.length a <> nargs then
+      fatal "bad explicit arg count for %s" callee.rm_name;
+    for i = 0 to nargs - 1 do
+      Layout.stack_set vm t (fp + Rt.frame_header_words + i) a.(i)
+    done);
   Layout.stack_set vm t fp t.t_meth.uid;
   Layout.stack_set vm t (fp + 1) resume_pc;
   Layout.stack_set vm t (fp + 2) t.t_fp;
-  for i = 0 to callee.rm_nlocals - 1 do
-    Layout.stack_set vm t
-      (fp + Rt.frame_header_words + i)
-      (if i < nargs then args.(i) else 0)
+  for i = nargs to callee.rm_nlocals - 1 do
+    Layout.stack_set vm t (fp + Rt.frame_header_words + i) 0
   done;
   t.t_fp <- fp;
   t.t_sp <- fp + Rt.frame_header_words + callee.rm_nlocals;
@@ -280,7 +290,7 @@ let do_native (vm : Rt.t) (t : Rt.thread) nid pc =
 
 (* --- the dispatcher ---------------------------------------------------- *)
 
-let binop (op : Rt.bin) a b =
+let[@inline] binop (op : Rt.bin) a b =
   match op with
   | Badd -> a + b
   | Bsub -> a - b
@@ -631,20 +641,41 @@ let dispatch (vm : Rt.t) (t : Rt.thread) pc ins =
     fatal "superinstruction reached the generic dispatcher at pc %d" pc
 
 (* Advance the environment clock for one executed instruction and latch a
-   timer fire into the preemption bit. *)
+   timer fire into the preemption bit. The [cfg.clock] guard exists for
+   one consumer: the bench's no-clock mode, which prices the clock itself
+   by differencing timed runs with the guard on and off. *)
 let clock_instr (vm : Rt.t) =
-  if Env.tick vm.env then begin
-    vm.preempt_pending <- true;
-    vm.stats.n_preempt_req <- vm.stats.n_preempt_req + 1
+  if vm.cfg.clock then begin
+    (* open-coded [Env.tick] fast path: strictly inside the precomputed
+       horizon a tick is two counter bumps, and this duplicate keeps it
+       free of the cross-module call (semantically identical — [tick]
+       runs the very same branch first) *)
+    let e = vm.env in
+    if e.Env.h_valid && e.Env.h_pending + 1 < e.Env.h_count then begin
+      e.Env.h_pending <- e.Env.h_pending + 1;
+      e.Env.ticks <- e.Env.ticks + 1
+    end
+    else if Env.tick e then begin
+      vm.preempt_pending <- true;
+      vm.stats.n_preempt_req <- vm.stats.n_preempt_req + 1
+    end
   end
 
 (* [clock_instr] for [n] instructions of a fused region at once: one stub
    call, same draws, every fire latched and counted as n ticks would. *)
 let clock_batch (vm : Rt.t) n =
-  let fires = Env.tick_batch vm.env n in
-  if fires > 0 then begin
-    vm.preempt_pending <- true;
-    vm.stats.n_preempt_req <- vm.stats.n_preempt_req + fires
+  if vm.cfg.clock then begin
+    let e = vm.env in
+    if e.Env.h_valid && e.Env.h_pending + n < e.Env.h_count then begin
+      e.Env.h_pending <- e.Env.h_pending + n;
+      e.Env.ticks <- e.Env.ticks + n
+    end
+    else
+      let fires = Env.tick_batch e n in
+      if fires > 0 then begin
+        vm.preempt_pending <- true;
+        vm.stats.n_preempt_req <- vm.stats.n_preempt_req + fires
+      end
   end
 
 (* --- the register tier -------------------------------------------------- *)
@@ -686,7 +717,7 @@ let clock_batch (vm : Rt.t) n =
    collection even without switching (a same-thread re-pick still runs
    the instrumentation's eager stack growth), so the heap/base caches are
    recomputed unconditionally. *)
-let exec_region (vm : Rt.t) (t : Rt.thread) (r0 : Rt.region)
+let rec exec_region (vm : Rt.t) (t : Rt.thread) (r0 : Rt.region)
     (regions : Rt.region option array) ~fuel executed =
   let rec run_region (r : Rt.region) =
     let ops = r.Rt.r_ops in
@@ -872,6 +903,85 @@ let exec_region (vm : Rt.t) (t : Rt.thread) (r0 : Rt.region)
         | Rt.Running_ when vm.current = t.tid ->
           go (i + 1) vm.heap (t.t_stack + Layout.header_words + fbase)
         | _ -> ())
+      | Rt.RMonEnter (npc, os) ->
+        (* canonical order: null check faults at the monitorenter pc with
+           the object already popped; pc advances before the scheduler
+           runs, so a contended park resumes past the instruction (the
+           exiting owner hands the monitor over). The region continues
+           only on the uncontended path — same guard as a yield. *)
+        t.t_pc <- npc - 1;
+        t.t_sp <- fbase + os;
+        let obj = Array.unsafe_get heap (base + os) in
+        check_null obj;
+        t.t_pc <- npc;
+        vm.stats.n_regir_mon <- vm.stats.n_regir_mon + 1;
+        Sched.monitor_enter vm obj;
+        (match vm.status with
+        | Rt.Running_ when vm.current = t.tid ->
+          go (i + 1) vm.heap (t.t_stack + Layout.header_words + fbase)
+        | _ -> ())
+      | Rt.RMonExit (npc, os) ->
+        (* release may raise IllegalMonitorState (canonical frames are in
+           place) and may ready the next owner, but never parks the
+           current thread: the region always continues *)
+        t.t_pc <- npc - 1;
+        t.t_sp <- fbase + os;
+        let obj = Array.unsafe_get heap (base + os) in
+        check_null obj;
+        vm.stats.n_regir_mon <- vm.stats.n_regir_mon + 1;
+        Sched.monitor_exit vm obj;
+        t.t_pc <- npc;
+        go (i + 1) vm.heap (t.t_stack + Layout.header_words + fbase)
+      | Rt.RInlineStatic (callee, pc, ss) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + ss;
+        if ensure_initialized vm callee.Rt.rm_cid then begin
+          let caller = t.t_meth in
+          push_frame vm callee ~resume_pc:(pc + 1) ();
+          let kc = Rt.compiled callee in
+          (match kc.Rt.k_regions.(0) with
+          | Some rc
+            when rc.Rt.r_n = Array.length kc.Rt.k_code
+                 && fuel - !executed >= rc.Rt.r_n ->
+            vm.stats.n_regir_inline <- vm.stats.n_regir_inline + 1;
+            exec_region vm t rc kc.Rt.k_regions ~fuel executed
+          | _ -> ());
+          (* continue the caller's region only when the callee fully
+             returned into exactly the frame this region runs in; any
+             other outcome (bail into the callee, a switch, an unwind in
+             flight) left canonical frames for the outer loop *)
+          if
+            vm.status = Rt.Running_
+            && vm.current = t.tid
+            && t.t_meth == caller
+            && t.t_pc = pc + 1
+            && t.t_fp + Rt.frame_header_words = fbase
+          then go (i + 1) vm.heap (t.t_stack + Layout.header_words + fbase)
+        end
+      | Rt.RInlineVirtual (vslot, nargs, ic, pc, ss) ->
+        t.t_pc <- pc;
+        t.t_sp <- fbase + ss;
+        let receiver = Array.unsafe_get heap (base + ss - nargs) in
+        check_null receiver;
+        let rcid = Layout.class_of vm receiver in
+        let callee = ic_lookup vm ic vslot rcid in
+        let caller = t.t_meth in
+        push_frame vm callee ~resume_pc:(pc + 1) ();
+        let kc = Rt.compiled callee in
+        (match kc.Rt.k_regions.(0) with
+        | Some rc
+          when rc.Rt.r_n = Array.length kc.Rt.k_code
+               && fuel - !executed >= rc.Rt.r_n ->
+          vm.stats.n_regir_inline <- vm.stats.n_regir_inline + 1;
+          exec_region vm t rc kc.Rt.k_regions ~fuel executed
+        | _ -> ());
+        if
+          vm.status = Rt.Running_
+          && vm.current = t.tid
+          && t.t_meth == caller
+          && t.t_pc = pc + 1
+          && t.t_fp + Rt.frame_header_words = fbase
+        then go (i + 1) vm.heap (t.t_stack + Layout.header_words + fbase)
       | Rt.RIf (cmp, target, fall, a) ->
         let b = Array.unsafe_get heap (base + a + 1) in
         let x = Array.unsafe_get heap (base + a) in

@@ -181,6 +181,20 @@ let pp_rop (vm : Rt.t) ppf (op : Rt.rop) =
     Fmt.pf ppf "checkcast %s r%d  @%d" (cname cid) o pc
   | Rt.RPrints (pc, s) -> Fmt.pf ppf "prints r%d  @%d" s pc
   | Rt.RYield (npc, ss) -> Fmt.pf ppf "yield -> %d sp=r%d" npc ss
+  | Rt.RMonEnter (npc, os) ->
+    Fmt.pf ppf "monenter r%d -> %d  @%d" os npc (npc - 1)
+  | Rt.RMonExit (npc, os) ->
+    Fmt.pf ppf "monexit r%d -> %d  @%d" os npc (npc - 1)
+  | Rt.RInlineStatic (callee, pc, ss) ->
+    Fmt.pf ppf "inline %s sp=r%d  @%d" (qual callee) ss pc
+  | Rt.RInlineVirtual (vslot, nargs, ic, pc, ss) ->
+    let decl =
+      match ic.Rt.ic_cid with
+      | cid when cid >= 0 -> qual (vmeth cid vslot)
+      | _ -> Fmt.str "vslot %d" vslot
+    in
+    Fmt.pf ppf "inlinev %s/%d [ic %s] sp=r%d  @%d" decl nargs
+      (string_of_ic vm ic) ss pc
   | Rt.RIf (c, target, fall, a) ->
     Fmt.pf ppf "if r%d %s r%d -> %d else %d" a (cmp c) (a + 1) target fall
   | Rt.RIfz (c, target, fall, a) ->

@@ -63,9 +63,10 @@ let stock : spec list =
     (* nanoTime-like reading of the environment clock *)
     make ~name:"sys_clock" ~arity:0 ~returns:true (fun vm _ ->
         value (Env.read_clock vm.env));
-    (* an environment random number in [0, bound) *)
+    (* an environment random number in [0, bound) — via [Env.random] so
+       the lazy clock's deferred draws land before this one *)
     make ~name:"sys_random" ~arity:1 ~returns:true (fun vm args ->
-        value (Prng.int vm.env.rng (max 1 args.(0))));
+        value (Env.random vm.env (max 1 args.(0))));
     (* identity, useful to defeat constant folding in benches *)
     make ~name:"sys_id" ~arity:1 ~returns:true (fun _ args -> value args.(0));
   ]

@@ -43,30 +43,46 @@ CAMLprim value dv_prng_pair(value state, value b1, value b2)
   return Val_long((d1 << 10) | d2);
 }
 
-/* [n] consecutive Env.tick steps in one call, for the fast loop's fused
-   regions: per instruction the spike draw, the jitter draw, the cost
-   accumulation, and the timer-crossing test (with its interval draws)
-   happen exactly as n successive dv_prng_pair-based ticks would, so the
-   PRNG stream, [now], and [next_timer] stay bit-identical to unfused
-   execution. [buf] is 8 native-endian int64 slots:
+/* [n] consecutive Env.tick steps in one call: per instruction the spike
+   draw, the jitter draw, the cost accumulation, and the timer-crossing
+   test (with its interval draws) happen exactly as n successive ticks
+   would, so the PRNG stream, [now], and [next_timer] stay bit-identical
+   to per-instruction execution. [buf] is 9 native-endian int64 slots:
      0 now (in/out)   1 next_timer (in/out)   2 base_cost   3 jitter+1
      4 spike_per_mille   5 spike_cost   6 quantum   7 quantum_jitter
+     8 mode (bit 0: the spike draw exists, bit 1: the jitter draw exists)
+   The mode bits keep deterministic shapes (jitter=0, spike_per_mille=0)
+   on their historical stream: an absent knob never draws, not even a
+   wasted mod-1. Draw order is spike first, then jitter — the order the
+   OCaml sum always evaluated in.
    Returns how many of the n instructions crossed the timer (each such
    instruction latches one preemption request, as in Env.tick). */
 CAMLprim value dv_env_tick_batch(value state, value buf, value vn)
 {
   uint64_t s;
-  int64_t io[8];
+  int64_t io[9];
   memcpy(&s, Bytes_val(state), sizeof s);
   memcpy(io, Bytes_val(buf), sizeof io);
   int64_t now = io[0], next_timer = io[1];
   long base = (long)io[2], jitter1 = (long)io[3], spm = (long)io[4],
-       spike = (long)io[5], quantum = (long)io[6], qjit = (long)io[7];
+       spike = (long)io[5], quantum = (long)io[6], qjit = (long)io[7],
+       mode = (long)io[8];
+  /* jitter+1 is a power of two for the default config (jitter 3): the
+     bounded draw reduces with a mask instead of a per-tick 64-bit
+     division, which otherwise dominates the whole loop */
+  long jmask = (jitter1 & (jitter1 - 1)) == 0 ? jitter1 - 1 : -1;
   long n = Long_val(vn), fires = 0;
   for (long k = 0; k < n; k++) {
-    long d1 = (long)(dv_step(&s) & DV_MASK62) % 1000;
-    long d2 = (long)(dv_step(&s) & DV_MASK62) % jitter1;
-    now += base + d2 + (d1 < spm ? spike : 0);
+    long cost = base;
+    if (mode & 1) {
+      long d1 = (long)(dv_step(&s) & DV_MASK62) % 1000;
+      if (d1 < spm) cost += spike;
+    }
+    if (mode & 2) {
+      long d2 = (long)(dv_step(&s) & DV_MASK62);
+      cost += jmask >= 0 ? (d2 & jmask) : d2 % jitter1;
+    }
+    now += cost;
     if (now >= next_timer) {
       fires++;
       while (now >= next_timer) {
@@ -82,4 +98,52 @@ CAMLprim value dv_env_tick_batch(value state, value buf, value vn)
   memcpy(Bytes_val(buf), io, 2 * sizeof(int64_t));
   memcpy(Bytes_val(state), &s, sizeof s);
   return Val_long(fires);
+}
+
+/* Forward-scan for the precomputed preemption horizon: run the tick loop
+   above on SCRATCH state (the caller passes copies) up to and including
+   the first tick that crosses the timer, or [cap] ticks if none does.
+   Writes the scan-end now/next_timer back into buf[0..1] and leaves the
+   scan-end PRNG state in [state]; returns (ticks_scanned << 1) | fired.
+   Every tick strictly before the scan end is fire-free, which is what
+   lets Env defer them as a bare counter. */
+CAMLprim value dv_env_scan(value state, value buf, value vcap)
+{
+  uint64_t s;
+  int64_t io[9];
+  memcpy(&s, Bytes_val(state), sizeof s);
+  memcpy(io, Bytes_val(buf), sizeof io);
+  int64_t now = io[0], next_timer = io[1];
+  long base = (long)io[2], jitter1 = (long)io[3], spm = (long)io[4],
+       spike = (long)io[5], quantum = (long)io[6], qjit = (long)io[7],
+       mode = (long)io[8];
+  long jmask = (jitter1 & (jitter1 - 1)) == 0 ? jitter1 - 1 : -1;
+  long cap = Long_val(vcap), n = 0, fired = 0;
+  while (n < cap && !fired) {
+    n++;
+    long cost = base;
+    if (mode & 1) {
+      long d1 = (long)(dv_step(&s) & DV_MASK62) % 1000;
+      if (d1 < spm) cost += spike;
+    }
+    if (mode & 2) {
+      long d2 = (long)(dv_step(&s) & DV_MASK62);
+      cost += jmask >= 0 ? (d2 & jmask) : d2 % jitter1;
+    }
+    now += cost;
+    if (now >= next_timer) {
+      fired = 1;
+      while (now >= next_timer) {
+        long interval = quantum;
+        if (qjit > 0)
+          interval += (long)(dv_step(&s) & DV_MASK62) % (2 * qjit) - qjit;
+        next_timer += interval > 1 ? interval : 1;
+      }
+    }
+  }
+  io[0] = now;
+  io[1] = next_timer;
+  memcpy(Bytes_val(buf), io, 2 * sizeof(int64_t));
+  memcpy(Bytes_val(state), &s, sizeof s);
+  return Val_long((n << 1) | fired);
 }

@@ -41,9 +41,8 @@ type klass = Pure | Risky | Terminal | Excluded
 
 (* Pure: cannot fault, allocate, or run hooks — freely reorderable within
    a segment. Risky: segment-final, observable mid-instruction. Terminal:
-   region-final control transfer. Everything else (monitors, waits,
-   spawns, natives, yields, halts, superinstructions) is excluded and
-   dispatched canonically. *)
+   region-final control transfer. Everything else (waits, spawns, natives,
+   halts, superinstructions) is excluded and dispatched canonically. *)
 let classify (ins : Rt.cinstr) : klass =
   match ins with
   | KConst _ | KStr _ | KNull | KLoad _ | KStore _ | KDup | KPop | KSwap
@@ -54,6 +53,12 @@ let classify (ins : Rt.cinstr) : klass =
   | KGetfield _ | KPutfield _ | KGetstatic _ | KPutstatic _ | KNew _
   | KNewarray _ | KAload | KAstore | KArraylength | KCheckcast _ | KPrints ->
     Risky
+  (* Monitor ops are segment-final like yields: [Sched] may park the
+     thread (contended enter) or raise (exit without ownership), and both
+     need canonical frames. On the uncontended fast path nothing switches
+     and nothing touches the frame, so the region continues — this is
+     what lets a region span a whole synchronized block. *)
+  | KMonitorenter | KMonitorexit -> Risky
   (* Yield points are segment-final like risky ops (the preemption bit the
      hook reads must reflect exactly the ticks paid so far), but the region
      continues past them: the interpreter bails out only when the hook
@@ -112,7 +117,7 @@ exception Abort
    any internal inconsistency (e.g. unreachable code whose reference maps
    do not match the simulated depth): the pcs then simply stay on the
    stack tier. *)
-let lower_region ~nlocals ~nslots (code : Rt.cinstr array)
+let lower_region ~nlocals ~nslots ~inline (code : Rt.cinstr array)
     (maps : Rt.refmap array) ~start ~last : Rt.rop array option =
   let avail = Array.init nslots (fun i -> Slot i) in
   let resolve s = avail.(s) in
@@ -362,6 +367,15 @@ let lower_region ~nlocals ~nslots (code : Rt.cinstr array)
            survives — if no switch happens nothing has touched the frame,
            and if one does the rest of the region never runs. *)
         flush (Some (Rt.RYield (p + 1, spv 0)))
+      | Rt.KMonitorenter ->
+        (* same barrier discipline as a yield: contention parks the
+           thread, so every slot must be canonical; the uncontended path
+           leaves the frame untouched and [avail] survives *)
+        flush (Some (Rt.RMonEnter (p + 1, sl 1)));
+        decr depth
+      | Rt.KMonitorexit ->
+        flush (Some (Rt.RMonExit (p + 1, sl 1)));
+        decr depth
       (* --- terminals -------------------------------------------------- *)
       | Rt.KIf (c, tgt) ->
         ignore (sl 1);
@@ -389,12 +403,39 @@ let lower_region ~nlocals ~nslots (code : Rt.cinstr array)
       | Rt.KRetv ->
         flush (Some (Rt.RRetv (p, sl 1)));
         decr depth
-      | Rt.KInvokestatic callee ->
+      | Rt.KInvokestatic callee when p = last ->
         flush (Some (Rt.RCallStatic (callee, p, spv 0)))
-      | Rt.KInvokevirtual (_, vslot, nargs, ic) ->
+      | Rt.KInvokestatic callee ->
+        (* mid-region: only reachable when the greedy scan extended past
+           this call because [inline] predicted a tiny callee *)
+        (match inline code.(p) with
+        | None -> raise Abort
+        | Some m ->
+          let ss = spv 0 in
+          let nargs = callee.Rt.rm_nargs in
+          if ss - nargs < 0 then raise Abort;
+          flush (Some (Rt.RInlineStatic (callee, p, ss)));
+          (* the callee frame lands on the arg slots and everything above;
+             the return value (if any) comes back in the first of them *)
+          for s = ss - nargs to nslots - 1 do
+            clobber s
+          done;
+          depth := !depth - nargs + (if Rt.returns m then 1 else 0))
+      | Rt.KInvokevirtual (_, vslot, nargs, ic) when p = last ->
         let ss = spv 0 in
         if ss - nargs < 0 || ss - nargs >= nslots then raise Abort;
         flush (Some (Rt.RCallVirtual (vslot, nargs, ic, p, ss)))
+      | Rt.KInvokevirtual (_, vslot, nargs, ic) -> (
+        match inline code.(p) with
+        | None -> raise Abort
+        | Some m ->
+          let ss = spv 0 in
+          if ss - nargs < 0 || ss - nargs >= nslots then raise Abort;
+          flush (Some (Rt.RInlineVirtual (vslot, nargs, ic, p, ss)));
+          for s = ss - nargs to nslots - 1 do
+            clobber s
+          done;
+          depth := !depth - nargs + (if Rt.returns m then 1 else 0))
       | _ -> raise Abort)
     done;
     (* fall-through exit unless a terminal already stored pc/sp *)
@@ -410,10 +451,13 @@ let lower_region ~nlocals ~nslots (code : Rt.cinstr array)
 (* Greedy region construction, mirroring the fusion pass: walk the code,
    open a region at every includable pc, extend to the next barrier /
    excluded instruction / terminal, and keep it when it covers at least
-   two instructions. *)
-let lower ~nlocals ~max_stack (code : Rt.cinstr array)
-    (handlers : Rt.rhandler array) (maps : Rt.refmap array) :
-    Rt.region option array =
+   two instructions. [inline] is the compiler's tiny-callee predicate: a
+   call it accepts is treated as region-continuing (spliced at run time
+   behind the usual frame push and IC guard) instead of region-final, so
+   hot loops with small helper calls chain region-to-region. *)
+let lower ?(inline = fun (_ : Rt.cinstr) -> None) ~nlocals ~max_stack
+    (code : Rt.cinstr array) (handlers : Rt.rhandler array)
+    (maps : Rt.refmap array) : Rt.region option array =
   let n = Array.length code in
   let nslots = nlocals + max_stack in
   let regions = Array.make n None in
@@ -426,7 +470,8 @@ let lower ~nlocals ~max_stack (code : Rt.cinstr array)
       let last = ref start in
       let scan = ref true in
       while !scan do
-        if classify code.(!last) = Terminal then scan := false
+        if classify code.(!last) = Terminal && inline code.(!last) = None then
+          scan := false
         else
           let q = !last + 1 in
           if q < n && (not barrier.(q)) && classify code.(q) <> Excluded then
@@ -435,7 +480,9 @@ let lower ~nlocals ~max_stack (code : Rt.cinstr array)
       done;
       let count = !last - start + 1 in
       if count >= 2 then begin
-        (match lower_region ~nlocals ~nslots code maps ~start ~last:!last with
+        (match
+           lower_region ~nlocals ~nslots ~inline code maps ~start ~last:!last
+         with
         | Some r_ops -> regions.(start) <- Some { Rt.r_n = count; r_ops }
         | None -> ());
         pc := !last + 1
@@ -474,6 +521,17 @@ let check (m : Rt.rmethod) (code : Rt.cinstr array)
         if r.Rt.r_n < 2 || fin >= n then
           error "%s: region at %d covers %d instructions (code length %d)"
             name entry r.Rt.r_n n;
+        (* calls spliced inline are the one legitimate mid-region terminal:
+           collect their pcs so the coverage walk below can tell them from
+           a control transfer the lowering failed to end the region at *)
+        let inline_pcs =
+          Array.to_list r.Rt.r_ops
+          |> List.filter_map (function
+               | Rt.RInlineStatic (_, p, _) | Rt.RInlineVirtual (_, _, _, p, _)
+                 ->
+                 Some p
+               | _ -> None)
+        in
         for p = entry to fin do
           if p > entry && barrier.(p) then
             error "%s: region at %d crosses a barrier at %d" name entry p;
@@ -481,8 +539,11 @@ let check (m : Rt.rmethod) (code : Rt.cinstr array)
           | Excluded ->
             error "%s: region at %d covers excluded instruction at %d" name
               entry p
-          | Terminal when p < fin ->
+          | Terminal when p < fin && not (List.mem p inline_pcs) ->
             error "%s: region at %d has a terminal mid-region at %d" name
+              entry p
+          | Terminal when p = fin && List.mem p inline_pcs ->
+            error "%s: region at %d ends in an inline splice at %d" name
               entry p
           | _ -> ())
         done;
@@ -630,6 +691,45 @@ let check (m : Rt.rmethod) (code : Rt.cinstr array)
               (match code.(p) with
               | Rt.KYield -> ()
               | _ -> error "%s: RYield at pc %d mismatches code" name p)
+            | Rt.RMonEnter (npc, o) ->
+              let p = npc - 1 in
+              pc_in p;
+              slots [ o ];
+              want_sp p o ~delta:(-1);
+              (match code.(p) with
+              | Rt.KMonitorenter -> ()
+              | _ -> error "%s: RMonEnter at pc %d mismatches code" name p)
+            | Rt.RMonExit (npc, o) ->
+              let p = npc - 1 in
+              pc_in p;
+              slots [ o ];
+              want_sp p o ~delta:(-1);
+              (match code.(p) with
+              | Rt.KMonitorexit -> ()
+              | _ -> error "%s: RMonExit at pc %d mismatches code" name p)
+            | Rt.RInlineStatic (callee, p, s) ->
+              pc_in p;
+              sp_slot s;
+              want_sp p s ~delta:0;
+              if s - callee.Rt.rm_nargs < 0 then
+                error "%s: RInlineStatic at pc %d underflows the frame" name p;
+              (match code.(p) with
+              | Rt.KInvokestatic callee' when callee' == callee -> ()
+              | _ -> error "%s: RInlineStatic at pc %d mismatches code" name p)
+            | Rt.RInlineVirtual (vslot, nargs, ic, p, s) ->
+              pc_in p;
+              sp_slot s;
+              slots [ s - nargs ];
+              want_sp p s ~delta:0;
+              (match code.(p) with
+              | Rt.KInvokevirtual (_, vslot', nargs', ic')
+                when vslot' = vslot && nargs' = nargs && ic' == ic ->
+                ()
+              | _ ->
+                error
+                  "%s: RInlineVirtual at pc %d mismatches code (the inline \
+                   cache must be the same cell as the stack tier's)"
+                  name p)
             | Rt.RIf (c, tgt, fall, a) ->
               want_final "a branch";
               let p = fall - 1 in

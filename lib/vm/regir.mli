@@ -9,8 +9,15 @@ exception Error of string
 (** Build the region table for a verified method body. Indexed by entry
     pc; [None] everywhere a region does not start. Regions never cross
     branch targets, handler boundaries, or excluded instructions, and
-    only cover runs of at least two instructions. *)
+    only cover runs of at least two instructions. [inline] is the
+    compiler's tiny-callee predicate: a call instruction it maps to
+    [Some callee] is spliced mid-region ([Rt.RInlineStatic] /
+    [Rt.RInlineVirtual]) instead of ending it; the returned method is
+    the statically predicted target, used only for its arity and return
+    shape — the runtime still dispatches through the shared inline
+    cache. *)
 val lower :
+  ?inline:(Rt.cinstr -> Rt.rmethod option) ->
   nlocals:int ->
   max_stack:int ->
   Rt.cinstr array ->

@@ -181,6 +181,26 @@ and rop =
        yieldpoint hook reads reflects exactly the ticks a canonical
        execution would have latched by this yield. The region continues
        past it unless the hook switches threads or ends the run. *)
+  | RMonEnter of int * int
+    (* monitorenter: next pc, obj slot. Segment-final like a yield (the
+       scheduler may park the thread), but the region continues on the
+       uncontended fast path — the monitor is free or already owned, so
+       nothing has switched and nothing has touched the frame. *)
+  | RMonExit of int * int
+    (* monitorexit: next pc, obj slot. Releasing never parks the current
+       thread (a handoff only readies the next owner), so the region
+       always continues. *)
+  | RInlineStatic of rmethod * int * int
+    (* mid-region static call splice: callee, pc, entry sp slot. Pushes
+       the callee frame canonically, executes the callee's whole-body
+       region in place when it has one, and continues this region right
+       after the call when the callee returned without a switch; any
+       other outcome bails to the outer loop with canonical frames. *)
+  | RInlineVirtual of int * int * ic * int * int
+    (* mid-region virtual call splice: vtable slot, nargs, cache, pc,
+       entry sp slot. Same cell as the stack tier's inline cache — the
+       splice sits behind the same IC guard, and a receiver the lowering's
+       CHA prediction did not anticipate still dispatches correctly. *)
   (* terminals: exit the region, storing the canonical pc/sp *)
   | RIf of cmp * int * int * int (* cmp, target, fall pc, a slot (b at a+1) *)
   | RIfz of cmp * int * int * int (* cmp, target, fall pc, a slot *)
@@ -355,6 +375,8 @@ type stats = {
   mutable n_monitor_ops : int;
   mutable n_exceptions : int;
   mutable n_regir_instr : int; (* canonical instrs retired via register regions *)
+  mutable n_regir_mon : int; (* monitor ops executed inside register regions *)
+  mutable n_regir_inline : int; (* calls spliced inline inside register regions *)
 }
 
 let fresh_stats () =
@@ -375,6 +397,8 @@ let fresh_stats () =
     n_monitor_ops = 0;
     n_exceptions = 0;
     n_regir_instr = 0;
+    n_regir_mon = 0;
+    n_regir_inline = 0;
   }
 
 type native = {
@@ -426,6 +450,15 @@ and config = {
   instr_limit : int; (* safety valve; Fatal when exceeded *)
   fuse : bool; (* superinstruction fusion in the compiler (k_fused) *)
   regir : bool; (* register-IR tier in the compiler (k_regions) *)
+  audit : bool;
+      (* re-verify the fused stream and the lowered region table against
+         the canonical code at compile time. A belt-and-braces pass for
+         the test suite: it can only reject compiler bugs, never change
+         behavior, and on sub-millisecond workloads its wall cost rivals
+         the run itself — so production configs leave it off *)
+  clock : bool;
+      (* advance the environment clock per instruction (always true in
+         real runs; the bench turns it off to price the clock itself) *)
   env_cfg : Env.config;
 }
 
@@ -519,6 +552,8 @@ let default_config =
     instr_limit = 200_000_000;
     fuse = true;
     regir = true;
+    audit = false;
+    clock = true;
     env_cfg = Env.default_config;
   }
 

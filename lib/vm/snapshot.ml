@@ -120,9 +120,15 @@ let copy_stats (s : Rt.stats) : Rt.stats =
     n_monitor_ops = s.n_monitor_ops;
     n_exceptions = s.n_exceptions;
     n_regir_instr = s.n_regir_instr;
+    n_regir_mon = s.n_regir_mon;
+    n_regir_inline = s.n_regir_inline;
   }
 
 let save (vm : Rt.t) : t =
+  (* materialize the environment's deferred ticks first: the snapshot
+     copies now/next_timer/rng by value, and must capture the exact state
+     an eager clock would hold here *)
+  Env.sync vm.env;
   let c_heap = Array.sub vm.heap 0 vm.hp in
   {
     c_heap;
@@ -234,6 +240,9 @@ let restore (vm : Rt.t) (c : t) =
   vm.preempt_pending <- c.c_preempt_pending;
   Buffer.clear vm.output;
   Buffer.add_string vm.output c.c_output;
+  (* the restored fields ARE the truth: drop any deferred ticks and the
+     cached horizon rather than materializing them over the old timeline *)
+  Env.forget vm.env;
   Prng.restore vm.env.rng ~from:c.c_env.s_rng;
   Prng.restore vm.env.input_rng ~from:c.c_env.s_input_rng;
   vm.env.now <- c.c_env.s_now;
@@ -267,6 +276,8 @@ let restore (vm : Rt.t) (c : t) =
   d.n_native_calls <- s.n_native_calls;
   d.n_monitor_ops <- s.n_monitor_ops;
   d.n_exceptions <- s.n_exceptions;
-  d.n_regir_instr <- s.n_regir_instr
+  d.n_regir_instr <- s.n_regir_instr;
+  d.n_regir_mon <- s.n_regir_mon;
+  d.n_regir_inline <- s.n_regir_inline
 
 let words (c : t) = c.c_words

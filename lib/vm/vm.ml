@@ -12,6 +12,7 @@ module Frames = Frames
 module Verify = Verify
 module Link = Link
 module Compile = Compile
+module Regir = Regir
 module Gc = Gc
 module Heap = Heap
 module Sched = Sched

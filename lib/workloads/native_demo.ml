@@ -14,13 +14,13 @@ let natives : Vm.Native.spec list =
         Vm.Native.value
           ((Vm.Env.read_clock vm.Vm.Rt.env + (args.(0) * 17)) mod 1000));
     Vm.Native.make ~name:"env_poll" ~arity:0 ~returns:true (fun vm _ ->
-        let n = Vm.Prng.int vm.Vm.Rt.env.rng 3 in
+        let n = Vm.Env.random vm.Vm.Rt.env 3 in
         {
           Vm.Native.result = Some n;
           callbacks =
             List.init n (fun k ->
                 ( ("NativeDemo", "on_event"),
-                  [| k; Vm.Prng.int vm.Vm.Rt.env.rng 50 |] ));
+                  [| k; Vm.Env.random vm.Vm.Rt.env 50 |] ));
         });
   ]
 

@@ -320,6 +320,154 @@ let test_poly_ic_transition () =
         sr.Dejavu.state_digest rr.Dejavu.state_digest)
     [ ("poly", p3); ("mega", p6) ]
 
+(* Tiny-callee inlining: a hot loop over a 4-instruction static helper
+   must splice the callee into the caller's region (the registry's
+   helpers are all too big, synchronized, or polymorphic, so this
+   directed program guards the mechanism), and the splice must be
+   invisible to recording. *)
+let tiny_call_prog iters =
+  let inc =
+    A.method_ ~args:[ I.Tint ] ~ret:I.Tint ~nlocals:1 "inc"
+      [ i (I.Load 0); i (I.Const 1); i I.Add; i I.Retv ]
+  in
+  let main =
+    A.method_ ~nlocals:2 "main"
+      [
+        i (I.Const 0); i (I.Store 0); i (I.Const 0); i (I.Store 1);
+        l "loop";
+        i (I.Load 1); i (I.Const iters); i (I.If (I.Ge, "end"));
+        i (I.Load 0); i (I.Invoke ("T", "inc")); i (I.Store 0);
+        i (I.Load 1); i (I.Const 1); i I.Add; i (I.Store 1);
+        i (I.Goto "loop");
+        l "end";
+        i (I.Load 0); i I.Print; i I.Ret;
+      ]
+  in
+  D.program ~main_class:"T" [ D.cdecl "T" [ inc; main ] ]
+
+let test_tiny_callee_inlined () =
+  let iters = 5000 in
+  let p = tiny_call_prog iters in
+  let live, st = run ~seed:1 p in
+  Alcotest.check status_testable "finished" Vm.Rt.Finished st;
+  Alcotest.(check string) "output" (Fmt.str "%d\n" iters) (Vm.output live);
+  Alcotest.(check int)
+    "every call spliced" iters
+    (Vm.stats live).Vm.Rt.n_regir_inline;
+  let rr, rt = Dejavu.record ~seed:1 p in
+  let sr, st' = Dejavu.record ~config:noregir ~seed:1 p in
+  Alcotest.(check string) "trace bytes" (Dejavu.Trace.to_bytes st')
+    (Dejavu.Trace.to_bytes rt);
+  Alcotest.(check int) "state digest" sr.Dejavu.state_digest
+    rr.Dejavu.state_digest;
+  Alcotest.(check int) "event digest" sr.Dejavu.obs_digest rr.Dejavu.obs_digest
+
+(* Interrupts arriving mid-region at a monitor op: a tiny timer quantum
+   lands preemption requests on monitorenter/monitorexit constantly, so
+   the region fast path's continue-only-while-running guard is exercised
+   at both ops (an enter that parks, an exit whose handoff readies a
+   waiter, a preemption granted at the segment boundary). The register
+   tier must stay invisible — same trace bytes, state digest, and event
+   sequence — and its regions must actually cover the monitor ops. *)
+let small_quantum seed =
+  {
+    Vm.Rt.default_config with
+    Vm.Rt.env_cfg =
+      {
+        Vm.Rt.default_config.Vm.Rt.env_cfg with
+        Vm.Env.seed;
+        quantum = 60;
+        quantum_jitter = 20;
+      };
+  }
+
+let monitor_pingpong iters =
+  let work =
+    A.method_ ~nlocals:1 "work"
+      [
+        i (I.Const 0); i (I.Store 0);
+        l "loop";
+        i (I.Load 0); i (I.Const iters); i (I.If (I.Ge, "end"));
+        i (I.Getstatic ("T", "r0")); i I.Monitorenter;
+        i (I.Getstatic ("T", "s0")); i (I.Const 1); i I.Add;
+        i (I.Putstatic ("T", "s0"));
+        i (I.Getstatic ("T", "r0")); i I.Monitorexit;
+        i (I.Load 0); i (I.Const 1); i I.Add; i (I.Store 0);
+        i (I.Goto "loop");
+        l "end"; i I.Ret;
+      ]
+  in
+  let main =
+    A.method_ ~nlocals:3 "main"
+      [
+        i (I.New "Object"); i (I.Putstatic ("T", "r0"));
+        i (I.Spawn ("T", "work")); i (I.Store 1);
+        i (I.Spawn ("T", "work")); i (I.Store 2);
+        i (I.Invoke ("T", "work"));
+        i (I.Load 1); i I.Join;
+        i (I.Load 2); i I.Join;
+        i (I.Getstatic ("T", "s0")); i I.Print; i I.Ret;
+      ]
+  in
+  D.program ~main_class:"T"
+    [
+      D.cdecl "T"
+        ~statics:[ D.field "s0"; D.field ~ty:I.Tref "r0" ]
+        [ work; main ];
+    ]
+
+let test_interrupt_at_monitor_op () =
+  let iters = 150 in
+  let p = monitor_pingpong iters in
+  List.iter
+    (fun seed ->
+      let cfg = small_quantum seed in
+      let nocfg = { cfg with Vm.Rt.regir = false } in
+      let ctx = Fmt.str "seed %d" seed in
+      let rr, rt = Dejavu.record ~config:cfg ~seed p in
+      let sr, st = Dejavu.record ~config:nocfg ~seed p in
+      (* the lock serializes the increments: the sum is exact *)
+      Alcotest.(check string)
+        (ctx ^ " output")
+        (Fmt.str "%d\n" (3 * iters))
+        rr.Dejavu.output;
+      (* coverage is checked on a live (unobserved) run: the observed
+         loop recording uses dispatches canonically, outside regions *)
+      let live, _ = run ~config:cfg ~seed p in
+      let stats = Vm.stats live in
+      Alcotest.(check bool)
+        (ctx ^ " preemptions arrived")
+        true
+        (stats.Vm.Rt.n_preempt_req > 0);
+      Alcotest.(check bool)
+        (ctx ^ " regions covered monitor ops")
+        true
+        (stats.Vm.Rt.n_regir_mon > 0);
+      Alcotest.(check string)
+        (ctx ^ " trace bytes")
+        (Dejavu.Trace.to_bytes st) (Dejavu.Trace.to_bytes rt);
+      Alcotest.(check int)
+        (ctx ^ " state digest")
+        sr.Dejavu.state_digest rr.Dejavu.state_digest;
+      Alcotest.(check int)
+        (ctx ^ " event digest")
+        sr.Dejavu.obs_digest rr.Dejavu.obs_digest;
+      Alcotest.(check int)
+        (ctx ^ " event count")
+        sr.Dejavu.obs_count rr.Dejavu.obs_count;
+      (* cross-replay under the opposite tier *)
+      let rep_s, left_s = Dejavu.replay ~config:nocfg p rt in
+      Alcotest.(check (list string)) (ctx ^ " regir->stack consumed") [] left_s;
+      Alcotest.(check int)
+        (ctx ^ " regir->stack events")
+        rr.Dejavu.obs_digest rep_s.Dejavu.obs_digest;
+      let rep_r, left_r = Dejavu.replay ~config:cfg p st in
+      Alcotest.(check (list string)) (ctx ^ " stack->regir consumed") [] left_r;
+      Alcotest.(check int)
+        (ctx ^ " stack->regir events")
+        sr.Dejavu.obs_digest rep_r.Dejavu.obs_digest)
+    [ 1; 2; 5 ]
+
 (* Collecting and digesting observers fold the same hash; the collection
    cap bounds retention only, never the digest or the true count. *)
 let test_collect_matches_digest () =
@@ -375,6 +523,9 @@ let () =
           quick "register vs stack live" test_regir_vs_stack_live;
           quick "register vs stack traces" test_regir_vs_stack_traces;
           quick "poly-IC transition mid-trace" test_poly_ic_transition;
+          quick "tiny callee inlined into region" test_tiny_callee_inlined;
+          quick "interrupt at a monitor op mid-region"
+            test_interrupt_at_monitor_op;
         ] );
       ( "observer",
         [

@@ -585,6 +585,116 @@ let prop_fuzzed_regir_agrees =
         && Vm.output vm_r = Vm.output vm_s
         && Vm.digest vm_r = Vm.digest vm_s)
 
+(* --- lazy clock horizon ----------------------------------------------- *)
+
+(* The lazily-materialized clock (precomputed preemption horizon with
+   deferred PRNG draws) must be indistinguishable from the eager
+   per-tick reference at every observation point: same fire pattern,
+   same [now]/[ticks]/[timer_fires]/[next_timer] whenever something
+   reads the clock (Currenttime, Sleep wakeups), and the same stream
+   position for non-clock draws. Shapes cover jitter=0 (the fused
+   no-jitter stub path), spike-free, out-of-stub-range jitter, and a
+   tiny quantum (the horizon ends every few ticks). *)
+let clock_shapes =
+  [|
+    { Vm.Env.default_config with Vm.Env.jitter = 0; spike_per_mille = 0 };
+    { Vm.Env.default_config with Vm.Env.jitter = 0 };
+    { Vm.Env.default_config with Vm.Env.spike_per_mille = 0 };
+    Vm.Env.default_config;
+    { Vm.Env.default_config with Vm.Env.jitter = 4096 };
+    { Vm.Env.default_config with Vm.Env.quantum = 17; quantum_jitter = 5 };
+  |]
+
+type clock_op =
+  | CTick of int  (* charge n instructions (batch on even n, per-tick odd) *)
+  | CRead  (* Currenttime: read the clock *)
+  | CCharge of int  (* compile-cost charge *)
+  | CIdle of int  (* Sleep wakeup: idle to now + n *)
+  | CRand of int  (* native draw from the same stream *)
+
+let clock_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun n -> CTick (1 + (abs n mod 400))) int);
+        (2, return CRead);
+        (1, map (fun n -> CCharge (abs n mod 500)) int);
+        (1, map (fun n -> CIdle (abs n mod 2000)) int);
+        (2, map (fun n -> CRand (1 + (abs n mod 1000))) int);
+      ])
+
+let clock_arb =
+  QCheck.make
+    ~print:(fun (shape, seed, ops) ->
+      Fmt.str "shape %d seed %d: %s" shape seed
+        (String.concat "; "
+           (List.map
+              (function
+                | CTick n -> Fmt.str "tick %d" n
+                | CRead -> "read"
+                | CCharge n -> Fmt.str "charge %d" n
+                | CIdle n -> Fmt.str "idle +%d" n
+                | CRand b -> Fmt.str "rand %d" b)
+              ops)))
+    QCheck.Gen.(
+      triple
+        (int_range 0 (Array.length clock_shapes - 1))
+        (int_range 1 10_000)
+        (list_size (int_range 1 60) clock_op_gen))
+
+let prop_lazy_clock_matches_eager =
+  qtest ~count:300 "lazy horizon clock = eager clock at observation points"
+    clock_arb (fun (shape, seed, ops) ->
+      let cfg = { clock_shapes.(shape) with Vm.Env.seed } in
+      let l = Vm.Env.create cfg and e = Vm.Env.create cfg in
+      let ok = ref true in
+      let obs () =
+        ok :=
+          !ok
+          && Vm.Env.read_clock l = Vm.Env.read_clock e
+          && l.Vm.Env.ticks = e.Vm.Env.ticks
+          && l.Vm.Env.timer_fires = e.Vm.Env.timer_fires
+          && l.Vm.Env.next_timer = e.Vm.Env.next_timer
+      in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | CTick n ->
+              (* lazy side: alternate the batch entry (regions) and the
+                 per-tick entry (canonical dispatch) *)
+              let lazy_fires =
+                if n land 1 = 0 then Vm.Env.tick_batch l n
+                else begin
+                  let f = ref 0 in
+                  for _ = 1 to n do
+                    if Vm.Env.tick l then incr f
+                  done;
+                  !f
+                end
+              in
+              let eager_fires = ref 0 in
+              for _ = 1 to n do
+                if Vm.Env.tick_eager e then incr eager_fires
+              done;
+              ok := !ok && lazy_fires = !eager_fires
+            | CRead -> obs ()
+            | CCharge n ->
+              Vm.Env.charge l n;
+              Vm.Env.charge e n;
+              obs ()
+            | CIdle d ->
+              let target = Vm.Env.read_clock e + d in
+              ok :=
+                !ok && Vm.Env.idle_until l target = Vm.Env.idle_until e target;
+              obs ()
+            | CRand b ->
+              ok := !ok && Vm.Env.random l b = Vm.Env.random e b;
+              obs ())
+        ops;
+      obs ();
+      !ok)
+
 (* --- monomorphic inline caches are invisible -------------------------------- *)
 
 (* The catalogue workloads that compile virtual call/spawn sites. *)
@@ -754,6 +864,7 @@ let () =
         [
           prop_regir_transparent_mt; prop_fuzzed_regir_agrees;
         ] );
+      ("clock", [ prop_lazy_clock_matches_eager ]);
       ( "inline-caches",
         [
           quick "warm record = cold record" test_warm_ic_record_identical;

@@ -33,10 +33,14 @@ let test_catalogue_checks_clean () =
     (all ())
 
 let test_catalogue_verifies () =
-  (* every method of every workload passes the dataflow verifier *)
+  (* every method of every workload passes the dataflow verifier, and —
+     with the compile-time audits on — the fused stream and the lowered
+     region table re-verify against the canonical code. Production
+     configs skip the audits for wall time; this is where they run. *)
+  let config = { Vm.Rt.default_config with Vm.Rt.audit = true } in
   List.iter
     (fun (e : Workloads.Registry.entry) ->
-      let vm = Vm.create ~natives:e.natives e.program in
+      let vm = Vm.create ~config ~natives:e.natives e.program in
       Array.iter
         (fun (m : Vm.Rt.rmethod) ->
           match Vm.Compile.compile vm m with
